@@ -1,0 +1,149 @@
+// Extension bench: NF service chains (the NFV scenario motivating the
+// paper's intro).  Compares the NIDS -> IPsec egress chain in two builds:
+//
+//   * CPU-only chain: both deep stages run on worker cores
+//     (pipeline mode, 2 workers -- same cores as the Fig 6 CPU baseline);
+//   * DHL chain: both stages offload to their modules on one FPGA
+//     (two DMA round trips per packet).
+//
+// Also sweeps chain depth (1..3 offload stages) to show how the per-FPGA
+// DMA budget divides across stages.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "dhl/nf/chain.hpp"
+
+namespace dhl::bench {
+namespace {
+
+struct ChainResult {
+  double gbps;
+  double p50_us;
+};
+
+ChainResult run_chain(bool offload, std::uint32_t frame_len, double offered) {
+  nf::TestbedConfig tb_cfg;
+  nf::Testbed tb{tb_cfg};
+  auto* port = tb.add_port("p0", Bandwidth::gbps(40));
+
+  auto rules = std::make_shared<match::RuleSet>(
+      match::RuleSet::builtin_snort_sample());
+  auto automaton = nf::NidsProcessor::build_automaton(*rules);
+  const auto sa = nf::test_security_association();
+  auto nids = std::make_shared<nf::NidsProcessor>(rules, automaton);
+  auto ipsec = std::make_shared<nf::IpsecProcessor>(sa, nf::IpsecPolicy{});
+
+  std::unique_ptr<nf::ChainNf> chain;
+  std::unique_ptr<nf::CpuPipelineNf> cpu;
+  if (offload) {
+    auto& rt = tb.init_runtime(automaton);
+    std::vector<nf::ChainStage> stages;
+    stages.push_back(nf::ChainStage::offload(
+        "nids", "pattern-matching", {},
+        [nids](netio::Mbuf& m) { return nids->dhl_post(m); },
+        nf::nids_dhl_post_cost(tb.timing())));
+    stages.push_back(nf::ChainStage::cpu(
+        "esp-encap", [ipsec](netio::Mbuf& m) { return ipsec->dhl_prep(m); },
+        nf::ipsec_dhl_prep_cost(tb.timing())));
+    stages.push_back(nf::ChainStage::offload(
+        "ipsec", "ipsec-crypto", accel::ipsec_module_config(false, sa),
+        [ipsec](netio::Mbuf& m) { return ipsec->dhl_post(m); },
+        nf::ipsec_dhl_post_cost(tb.timing())));
+    chain = std::make_unique<nf::ChainNf>(
+        tb.sim(), nf::ChainConfig{.timing = tb.timing()},
+        std::vector<netio::NicPort*>{port}, &rt, std::move(stages));
+    tb.run_for(milliseconds(70));
+    rt.start();
+    chain->start();
+  } else {
+    // CPU-only: one worker function doing scan + encrypt, costs summed.
+    nf::PipelineConfig cfg;
+    cfg.name = "chain-cpu";
+    cfg.timing = tb.timing();
+    cfg.num_workers = 2;
+    auto nids_cost = nf::nids_cpu_cost(tb.timing());
+    auto ipsec_cost = nf::ipsec_cpu_cost(tb.timing());
+    cpu = std::make_unique<nf::CpuPipelineNf>(
+        tb.sim(), cfg, std::vector<netio::NicPort*>{port},
+        [nids, ipsec](netio::Mbuf& m) {
+          if (nids->cpu_process(m) == nf::Verdict::kDrop) {
+            return nf::Verdict::kDrop;
+          }
+          return ipsec->cpu_encrypt(m);
+        },
+        [nids_cost, ipsec_cost](const netio::Mbuf& m) {
+          return nids_cost(m) + ipsec_cost(m);
+        });
+    cpu->start();
+  }
+
+  netio::TrafficConfig traffic;
+  traffic.frame_len = frame_len;
+  port->start_traffic(traffic, offered);
+  tb.measure(milliseconds(3), milliseconds(6));
+  return {nf::forwarded_wire_gbps(*port, frame_len, milliseconds(6)),
+          to_microseconds(port->latency().percentile(0.5))};
+}
+
+double run_depth(std::size_t offload_stages, std::uint32_t frame_len) {
+  nf::TestbedConfig tb_cfg;
+  nf::Testbed tb{tb_cfg};
+  auto* port = tb.add_port("p0", Bandwidth::gbps(40));
+  auto& rt = tb.init_runtime(nullptr);
+
+  // Depth-N chain of loopback offloads: pure transfer-layer cost.
+  std::vector<nf::ChainStage> stages;
+  for (std::size_t i = 0; i < offload_stages; ++i) {
+    stages.push_back(nf::ChainStage::offload(
+        "hop" + std::to_string(i), "loopback", {}, nullptr,
+        [](const netio::Mbuf&) { return 5.0; }));
+  }
+  nf::ChainNf chain{tb.sim(), nf::ChainConfig{.timing = tb.timing()},
+                    {port}, &rt, std::move(stages)};
+  tb.run_for(milliseconds(10));
+  rt.start();
+  chain.start();
+
+  netio::TrafficConfig traffic;
+  traffic.frame_len = frame_len;
+  port->start_traffic(traffic, 1.0);
+  tb.measure(milliseconds(3), milliseconds(6));
+  return nf::forwarded_wire_gbps(*port, frame_len, milliseconds(6));
+}
+
+}  // namespace
+}  // namespace dhl::bench
+
+int main() {
+  using namespace dhl;
+  using namespace dhl::bench;
+
+  print_title("Service chain NIDS -> IPsec: CPU-only vs DHL (40G port)");
+  std::printf("%-8s | %12s | %12s | %16s\n", "size", "CPU-only", "DHL chain",
+              "DHL p50 lat (us)");
+  print_rule(60);
+  for (const std::uint32_t size : kPacketSizes) {
+    const ChainResult cpu = run_chain(false, size, 1.0);
+    const ChainResult dhl_cap = run_chain(true, size, 1.0);
+    // Latency at 85% of the DHL chain's capacity.
+    const ChainResult dhl_lat =
+        run_chain(true, size, 0.85 * dhl_cap.gbps / 40.0);
+    std::printf("%-8u | %10.2f G | %10.2f G | %16.2f\n", size, cpu.gbps,
+                dhl_cap.gbps, dhl_lat.p50_us);
+  }
+  std::printf(
+      "\nthe DHL chain carries every packet through two modules, so its\n"
+      "ceiling is about half the single-NF DMA budget; it still beats the\n"
+      "CPU-only chain several-fold with the same CPU cores.\n");
+
+  print_title("Chain-depth sweep (loopback offload hops, 512 B)");
+  std::printf("%-8s %14s\n", "hops", "throughput");
+  print_rule(28);
+  for (const std::size_t depth : {1u, 2u, 3u}) {
+    std::printf("%-8zu %11.2f G\n", depth, run_depth(depth, 512));
+  }
+  std::printf("\nthroughput divides by the number of DMA traversals.\n");
+  return 0;
+}

@@ -1,0 +1,207 @@
+#pragma once
+
+// Shared infrastructure for the paper-reproduction benchmarks.
+//
+// Each bench binary regenerates one table or figure of the DHL paper
+// (see DESIGN.md section 4) and prints the measured series next to the
+// paper's reported values.  Measurement protocol: run the pipeline at full
+// offered load to find capacity, then re-run at 90% of capacity to measure
+// latency with finite queues (the paper's "under different load factors").
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dhl/nf/dhl_nf.hpp"
+#include "dhl/nf/forwarders.hpp"
+#include "dhl/nf/ipsec_gateway.hpp"
+#include "dhl/nf/nids.hpp"
+#include "dhl/nf/testbed.hpp"
+
+namespace dhl::bench {
+
+inline constexpr std::uint32_t kPacketSizes[] = {64, 128, 256, 512, 1024, 1500};
+
+struct PointResult {
+  double throughput_gbps = 0;  // input-traffic basis
+  double latency_p50_us = 0;
+  double latency_mean_us = 0;
+  double latency_p99_us = 0;
+};
+
+/// One experiment instance: builds a full testbed + NF around one 40G port,
+/// runs it at `offered` fraction of line rate, returns the measurement.
+/// The three modes mirror Fig 6's series.
+enum class NfKind { kIpsec, kNids };
+enum class ExecMode { kCpuOnly, kDhl, kIoOnly };
+
+struct SingleNfOptions {
+  NfKind kind = NfKind::kIpsec;
+  ExecMode mode = ExecMode::kDhl;
+  std::uint32_t frame_len = 64;
+  double offered = 1.0;
+  /// Worker-ring size for the CPU pipeline.  Throughput runs use a deep
+  /// ring; latency runs use a small one (queueing delay at saturation is
+  /// ring-bound, like any DPDK app tuned for latency).
+  std::uint32_t cpu_ring_size = 4096;
+  Bandwidth link = Bandwidth::gbps(40);
+  Picos warmup = milliseconds(3);
+  Picos window = milliseconds(6);
+  sim::TimingParams timing;
+  fpga::DmaDriver driver = fpga::DmaDriver::kUioPoll;
+  bool numa_aware = true;
+  int fpga_socket = 0;
+};
+
+inline PointResult run_single_nf(const SingleNfOptions& opt) {
+  nf::TestbedConfig tb_cfg;
+  tb_cfg.timing = opt.timing;
+  tb_cfg.runtime.timing = opt.timing;
+  tb_cfg.runtime.numa_aware = opt.numa_aware;
+  tb_cfg.fpga.dma = opt.timing.dma;
+  tb_cfg.fpga.timing = opt.timing.fpga;
+  tb_cfg.fpga.driver = opt.driver;
+  tb_cfg.fpga.socket = opt.fpga_socket;
+  nf::Testbed tb{tb_cfg};
+  auto* port = tb.add_port("p0", opt.link);
+
+  const auto sa = nf::test_security_association();
+  auto rules = std::make_shared<match::RuleSet>(
+      match::RuleSet::builtin_snort_sample());
+  auto automaton = nf::NidsProcessor::build_automaton(*rules);
+  auto ipsec = std::make_shared<nf::IpsecProcessor>(sa, nf::IpsecPolicy{});
+  auto nids = std::make_shared<nf::NidsProcessor>(rules, automaton);
+
+  std::unique_ptr<nf::CpuPipelineNf> cpu_nf;
+  std::unique_ptr<nf::RunToCompletionNf> io_nf;
+  std::unique_ptr<nf::DhlOffloadNf> dhl_nf;
+
+  switch (opt.mode) {
+    case ExecMode::kCpuOnly: {
+      nf::PipelineConfig cfg;
+      cfg.name = "nf-cpu";
+      cfg.timing = tb.timing();
+      cfg.num_workers = 2;  // Table IV: 2 worker + 2 I/O cores
+      cfg.ring_size = opt.cpu_ring_size;
+      nf::PacketFn fn =
+          opt.kind == NfKind::kIpsec
+              ? nf::PacketFn{[ipsec](netio::Mbuf& m) {
+                  return ipsec->cpu_encrypt(m);
+                }}
+              : nf::PacketFn{[nids](netio::Mbuf& m) {
+                  return nids->cpu_process(m);
+                }};
+      nf::CostFn cost = opt.kind == NfKind::kIpsec
+                            ? nf::ipsec_cpu_cost(tb.timing())
+                            : nf::nids_cpu_cost(tb.timing());
+      cpu_nf = std::make_unique<nf::CpuPipelineNf>(
+          tb.sim(), cfg, std::vector<netio::NicPort*>{port}, std::move(fn),
+          std::move(cost));
+      cpu_nf->start();
+      break;
+    }
+    case ExecMode::kIoOnly: {
+      nf::RunToCompletionConfig cfg;
+      cfg.name = "io";
+      cfg.timing = tb.timing();
+      cfg.num_cores = 2;  // the paper's 2-core raw-I/O baseline
+      io_nf = std::make_unique<nf::RunToCompletionNf>(
+          tb.sim(), cfg, std::vector<netio::NicPort*>{port}, nf::io_fwd_fn(),
+          nf::zero_cost());
+      io_nf->start();
+      break;
+    }
+    case ExecMode::kDhl: {
+      auto& rt = tb.init_runtime(automaton);
+      nf::DhlNfConfig cfg;
+      cfg.timing = tb.timing();
+      if (opt.kind == NfKind::kIpsec) {
+        cfg.name = "ipsec-dhl";
+        cfg.hf_name = "ipsec-crypto";
+        cfg.acc_config = accel::ipsec_module_config(false, sa);
+        dhl_nf = std::make_unique<nf::DhlOffloadNf>(
+            tb.sim(), cfg, std::vector<netio::NicPort*>{port}, rt,
+            [ipsec](netio::Mbuf& m) { return ipsec->dhl_prep(m); },
+            nf::ipsec_dhl_prep_cost(tb.timing()),
+            [ipsec](netio::Mbuf& m) { return ipsec->dhl_post(m); },
+            nf::ipsec_dhl_post_cost(tb.timing()));
+      } else {
+        cfg.name = "nids-dhl";
+        cfg.hf_name = "pattern-matching";
+        dhl_nf = std::make_unique<nf::DhlOffloadNf>(
+            tb.sim(), cfg, std::vector<netio::NicPort*>{port}, rt,
+            [nids](netio::Mbuf& m) { return nids->dhl_prep(m); },
+            nf::nids_dhl_prep_cost(tb.timing()),
+            [nids](netio::Mbuf& m) { return nids->dhl_post(m); },
+            nf::nids_dhl_post_cost(tb.timing()));
+      }
+      tb.run_for(milliseconds(40));  // PR load
+      rt.start();
+      dhl_nf->start();
+      break;
+    }
+  }
+
+  netio::TrafficConfig traffic;
+  traffic.frame_len = opt.frame_len;
+  port->start_traffic(traffic, opt.offered);
+  tb.measure(opt.warmup, opt.window);
+
+  PointResult r;
+  r.throughput_gbps = nf::forwarded_wire_gbps(*port, opt.frame_len, opt.window);
+  r.latency_p50_us = to_microseconds(port->latency().percentile(0.5));
+  r.latency_mean_us = to_microseconds(port->latency().mean());
+  r.latency_p99_us = to_microseconds(port->latency().percentile(0.99));
+  return r;
+}
+
+/// The Fig 6 measurement protocol.
+///
+/// Throughput: each system at full offered load.  Latency: both systems
+/// under the *same* offered load -- 85% of the DHL system's capacity (the
+/// paper plots "processing latency under different load factors" against
+/// one traffic source; a saturated CPU-only pipeline exhibits its
+/// queue-bound latency there, which is the point of Fig 6b/6d).
+struct CurvePoint {
+  double throughput_gbps;
+  PointResult latency_run;
+};
+
+inline constexpr double kLatencyLoadFactor = 0.85;
+
+/// Capacity at full load, then latency at `offered_for_latency` (a fraction
+/// of line rate; <= 0 means 85% of this system's own capacity).
+inline CurvePoint run_capacity_then_latency(SingleNfOptions opt,
+                                            double offered_for_latency = -1) {
+  opt.offered = 1.0;
+  const PointResult full = run_single_nf(opt);
+  CurvePoint out;
+  out.throughput_gbps = full.throughput_gbps;
+  double fraction = offered_for_latency > 0
+                        ? offered_for_latency
+                        : kLatencyLoadFactor * full.throughput_gbps /
+                              opt.link.gbps();
+  if (fraction > 1.0) fraction = 1.0;
+  if (fraction <= 0.0) fraction = 0.01;
+  opt.offered = fraction;
+  // Latency runs of the CPU pipeline use a small worker ring (latency at
+  // saturation is queue-bound; 4096-deep rings would mean milliseconds).
+  opt.cpu_ring_size = 64;
+  out.latency_run = run_single_nf(opt);
+  return out;
+}
+
+// --- output helpers -----------------------------------------------------------
+
+inline void print_title(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace dhl::bench

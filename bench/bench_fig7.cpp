@@ -1,0 +1,134 @@
+// Figure 7 reproduction: multiple NFs sharing one FPGA over 4 x 10G ports.
+//
+// Paper V-D: (a) two IPsec gateway instances calling the *same* accelerator
+// module (ipsec-crypto); (b) an IPsec gateway and an NIDS calling *different*
+// modules on the same FPGA.  Each NF instance owns two 10G ports, one I/O
+// core per port; the theoretical per-NF maximum is 20 Gbps.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+
+namespace dhl::bench {
+namespace {
+
+struct MultiNfResult {
+  double nf0_gbps;
+  double nf1_gbps;
+};
+
+MultiNfResult run_multi(bool second_is_nids, std::uint32_t frame_len) {
+  nf::TestbedConfig tb_cfg;
+  nf::Testbed tb{tb_cfg};
+  netio::NicPort* ports[4];
+  for (int i = 0; i < 4; ++i) {
+    ports[i] = tb.add_port("x520." + std::to_string(i), Bandwidth::gbps(10));
+  }
+
+  const auto sa = nf::test_security_association();
+  auto rules = std::make_shared<match::RuleSet>(
+      match::RuleSet::builtin_snort_sample());
+  auto automaton = nf::NidsProcessor::build_automaton(*rules);
+  auto& rt = tb.init_runtime(automaton);
+
+  auto ipsec0 = std::make_shared<nf::IpsecProcessor>(sa, nf::IpsecPolicy{});
+  auto ipsec1 = std::make_shared<nf::IpsecProcessor>(sa, nf::IpsecPolicy{});
+  auto nids = std::make_shared<nf::NidsProcessor>(rules, automaton);
+
+  auto make_ipsec = [&](const std::string& name,
+                        std::vector<netio::NicPort*> nf_ports,
+                        std::shared_ptr<nf::IpsecProcessor> proc) {
+    nf::DhlNfConfig cfg;
+    cfg.name = name;
+    cfg.timing = tb.timing();
+    cfg.hf_name = "ipsec-crypto";
+    cfg.acc_config = accel::ipsec_module_config(false, sa);
+    cfg.split_ingress_egress = false;  // one core per 10G port (paper V-D)
+    return std::make_unique<nf::DhlOffloadNf>(
+        tb.sim(), cfg, std::move(nf_ports), rt,
+        [proc](netio::Mbuf& m) { return proc->dhl_prep(m); },
+        nf::ipsec_dhl_prep_cost(tb.timing()),
+        [proc](netio::Mbuf& m) { return proc->dhl_post(m); },
+        nf::ipsec_dhl_post_cost(tb.timing()));
+  };
+  auto make_nids = [&](std::vector<netio::NicPort*> nf_ports) {
+    nf::DhlNfConfig cfg;
+    cfg.name = "nids";
+    cfg.timing = tb.timing();
+    cfg.hf_name = "pattern-matching";
+    cfg.split_ingress_egress = false;
+    return std::make_unique<nf::DhlOffloadNf>(
+        tb.sim(), cfg, std::move(nf_ports), rt,
+        [nids](netio::Mbuf& m) { return nids->dhl_prep(m); },
+        nf::nids_dhl_prep_cost(tb.timing()),
+        [nids](netio::Mbuf& m) { return nids->dhl_post(m); },
+        nf::nids_dhl_post_cost(tb.timing()));
+  };
+
+  auto nf0 = make_ipsec("ipsec0", {ports[0], ports[1]}, ipsec0);
+  std::unique_ptr<nf::DhlOffloadNf> nf1;
+  if (second_is_nids) {
+    nf1 = make_nids({ports[2], ports[3]});
+  } else {
+    nf1 = make_ipsec("ipsec1", {ports[2], ports[3]}, ipsec1);
+  }
+
+  tb.run_for(milliseconds(70));  // PR loads (serialized on ICAP)
+  rt.start();
+  nf0->start();
+  nf1->start();
+
+  netio::TrafficConfig traffic;
+  traffic.frame_len = frame_len;
+  for (int i = 0; i < 4; ++i) {
+    traffic.seed = static_cast<std::uint64_t>(i + 1);
+    ports[i]->start_traffic(traffic, 1.0);
+  }
+  tb.measure(milliseconds(3), milliseconds(6));
+
+  MultiNfResult r;
+  r.nf0_gbps = nf::forwarded_wire_gbps(*ports[0], frame_len, milliseconds(6)) +
+               nf::forwarded_wire_gbps(*ports[1], frame_len, milliseconds(6));
+  r.nf1_gbps = nf::forwarded_wire_gbps(*ports[2], frame_len, milliseconds(6)) +
+               nf::forwarded_wire_gbps(*ports[3], frame_len, milliseconds(6));
+  return r;
+}
+
+}  // namespace
+}  // namespace dhl::bench
+
+int main() {
+  using namespace dhl;
+  using namespace dhl::bench;
+
+  print_title(
+      "Figure 7(a): two IPsec gateways sharing the ipsec-crypto module "
+      "(2 x 10G each)");
+  std::printf("%-8s %12s %12s %14s\n", "size", "IPsec1", "IPsec2",
+              "paper (each)");
+  print_rule(50);
+  for (const std::uint32_t size : kPacketSizes) {
+    const MultiNfResult r = run_multi(/*second_is_nids=*/false, size);
+    std::printf("%-8u %12.2f %12.2f %14.1f\n", size, r.nf0_gbps, r.nf1_gbps,
+                20.0);
+  }
+
+  print_title(
+      "Figure 7(b): IPsec gateway + NIDS with different modules on one FPGA");
+  std::printf("%-8s %12s %12s %14s\n", "size", "IPsec", "NIDS",
+              "paper (each)");
+  print_rule(50);
+  for (const std::uint32_t size : kPacketSizes) {
+    const MultiNfResult r = run_multi(/*second_is_nids=*/true, size);
+    std::printf("%-8u %12.2f %12.2f %14.1f\n", size, r.nf0_gbps, r.nf1_gbps,
+                20.0);
+  }
+  std::printf(
+      "\npaper shape: both NFs reach ~20 Gbps; in (b) the IPsec gateway runs\n"
+      "slightly below the NIDS because ipsec-crypto has a longer pipeline\n"
+      "delay than pattern-matching.  Our model reproduces the >= 512 B\n"
+      "points; at 64-256 B the shared runtime TX core is the bottleneck\n"
+      "(see EXPERIMENTS.md for the deviation discussion).\n");
+  return 0;
+}

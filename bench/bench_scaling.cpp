@@ -1,0 +1,89 @@
+// Extension bench: vertical scaling (paper VI-1).
+//
+// "Our prototype can only provide a maximum throughput of 42 Gbps due to the
+// PCI-e 3x8 specification ... alternatively we can install more FPGA cards
+// into the free PCIe slots."
+//
+// Two DHL IPsec gateways, one 40G port each (80 Gbps aggregate demand,
+// which exceeds one board's DMA budget):
+//   * 1 FPGA:  both NFs share one ipsec-crypto module behind one 42 Gbps
+//     DMA engine;
+//   * 2 FPGAs: each NF (on its own NUMA node) gets a local board and module.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+
+namespace dhl::bench {
+namespace {
+
+double run_scaling(int num_fpgas, std::uint32_t frame_len) {
+  nf::TestbedConfig tb_cfg;
+  nf::Testbed tb{tb_cfg};  // FPGA 0 on socket 0
+  if (num_fpgas == 2) tb.add_fpga(/*socket=*/1);
+
+  auto* port_a = tb.add_port("xl710.a", Bandwidth::gbps(40), /*socket=*/0);
+  auto* port_b = tb.add_port("xl710.b", Bandwidth::gbps(40), /*socket=*/1);
+  auto& rt = tb.init_runtime();
+  const auto sa = nf::test_security_association();
+
+  auto make_nf = [&](const std::string& name, netio::NicPort* port,
+                     int socket, std::shared_ptr<nf::IpsecProcessor> proc) {
+    nf::DhlNfConfig cfg;
+    cfg.name = name;
+    cfg.socket = socket;
+    cfg.timing = tb.timing();
+    cfg.hf_name = "ipsec-crypto";
+    cfg.acc_config = accel::ipsec_module_config(false, sa);
+    return std::make_unique<nf::DhlOffloadNf>(
+        tb.sim(), cfg, std::vector<netio::NicPort*>{port}, rt,
+        [proc](netio::Mbuf& m) { return proc->dhl_prep(m); },
+        nf::ipsec_dhl_prep_cost(tb.timing()),
+        [proc](netio::Mbuf& m) { return proc->dhl_post(m); },
+        nf::ipsec_dhl_post_cost(tb.timing()));
+  };
+  auto proc_a = std::make_shared<nf::IpsecProcessor>(sa, nf::IpsecPolicy{});
+  auto proc_b = std::make_shared<nf::IpsecProcessor>(sa, nf::IpsecPolicy{});
+  auto nf_a = make_nf("ipsec-a", port_a, 0, proc_a);
+  auto nf_b = make_nf("ipsec-b", port_b, 1, proc_b);
+
+  tb.run_for(milliseconds(60));  // PR load(s)
+  rt.start();
+  nf_a->start();
+  nf_b->start();
+
+  netio::TrafficConfig traffic;
+  traffic.frame_len = frame_len;
+  port_a->start_traffic(traffic, 1.0);
+  traffic.seed = 2;
+  port_b->start_traffic(traffic, 1.0);
+  tb.measure(milliseconds(3), milliseconds(6));
+
+  return nf::forwarded_wire_gbps(*port_a, frame_len, milliseconds(6)) +
+         nf::forwarded_wire_gbps(*port_b, frame_len, milliseconds(6));
+}
+
+}  // namespace
+}  // namespace dhl::bench
+
+int main() {
+  using namespace dhl;
+  using namespace dhl::bench;
+
+  print_title(
+      "Vertical scaling (paper VI-1): 2 x 40G IPsec gateways, 1 vs 2 FPGAs");
+  std::printf("%-8s %16s %16s %10s\n", "size", "1 FPGA (Gbps)",
+              "2 FPGAs (Gbps)", "gain");
+  print_rule(56);
+  for (const std::uint32_t size : {256u, 512u, 1024u, 1500u}) {
+    const double one = run_scaling(1, size);
+    const double two = run_scaling(2, size);
+    std::printf("%-8u %16.2f %16.2f %9.2fx\n", size, one, two, two / one);
+  }
+  std::printf(
+      "\nexpected: with one board the aggregate saturates at the ~42 Gbps\n"
+      "DMA ceiling; a second board on the other NUMA node roughly doubles\n"
+      "it (each NF local to its own FPGA, runtime cores per socket).\n");
+  return 0;
+}

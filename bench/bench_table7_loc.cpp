@@ -1,0 +1,57 @@
+// Table VII reproduction: lines of code to shift a CPU-only NF to DHL.
+//
+// The paper reports 33 LoC (ipsec-crypto) and 35 LoC (pattern-matching) of
+// modifications.  Our example applications mark the DHL-specific block with
+// [DHL-SHIFT-BEGIN]/[DHL-SHIFT-END]; this bench counts the non-empty,
+// non-comment lines inside, which is the same quantity.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+int count_shift_loc(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return -1;
+  std::string line;
+  bool inside = false;
+  int count = 0;
+  while (std::getline(in, line)) {
+    if (line.find("[DHL-SHIFT-BEGIN]") != std::string::npos) {
+      inside = true;
+      continue;
+    }
+    if (line.find("[DHL-SHIFT-END]") != std::string::npos) {
+      inside = false;
+      continue;
+    }
+    if (!inside) continue;
+    // Skip blanks and pure comment lines.
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (line.compare(first, 2, "//") == 0) continue;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  const std::string dir = DHL_EXAMPLES_DIR;
+  const int ipsec = count_shift_loc(dir + "/ipsec_gateway_app.cpp");
+  const int nids = count_shift_loc(dir + "/nids_app.cpp");
+
+  std::printf(
+      "\n=== Table VII: lines of code to shift the CPU-only NF to DHL ===\n");
+  std::printf("%-22s %12s %12s\n", "Accelerator Module", "LoC (ours)",
+              "LoC (paper)");
+  std::printf("%-22s %12d %12d\n", "ipsec-crypto", ipsec, 33);
+  std::printf("%-22s %12d %12d\n", "pattern-matching", nids, 35);
+  std::printf(
+      "\n(ours = code lines in the [DHL-SHIFT] block of the example apps;\n"
+      "the shift is tens of lines in both systems -- the paper's point.)\n");
+  return (ipsec > 0 && nids > 0) ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+#include "dhl/accel/extra_modules.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "dhl/accel/lz77.hpp"
+#include "dhl/crypto/md5.hpp"
+#include "dhl/netio/headers.hpp"
+
+namespace dhl::accel {
+
+void Md5Module::configure(std::span<const std::uint8_t> config) {
+  if (!config.empty()) {
+    throw std::invalid_argument("md5-auth: takes no configuration");
+  }
+}
+
+fpga::ProcessResult Md5Module::process(std::span<std::uint8_t> data) {
+  const netio::PacketView view = netio::parse_packet(data);
+  const std::size_t start = view.valid ? view.payload_offset : 0;
+  const auto digest =
+      crypto::Md5::digest({data.data() + start, data.size() - start});
+  std::uint64_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    result |= static_cast<std::uint64_t>(digest[static_cast<std::size_t>(i)])
+              << (8 * i);
+  }
+  return {result, static_cast<std::uint32_t>(data.size())};
+}
+
+void CompressionModule::configure(std::span<const std::uint8_t> config) {
+  if (!config.empty()) {
+    throw std::invalid_argument("compression: takes no configuration");
+  }
+}
+
+fpga::ProcessResult CompressionModule::process(std::span<std::uint8_t> data) {
+  const std::vector<std::uint8_t> packed = lz77_compress(data);
+  if (packed.size() >= data.size()) {
+    return {kIncompressible, static_cast<std::uint32_t>(data.size())};
+  }
+  std::memcpy(data.data(), packed.data(), packed.size());
+  return {static_cast<std::uint64_t>(data.size()),
+          static_cast<std::uint32_t>(packed.size())};
+}
+
+fpga::PartialBitstream md5_bitstream() {
+  fpga::PartialBitstream b;
+  b.hf_name = "md5-auth";
+  b.size_bytes = 3'200'000;
+  b.resources = Md5Module{}.resources();
+  b.factory = [] { return std::make_unique<Md5Module>(); };
+  return b;
+}
+
+fpga::PartialBitstream compression_bitstream() {
+  fpga::PartialBitstream b;
+  b.hf_name = "compression";
+  b.size_bytes = 4'700'000;
+  b.resources = CompressionModule{}.resources();
+  b.factory = [] { return std::make_unique<CompressionModule>(); };
+  return b;
+}
+
+}  // namespace dhl::accel

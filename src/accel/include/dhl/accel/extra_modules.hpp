@@ -1,0 +1,55 @@
+#pragma once
+
+// Additional standard accelerator modules from the paper's module database
+// (section IV-C lists "Encryption, Decryption, MD5 authentication, Regex
+// Classifier, Data Compression" as examples).  These are not benchmarked in
+// the paper's evaluation; their resource/timing figures are our own
+// plausible characterizations, marked as such in DESIGN.md.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "dhl/fpga/accelerator.hpp"
+#include "dhl/fpga/bitstream.hpp"
+
+namespace dhl::accel {
+
+/// md5-auth: computes the MD5 digest of the packet's L4 payload and returns
+/// the first 8 digest bytes in the result word (little-endian).
+class Md5Module final : public fpga::AcceleratorModule {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "md5-auth";
+    return kName;
+  }
+  fpga::ModuleResources resources() const override { return {4'100, 36}; }
+  fpga::ModuleTiming timing() const override {
+    return {Bandwidth::gbps(48.0), 68};
+  }
+  void configure(std::span<const std::uint8_t> config) override;
+  fpga::ProcessResult process(std::span<std::uint8_t> data) override;
+};
+
+/// compression: LZ77-compresses the record in place when that shrinks it.
+/// Result word: original length when compressed, kIncompressible otherwise.
+class CompressionModule final : public fpga::AcceleratorModule {
+ public:
+  static constexpr std::uint64_t kIncompressible = ~0ULL;
+
+  const std::string& name() const override {
+    static const std::string kName = "compression";
+    return kName;
+  }
+  fpga::ModuleResources resources() const override { return {11'800, 96}; }
+  fpga::ModuleTiming timing() const override {
+    return {Bandwidth::gbps(24.0), 180};
+  }
+  void configure(std::span<const std::uint8_t> config) override;
+  fpga::ProcessResult process(std::span<std::uint8_t> data) override;
+};
+
+fpga::PartialBitstream md5_bitstream();
+fpga::PartialBitstream compression_bitstream();
+
+}  // namespace dhl::accel

@@ -1,0 +1,100 @@
+#pragma once
+
+// IPsec ESP tunnel-mode packet layout and security-association material,
+// shared by the CPU-only IPsec gateway and the ipsec-crypto accelerator
+// module.  DHL's central claim is that moving the crypto between CPU and
+// FPGA changes *where* the transform runs, not *what* it computes -- so both
+// paths must share one layout definition.
+//
+// Encapsulated frame layout (tunnel mode, AES-256-CTR + HMAC-SHA1-96):
+//
+//   [Eth 14][outer IPv4 20][ESP spi+seq 8][IV 8]
+//   [ciphertext: inner IP packet + pad + pad_len + next_header][ICV 12]
+//
+// The ESP payload is padded so (plaintext + 2-byte trailer) is a multiple of
+// 4 (RFC 4303); the counter block follows RFC 3686 (salt || IV || 1).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dhl/crypto/aes.hpp"
+#include "dhl/crypto/sha1.hpp"
+#include "dhl/netio/headers.hpp"
+#include "dhl/netio/mbuf.hpp"
+
+namespace dhl::accel {
+
+inline constexpr std::size_t kEspIvLen = 8;
+inline constexpr std::size_t kEspIcvLen = crypto::HmacSha1::kIpsecIcvBytes;  // 12
+/// Offset of the ESP header in an encapsulated frame.
+inline constexpr std::size_t kEspOffset =
+    netio::kEthernetHeaderLen + netio::kIpv4HeaderLen;  // 34
+/// Offset of the IV.
+inline constexpr std::size_t kEspIvOffset = kEspOffset + netio::kEspHeaderLen;  // 42
+/// Offset of the encrypted payload.
+inline constexpr std::size_t kEspPayloadOffset = kEspIvOffset + kEspIvLen;  // 50
+/// Smallest structurally valid encapsulated frame.
+inline constexpr std::size_t kEspMinFrame = kEspPayloadOffset + 2 + kEspIcvLen;
+
+/// Security association: keys and identifiers for one tunnel direction
+/// ("the bundle of algorithms and parameters ... used to encrypt and
+/// authenticate a particular flow in one direction", paper V-B1 footnote).
+struct SecurityAssociation {
+  std::uint32_t spi = 0;
+  std::array<std::uint8_t, crypto::Aes256::kKeyBytes> key{};   // cipher key
+  std::array<std::uint8_t, 4> salt{};                          // RFC 3686 nonce
+  std::array<std::uint8_t, 20> auth_key{};                     // HMAC-SHA1 key
+  std::uint32_t tunnel_src = 0;  // outer IPv4 addresses
+  std::uint32_t tunnel_dst = 0;
+};
+
+/// RFC 3686 counter block: salt(4) || IV(8) || block counter(4) = 1.
+std::array<std::uint8_t, 16> ctr_block(std::span<const std::uint8_t, 4> salt,
+                                       std::span<const std::uint8_t, 8> iv);
+
+/// ESP pad length so payload + pad + 2 is a multiple of 4.
+constexpr std::uint32_t esp_pad_len(std::uint32_t payload_len) {
+  return (4 - ((payload_len + 2) % 4)) % 4;
+}
+
+/// Total encapsulated frame length for an input frame of `frame_len`.
+constexpr std::uint32_t esp_encap_len(std::uint32_t frame_len) {
+  const std::uint32_t inner = frame_len - netio::kEthernetHeaderLen;
+  return static_cast<std::uint32_t>(kEspPayloadOffset) + inner +
+         esp_pad_len(inner) + 2 + static_cast<std::uint32_t>(kEspIcvLen);
+}
+
+/// Rewrite `m` (an Eth/IPv4 frame) into an ESP tunnel frame with the
+/// plaintext inner packet in place and the ICV area zeroed.  After this the
+/// frame only needs encrypt-in-place + ICV fill -- done by the CPU crypto
+/// path or by the ipsec-crypto accelerator module.  `seq` becomes the ESP
+/// sequence number and the IV.
+/// Requires headroom >= 36 and tailroom for pad+trailer+ICV.
+void esp_encapsulate(netio::Mbuf& m, const SecurityAssociation& sa,
+                     std::uint64_t seq);
+
+/// Encrypt + authenticate an encapsulated frame in place (the transform the
+/// ipsec-crypto module performs).  `frame` spans the whole frame.
+void esp_seal(std::span<std::uint8_t> frame, const crypto::Aes256& cipher,
+              const crypto::HmacSha1& hmac,
+              std::span<const std::uint8_t, 4> salt);
+
+/// Verify + decrypt an encapsulated frame in place.  Returns false on ICV
+/// mismatch (frame is left untouched).
+bool esp_open(std::span<std::uint8_t> frame, const crypto::Aes256& cipher,
+              const crypto::HmacSha1& hmac,
+              std::span<const std::uint8_t, 4> salt);
+
+/// Recover the inner Eth/IPv4 frame from a decrypted ESP frame: strips the
+/// outer headers/trailer and restores an Ethernet header.  Returns the inner
+/// frame bytes (without the ICV/pad).  `frame` must already be decrypted.
+std::vector<std::uint8_t> esp_extract_inner(std::span<const std::uint8_t> frame);
+
+/// Serialize the ipsec-crypto module configuration blob:
+///   u8 direction (0 = encrypt, 1 = decrypt) | key[32] | salt[4] | auth_key[20]
+std::vector<std::uint8_t> ipsec_module_config(bool decrypt,
+                                              const SecurityAssociation& sa);
+
+}  // namespace dhl::accel

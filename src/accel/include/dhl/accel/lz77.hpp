@@ -1,0 +1,28 @@
+#pragma once
+
+// Byte-oriented LZ77 codec backing the "Data Compression" accelerator module
+// that the paper lists in the module database (section IV-C).
+//
+// Format: a stream of tokens.
+//   0x00 <u8 n> <n+1 literal bytes>            literal run (1..256 bytes)
+//   0x01 <u16le distance> <u8 len-4>           match, distance 1..65535,
+//                                              length 4..259
+// Greedy matching with a 64 Ki hash-chain window.  Not a competitor to any
+// real codec -- it exists so the compression hardware function does real,
+// lossless, testable work.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dhl::accel {
+
+/// Compress `in`; output may be larger than the input for incompressible
+/// data (callers keep the original in that case, as the module does).
+std::vector<std::uint8_t> lz77_compress(std::span<const std::uint8_t> in);
+
+/// Decompress a lz77_compress() stream.  Throws std::runtime_error on a
+/// malformed stream.
+std::vector<std::uint8_t> lz77_decompress(std::span<const std::uint8_t> in);
+
+}  // namespace dhl::accel

@@ -1,0 +1,55 @@
+#pragma once
+
+// regex-classifier accelerator module ("Regex Classifier" in the paper's
+// module database, IV-C).  Walks the packet's L4 payload through a bank of
+// DFA-compiled regular expressions -- the hardware analogue is one DFA
+// pipeline per pattern -- and returns the bitmap of matching patterns in the
+// result word:
+//
+//   bits  0..47 : bitmap of matching pattern indices < 48
+//   bits 48..63 : number of matching patterns (saturating)
+//
+// Resource/timing figures are our own characterization (this module is
+// listed but not evaluated in the paper); DESIGN.md marks them as such.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dhl/fpga/accelerator.hpp"
+#include "dhl/fpga/bitstream.hpp"
+#include "dhl/match/regex.hpp"
+
+namespace dhl::accel {
+
+class RegexClassifierModule final : public fpga::AcceleratorModule {
+ public:
+  /// The DFA bank is baked into the bitstream.
+  explicit RegexClassifierModule(
+      std::shared_ptr<const match::RegexClassifier> classifier);
+
+  const std::string& name() const override {
+    static const std::string kName = "regex-classifier";
+    return kName;
+  }
+
+  fpga::ModuleResources resources() const override { return {14'200, 310}; }
+
+  fpga::ModuleTiming timing() const override {
+    return {Bandwidth::gbps(40.0), 72};
+  }
+
+  void configure(std::span<const std::uint8_t> config) override;
+
+  fpga::ProcessResult process(std::span<std::uint8_t> data) override;
+
+ private:
+  std::shared_ptr<const match::RegexClassifier> classifier_;
+};
+
+/// Bitstream descriptor (size ~ DFA BRAM footprint).
+fpga::PartialBitstream regex_classifier_bitstream(
+    std::shared_ptr<const match::RegexClassifier> classifier);
+
+}  // namespace dhl::accel

@@ -1,0 +1,137 @@
+#include "dhl/accel/ipsec_common.hpp"
+
+#include <cstring>
+
+#include "dhl/common/check.hpp"
+
+namespace dhl::accel {
+
+using netio::EspHeader;
+using netio::Ipv4Header;
+using netio::kEspHeaderLen;
+using netio::kEthernetHeaderLen;
+using netio::kIpv4HeaderLen;
+
+std::array<std::uint8_t, 16> ctr_block(std::span<const std::uint8_t, 4> salt,
+                                       std::span<const std::uint8_t, 8> iv) {
+  std::array<std::uint8_t, 16> block{};
+  std::memcpy(block.data(), salt.data(), 4);
+  std::memcpy(block.data() + 4, iv.data(), 8);
+  block[15] = 1;  // RFC 3686: block counter starts at 1
+  return block;
+}
+
+void esp_encapsulate(netio::Mbuf& m, const SecurityAssociation& sa,
+                     std::uint64_t seq) {
+  const std::uint32_t inner_len = m.data_len() - kEthernetHeaderLen;
+  const std::uint32_t pad = esp_pad_len(inner_len);
+
+  // Keep the original Ethernet header; insert outer IP + ESP + IV after it.
+  constexpr std::uint32_t kInsert =
+      kIpv4HeaderLen + kEspHeaderLen + kEspIvLen;  // 36
+  std::uint8_t* front = m.prepend(kInsert);
+  // Move the Ethernet header to the new front.
+  std::memmove(front, front + kInsert, kEthernetHeaderLen);
+
+  std::uint8_t* p = front;
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(kEspPayloadOffset) + inner_len + pad + 2 +
+      static_cast<std::uint32_t>(kEspIcvLen);
+
+  // Outer IPv4 header (tunnel endpoints).
+  Ipv4Header outer;
+  outer.src = sa.tunnel_src;
+  outer.dst = sa.tunnel_dst;
+  outer.protocol = netio::kIpProtoEsp;
+  outer.total_length = static_cast<std::uint16_t>(total - kEthernetHeaderLen);
+  outer.identification = static_cast<std::uint16_t>(seq);
+  outer.write({p + kEthernetHeaderLen, kIpv4HeaderLen});
+
+  // ESP header.
+  EspHeader esp;
+  esp.spi = sa.spi;
+  esp.seq = static_cast<std::uint32_t>(seq);
+  esp.write({p + kEspOffset, kEspHeaderLen});
+
+  // IV: the 64-bit sequence number, big-endian.
+  for (int i = 0; i < 8; ++i) {
+    p[kEspIvOffset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seq >> (8 * (7 - i)));
+  }
+
+  // Pad + trailer + ICV space at the tail.
+  std::uint8_t* tail = m.append(pad + 2 + static_cast<std::uint32_t>(kEspIcvLen));
+  for (std::uint32_t i = 0; i < pad; ++i) {
+    tail[i] = static_cast<std::uint8_t>(i + 1);  // RFC 4303 monotonic padding
+  }
+  tail[pad] = static_cast<std::uint8_t>(pad);
+  tail[pad + 1] = 4;  // next header: IPv4 (tunnel mode)
+  std::memset(tail + pad + 2, 0, kEspIcvLen);
+
+  DHL_DCHECK(m.data_len() == total);
+}
+
+void esp_seal(std::span<std::uint8_t> frame, const crypto::Aes256& cipher,
+              const crypto::HmacSha1& hmac,
+              std::span<const std::uint8_t, 4> salt) {
+  DHL_CHECK_MSG(frame.size() >= kEspMinFrame, "frame too short for ESP");
+  const std::span<const std::uint8_t, 8> iv{frame.data() + kEspIvOffset, 8};
+  const auto counter = ctr_block(salt, iv);
+  auto payload = frame.subspan(kEspPayloadOffset,
+                               frame.size() - kEspPayloadOffset - kEspIcvLen);
+  crypto::aes256_ctr(cipher, counter, payload, payload);
+  // ICV over ESP header + IV + ciphertext (RFC 4303).
+  const auto auth_region =
+      frame.subspan(kEspOffset, frame.size() - kEspOffset - kEspIcvLen);
+  std::span<std::uint8_t, kEspIcvLen> icv{
+      frame.data() + frame.size() - kEspIcvLen, kEspIcvLen};
+  hmac.icv96(auth_region, icv);
+}
+
+bool esp_open(std::span<std::uint8_t> frame, const crypto::Aes256& cipher,
+              const crypto::HmacSha1& hmac,
+              std::span<const std::uint8_t, 4> salt) {
+  if (frame.size() < kEspMinFrame) return false;
+  const auto auth_region =
+      frame.subspan(kEspOffset, frame.size() - kEspOffset - kEspIcvLen);
+  const std::span<const std::uint8_t, kEspIcvLen> icv{
+      frame.data() + frame.size() - kEspIcvLen, kEspIcvLen};
+  if (!hmac.verify96(auth_region, icv)) return false;
+  const std::span<const std::uint8_t, 8> iv{frame.data() + kEspIvOffset, 8};
+  const auto counter = ctr_block(salt, iv);
+  auto payload = frame.subspan(kEspPayloadOffset,
+                               frame.size() - kEspPayloadOffset - kEspIcvLen);
+  crypto::aes256_ctr(cipher, counter, payload, payload);
+  return true;
+}
+
+std::vector<std::uint8_t> esp_extract_inner(
+    std::span<const std::uint8_t> frame) {
+  DHL_CHECK(frame.size() >= kEspMinFrame);
+  const std::size_t cipher_end = frame.size() - kEspIcvLen;
+  const std::uint8_t pad_len = frame[cipher_end - 2];
+  const std::size_t inner_len = cipher_end - kEspPayloadOffset - pad_len - 2;
+  std::vector<std::uint8_t> inner(kEthernetHeaderLen + inner_len);
+  // Restore the Ethernet header from the outer frame (tunnel egress would
+  // re-resolve L2; the original header was preserved in front).
+  std::memcpy(inner.data(), frame.data(), kEthernetHeaderLen);
+  std::memcpy(inner.data() + kEthernetHeaderLen,
+              frame.data() + kEspPayloadOffset, inner_len);
+  return inner;
+}
+
+std::vector<std::uint8_t> ipsec_module_config(bool decrypt,
+                                              const SecurityAssociation& sa) {
+  std::vector<std::uint8_t> blob(1 + sa.key.size() + sa.salt.size() +
+                                 sa.auth_key.size());
+  blob[0] = decrypt ? 1 : 0;
+  std::size_t off = 1;
+  std::memcpy(blob.data() + off, sa.key.data(), sa.key.size());
+  off += sa.key.size();
+  std::memcpy(blob.data() + off, sa.salt.data(), sa.salt.size());
+  off += sa.salt.size();
+  std::memcpy(blob.data() + off, sa.auth_key.data(), sa.auth_key.size());
+  return blob;
+}
+
+}  // namespace dhl::accel

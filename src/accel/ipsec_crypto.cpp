@@ -1,0 +1,49 @@
+#include "dhl/accel/ipsec_crypto.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dhl::accel {
+
+void IpsecCryptoModule::configure(std::span<const std::uint8_t> config) {
+  constexpr std::size_t kBlobLen = 1 + 32 + 4 + 20;
+  if (config.size() != kBlobLen) {
+    throw std::invalid_argument("ipsec-crypto: bad configuration blob size");
+  }
+  if (config[0] > 1) {
+    throw std::invalid_argument("ipsec-crypto: bad direction flag");
+  }
+  std::array<std::uint8_t, 32> key{};
+  std::memcpy(key.data(), config.data() + 1, 32);
+  State s{
+      .decrypt = config[0] == 1,
+      .cipher = crypto::Aes256{key},
+      .hmac = crypto::HmacSha1{config.subspan(1 + 32 + 4, 20)},
+      .salt = {},
+  };
+  std::memcpy(s.salt.data(), config.data() + 1 + 32, 4);
+  state_.emplace(std::move(s));
+}
+
+fpga::ProcessResult IpsecCryptoModule::process(std::span<std::uint8_t> data) {
+  const auto len = static_cast<std::uint32_t>(data.size());
+  if (!state_) return {kNotConfigured, len};
+  if (data.size() < kEspMinFrame) return {kMalformed, len};
+  if (state_->decrypt) {
+    const bool ok = esp_open(data, state_->cipher, state_->hmac, state_->salt);
+    return {ok ? kOk : kAuthFail, len};
+  }
+  esp_seal(data, state_->cipher, state_->hmac, state_->salt);
+  return {kOk, len};
+}
+
+fpga::PartialBitstream ipsec_crypto_bitstream() {
+  fpga::PartialBitstream b;
+  b.hf_name = "ipsec-crypto";
+  b.size_bytes = 5'600'000;  // Table V: 5.6 MB
+  b.resources = IpsecCryptoModule{}.resources();
+  b.factory = [] { return std::make_unique<IpsecCryptoModule>(); };
+  return b;
+}
+
+}  // namespace dhl::accel

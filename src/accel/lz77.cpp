@@ -1,0 +1,118 @@
+#include "dhl/accel/lz77.hpp"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace dhl::accel {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 259;
+constexpr std::size_t kMaxDistance = 65535;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 19;  // 13-bit hash
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lz77_compress(std::span<const std::uint8_t> in) {
+  std::vector<std::uint8_t> out;
+  out.reserve(in.size() / 2 + 16);
+
+  // head[h] = most recent position with hash h (+1, 0 = none).
+  std::array<std::uint32_t, 1 << 13> head{};
+
+  std::size_t lit_start = 0;
+  auto flush_literals = [&](std::size_t end) {
+    std::size_t pos = lit_start;
+    while (pos < end) {
+      const std::size_t n = std::min<std::size_t>(256, end - pos);
+      out.push_back(0x00);
+      out.push_back(static_cast<std::uint8_t>(n - 1));
+      out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(pos),
+                 in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+      pos += n;
+    }
+    lit_start = end;
+  };
+
+  std::size_t i = 0;
+  while (i + kMinMatch <= in.size()) {
+    const std::uint32_t h = hash4(in.data() + i);
+    const std::uint32_t cand_plus1 = head[h];
+    head[h] = static_cast<std::uint32_t>(i + 1);
+
+    std::size_t match_len = 0;
+    std::size_t distance = 0;
+    if (cand_plus1 != 0) {
+      const std::size_t cand = cand_plus1 - 1;
+      const std::size_t d = i - cand;
+      if (d >= 1 && d <= kMaxDistance) {
+        std::size_t len = 0;
+        const std::size_t limit = std::min(kMaxMatch, in.size() - i);
+        while (len < limit && in[cand + len] == in[i + len]) ++len;
+        if (len >= kMinMatch) {
+          match_len = len;
+          distance = d;
+        }
+      }
+    }
+
+    if (match_len >= kMinMatch) {
+      flush_literals(i);
+      out.push_back(0x01);
+      out.push_back(static_cast<std::uint8_t>(distance));
+      out.push_back(static_cast<std::uint8_t>(distance >> 8));
+      out.push_back(static_cast<std::uint8_t>(match_len - kMinMatch));
+      // Index the skipped positions so later matches can reference them.
+      const std::size_t end = i + match_len;
+      for (std::size_t j = i + 1; j + kMinMatch <= in.size() && j < end; ++j) {
+        head[hash4(in.data() + j)] = static_cast<std::uint32_t>(j + 1);
+      }
+      i = end;
+      lit_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(in.size());
+  return out;
+}
+
+std::vector<std::uint8_t> lz77_decompress(std::span<const std::uint8_t> in) {
+  std::vector<std::uint8_t> out;
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const std::uint8_t op = in[i++];
+    if (op == 0x00) {
+      if (i >= in.size()) throw std::runtime_error("lz77: truncated literal");
+      const std::size_t n = static_cast<std::size_t>(in[i++]) + 1;
+      if (i + n > in.size()) throw std::runtime_error("lz77: truncated literal");
+      out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(i),
+                 in.begin() + static_cast<std::ptrdiff_t>(i + n));
+      i += n;
+    } else if (op == 0x01) {
+      if (i + 3 > in.size()) throw std::runtime_error("lz77: truncated match");
+      const std::size_t distance =
+          static_cast<std::size_t>(in[i]) | (static_cast<std::size_t>(in[i + 1]) << 8);
+      const std::size_t len = static_cast<std::size_t>(in[i + 2]) + kMinMatch;
+      i += 3;
+      if (distance == 0 || distance > out.size()) {
+        throw std::runtime_error("lz77: bad match distance");
+      }
+      // Byte-by-byte copy: matches may overlap their own output.
+      std::size_t src = out.size() - distance;
+      for (std::size_t j = 0; j < len; ++j) out.push_back(out[src + j]);
+    } else {
+      throw std::runtime_error("lz77: bad opcode");
+    }
+  }
+  return out;
+}
+
+}  // namespace dhl::accel

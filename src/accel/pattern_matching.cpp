@@ -1,0 +1,68 @@
+#include "dhl/accel/pattern_matching.hpp"
+
+#include <stdexcept>
+
+#include "dhl/common/check.hpp"
+#include "dhl/netio/headers.hpp"
+
+namespace dhl::accel {
+
+PatternMatchingModule::PatternMatchingModule(
+    std::shared_ptr<const match::AhoCorasick> automaton)
+    : automaton_{std::move(automaton)} {
+  DHL_CHECK_MSG(automaton_ != nullptr, "pattern-matching needs an automaton");
+}
+
+void PatternMatchingModule::configure(std::span<const std::uint8_t> config) {
+  // The DFA is fixed at synthesis time; only an empty blob is accepted
+  // (DHL_acc_configure with defaults).
+  if (!config.empty()) {
+    throw std::invalid_argument(
+        "pattern-matching: automaton is baked into the bitstream; "
+        "reconfigure by loading a new PR bitstream");
+  }
+}
+
+fpga::ProcessResult PatternMatchingModule::process(
+    std::span<std::uint8_t> data) {
+  const auto len = static_cast<std::uint32_t>(data.size());
+  const netio::PacketView view = netio::parse_packet(data);
+  // Scan the L4 payload of parsable packets, the whole frame otherwise
+  // (the hardware DFA streams whatever bytes it is given).
+  const std::size_t start = view.valid ? view.payload_offset : 0;
+  const std::span<const std::uint8_t> haystack{data.data() + start,
+                                               data.size() - start};
+
+  std::uint64_t bitmap = 0;
+  std::uint32_t distinct = 0;
+  std::vector<bool> seen(automaton_->pattern_count(), false);
+  std::uint32_t state = 0;
+  for (const std::uint8_t b : haystack) {
+    state = automaton_->step(state, b);
+    for (const std::uint32_t p : automaton_->outputs(state)) {
+      if (!seen[p]) {
+        seen[p] = true;
+        ++distinct;
+        if (p < 48) bitmap |= 1ULL << p;
+      }
+    }
+  }
+  if (distinct > 0xffff) distinct = 0xffff;
+  const std::uint64_t result =
+      bitmap | (static_cast<std::uint64_t>(distinct) << 48);
+  return {result, len};
+}
+
+fpga::PartialBitstream pattern_matching_bitstream(
+    std::shared_ptr<const match::AhoCorasick> automaton) {
+  fpga::PartialBitstream b;
+  b.hf_name = "pattern-matching";
+  b.size_bytes = 6'800'000;  // Table V: 6.8 MB
+  b.resources = PatternMatchingModule{automaton}.resources();
+  b.factory = [automaton] {
+    return std::make_unique<PatternMatchingModule>(automaton);
+  };
+  return b;
+}
+
+}  // namespace dhl::accel

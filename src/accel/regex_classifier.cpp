@@ -1,0 +1,50 @@
+#include "dhl/accel/regex_classifier.hpp"
+
+#include <stdexcept>
+
+#include "dhl/common/check.hpp"
+#include "dhl/netio/headers.hpp"
+
+namespace dhl::accel {
+
+RegexClassifierModule::RegexClassifierModule(
+    std::shared_ptr<const match::RegexClassifier> classifier)
+    : classifier_{std::move(classifier)} {
+  DHL_CHECK_MSG(classifier_ != nullptr, "regex-classifier needs a DFA bank");
+}
+
+void RegexClassifierModule::configure(std::span<const std::uint8_t> config) {
+  if (!config.empty()) {
+    throw std::invalid_argument(
+        "regex-classifier: the DFA bank is baked into the bitstream");
+  }
+}
+
+fpga::ProcessResult RegexClassifierModule::process(
+    std::span<std::uint8_t> data) {
+  const auto len = static_cast<std::uint32_t>(data.size());
+  const netio::PacketView view = netio::parse_packet(data);
+  const std::size_t start = view.valid ? view.payload_offset : 0;
+  const std::uint64_t matches =
+      classifier_->classify({data.data() + start, data.size() - start});
+
+  std::uint64_t bitmap = matches & ((1ULL << 48) - 1);
+  std::uint64_t count = 0;
+  for (std::uint64_t m = matches; m != 0; m &= m - 1) ++count;
+  if (count > 0xffff) count = 0xffff;
+  return {bitmap | (count << 48), len};
+}
+
+fpga::PartialBitstream regex_classifier_bitstream(
+    std::shared_ptr<const match::RegexClassifier> classifier) {
+  fpga::PartialBitstream b;
+  b.hf_name = "regex-classifier";
+  b.size_bytes = 6'100'000;
+  b.resources = RegexClassifierModule{classifier}.resources();
+  b.factory = [classifier] {
+    return std::make_unique<RegexClassifierModule>(classifier);
+  };
+  return b;
+}
+
+}  // namespace dhl::accel

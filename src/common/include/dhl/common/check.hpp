@@ -1,0 +1,46 @@
+#pragma once
+
+// Precondition / invariant checking.
+//
+// DHL_CHECK is always on: these guard API contracts (e.g. "nf_id must be
+// registered") whose violation is a programming error in the caller; they
+// throw std::logic_error so tests can assert on misuse.  DHL_DCHECK compiles
+// out in release builds and guards internal invariants on hot paths.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dhl::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DHL_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace dhl::detail
+
+#define DHL_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::dhl::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DHL_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream dhl_os_;                                      \
+      dhl_os_ << msg;                                                  \
+      ::dhl::detail::check_failed(#expr, __FILE__, __LINE__, dhl_os_.str()); \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define DHL_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define DHL_DCHECK(expr) DHL_CHECK(expr)
+#endif

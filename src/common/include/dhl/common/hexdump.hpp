@@ -1,0 +1,23 @@
+#pragma once
+
+// Debug helpers for printing byte buffers.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dhl {
+
+/// Lower-case hex string of `data` ("deadbeef"), no separators.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Parse a hex string (as produced by to_hex) into bytes.  Throws
+/// std::invalid_argument on odd length or non-hex characters.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+/// Classic 16-bytes-per-row hexdump with ASCII gutter, for log messages.
+std::string hexdump(std::span<const std::uint8_t> data);
+
+}  // namespace dhl

@@ -1,0 +1,59 @@
+#pragma once
+
+// Minimal leveled logger.
+//
+// The simulation core is single-threaded, but unit tests exercise the ring
+// library from multiple OS threads, so the sink is guarded by a mutex.
+// Default level is kWarn to keep bench output clean; tests and examples can
+// lower it for tracing.
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace dhl {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, std::string_view component, std::string_view msg) {
+    static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
+                                             "WARN", "ERROR", "OFF"};
+    std::lock_guard<std::mutex> lock(mu_);
+    std::clog << '[' << kNames[static_cast<int>(level)] << "] " << component
+              << ": " << msg << '\n';
+  }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+}  // namespace dhl
+
+#define DHL_LOG(level, component, expr)                              \
+  do {                                                               \
+    if (::dhl::Logger::instance().enabled(level)) {                  \
+      std::ostringstream dhl_log_os_;                                \
+      dhl_log_os_ << expr;                                           \
+      ::dhl::Logger::instance().write(level, component, dhl_log_os_.str()); \
+    }                                                                \
+  } while (0)
+
+#define DHL_TRACE(component, expr) DHL_LOG(::dhl::LogLevel::kTrace, component, expr)
+#define DHL_DEBUG(component, expr) DHL_LOG(::dhl::LogLevel::kDebug, component, expr)
+#define DHL_INFO(component, expr) DHL_LOG(::dhl::LogLevel::kInfo, component, expr)
+#define DHL_WARN(component, expr) DHL_LOG(::dhl::LogLevel::kWarn, component, expr)
+#define DHL_ERROR(component, expr) DHL_LOG(::dhl::LogLevel::kError, component, expr)

@@ -1,0 +1,86 @@
+#pragma once
+
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Experiments must be reproducible run-to-run, so all randomness in the
+// framework flows through explicitly seeded Xoshiro256** generators instead
+// of std::random_device / global state.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace dhl {
+
+/// Xoshiro256** by Blackman & Vigna.  Small, fast, and good enough for
+/// packet payload and flow synthesis.  Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding as recommended by the authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  `bound` must be > 0.
+  std::uint64_t bounded(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free-enough reduction; the tiny
+    // modulo bias is irrelevant for workload generation.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fill `out[0..len)` with pseudo-random bytes.
+  void fill(std::uint8_t* out, std::size_t len) {
+    std::size_t i = 0;
+    while (i + 8 <= len) {
+      const std::uint64_t v = (*this)();
+      for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+    if (i < len) {
+      std::uint64_t v = (*this)();
+      while (i < len) {
+        out[i++] = static_cast<std::uint8_t>(v);
+        v >>= 8;
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dhl

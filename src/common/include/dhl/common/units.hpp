@@ -1,0 +1,107 @@
+#pragma once
+
+// Physical units used throughout the DHL simulation.
+//
+// Virtual time is kept in integer picoseconds so that the discrete-event
+// simulation is fully deterministic (no floating-point drift in event
+// ordering).  One simulated second is 1e12 ps, which leaves ~5e6 simulated
+// seconds of headroom in a uint64_t -- far beyond any experiment here.
+
+#include <cstdint>
+
+namespace dhl {
+
+/// Virtual time in picoseconds.
+using Picos = std::uint64_t;
+
+inline constexpr Picos kPicosPerNano = 1'000;
+inline constexpr Picos kPicosPerMicro = 1'000'000;
+inline constexpr Picos kPicosPerMilli = 1'000'000'000;
+inline constexpr Picos kPicosPerSec = 1'000'000'000'000ULL;
+
+constexpr Picos nanoseconds(double ns) {
+  return static_cast<Picos>(ns * static_cast<double>(kPicosPerNano) + 0.5);
+}
+constexpr Picos microseconds(double us) {
+  return static_cast<Picos>(us * static_cast<double>(kPicosPerMicro) + 0.5);
+}
+constexpr Picos milliseconds(double ms) {
+  return static_cast<Picos>(ms * static_cast<double>(kPicosPerMilli) + 0.5);
+}
+constexpr Picos seconds(double s) {
+  return static_cast<Picos>(s * static_cast<double>(kPicosPerSec) + 0.5);
+}
+
+constexpr double to_nanoseconds(Picos t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerNano);
+}
+constexpr double to_microseconds(Picos t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerMicro);
+}
+constexpr double to_milliseconds(Picos t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerMilli);
+}
+constexpr double to_seconds(Picos t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerSec);
+}
+
+/// A clock frequency, e.g. a CPU core or an FPGA fabric clock.
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  static constexpr Frequency hertz(double hz) { return Frequency{hz}; }
+  static constexpr Frequency megahertz(double mhz) { return Frequency{mhz * 1e6}; }
+  static constexpr Frequency gigahertz(double ghz) { return Frequency{ghz * 1e9}; }
+
+  constexpr double hz() const { return hz_; }
+  constexpr double mhz() const { return hz_ / 1e6; }
+  constexpr double ghz() const { return hz_ / 1e9; }
+
+  /// Duration of `n` clock cycles at this frequency.
+  constexpr Picos cycles(double n) const {
+    return static_cast<Picos>(n * 1e12 / hz_ + 0.5);
+  }
+  /// Number of whole cycles that elapse in `t`.
+  constexpr double cycles_in(Picos t) const {
+    return static_cast<double>(t) * hz_ / 1e12;
+  }
+
+ private:
+  constexpr explicit Frequency(double hz) : hz_{hz} {}
+  double hz_ = 1e9;
+};
+
+/// A data rate.  Stored in bits per second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  static constexpr Bandwidth bits_per_sec(double bps) { return Bandwidth{bps}; }
+  static constexpr Bandwidth gbps(double g) { return Bandwidth{g * 1e9}; }
+  static constexpr Bandwidth mbps(double m) { return Bandwidth{m * 1e6}; }
+  static constexpr Bandwidth bytes_per_sec(double Bps) { return Bandwidth{Bps * 8.0}; }
+
+  constexpr double bps() const { return bps_; }
+  constexpr double gbps() const { return bps_ / 1e9; }
+  constexpr double bytes_per_sec() const { return bps_ / 8.0; }
+
+  /// Time to serialize `bytes` at this rate.
+  constexpr Picos transfer_time(std::uint64_t bytes) const {
+    return static_cast<Picos>(static_cast<double>(bytes) * 8.0 * 1e12 / bps_ + 0.5);
+  }
+
+ private:
+  constexpr explicit Bandwidth(double bps) : bps_{bps} {}
+  double bps_ = 1e9;
+};
+
+/// Ethernet on-wire overhead per frame: 7 B preamble + 1 B SFD + 12 B
+/// inter-frame gap.  The 4 B FCS is counted as part of the frame size
+/// (DPDK convention: a "64 B packet" is 64 B including FCS).
+inline constexpr std::uint32_t kEthernetWireOverhead = 20;
+
+/// Bytes that a frame of `frame_len` occupies on the wire.
+constexpr std::uint64_t wire_bytes(std::uint32_t frame_len) {
+  return static_cast<std::uint64_t>(frame_len) + kEthernetWireOverhead;
+}
+
+}  // namespace dhl

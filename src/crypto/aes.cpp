@@ -1,0 +1,241 @@
+#include "dhl/crypto/aes.hpp"
+
+#include <cstring>
+
+#include "dhl/common/check.hpp"
+
+namespace dhl::crypto {
+
+namespace {
+
+// --- GF(2^8) arithmetic and table generation ---------------------------------
+//
+// The S-box and T-tables are computed once at startup from first principles
+// (multiplicative inverse in GF(2^8) + affine map), which avoids transcribing
+// 2 KB of magic constants.
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    const bool hi = a & 0x80;
+    a <<= 1;
+    if (hi) a ^= 0x1b;  // x^8 + x^4 + x^3 + x + 1
+    b >>= 1;
+  }
+  return p;
+}
+
+struct Tables {
+  std::array<std::uint8_t, 256> sbox;
+  std::array<std::uint8_t, 256> inv_sbox;
+  // Encryption T-tables: Te[i][x] combines SubBytes+ShiftRows+MixColumns.
+  std::array<std::array<std::uint32_t, 256>, 4> te;
+
+  Tables() {
+    // Multiplicative inverses via exhaustive search (256^2 ops, once).
+    std::array<std::uint8_t, 256> inv{};
+    for (int a = 1; a < 256; ++a) {
+      for (int b = 1; b < 256; ++b) {
+        if (gf_mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)) == 1) {
+          inv[a] = static_cast<std::uint8_t>(b);
+          break;
+        }
+      }
+    }
+    for (int x = 0; x < 256; ++x) {
+      const std::uint8_t i = inv[x];
+      // Affine transformation.
+      std::uint8_t s = 0;
+      for (int bit = 0; bit < 8; ++bit) {
+        const int v = ((i >> bit) & 1) ^ ((i >> ((bit + 4) % 8)) & 1) ^
+                      ((i >> ((bit + 5) % 8)) & 1) ^ ((i >> ((bit + 6) % 8)) & 1) ^
+                      ((i >> ((bit + 7) % 8)) & 1) ^ ((0x63 >> bit) & 1);
+        s |= static_cast<std::uint8_t>(v << bit);
+      }
+      sbox[x] = s;
+    }
+    for (int x = 0; x < 256; ++x) inv_sbox[sbox[x]] = static_cast<std::uint8_t>(x);
+
+    for (int x = 0; x < 256; ++x) {
+      const std::uint8_t s = sbox[x];
+      const std::uint32_t t =
+          (static_cast<std::uint32_t>(gf_mul(s, 2)) << 24) |
+          (static_cast<std::uint32_t>(s) << 16) |
+          (static_cast<std::uint32_t>(s) << 8) |
+          static_cast<std::uint32_t>(gf_mul(s, 3));
+      te[0][x] = t;
+      te[1][x] = (t >> 8) | (t << 24);
+      te[2][x] = (t >> 16) | (t << 16);
+      te[3][x] = (t >> 24) | (t << 8);
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t sub_word(std::uint32_t w) {
+  const auto& sb = tables().sbox;
+  return (static_cast<std::uint32_t>(sb[(w >> 24) & 0xff]) << 24) |
+         (static_cast<std::uint32_t>(sb[(w >> 16) & 0xff]) << 16) |
+         (static_cast<std::uint32_t>(sb[(w >> 8) & 0xff]) << 8) |
+         sb[w & 0xff];
+}
+
+std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
+
+}  // namespace
+
+Aes256::Aes256(std::span<const std::uint8_t, kKeyBytes> key) {
+  (void)tables();  // force table construction before first use
+  constexpr int kNk = 8;  // 256-bit key = 8 words
+  constexpr int kNw = 4 * (kRounds + 1);
+  std::uint32_t rcon = 1;
+  for (int i = 0; i < kNk; ++i) round_keys_[i] = load_be32(key.data() + 4 * i);
+  for (int i = kNk; i < kNw; ++i) {
+    std::uint32_t temp = round_keys_[i - 1];
+    if (i % kNk == 0) {
+      temp = sub_word(rot_word(temp)) ^ (rcon << 24);
+      rcon = gf_mul(static_cast<std::uint8_t>(rcon), 2);
+    } else if (i % kNk == 4) {
+      temp = sub_word(temp);
+    }
+    round_keys_[i] = round_keys_[i - kNk] ^ temp;
+  }
+}
+
+void Aes256::encrypt_block(const std::uint8_t in[kBlockBytes],
+                           std::uint8_t out[kBlockBytes]) const {
+  const auto& tb = tables();
+  std::uint32_t s0 = load_be32(in) ^ round_keys_[0];
+  std::uint32_t s1 = load_be32(in + 4) ^ round_keys_[1];
+  std::uint32_t s2 = load_be32(in + 8) ^ round_keys_[2];
+  std::uint32_t s3 = load_be32(in + 12) ^ round_keys_[3];
+
+  for (int round = 1; round < kRounds; ++round) {
+    const std::uint32_t* rk = &round_keys_[4 * round];
+    const std::uint32_t t0 = tb.te[0][(s0 >> 24) & 0xff] ^ tb.te[1][(s1 >> 16) & 0xff] ^
+                             tb.te[2][(s2 >> 8) & 0xff] ^ tb.te[3][s3 & 0xff] ^ rk[0];
+    const std::uint32_t t1 = tb.te[0][(s1 >> 24) & 0xff] ^ tb.te[1][(s2 >> 16) & 0xff] ^
+                             tb.te[2][(s3 >> 8) & 0xff] ^ tb.te[3][s0 & 0xff] ^ rk[1];
+    const std::uint32_t t2 = tb.te[0][(s2 >> 24) & 0xff] ^ tb.te[1][(s3 >> 16) & 0xff] ^
+                             tb.te[2][(s0 >> 8) & 0xff] ^ tb.te[3][s1 & 0xff] ^ rk[2];
+    const std::uint32_t t3 = tb.te[0][(s3 >> 24) & 0xff] ^ tb.te[1][(s0 >> 16) & 0xff] ^
+                             tb.te[2][(s1 >> 8) & 0xff] ^ tb.te[3][s2 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+
+  // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+  const auto& sb = tb.sbox;
+  const std::uint32_t* rk = &round_keys_[4 * kRounds];
+  const std::uint32_t r0 = (static_cast<std::uint32_t>(sb[(s0 >> 24) & 0xff]) << 24) |
+                           (static_cast<std::uint32_t>(sb[(s1 >> 16) & 0xff]) << 16) |
+                           (static_cast<std::uint32_t>(sb[(s2 >> 8) & 0xff]) << 8) |
+                           sb[s3 & 0xff];
+  const std::uint32_t r1 = (static_cast<std::uint32_t>(sb[(s1 >> 24) & 0xff]) << 24) |
+                           (static_cast<std::uint32_t>(sb[(s2 >> 16) & 0xff]) << 16) |
+                           (static_cast<std::uint32_t>(sb[(s3 >> 8) & 0xff]) << 8) |
+                           sb[s0 & 0xff];
+  const std::uint32_t r2 = (static_cast<std::uint32_t>(sb[(s2 >> 24) & 0xff]) << 24) |
+                           (static_cast<std::uint32_t>(sb[(s3 >> 16) & 0xff]) << 16) |
+                           (static_cast<std::uint32_t>(sb[(s0 >> 8) & 0xff]) << 8) |
+                           sb[s1 & 0xff];
+  const std::uint32_t r3 = (static_cast<std::uint32_t>(sb[(s3 >> 24) & 0xff]) << 24) |
+                           (static_cast<std::uint32_t>(sb[(s0 >> 16) & 0xff]) << 16) |
+                           (static_cast<std::uint32_t>(sb[(s1 >> 8) & 0xff]) << 8) |
+                           sb[s2 & 0xff];
+  store_be32(out, r0 ^ rk[0]);
+  store_be32(out + 4, r1 ^ rk[1]);
+  store_be32(out + 8, r2 ^ rk[2]);
+  store_be32(out + 12, r3 ^ rk[3]);
+}
+
+void Aes256::decrypt_block(const std::uint8_t in[kBlockBytes],
+                           std::uint8_t out[kBlockBytes]) const {
+  // Straightforward inverse cipher (test/verification path only).
+  const auto& tb = tables();
+  std::uint8_t state[16];
+  std::memcpy(state, in, 16);
+
+  auto add_round_key = [&](int round) {
+    for (int c = 0; c < 4; ++c) {
+      const std::uint32_t w = round_keys_[4 * round + c];
+      state[4 * c + 0] ^= static_cast<std::uint8_t>(w >> 24);
+      state[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+      state[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+      state[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+    }
+  };
+  auto inv_shift_rows = [&] {
+    std::uint8_t t[16];
+    std::memcpy(t, state, 16);
+    for (int r = 1; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) state[4 * ((c + r) % 4) + r] = t[4 * c + r];
+    }
+  };
+  auto inv_sub_bytes = [&] {
+    for (auto& b : state) b = tb.inv_sbox[b];
+  };
+  auto inv_mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      std::uint8_t* col = &state[4 * c];
+      const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      col[0] = gf_mul(a0, 14) ^ gf_mul(a1, 11) ^ gf_mul(a2, 13) ^ gf_mul(a3, 9);
+      col[1] = gf_mul(a0, 9) ^ gf_mul(a1, 14) ^ gf_mul(a2, 11) ^ gf_mul(a3, 13);
+      col[2] = gf_mul(a0, 13) ^ gf_mul(a1, 9) ^ gf_mul(a2, 14) ^ gf_mul(a3, 11);
+      col[3] = gf_mul(a0, 11) ^ gf_mul(a1, 13) ^ gf_mul(a2, 9) ^ gf_mul(a3, 14);
+    }
+  };
+
+  add_round_key(kRounds);
+  for (int round = kRounds - 1; round >= 1; --round) {
+    inv_shift_rows();
+    inv_sub_bytes();
+    add_round_key(round);
+    inv_mix_columns();
+  }
+  inv_shift_rows();
+  inv_sub_bytes();
+  add_round_key(0);
+  std::memcpy(out, state, 16);
+}
+
+void aes256_ctr(const Aes256& cipher, std::span<const std::uint8_t, 16> counter,
+                std::span<const std::uint8_t> in, std::span<std::uint8_t> out) {
+  DHL_CHECK(out.size() >= in.size());
+  std::uint8_t ctr[16];
+  std::memcpy(ctr, counter.data(), 16);
+  std::uint8_t keystream[16];
+  std::size_t off = 0;
+  while (off < in.size()) {
+    cipher.encrypt_block(ctr, keystream);
+    const std::size_t n = std::min<std::size_t>(16, in.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = in[off + i] ^ keystream[i];
+    off += n;
+    // Increment the 128-bit big-endian counter.
+    for (int i = 15; i >= 0; --i) {
+      if (++ctr[i] != 0) break;
+    }
+  }
+}
+
+}  // namespace dhl::crypto

@@ -1,0 +1,46 @@
+#pragma once
+
+// AES-256 block cipher and CTR mode, implemented from scratch.
+//
+// This is the cipher inside both the CPU-only IPsec gateway (the paper uses
+// Intel-ipsec-mb's AES-CTR) and the FPGA ipsec-crypto accelerator module:
+// DHL's claim is that the *same* transformation runs in either place, so the
+// bytes produced here must be identical on both paths.  Encryption uses
+// T-tables (fast enough to push hundreds of MB/s through the simulated data
+// plane); decryption uses the straightforward inverse cipher and is only on
+// test/verification paths.
+//
+// Verified against FIPS-197 and NIST SP 800-38A vectors in tests.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace dhl::crypto {
+
+class Aes256 {
+ public:
+  static constexpr std::size_t kKeyBytes = 32;
+  static constexpr std::size_t kBlockBytes = 16;
+  static constexpr int kRounds = 14;
+
+  explicit Aes256(std::span<const std::uint8_t, kKeyBytes> key);
+
+  void encrypt_block(const std::uint8_t in[kBlockBytes],
+                     std::uint8_t out[kBlockBytes]) const;
+  void decrypt_block(const std::uint8_t in[kBlockBytes],
+                     std::uint8_t out[kBlockBytes]) const;
+
+ private:
+  std::array<std::uint32_t, 4 * (kRounds + 1)> round_keys_{};
+};
+
+/// AES-CTR keystream application: out = in XOR E_k(counter++).  CTR is its
+/// own inverse, so the same call encrypts and decrypts.  The 16-byte
+/// `counter` block is the initial counter (IV || block index); the caller's
+/// copy is not modified.
+void aes256_ctr(const Aes256& cipher,
+                std::span<const std::uint8_t, 16> counter,
+                std::span<const std::uint8_t> in, std::span<std::uint8_t> out);
+
+}  // namespace dhl::crypto

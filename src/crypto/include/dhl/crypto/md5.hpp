@@ -1,0 +1,41 @@
+#pragma once
+
+// MD5 (RFC 1321), from scratch.
+//
+// The paper's accelerator-module database lists "MD5 authentication" as one
+// of the standard library modules (section IV-C); we implement it so the
+// module catalog has real functionality behind it.  Not for new security
+// designs -- it exists because the paper's library contains it.
+//
+// Verified against RFC 1321 vectors in tests.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace dhl::crypto {
+
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestBytes = 16;
+  static constexpr std::size_t kBlockBytes = 64;
+
+  Md5() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void finish(std::span<std::uint8_t, kDigestBytes> out);
+
+  static std::array<std::uint8_t, kDigestBytes> digest(
+      std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t block[kBlockBytes]);
+
+  std::array<std::uint32_t, 4> state_{};
+  std::array<std::uint8_t, kBlockBytes> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace dhl::crypto

@@ -1,0 +1,69 @@
+#pragma once
+
+// SHA-1 and HMAC-SHA1, implemented from scratch (FIPS 180-4 / RFC 2104).
+//
+// HMAC-SHA1 is the authentication half of the paper's IPsec configuration
+// ("AES-CTR for cipher and SHA1-HMAC for authentication", Table I).  IPsec
+// uses HMAC-SHA1-96: the digest is truncated to the first 12 bytes.
+//
+// Verified against FIPS 180-4 and RFC 2202 vectors in tests.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace dhl::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestBytes = 20;
+  static constexpr std::size_t kBlockBytes = 64;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  /// Finalize into `out`.  The object must be reset() before reuse.
+  void finish(std::span<std::uint8_t, kDigestBytes> out);
+
+  /// One-shot convenience.
+  static std::array<std::uint8_t, kDigestBytes> digest(
+      std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t block[kBlockBytes]);
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, kBlockBytes> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// HMAC-SHA1 keyed MAC.  Precomputes the padded-key state once so per-packet
+/// authentication re-uses it (as any serious IPsec implementation does).
+class HmacSha1 {
+ public:
+  static constexpr std::size_t kDigestBytes = Sha1::kDigestBytes;
+  /// IPsec HMAC-SHA1-96 truncation length (RFC 2404).
+  static constexpr std::size_t kIpsecIcvBytes = 12;
+
+  explicit HmacSha1(std::span<const std::uint8_t> key);
+
+  /// Full 20-byte MAC of `data`.
+  std::array<std::uint8_t, kDigestBytes> mac(
+      std::span<const std::uint8_t> data) const;
+
+  /// Compute and write the 96-bit truncated ICV used by ESP.
+  void icv96(std::span<const std::uint8_t> data,
+             std::span<std::uint8_t, kIpsecIcvBytes> out) const;
+
+  /// Constant-time verification of a 96-bit ICV.
+  bool verify96(std::span<const std::uint8_t> data,
+                std::span<const std::uint8_t, kIpsecIcvBytes> icv) const;
+
+ private:
+  std::array<std::uint8_t, Sha1::kBlockBytes> ipad_key_{};
+  std::array<std::uint8_t, Sha1::kBlockBytes> opad_key_{};
+};
+
+}  // namespace dhl::crypto

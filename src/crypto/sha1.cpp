@@ -1,0 +1,155 @@
+#include "dhl/crypto/sha1.hpp"
+
+#include <cstring>
+
+namespace dhl::crypto {
+
+namespace {
+std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+}  // namespace
+
+void Sha1::reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t block[kBlockBytes]) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           block[4 * i + 3];
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  std::size_t off = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(kBlockBytes - buffered_, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    off = take;
+    if (buffered_ == kBlockBytes) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (off + kBlockBytes <= data.size()) {
+    process_block(data.data() + off);
+    off += kBlockBytes;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
+    buffered_ = data.size() - off;
+  }
+}
+
+void Sha1::finish(std::span<std::uint8_t, kDigestBytes> out) {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  update({&pad, 1});
+  const std::uint8_t zero = 0;
+  while (buffered_ != 56) update({&zero, 1});
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+  }
+  update({len_be, 8});
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(h_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+}
+
+std::array<std::uint8_t, Sha1::kDigestBytes> Sha1::digest(
+    std::span<const std::uint8_t> data) {
+  Sha1 s;
+  s.update(data);
+  std::array<std::uint8_t, kDigestBytes> out{};
+  s.finish(out);
+  return out;
+}
+
+HmacSha1::HmacSha1(std::span<const std::uint8_t> key) {
+  std::array<std::uint8_t, Sha1::kBlockBytes> k{};
+  if (key.size() > Sha1::kBlockBytes) {
+    const auto d = Sha1::digest(key);
+    std::memcpy(k.data(), d.data(), d.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    ipad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+}
+
+std::array<std::uint8_t, HmacSha1::kDigestBytes> HmacSha1::mac(
+    std::span<const std::uint8_t> data) const {
+  Sha1 inner;
+  inner.update(ipad_key_);
+  inner.update(data);
+  std::array<std::uint8_t, kDigestBytes> inner_digest{};
+  inner.finish(inner_digest);
+
+  Sha1 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  std::array<std::uint8_t, kDigestBytes> out{};
+  outer.finish(out);
+  return out;
+}
+
+void HmacSha1::icv96(std::span<const std::uint8_t> data,
+                     std::span<std::uint8_t, kIpsecIcvBytes> out) const {
+  const auto full = mac(data);
+  std::memcpy(out.data(), full.data(), kIpsecIcvBytes);
+}
+
+bool HmacSha1::verify96(
+    std::span<const std::uint8_t> data,
+    std::span<const std::uint8_t, kIpsecIcvBytes> icv) const {
+  const auto full = mac(data);
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < kIpsecIcvBytes; ++i) diff |= full[i] ^ icv[i];
+  return diff == 0;
+}
+
+}  // namespace dhl::crypto

@@ -1,0 +1,72 @@
+#pragma once
+
+// Paper-style DHL programming API (Table II / Listing 2).
+//
+// These free functions mirror the C API of the paper one-to-one so that the
+// example applications read like Listing 2.  Each is a thin forwarder to
+// DhlRuntime; new code can equally use the methods directly.
+//
+//   nf_id  = DHL_register(rt, "ipsec-gw", socket);
+//   acc    = DHL_search_by_name(rt, "aes_256_ctr", socket);
+//   DHL_acc_configure(rt, acc, conf);
+//   ibq    = DHL_get_shared_IBQ(rt, nf_id);
+//   DHL_send_packets(*ibq, pkts, n);
+//   obq    = DHL_get_private_OBQ(rt, nf_id);
+//   DHL_receive_packets(*obq, pkts, n);
+
+#include "dhl/runtime/runtime.hpp"
+
+namespace dhl {
+
+/// An NF registers itself to the DHL Runtime.
+inline netio::NfId DHL_register(runtime::DhlRuntime& rt,
+                                const std::string& name, int socket) {
+  return rt.register_nf(name, socket);
+}
+
+/// Query the desired hardware function (loads its PR bitstream on a miss).
+inline runtime::AccHandle DHL_search_by_name(runtime::DhlRuntime& rt,
+                                             const std::string& hf_name,
+                                             int socket) {
+  return rt.search_by_name(hf_name, socket);
+}
+
+/// Load a partial reconfiguration bitstream explicitly.
+inline runtime::AccHandle DHL_load_pr(runtime::DhlRuntime& rt,
+                                      const std::string& hf_name,
+                                      int fpga_id) {
+  return rt.load_pr(hf_name, fpga_id);
+}
+
+/// Configure the parameters of the desired accelerator module.
+inline void DHL_acc_configure(runtime::DhlRuntime& rt,
+                              const runtime::AccHandle& handle,
+                              std::span<const std::uint8_t> config) {
+  rt.acc_configure(handle, config);
+}
+
+/// Get the shared input buffer queue for this NF's NUMA node.
+inline netio::MbufRing* DHL_get_shared_IBQ(runtime::DhlRuntime& rt,
+                                           netio::NfId nf_id) {
+  return &rt.get_shared_ibq(nf_id);
+}
+
+/// Get this NF's private output buffer queue.
+inline netio::MbufRing* DHL_get_private_OBQ(runtime::DhlRuntime& rt,
+                                            netio::NfId nf_id) {
+  return &rt.get_private_obq(nf_id);
+}
+
+/// Send raw data (tagged packets) to the FPGA.
+inline std::size_t DHL_send_packets(netio::MbufRing& ibq, netio::Mbuf** pkts,
+                                    std::size_t n) {
+  return runtime::DhlRuntime::send_packets(ibq, pkts, n);
+}
+
+/// Get processed data back from the FPGA.
+inline std::size_t DHL_receive_packets(netio::MbufRing& obq,
+                                       netio::Mbuf** pkts, std::size_t n) {
+  return runtime::DhlRuntime::receive_packets(obq, pkts, n);
+}
+
+}  // namespace dhl

@@ -1,0 +1,219 @@
+#pragma once
+
+// The DHL Runtime -- the paper's core contribution (sections III-C, IV).
+//
+// Control plane: the Controller registers NFs (assigning nf_ids and creating
+// their private OBQs), maintains the hardware function table mapping
+// (hf_name, socket_id) -> (acc_id, fpga_id, region), and loads PR bitstreams
+// from the accelerator module database on demand.
+//
+// Data plane: one shared multi-producer single-consumer input buffer queue
+// (IBQ) per NUMA node and one private single-producer single-consumer output
+// buffer queue (OBQ) per NF (paper IV-A4).  Two poll-mode lcores per active
+// socket implement the transfer layer: the TX core runs the Packer (dequeue
+// the shared IBQ, group by acc_id, encode the (nf_id, acc_id) tag pair,
+// batch up to 6 KB, submit DMA) and the RX core runs the Distributor
+// (decapsulate returned batches, restore payloads into the parked mbufs,
+// route to private OBQs by nf_id).
+//
+// Data isolation (paper IV-B): routing on the return path uses the nf_id
+// from the wire-format record header, never host-side state, so a test can
+// corrupt the tag and watch isolation machinery catch it.
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dhl/fpga/batch.hpp"
+#include "dhl/fpga/bitstream.hpp"
+#include "dhl/fpga/device.hpp"
+#include "dhl/netio/mbuf.hpp"
+#include "dhl/netio/ring.hpp"
+#include "dhl/sim/lcore.hpp"
+#include "dhl/sim/simulator.hpp"
+#include "dhl/sim/timing_params.hpp"
+
+namespace dhl::runtime {
+
+/// Handle to a loaded hardware function, returned by search_by_name().
+struct AccHandle {
+  netio::AccId acc_id = netio::kInvalidAccId;
+  int fpga_id = -1;
+  int socket_id = -1;
+  bool valid() const { return acc_id != netio::kInvalidAccId; }
+};
+
+/// One row of the hardware function table (paper Figure 2).
+struct HwFunctionEntry {
+  std::string hf_name;
+  int socket_id = 0;
+  netio::AccId acc_id = netio::kInvalidAccId;
+  int fpga_id = -1;
+  int region = -1;
+  bool ready = false;  // PR completed
+};
+
+struct RuntimeConfig {
+  sim::TimingParams timing;
+  int num_sockets = 2;
+  std::uint32_t ibq_size = 8192;
+  std::uint32_t obq_size = 8192;
+  /// Packets the TX core dequeues from an IBQ per iteration.
+  std::uint32_t ibq_burst = 64;
+  /// Batches the RX core drains per iteration.
+  std::uint32_t rx_burst = 8;
+  /// Paper IV-A2: allocate DMA buffers/queues on the FPGA's NUMA node.
+  /// When false, everything lives on socket 0 and transfers to FPGAs on
+  /// other sockets pay the remote penalty (the Fig 4 "different NUMA node"
+  /// series and our NUMA ablation).
+  bool numa_aware = true;
+};
+
+struct RuntimeStats {
+  std::uint64_t pkts_to_fpga = 0;
+  std::uint64_t batches_to_fpga = 0;
+  std::uint64_t bytes_to_fpga = 0;
+  std::uint64_t pkts_from_fpga = 0;
+  std::uint64_t batches_from_fpga = 0;
+  std::uint64_t obq_drops = 0;
+  std::uint64_t error_records = 0;  // records flagged by the dispatcher
+};
+
+class DhlRuntime {
+ public:
+  DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
+             fpga::BitstreamDatabase database,
+             std::vector<fpga::FpgaDevice*> fpgas);
+  ~DhlRuntime();
+
+  DhlRuntime(const DhlRuntime&) = delete;
+  DhlRuntime& operator=(const DhlRuntime&) = delete;
+
+  // --- control plane (paper Table II) ---------------------------------------
+
+  /// DHL_register(): register an NF; returns its nf_id and creates its
+  /// private OBQ.
+  netio::NfId register_nf(const std::string& name, int socket);
+
+  /// DHL_search_by_name(): look up a hardware function for `socket`.  On a
+  /// table miss, searches the accelerator module database and starts a PR
+  /// load (paper IV-C); the returned handle becomes usable once
+  /// acc_ready() is true.  Returns an invalid handle when the function
+  /// exists nowhere or no FPGA can host it.
+  AccHandle search_by_name(const std::string& hf_name, int socket);
+
+  /// True once the PR load behind `handle` has completed.
+  bool acc_ready(const AccHandle& handle) const;
+
+  /// DHL_load_pr(): explicitly program a bitstream from the database into
+  /// `fpga_id`.  Returns the handle (not yet ready) or an invalid handle.
+  AccHandle load_pr(const std::string& hf_name, int fpga_id);
+
+  /// DHL_acc_configure(): write a module-specific configuration blob.
+  void acc_configure(const AccHandle& handle,
+                     std::span<const std::uint8_t> config);
+
+  /// Unload a hardware function: removes its hardware-function-table entries
+  /// and frees the reconfigurable part for the next PR (paper IV-C's
+  /// "changeable NFV environment").  Packets still tagged with the old
+  /// acc_id come back flagged as error records.  Returns the number of
+  /// entries removed.
+  std::size_t unload_function(const std::string& hf_name);
+
+  /// DHL_get_shared_IBQ(): the calling NF's per-NUMA-node shared IBQ.
+  netio::MbufRing& get_shared_ibq(netio::NfId nf_id);
+
+  /// DHL_get_private_OBQ(): the NF's private OBQ.
+  netio::MbufRing& get_private_obq(netio::NfId nf_id);
+
+  // --- data plane (paper Table II; used from NF worker loops) ----------------
+
+  /// DHL_send_packets(): enqueue tagged packets onto an IBQ.  Returns the
+  /// number accepted (burst semantics; rejected packets stay owned by the
+  /// caller).
+  static std::size_t send_packets(netio::MbufRing& ibq, netio::Mbuf** pkts,
+                                  std::size_t n) {
+    return ibq.enqueue_burst({pkts, n});
+  }
+
+  /// DHL_receive_packets(): dequeue post-processed packets from an OBQ.
+  static std::size_t receive_packets(netio::MbufRing& obq, netio::Mbuf** pkts,
+                                     std::size_t n) {
+    return obq.dequeue_burst({pkts, n});
+  }
+
+  // --- lifecycle --------------------------------------------------------------
+
+  /// Start the transfer-layer lcores (one TX + one RX pair per socket; the
+  /// paper dedicates "one for sending data to FPGA ... the other for
+  /// receiving", V-C).
+  void start();
+  void stop();
+
+  // --- introspection -----------------------------------------------------------
+
+  const RuntimeStats& stats() const { return stats_; }
+  const std::vector<HwFunctionEntry>& hardware_function_table() const {
+    return hf_table_;
+  }
+  const fpga::BitstreamDatabase& module_database() const { return database_; }
+  /// Packets currently parked inside batches / the FPGA / completion queues.
+  std::uint64_t in_flight() const { return in_flight_; }
+  /// Registered NF count.
+  std::size_t nf_count() const { return nfs_.size(); }
+  std::vector<sim::Lcore*> transfer_cores();
+
+ private:
+  struct NfInfo {
+    std::string name;
+    int socket = 0;
+    std::unique_ptr<netio::MbufRing> obq;
+  };
+
+  struct OpenBatch {
+    fpga::DmaBatchPtr batch;
+    Picos opened_at = 0;
+  };
+
+  struct SocketState {
+    std::unique_ptr<netio::MbufRing> ibq;
+    std::map<netio::AccId, OpenBatch> open_batches;
+    std::unique_ptr<sim::Lcore> tx_core;
+    std::unique_ptr<sim::Lcore> rx_core;
+    std::deque<fpga::DmaBatchPtr> completions;
+    // Adaptive batching: EWMA of the IBQ arrival byte rate.
+    double ewma_bytes_per_sec = 0;
+    Picos last_tx_poll = 0;
+  };
+
+  using PendingSubmits =
+      std::vector<std::pair<fpga::FpgaDevice*, fpga::DmaBatchPtr>>;
+
+  sim::PollResult tx_poll(int socket);
+  sim::PollResult rx_poll(int socket);
+  /// Current batch cap for `state` (fixed, or adaptive per VI-2).
+  std::uint32_t batch_cap(const SocketState& state) const;
+  double flush_batch(int socket, netio::AccId acc_id, OpenBatch&& open,
+                     PendingSubmits& pending);
+  const HwFunctionEntry* entry_for(netio::AccId acc_id) const;
+  fpga::FpgaDevice* device(int fpga_id);
+  AccHandle start_load(const fpga::PartialBitstream& bitstream,
+                       fpga::FpgaDevice& dev, int socket_for_entry);
+
+  sim::Simulator& sim_;
+  RuntimeConfig config_;
+  fpga::BitstreamDatabase database_;
+  std::vector<fpga::FpgaDevice*> fpgas_;
+  std::vector<SocketState> sockets_;
+  std::vector<NfInfo> nfs_;
+  std::vector<HwFunctionEntry> hf_table_;
+  netio::AccId next_acc_id_ = 0;
+  RuntimeStats stats_;
+  std::uint64_t in_flight_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace dhl::runtime

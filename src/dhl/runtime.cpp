@@ -1,0 +1,427 @@
+#include "dhl/runtime/runtime.hpp"
+
+#include <algorithm>
+
+#include "dhl/common/check.hpp"
+#include "dhl/common/log.hpp"
+
+namespace dhl::runtime {
+
+using netio::AccId;
+using netio::Mbuf;
+using netio::MbufRing;
+using netio::NfId;
+
+DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
+                       fpga::BitstreamDatabase database,
+                       std::vector<fpga::FpgaDevice*> fpgas)
+    : sim_{simulator},
+      config_{std::move(config)},
+      database_{std::move(database)},
+      fpgas_{std::move(fpgas)},
+      sockets_(static_cast<std::size_t>(config_.num_sockets)) {
+  DHL_CHECK(config_.num_sockets > 0);
+  for (int s = 0; s < config_.num_sockets; ++s) {
+    sockets_[static_cast<std::size_t>(s)].ibq = std::make_unique<MbufRing>(
+        "dhl.ibq.socket" + std::to_string(s), config_.ibq_size,
+        netio::SyncMode::kMulti, netio::SyncMode::kSingle);
+  }
+  for (fpga::FpgaDevice* dev : fpgas_) {
+    DHL_CHECK(dev != nullptr);
+    DHL_CHECK_MSG(dev->socket() >= 0 && dev->socket() < config_.num_sockets,
+                  "FPGA socket out of range");
+    // Completion queues are per-socket; deliver into the FPGA's node when
+    // NUMA-aware, socket 0 otherwise (that is where the buffers live).
+    const int target = config_.numa_aware ? dev->socket() : 0;
+    dev->dma().set_rx_deliver([this, target](fpga::DmaBatchPtr batch) {
+      sockets_[static_cast<std::size_t>(target)].completions.push_back(
+          std::move(batch));
+    });
+  }
+}
+
+DhlRuntime::~DhlRuntime() { stop(); }
+
+NfId DhlRuntime::register_nf(const std::string& name, int socket) {
+  DHL_CHECK(socket >= 0 && socket < config_.num_sockets);
+  DHL_CHECK_MSG(nfs_.size() < 250, "too many NFs");
+  const NfId id = static_cast<NfId>(nfs_.size());
+  NfInfo info;
+  info.name = name;
+  info.socket = socket;
+  info.obq = std::make_unique<MbufRing>(
+      "dhl.obq." + name, config_.obq_size, netio::SyncMode::kSingle,
+      netio::SyncMode::kSingle);
+  nfs_.push_back(std::move(info));
+  DHL_INFO("dhl", "registered NF '" << name << "' as nf_id "
+                                    << static_cast<int>(id) << " on socket "
+                                    << socket);
+  return id;
+}
+
+fpga::FpgaDevice* DhlRuntime::device(int fpga_id) {
+  for (fpga::FpgaDevice* dev : fpgas_) {
+    if (dev->fpga_id() == fpga_id) return dev;
+  }
+  return nullptr;
+}
+
+AccHandle DhlRuntime::start_load(const fpga::PartialBitstream& bitstream,
+                                 fpga::FpgaDevice& dev, int socket_for_entry) {
+  const AccId acc_id = next_acc_id_++;
+  DHL_CHECK_MSG(acc_id != netio::kInvalidAccId, "acc_id space exhausted");
+  // Look the entry up by acc_id when ICAP finishes: unload_function() may
+  // have erased entries meanwhile, so table indices are not stable.
+  const auto region = dev.load_module(
+      bitstream, [this, acc_id, &dev](int r) {
+        for (HwFunctionEntry& e : hf_table_) {
+          if (e.acc_id == acc_id) {
+            e.ready = true;
+            dev.map_acc(acc_id, r);
+            return;
+          }
+        }
+        // Entry was unloaded mid-PR: free the part right away.
+        dev.unload_region(r);
+      });
+  if (!region.has_value()) return {};
+
+  HwFunctionEntry entry;
+  entry.hf_name = bitstream.hf_name;
+  entry.socket_id = socket_for_entry;
+  entry.acc_id = acc_id;
+  entry.fpga_id = dev.fpga_id();
+  entry.region = *region;
+  entry.ready = false;
+  hf_table_.push_back(entry);
+  DHL_INFO("dhl", "loading '" << bitstream.hf_name << "' into fpga "
+                              << dev.fpga_id() << " region " << *region
+                              << " as acc_id " << static_cast<int>(acc_id));
+  return AccHandle{acc_id, dev.fpga_id(), socket_for_entry};
+}
+
+AccHandle DhlRuntime::search_by_name(const std::string& hf_name, int socket) {
+  // Table hit: an entry for this (hf_name, socket_id).
+  for (const HwFunctionEntry& e : hf_table_) {
+    if (e.hf_name == hf_name && e.socket_id == socket) {
+      return AccHandle{e.acc_id, e.fpga_id, e.socket_id};
+    }
+  }
+  // Miss for this socket: search the accelerator module database.
+  const fpga::PartialBitstream* bitstream = database_.find(hf_name);
+  if (bitstream == nullptr) {
+    DHL_WARN("dhl", "hardware function '" << hf_name
+                                          << "' not in module database");
+    return {};
+  }
+  // Placement order (paper IV-A2's NUMA awareness applied to control plane):
+  //  1. load on an FPGA on the caller's socket;
+  //  2. share an existing entry from another socket (a single board must
+  //     still serve NFs on the other node -- the paper's V-D setup);
+  //  3. load on any FPGA with space.
+  for (fpga::FpgaDevice* dev : fpgas_) {
+    if (dev->socket() != socket) continue;
+    AccHandle h = start_load(*bitstream, *dev, socket);
+    if (h.valid()) return h;
+  }
+  for (const HwFunctionEntry& e : hf_table_) {
+    if (e.hf_name == hf_name) {
+      return AccHandle{e.acc_id, e.fpga_id, e.socket_id};
+    }
+  }
+  for (fpga::FpgaDevice* dev : fpgas_) {
+    if (dev->socket() == socket) continue;
+    AccHandle h = start_load(*bitstream, *dev, socket);
+    if (h.valid()) return h;
+  }
+  DHL_WARN("dhl", "no FPGA can host '" << hf_name << "'");
+  return {};
+}
+
+bool DhlRuntime::acc_ready(const AccHandle& handle) const {
+  const HwFunctionEntry* e = entry_for(handle.acc_id);
+  return e != nullptr && e->ready;
+}
+
+AccHandle DhlRuntime::load_pr(const std::string& hf_name, int fpga_id) {
+  const fpga::PartialBitstream* bitstream = database_.find(hf_name);
+  fpga::FpgaDevice* dev = device(fpga_id);
+  if (bitstream == nullptr || dev == nullptr) return {};
+  return start_load(*bitstream, *dev, dev->socket());
+}
+
+void DhlRuntime::acc_configure(const AccHandle& handle,
+                               std::span<const std::uint8_t> config) {
+  const HwFunctionEntry* e = entry_for(handle.acc_id);
+  DHL_CHECK_MSG(e != nullptr, "acc_configure: unknown acc_id");
+  fpga::FpgaDevice* dev = device(e->fpga_id);
+  DHL_CHECK(dev != nullptr);
+  fpga::AcceleratorModule* module = dev->region_module(e->region);
+  DHL_CHECK_MSG(module != nullptr, "acc_configure: module not loaded");
+  module->configure(config);
+}
+
+std::size_t DhlRuntime::unload_function(const std::string& hf_name) {
+  std::size_t removed = 0;
+  for (auto it = hf_table_.begin(); it != hf_table_.end();) {
+    if (it->hf_name != hf_name) {
+      ++it;
+      continue;
+    }
+    fpga::FpgaDevice* dev = device(it->fpga_id);
+    DHL_CHECK(dev != nullptr);
+    dev->unmap_acc(it->acc_id);
+    if (it->ready) {
+      dev->unload_region(it->region);
+    }
+    // A region still mid-ICAP is freed by the PR-done callback, which
+    // notices the entry is gone.
+    it = hf_table_.erase(it);
+    ++removed;
+    DHL_INFO("dhl", "unloaded '" << hf_name << "'");
+  }
+  return removed;
+}
+
+const HwFunctionEntry* DhlRuntime::entry_for(AccId acc_id) const {
+  for (const HwFunctionEntry& e : hf_table_) {
+    if (e.acc_id == acc_id) return &e;
+  }
+  return nullptr;
+}
+
+MbufRing& DhlRuntime::get_shared_ibq(NfId nf_id) {
+  DHL_CHECK_MSG(nf_id < nfs_.size(), "unregistered nf_id");
+  const int socket = config_.numa_aware ? nfs_[nf_id].socket : 0;
+  return *sockets_[static_cast<std::size_t>(socket)].ibq;
+}
+
+MbufRing& DhlRuntime::get_private_obq(NfId nf_id) {
+  DHL_CHECK_MSG(nf_id < nfs_.size(), "unregistered nf_id");
+  return *nfs_[nf_id].obq;
+}
+
+void DhlRuntime::start() {
+  if (started_) return;
+  started_ = true;
+  const Frequency clock = config_.timing.cpu.core_clock;
+  for (int s = 0; s < config_.num_sockets; ++s) {
+    SocketState& state = sockets_[static_cast<std::size_t>(s)];
+    state.tx_core = std::make_unique<sim::Lcore>(
+        sim_, "dhl.tx.socket" + std::to_string(s), clock, s);
+    state.tx_core->set_idle_poll_cycles(config_.timing.cpu.idle_poll_cycles);
+    state.tx_core->set_poll([this, s](sim::Lcore&) { return tx_poll(s); });
+    state.tx_core->start();
+
+    state.rx_core = std::make_unique<sim::Lcore>(
+        sim_, "dhl.rx.socket" + std::to_string(s), clock, s);
+    state.rx_core->set_idle_poll_cycles(config_.timing.cpu.idle_poll_cycles);
+    state.rx_core->set_poll([this, s](sim::Lcore&) { return rx_poll(s); });
+    state.rx_core->start();
+  }
+}
+
+void DhlRuntime::stop() {
+  for (SocketState& s : sockets_) {
+    if (s.tx_core) s.tx_core->stop();
+    if (s.rx_core) s.rx_core->stop();
+  }
+  started_ = false;
+}
+
+std::vector<sim::Lcore*> DhlRuntime::transfer_cores() {
+  std::vector<sim::Lcore*> out;
+  for (SocketState& s : sockets_) {
+    if (s.tx_core) out.push_back(s.tx_core.get());
+    if (s.rx_core) out.push_back(s.rx_core.get());
+  }
+  return out;
+}
+
+double DhlRuntime::flush_batch(int socket, AccId acc_id, OpenBatch&& open,
+                               PendingSubmits& pending) {
+  (void)socket;
+  const HwFunctionEntry* e = entry_for(acc_id);
+  DHL_CHECK_MSG(e != nullptr, "batch for unknown acc_id");
+  fpga::FpgaDevice* dev = device(e->fpga_id);
+  DHL_CHECK(dev != nullptr);
+
+  fpga::DmaBatchPtr batch = std::move(open.batch);
+  // NUMA-aware allocation keeps the buffers on the FPGA's node; otherwise
+  // they live on socket 0 and FPGAs elsewhere pay the remote penalty.
+  batch->remote_numa = !config_.numa_aware && dev->socket() != 0;
+  stats_.batches_to_fpga += 1;
+  stats_.pkts_to_fpga += batch->record_count();
+  stats_.bytes_to_fpga += batch->size_bytes();
+  pending.emplace_back(dev, std::move(batch));
+  return config_.timing.runtime.packer_per_batch_cycles;
+}
+
+std::uint32_t DhlRuntime::batch_cap(const SocketState& state) const {
+  const auto& rt = config_.timing.runtime;
+  if (!rt.adaptive_batching) return rt.max_batch_bytes;
+  // Size the batch so it fills in roughly one DMA round trip's worth of
+  // arrivals: low rates get small batches (latency), rates near the DMA
+  // ceiling get the full cap (throughput).  Paper VI-2's proposed policy.
+  constexpr double kTargetFillSeconds = 3e-6;
+  const double target = state.ewma_bytes_per_sec * kTargetFillSeconds;
+  if (target <= rt.min_batch_bytes) return rt.min_batch_bytes;
+  if (target >= rt.max_batch_bytes) return rt.max_batch_bytes;
+  return static_cast<std::uint32_t>(target);
+}
+
+sim::PollResult DhlRuntime::tx_poll(int socket) {
+  SocketState& state = sockets_[static_cast<std::size_t>(socket)];
+  const auto& rt = config_.timing.runtime;
+  const auto& cpu = config_.timing.cpu;
+  double cycles = 0;
+  PendingSubmits pending;
+
+  std::vector<Mbuf*> pkts(config_.ibq_burst);
+  const std::size_t n = state.ibq->dequeue_burst({pkts.data(), pkts.size()});
+  if (n > 0) {
+    cycles += cpu.ring_op_fixed_cycles +
+              cpu.ring_op_per_pkt_cycles * static_cast<double>(n);
+  }
+
+  if (rt.adaptive_batching) {
+    // Update the arrival-rate estimate once per iteration.
+    const Picos now = sim_.now();
+    if (state.last_tx_poll != 0 && now > state.last_tx_poll) {
+      std::uint64_t bytes = 0;
+      for (std::size_t i = 0; i < n; ++i) bytes += pkts[i]->data_len();
+      const double inst = static_cast<double>(bytes) /
+                          to_seconds(now - state.last_tx_poll);
+      state.ewma_bytes_per_sec =
+          rt.adaptive_ewma_alpha * inst +
+          (1 - rt.adaptive_ewma_alpha) * state.ewma_bytes_per_sec;
+    }
+    state.last_tx_poll = now;
+  }
+  const std::uint32_t cap = batch_cap(state);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Mbuf* m = pkts[i];
+    const AccId acc_id = m->acc_id();
+    const HwFunctionEntry* e = entry_for(acc_id);
+    if (e == nullptr || !e->ready) {
+      // Paper never sends before search/configure; treat as caller error.
+      DHL_WARN("dhl", "packet tagged with unknown/unready acc_id "
+                          << static_cast<int>(acc_id) << "; dropping");
+      m->release();
+      continue;
+    }
+    auto [it, inserted] = state.open_batches.try_emplace(acc_id);
+    OpenBatch& open = it->second;
+    if (inserted || open.batch == nullptr) {
+      open.batch = std::make_unique<fpga::DmaBatch>(
+          acc_id, rt.max_batch_bytes + fpga::kRecordHeaderBytes);
+      open.batch->created_at = sim_.now();
+      open.opened_at = sim_.now();
+    }
+    // Flush-before-append if this record would overflow the batch cap.
+    const std::size_t record_bytes = fpga::kRecordHeaderBytes + m->data_len();
+    if (open.batch->size_bytes() + record_bytes > cap &&
+        !open.batch->empty()) {
+      cycles += flush_batch(socket, acc_id, std::move(open), pending);
+      open.batch = std::make_unique<fpga::DmaBatch>(
+          acc_id, rt.max_batch_bytes + fpga::kRecordHeaderBytes);
+      open.batch->created_at = sim_.now();
+      open.opened_at = sim_.now();
+    }
+    if (open.batch->empty()) open.batch->first_pkt_enqueued_at = sim_.now();
+    open.batch->append(m->nf_id(), m->payload(), m);
+    ++in_flight_;
+    cycles += rt.packer_per_pkt_cycles;
+  }
+
+  // Flush policy: a batch goes out when full (handled above) or when it
+  // ages past the timeout.  The paper's Packer aggregates aggressively to
+  // the 6 KB batching size -- that is why 64 B packets see a higher latency
+  // than 1500 B ones (V-C) -- and the timeout bounds latency at low load
+  // (the adaptive version is the paper's future work, see the batching
+  // ablation bench).
+  for (auto it = state.open_batches.begin(); it != state.open_batches.end();) {
+    OpenBatch& open = it->second;
+    const bool have = open.batch != nullptr && !open.batch->empty();
+    const bool aged = have && sim_.now() - open.opened_at >= rt.batch_timeout;
+    if (aged) {
+      cycles += flush_batch(socket, it->first, std::move(open), pending);
+      it = state.open_batches.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // DMA doorbells ring once this iteration's packing cycles have elapsed --
+  // submitting at iteration start would hide the Packer's cost from the
+  // measured packet latency.
+  if (!pending.empty()) {
+    auto shared = std::make_shared<PendingSubmits>(std::move(pending));
+    sim_.schedule_after(cpu.core_clock.cycles(cycles), [shared] {
+      for (auto& [dev, batch] : *shared) {
+        dev->dma().submit_tx(std::move(batch));
+      }
+    });
+  }
+  return {cycles, false};
+}
+
+sim::PollResult DhlRuntime::rx_poll(int socket) {
+  SocketState& state = sockets_[static_cast<std::size_t>(socket)];
+  const auto& rt = config_.timing.runtime;
+  double cycles = 0;
+  std::vector<std::pair<MbufRing*, Mbuf*>> deliveries;
+
+  for (std::uint32_t b = 0; b < config_.rx_burst && !state.completions.empty();
+       ++b) {
+    fpga::DmaBatchPtr batch = std::move(state.completions.front());
+    state.completions.pop_front();
+    stats_.batches_from_fpga += 1;
+    cycles += rt.distributor_per_batch_cycles;
+
+    const auto views = batch->parse();
+    DHL_CHECK_MSG(views.size() == batch->pkts().size(),
+                  "batch record/mbuf count mismatch");
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      const fpga::RecordView& v = views[i];
+      Mbuf* m = batch->pkts()[i];
+      --in_flight_;
+      stats_.pkts_from_fpga += 1;
+      cycles += rt.distributor_per_pkt_cycles;
+      if (v.header.flags & 0x1) ++stats_.error_records;
+
+      // Restore post-processed bytes and the module result into the mbuf.
+      m->replace_data({batch->buffer().data() + v.data_offset,
+                       v.header.data_len});
+      m->set_accel_result(v.header.result);
+
+      // Isolation: route on the wire-format nf_id (paper IV-B1).
+      const NfId nf = v.header.nf_id;
+      if (nf >= nfs_.size()) {
+        ++stats_.obq_drops;
+        m->release();
+        continue;
+      }
+      deliveries.emplace_back(nfs_[nf].obq.get(), m);
+    }
+  }
+
+  // Packets land in their private OBQs after the Distributor cycles spent
+  // on them (same reasoning as the Packer's deferred doorbell).
+  if (!deliveries.empty()) {
+    sim_.schedule_after(
+        config_.timing.cpu.core_clock.cycles(cycles),
+        [this, deliveries = std::move(deliveries)] {
+          for (const auto& [obq, m] : deliveries) {
+            if (!obq->enqueue(m)) {
+              ++stats_.obq_drops;
+              m->release();
+            }
+          }
+        });
+  }
+  return {cycles, false};
+}
+
+}  // namespace dhl::runtime

@@ -1,0 +1,119 @@
+#include "dhl/fpga/batch.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dhl::fpga {
+
+namespace {
+
+void store_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void store_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint16_t load_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void serialize_header(std::uint8_t* p, const RecordHeader& h) {
+  p[0] = h.nf_id;
+  p[1] = h.acc_id;
+  store_u16(p + 2, h.flags);
+  store_u32(p + 4, h.data_len);
+  store_u64(p + 8, h.result);
+}
+
+}  // namespace
+
+void DmaBatch::append(netio::NfId nf_id, std::span<const std::uint8_t> data,
+                      netio::Mbuf* origin) {
+  DHL_CHECK_MSG(data.size() <= netio::kMbufMaxDataLen,
+                "record larger than the 64 KB mbuf cap");
+  RecordHeader h;
+  h.nf_id = nf_id;
+  h.acc_id = acc_id_;
+  h.data_len = static_cast<std::uint32_t>(data.size());
+  const std::size_t off = buffer_.size();
+  buffer_.resize(off + kRecordHeaderBytes + data.size());
+  serialize_header(buffer_.data() + off, h);
+  std::memcpy(buffer_.data() + off + kRecordHeaderBytes, data.data(),
+              data.size());
+  pkts_.push_back(origin);
+  ++record_count_;
+}
+
+std::vector<RecordView> DmaBatch::parse() const {
+  std::vector<RecordView> out;
+  out.reserve(record_count_);
+  std::size_t off = 0;
+  while (off < buffer_.size()) {
+    if (off + kRecordHeaderBytes > buffer_.size()) {
+      throw std::runtime_error("DmaBatch: truncated record header");
+    }
+    RecordView v;
+    v.header_offset = off;
+    const std::uint8_t* p = buffer_.data() + off;
+    v.header.nf_id = p[0];
+    v.header.acc_id = p[1];
+    v.header.flags = load_u16(p + 2);
+    v.header.data_len = load_u32(p + 4);
+    v.header.result = load_u64(p + 8);
+    v.data_offset = off + kRecordHeaderBytes;
+    if (v.data_offset + v.header.data_len > buffer_.size()) {
+      throw std::runtime_error("DmaBatch: record data overruns buffer");
+    }
+    off = v.data_offset + v.header.data_len;
+    out.push_back(v);
+  }
+  return out;
+}
+
+void DmaBatch::store_header(const RecordView& view) {
+  DHL_CHECK(view.header_offset + kRecordHeaderBytes <= buffer_.size());
+  serialize_header(buffer_.data() + view.header_offset, view.header);
+}
+
+void DmaBatch::resize_record(RecordView& view, std::uint32_t new_len,
+                             std::vector<RecordView>& all, std::size_t index) {
+  const std::uint32_t old_len = view.header.data_len;
+  if (new_len == old_len) return;
+  const std::size_t tail_start = view.data_offset + old_len;
+  const std::size_t tail_len = buffer_.size() - tail_start;
+  if (new_len > old_len) {
+    buffer_.resize(buffer_.size() + (new_len - old_len));
+    std::memmove(buffer_.data() + view.data_offset + new_len,
+                 buffer_.data() + tail_start, tail_len);
+  } else {
+    std::memmove(buffer_.data() + view.data_offset + new_len,
+                 buffer_.data() + tail_start, tail_len);
+    buffer_.resize(buffer_.size() - (old_len - new_len));
+  }
+  const std::ptrdiff_t delta =
+      static_cast<std::ptrdiff_t>(new_len) - static_cast<std::ptrdiff_t>(old_len);
+  view.header.data_len = new_len;
+  store_header(view);
+  for (std::size_t i = index + 1; i < all.size(); ++i) {
+    all[i].header_offset = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(all[i].header_offset) + delta);
+    all[i].data_offset = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(all[i].data_offset) + delta);
+  }
+}
+
+}  // namespace dhl::fpga

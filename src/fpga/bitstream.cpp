@@ -1,0 +1,28 @@
+#include "dhl/fpga/bitstream.hpp"
+
+#include "dhl/common/check.hpp"
+
+namespace dhl::fpga {
+
+void BitstreamDatabase::add(PartialBitstream bitstream) {
+  DHL_CHECK_MSG(!bitstream.hf_name.empty(), "bitstream needs a name");
+  DHL_CHECK_MSG(bitstream.size_bytes > 0, "bitstream needs a size");
+  DHL_CHECK_MSG(static_cast<bool>(bitstream.factory),
+                "bitstream needs a module factory");
+  entries_[bitstream.hf_name] = std::move(bitstream);
+}
+
+const PartialBitstream* BitstreamDatabase::find(
+    const std::string& hf_name) const {
+  const auto it = entries_.find(hf_name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> BitstreamDatabase::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dhl::fpga

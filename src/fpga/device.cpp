@@ -1,0 +1,193 @@
+#include "dhl/fpga/device.hpp"
+
+#include <algorithm>
+
+#include "dhl/common/check.hpp"
+#include "dhl/common/log.hpp"
+
+namespace dhl::fpga {
+
+FpgaDevice::FpgaDevice(sim::Simulator& simulator, FpgaDeviceConfig config)
+    : sim_{simulator},
+      config_{std::move(config)},
+      dma_{simulator, config_.dma, config_.driver},
+      regions_(config_.num_pr_regions),
+      acc_map_(256, -1) {
+  DHL_CHECK(config_.num_pr_regions > 0);
+  DHL_CHECK(config_.static_region.luts <= config_.total_luts);
+  DHL_CHECK(config_.static_region.brams <= config_.total_brams);
+  dma_.set_tx_deliver([this](DmaBatchPtr b) { dispatch_batch(std::move(b)); });
+}
+
+std::optional<int> FpgaDevice::load_module(const PartialBitstream& bitstream,
+                                           std::function<void(int)> on_ready) {
+  // The module must fit one reconfigurable part...
+  if (bitstream.resources.luts > config_.region_capacity.luts ||
+      bitstream.resources.brams > config_.region_capacity.brams) {
+    DHL_WARN("fpga", bitstream.hf_name << " exceeds the per-part budget");
+    return std::nullopt;
+  }
+  // ...and the device must have resources left overall.
+  const ModuleResources used = used_resources();
+  if (used.luts + bitstream.resources.luts > config_.total_luts ||
+      used.brams + bitstream.resources.brams > config_.total_brams) {
+    DHL_WARN("fpga", "no device resources left for " << bitstream.hf_name);
+    return std::nullopt;
+  }
+  const auto it = std::find_if(regions_.begin(), regions_.end(),
+                               [](const Region& r) {
+                                 return r.state == RegionState::kEmpty;
+                               });
+  if (it == regions_.end()) {
+    DHL_WARN("fpga", "no free reconfigurable part for " << bitstream.hf_name);
+    return std::nullopt;
+  }
+  const int region = static_cast<int>(it - regions_.begin());
+
+  Region& r = *it;
+  r.state = RegionState::kReconfiguring;
+  r.hf_name = bitstream.hf_name;
+  r.resources = bitstream.resources;
+  r.module = bitstream.factory();
+  DHL_CHECK(r.module != nullptr);
+
+  // ICAP is a single port: back-to-back programmings serialize.
+  const Picos start = std::max(icap_busy_until_, sim_.now());
+  const Picos done = start + reconfiguration_time(bitstream);
+  icap_busy_until_ = done;
+  sim_.schedule_at(done, [this, region, cb = std::move(on_ready)] {
+    regions_[static_cast<std::size_t>(region)].state = RegionState::kReady;
+    DHL_INFO("fpga", config_.name << " region " << region << " ready: "
+                                  << regions_[static_cast<std::size_t>(region)].hf_name);
+    if (cb) cb(region);
+  });
+  return region;
+}
+
+void FpgaDevice::unload_region(int region) {
+  auto& r = regions_.at(static_cast<std::size_t>(region));
+  DHL_CHECK_MSG(r.state != RegionState::kReconfiguring,
+                "cannot unload a part mid-reconfiguration");
+  r = Region{};
+  for (auto& m : acc_map_) {
+    if (m == region) m = -1;
+  }
+}
+
+RegionState FpgaDevice::region_state(int region) const {
+  return regions_.at(static_cast<std::size_t>(region)).state;
+}
+
+AcceleratorModule* FpgaDevice::region_module(int region) {
+  return regions_.at(static_cast<std::size_t>(region)).module.get();
+}
+
+const AcceleratorModule* FpgaDevice::region_module(int region) const {
+  return regions_.at(static_cast<std::size_t>(region)).module.get();
+}
+
+std::optional<int> FpgaDevice::region_of(const std::string& hf_name) const {
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].state != RegionState::kEmpty && regions_[i].hf_name == hf_name) {
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+ModuleResources FpgaDevice::used_resources() const {
+  ModuleResources used = config_.static_region;
+  for (const Region& r : regions_) {
+    if (r.state != RegionState::kEmpty) {
+      used.luts += r.resources.luts;
+      used.brams += r.resources.brams;
+    }
+  }
+  return used;
+}
+
+double FpgaDevice::lut_utilization() const {
+  return static_cast<double>(used_resources().luts) / config_.total_luts;
+}
+
+double FpgaDevice::bram_utilization() const {
+  return static_cast<double>(used_resources().brams) / config_.total_brams;
+}
+
+void FpgaDevice::map_acc(netio::AccId acc_id, int region) {
+  DHL_CHECK(region >= 0 &&
+            region < static_cast<int>(config_.num_pr_regions));
+  acc_map_[acc_id] = region;
+}
+
+void FpgaDevice::unmap_acc(netio::AccId acc_id) { acc_map_[acc_id] = -1; }
+
+std::uint64_t FpgaDevice::region_records(int region) const {
+  return regions_.at(static_cast<std::size_t>(region)).records;
+}
+
+std::uint64_t FpgaDevice::region_bytes(int region) const {
+  return regions_.at(static_cast<std::size_t>(region)).bytes;
+}
+
+Picos FpgaDevice::region_busy_time(int region) const {
+  return regions_.at(static_cast<std::size_t>(region)).busy_accum;
+}
+
+void FpgaDevice::dispatch_batch(DmaBatchPtr batch) {
+  const Picos arrival = sim_.now();
+  auto views = batch->parse();
+
+  // Dispatcher fabric cost for routing + re-packing this batch.
+  const Picos dispatch_cost = config_.timing.fabric_clock.cycles(
+      config_.dispatcher_cycles_per_record *
+      static_cast<double>(views.size()));
+
+  Picos batch_done = arrival + dispatch_cost;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    RecordView& v = views[i];
+    const int region_idx = acc_map_[v.header.acc_id];
+    if (region_idx < 0 ||
+        regions_[static_cast<std::size_t>(region_idx)].state !=
+            RegionState::kReady) {
+      // No ready module: the record returns unprocessed with an error flag,
+      // mirroring how the real dispatcher cannot drop data silently.
+      v.header.flags |= 0x1;
+      batch->store_header(v);
+      ++dispatch_drops_;
+      continue;
+    }
+    Region& region = regions_[static_cast<std::size_t>(region_idx)];
+
+    // --- functional processing (bit-exact transform) ---
+    auto data = batch->record_data(v);
+    const ProcessResult res = region.module->process(data);
+    DHL_CHECK_MSG(res.new_len <= v.header.data_len,
+                  "module grew a record in place");
+    v.header.result = res.result;
+    if (res.new_len != v.header.data_len) {
+      batch->resize_record(v, res.new_len, views, i);
+    } else {
+      batch->store_header(v);
+    }
+
+    // --- timing: pipeline occupancy + delay ---
+    const ModuleTiming t = region.module->timing();
+    const Picos start = std::max(region.busy_until, arrival + dispatch_cost);
+    const Picos occupancy = t.max_throughput.transfer_time(v.header.data_len);
+    region.busy_until = start + occupancy;
+    region.busy_accum += occupancy;
+    region.records += 1;
+    region.bytes += v.header.data_len;
+    const Picos completion =
+        region.busy_until + config_.timing.fabric_clock.cycles(t.delay_cycles);
+    batch_done = std::max(batch_done, completion);
+  }
+
+  // Return the re-packed batch once every record has drained.
+  auto shared = std::make_shared<DmaBatchPtr>(std::move(batch));
+  sim_.schedule_at(batch_done,
+                   [this, shared] { dma_.submit_rx(std::move(*shared)); });
+}
+
+}  // namespace dhl::fpga

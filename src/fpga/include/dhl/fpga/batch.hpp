@@ -1,0 +1,108 @@
+#pragma once
+
+// DMA batch format.
+//
+// Paper IV-A3: the Packer groups packets by acc_id, encodes the 2-byte
+// (nf_id, acc_id) tag pair into the header of the data field, and
+// encapsulates packets of the same group up to the pre-set batching size
+// (6 KB).  On the return path the Distributor decapsulates the batch and
+// routes packets to private OBQs by nf_id.
+//
+// We serialize exactly that: a batch is a byte buffer of records,
+//
+//   record := u8 nf_id | u8 acc_id | u16 flags | u32 data_len |
+//             u64 result | data_len bytes
+//
+// The 16-byte record header carries the tag pair plus what the real design
+// keeps in scatter-gather descriptors (lengths) and in the return-path
+// header (the module result word).  The byte buffer is authoritative on the
+// FPGA side: accelerator modules only ever see these bytes, never host
+// pointers -- which is what makes the data-isolation property (section IV-B)
+// testable.  The host-side `pkts` vector parks the in-flight mbufs so the
+// Distributor can restore results into them.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dhl/common/check.hpp"
+#include "dhl/common/units.hpp"
+#include "dhl/netio/mbuf.hpp"
+
+namespace dhl::fpga {
+
+inline constexpr std::size_t kRecordHeaderBytes = 16;
+
+struct RecordHeader {
+  netio::NfId nf_id = netio::kInvalidNfId;
+  netio::AccId acc_id = netio::kInvalidAccId;
+  std::uint16_t flags = 0;
+  std::uint32_t data_len = 0;
+  std::uint64_t result = 0;
+};
+
+/// A record inside a batch buffer: header + mutable view of its data.
+struct RecordView {
+  RecordHeader header;
+  std::size_t header_offset = 0;  // offset of the record header in the buffer
+  std::size_t data_offset = 0;    // offset of the record data in the buffer
+};
+
+class DmaBatch {
+ public:
+  explicit DmaBatch(netio::AccId acc_id, std::size_t reserve_bytes = 0)
+      : acc_id_{acc_id} {
+    buffer_.reserve(reserve_bytes);
+  }
+
+  netio::AccId acc_id() const { return acc_id_; }
+  std::size_t size_bytes() const { return buffer_.size(); }
+  std::size_t record_count() const { return record_count_; }
+  bool empty() const { return record_count_ == 0; }
+
+  std::vector<std::uint8_t>& buffer() { return buffer_; }
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+
+  /// Append one record; copies `data` into the batch buffer.
+  void append(netio::NfId nf_id, std::span<const std::uint8_t> data,
+              netio::Mbuf* origin);
+
+  /// Re-parse the records from the raw buffer (done on the FPGA side after
+  /// the "transfer": the device trusts only the bytes).
+  /// Throws on malformed buffers.
+  std::vector<RecordView> parse() const;
+
+  /// Write back a record's header (the FPGA mutates result/data_len).
+  void store_header(const RecordView& view);
+
+  /// Mutable span of a record's data region.  If the module changed the
+  /// payload size, `resize_record` must be called first.
+  std::span<std::uint8_t> record_data(const RecordView& view) {
+    return {buffer_.data() + view.data_offset, view.header.data_len};
+  }
+
+  /// Change a record's data length in place (shifts the rest of the buffer;
+  /// control-path cost only -- e.g. the compression module).
+  void resize_record(RecordView& view, std::uint32_t new_len,
+                     std::vector<RecordView>& all, std::size_t index);
+
+  /// Host-side: mbufs parked while their bytes are on the FPGA.
+  std::vector<netio::Mbuf*>& pkts() { return pkts_; }
+  const std::vector<netio::Mbuf*>& pkts() const { return pkts_; }
+
+  /// Virtual time bookkeeping for latency accounting / tests.
+  Picos created_at = 0;
+  Picos first_pkt_enqueued_at = 0;
+  /// True when the DMA transferred via the remote NUMA path.
+  bool remote_numa = false;
+
+ private:
+  netio::AccId acc_id_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t record_count_ = 0;
+  std::vector<netio::Mbuf*> pkts_;
+};
+
+using DmaBatchPtr = std::unique_ptr<DmaBatch>;
+
+}  // namespace dhl::fpga

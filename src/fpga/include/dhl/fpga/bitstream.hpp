@@ -1,0 +1,55 @@
+#pragma once
+
+// Partial-reconfiguration bitstreams and the accelerator module database.
+//
+// Paper IV-C: accelerator modules are shipped as PR bitstreams generated
+// against a base design; the DHL Runtime keeps them in an accelerator module
+// database keyed by hardware-function name, and loads one through ICAP when
+// DHL_search_by_name() misses the hardware function table.  Developers can
+// register self-built modules as long as they follow the design
+// specification (256-bit AXI4-Stream @ 250 MHz).
+//
+// A bitstream here is the module factory plus the metadata the timing model
+// needs: the file size (which sets PR programming time, Table V) and the
+// resource footprint (which gates placement, Table VI).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dhl/fpga/accelerator.hpp"
+
+namespace dhl::fpga {
+
+struct PartialBitstream {
+  /// Hardware-function name ("ipsec-crypto", "pattern-matching", ...).
+  std::string hf_name;
+  /// PR bitstream file size; programming time = size / ICAP bandwidth
+  /// (Table V: 5.6 MB -> 23 ms).
+  std::uint64_t size_bytes = 0;
+  /// Resources the module occupies once placed.
+  ModuleResources resources;
+  /// Instantiate the module (called when the bitstream is programmed).
+  std::function<ModulePtr()> factory;
+};
+
+class BitstreamDatabase {
+ public:
+  /// Register a bitstream.  Replaces any existing entry with the same name
+  /// (a re-generated bitstream supersedes the old one).
+  void add(PartialBitstream bitstream);
+
+  /// Look up by hardware-function name.
+  const PartialBitstream* find(const std::string& hf_name) const;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, PartialBitstream> entries_;
+};
+
+}  // namespace dhl::fpga

@@ -1,0 +1,39 @@
+#pragma once
+
+// Loopback accelerator module (paper IV-A3): "simply redirects the packets
+// received from RX channels to TX channels without any involvement of other
+// components in FPGA".  Used to characterize the raw DMA engine in Figure 4.
+
+#include <span>
+#include <string>
+
+#include "dhl/fpga/accelerator.hpp"
+#include "dhl/fpga/bitstream.hpp"
+
+namespace dhl::fpga {
+
+class LoopbackModule final : public AcceleratorModule {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "loopback";
+    return kName;
+  }
+
+  ModuleResources resources() const override { return {1'200, 4}; }
+
+  ModuleTiming timing() const override {
+    // Pass-through wiring: far above any link rate, a few register stages.
+    return {Bandwidth::gbps(400), 4};
+  }
+
+  void configure(std::span<const std::uint8_t>) override {}
+
+  ProcessResult process(std::span<std::uint8_t> data) override {
+    return {0, static_cast<std::uint32_t>(data.size())};
+  }
+};
+
+/// Bitstream descriptor for the loopback module.
+PartialBitstream loopback_bitstream();
+
+}  // namespace dhl::fpga

@@ -1,0 +1,18 @@
+#include "dhl/fpga/loopback.hpp"
+
+#include <memory>
+
+#include "dhl/fpga/bitstream.hpp"
+
+namespace dhl::fpga {
+
+PartialBitstream loopback_bitstream() {
+  PartialBitstream b;
+  b.hf_name = "loopback";
+  b.size_bytes = 1'100'000;  // ~1.1 MB: trivially small PR region
+  b.resources = LoopbackModule{}.resources();
+  b.factory = [] { return std::make_unique<LoopbackModule>(); };
+  return b;
+}
+
+}  // namespace dhl::fpga

@@ -1,0 +1,148 @@
+#include "dhl/match/aho_corasick.hpp"
+
+#include <array>
+#include <cctype>
+#include <deque>
+#include <map>
+
+#include "dhl/common/check.hpp"
+
+namespace dhl::match {
+
+AhoCorasick AhoCorasick::build(std::span<const std::string> patterns,
+                               bool case_insensitive) {
+  AhoCorasick ac;
+  ac.case_insensitive_ = case_insensitive;
+  for (int i = 0; i < 256; ++i) {
+    ac.fold_[i] = case_insensitive
+                      ? static_cast<std::uint8_t>(
+                            std::tolower(static_cast<unsigned char>(i)))
+                      : static_cast<std::uint8_t>(i);
+  }
+
+  // Trie construction with sparse edges.
+  struct Node {
+    std::map<std::uint8_t, std::uint32_t> next;
+    std::vector<std::uint32_t> out;
+    std::uint32_t fail = 0;
+  };
+  std::vector<Node> trie(1);
+
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const std::string& pat = patterns[p];
+    DHL_CHECK_MSG(!pat.empty(), "empty pattern");
+    std::uint32_t state = 0;
+    for (char ch : pat) {
+      const std::uint8_t b = ac.fold_[static_cast<std::uint8_t>(ch)];
+      auto it = trie[state].next.find(b);
+      if (it == trie[state].next.end()) {
+        trie.push_back({});
+        it = trie[state].next.emplace(b, static_cast<std::uint32_t>(trie.size() - 1)).first;
+      }
+      state = it->second;
+    }
+    trie[state].out.push_back(static_cast<std::uint32_t>(p));
+    ac.pattern_lens_.push_back(static_cast<std::uint32_t>(pat.size()));
+  }
+
+  // BFS failure links + output merging.
+  std::deque<std::uint32_t> queue;
+  for (const auto& [b, s] : trie[0].next) {
+    trie[s].fail = 0;
+    queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (const auto& [b, v] : trie[u].next) {
+      // Follow fails until a state with an edge on b (or root).
+      std::uint32_t f = trie[u].fail;
+      while (f != 0 && !trie[f].next.contains(b)) f = trie[f].fail;
+      const auto it = trie[f].next.find(b);
+      trie[v].fail = (it != trie[f].next.end() && it->second != v) ? it->second : 0;
+      const auto& fo = trie[trie[v].fail].out;
+      trie[v].out.insert(trie[v].out.end(), fo.begin(), fo.end());
+      queue.push_back(v);
+    }
+  }
+
+  // Dense DFA: delta(s, b) = goto(s, b) if present else delta(fail(s), b).
+  const std::size_t n = trie.size();
+  ac.dfa_.assign(n * 256, 0);
+  ac.fail_.resize(n);
+  ac.output_range_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) ac.fail_[s] = trie[s].fail;
+
+  // BFS order guarantees delta(fail(s), .) is already filled.
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  order.push_back(0);
+  for (std::size_t qi = 0; qi < order.size(); ++qi) {
+    const std::uint32_t u = order[qi];
+    for (const auto& [b, v] : trie[u].next) {
+      (void)b;
+      order.push_back(v);
+    }
+  }
+  DHL_CHECK(order.size() == n);
+  for (const std::uint32_t s : order) {
+    for (int b = 0; b < 256; ++b) {
+      const auto it = trie[s].next.find(static_cast<std::uint8_t>(b));
+      if (it != trie[s].next.end()) {
+        ac.dfa_[s * 256 + b] = it->second;
+      } else {
+        ac.dfa_[s * 256 + b] =
+            s == 0 ? 0 : ac.dfa_[static_cast<std::size_t>(trie[s].fail) * 256 + b];
+      }
+    }
+  }
+
+  // Flatten outputs.
+  for (std::size_t s = 0; s < n; ++s) {
+    ac.output_range_[s] = {static_cast<std::uint32_t>(ac.outputs_.size()),
+                           static_cast<std::uint32_t>(trie[s].out.size())};
+    ac.outputs_.insert(ac.outputs_.end(), trie[s].out.begin(), trie[s].out.end());
+  }
+  return ac;
+}
+
+std::size_t AhoCorasick::find_all(std::span<const std::uint8_t> text,
+                                  std::vector<PatternMatch>& out) const {
+  std::size_t found = 0;
+  std::uint32_t state = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    state = step(state, text[i]);
+    for (const std::uint32_t p : outputs(state)) {
+      out.push_back({p, i + 1});
+      ++found;
+    }
+  }
+  return found;
+}
+
+bool AhoCorasick::contains_any(std::span<const std::uint8_t> text) const {
+  std::uint32_t state = 0;
+  for (const std::uint8_t b : text) {
+    state = step(state, b);
+    if (output_range_[state].second != 0) return true;
+  }
+  return false;
+}
+
+std::size_t AhoCorasick::count_distinct(std::span<const std::uint8_t> text) const {
+  std::vector<bool> seen(pattern_count(), false);
+  std::size_t distinct = 0;
+  std::uint32_t state = 0;
+  for (const std::uint8_t b : text) {
+    state = step(state, b);
+    for (const std::uint32_t p : outputs(state)) {
+      if (!seen[p]) {
+        seen[p] = true;
+        ++distinct;
+      }
+    }
+  }
+  return distinct;
+}
+
+}  // namespace dhl::match

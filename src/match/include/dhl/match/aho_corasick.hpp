@@ -1,0 +1,74 @@
+#pragma once
+
+// Aho-Corasick multi-pattern matcher.
+//
+// Two forms, matching the paper's two deployments:
+//  * the CPU-only NIDS scans with this automaton directly (paper V-B2 uses
+//    the classic AC algorithm);
+//  * the pattern-matching accelerator module wraps the same automaton
+//    converted to a dense DFA -- the AC-DFA of Jiang et al. [35] that the
+//    paper ports to FPGA -- so software and hardware paths return identical
+//    matches.
+//
+// Construction: trie -> BFS failure links -> output merging -> optional
+// dense next-state table (state x 256).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dhl::match {
+
+struct PatternMatch {
+  std::uint32_t pattern;     // index into the pattern list
+  std::size_t end_offset;    // offset one past the last matched byte
+};
+
+class AhoCorasick {
+ public:
+  /// Build an automaton over `patterns`.  Empty patterns are rejected.
+  /// `case_insensitive` folds ASCII case (Snort "nocase").
+  static AhoCorasick build(std::span<const std::string> patterns,
+                           bool case_insensitive = false);
+
+  std::size_t pattern_count() const { return pattern_lens_.size(); }
+  std::size_t state_count() const { return fail_.size(); }
+  bool case_insensitive() const { return case_insensitive_; }
+
+  /// Append every match in `text` to `out`.  Returns the number found.
+  std::size_t find_all(std::span<const std::uint8_t> text,
+                       std::vector<PatternMatch>& out) const;
+
+  /// True as soon as any pattern occurs (early exit).
+  bool contains_any(std::span<const std::uint8_t> text) const;
+
+  /// Number of distinct patterns that occur in `text` (each counted once).
+  std::size_t count_distinct(std::span<const std::uint8_t> text) const;
+
+  /// Walk one byte from `state`; exposed so the FPGA module model can step
+  /// the DFA explicitly.
+  std::uint32_t step(std::uint32_t state, std::uint8_t byte) const {
+    return dfa_[static_cast<std::size_t>(state) * 256 + fold_[byte]];
+  }
+  /// Patterns accepted at `state` (indices into the pattern list).
+  std::span<const std::uint32_t> outputs(std::uint32_t state) const {
+    const auto& range = output_range_[state];
+    return {outputs_.data() + range.first, range.second};
+  }
+
+ private:
+  AhoCorasick() = default;
+
+  bool case_insensitive_ = false;
+  std::array<std::uint8_t, 256> fold_{};      // identity or tolower
+  std::vector<std::uint32_t> dfa_;            // dense: state*256 + byte
+  std::vector<std::uint32_t> fail_;           // kept for inspection/tests
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> output_range_;
+  std::vector<std::uint32_t> outputs_;        // flattened output lists
+  std::vector<std::uint32_t> pattern_lens_;
+};
+
+}  // namespace dhl::match

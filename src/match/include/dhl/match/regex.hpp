@@ -1,0 +1,85 @@
+#pragma once
+
+// A small regular-expression engine: parser -> Thompson NFA -> subset-
+// construction DFA.  Backs the "Regex Classifier" accelerator module that
+// the paper's module database lists (section IV-C) and that DPI engines use
+// (section II-B cites regex matching as canonical deep packet processing).
+//
+// Supported syntax (byte-oriented, no captures -- this is a classifier):
+//   literals, '.', escapes (\\ \. \* \+ \? \( \) \[ \] \| \n \r \t \xHH,
+//   classes \d \w \s and negations \D \W \S),
+//   character classes [a-z0-9_], negated [^...],
+//   repetition * + ?, alternation |, grouping ( ).
+//
+// Matching is DFA-based: O(n) per input byte, no backtracking, so a
+// malicious payload cannot blow up matching time (which is the point of
+// running it in hardware).  `search` semantics keep the start state alive in
+// every subset (equivalent to an implicit leading ".*").
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dhl::match {
+
+class Regex {
+ public:
+  /// Compile `pattern`.  Throws std::invalid_argument on syntax errors and
+  /// std::length_error if the DFA exceeds `max_dfa_states`.
+  static Regex compile(std::string_view pattern,
+                       std::size_t max_dfa_states = 8192);
+
+  const std::string& pattern() const { return pattern_; }
+  std::size_t dfa_states() const { return accepting_.size(); }
+
+  /// True if the pattern occurs anywhere in `text` (search semantics).
+  bool search(std::span<const std::uint8_t> text) const;
+  bool search(std::string_view text) const {
+    return search(std::span<const std::uint8_t>{
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+  }
+
+  /// True if the pattern matches the entire `text`.
+  bool full_match(std::span<const std::uint8_t> text) const;
+  bool full_match(std::string_view text) const {
+    return full_match(std::span<const std::uint8_t>{
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+  }
+
+ private:
+  Regex() = default;
+
+  std::string pattern_;
+  // Search DFA (implicit .* prefix): state x byte -> state.
+  std::vector<std::uint32_t> search_dfa_;
+  std::vector<bool> search_accepting_;
+  // Anchored DFA for full_match: kDead = no transition.
+  static constexpr std::uint32_t kDead = 0xffffffffu;
+  std::vector<std::uint32_t> dfa_;
+  std::vector<bool> accepting_;
+};
+
+/// A bank of regexes evaluated together over packet payloads; returns the
+/// bitmap of patterns that occur (bit i = patterns[i] matched).  This is the
+/// functional core of the regex-classifier accelerator module.
+class RegexClassifier {
+ public:
+  explicit RegexClassifier(std::span<const std::string> patterns);
+
+  std::size_t size() const { return regexes_.size(); }
+  const Regex& regex(std::size_t i) const { return regexes_[i]; }
+
+  /// Bitmap of matching patterns (patterns beyond 64 are not representable
+  /// and rejected at construction).
+  std::uint64_t classify(std::span<const std::uint8_t> payload) const;
+
+ private:
+  std::vector<Regex> regexes_;
+};
+
+}  // namespace dhl::match

@@ -1,0 +1,68 @@
+#pragma once
+
+// Snort-style signature rules (paper V-B2: "a Snort-based attack ruleset").
+//
+// Supports the subset an NIDS data plane actually evaluates per packet:
+//   action proto src_ip src_port -> dst_ip dst_port (options)
+// with options: msg, content (repeatable), nocase, sid, priority.
+// Unsupported option keys are preserved verbatim but ignored at match time.
+//
+// Example:
+//   alert tcp any any -> any 80 (msg:"shellcode"; content:"/bin/sh"; sid:1;)
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dhl::match {
+
+enum class RuleAction : std::uint8_t { kAlert, kDrop, kPass };
+
+struct Rule {
+  RuleAction action = RuleAction::kAlert;
+  std::string proto = "ip";  // tcp | udp | ip
+  /// 0 means "any".
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::string msg;
+  std::uint32_t sid = 0;
+  std::uint8_t priority = 3;
+  bool nocase = false;
+  /// All content strings must be present for the rule to fire.
+  std::vector<std::string> contents;
+};
+
+class RuleSet {
+ public:
+  /// Parse rules from text, one rule per line; '#' starts a comment.
+  /// Throws std::invalid_argument with a line number on malformed input.
+  static RuleSet parse(std::string_view text);
+
+  /// A built-in ruleset (web exploits / shellcode / scanners) used by the
+  /// examples and benchmarks, standing in for the Snort community rules.
+  static RuleSet builtin_snort_sample();
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+
+  /// Every distinct content string across all rules, in first-seen order --
+  /// the pattern list compiled into the Aho-Corasick automaton.  Each rule's
+  /// contents map to indices into this list via `pattern_index`.
+  const std::vector<std::string>& patterns() const { return patterns_; }
+
+  /// For rule `r`, the indices into patterns() of its content strings.
+  const std::vector<std::uint32_t>& rule_patterns(std::size_t r) const {
+    return rule_patterns_[r];
+  }
+
+ private:
+  void index_patterns();
+
+  std::vector<Rule> rules_;
+  std::vector<std::string> patterns_;
+  std::vector<std::vector<std::uint32_t>> rule_patterns_;
+};
+
+}  // namespace dhl::match

@@ -1,0 +1,495 @@
+#include "dhl/match/regex.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <stdexcept>
+
+#include "dhl/common/check.hpp"
+
+namespace dhl::match {
+
+namespace {
+
+using ByteSet = std::bitset<256>;
+
+// --- AST ----------------------------------------------------------------------
+
+struct Node {
+  enum class Kind { kBytes, kConcat, kAlt, kStar, kPlus, kOpt, kEmpty };
+  Kind kind = Kind::kEmpty;
+  ByteSet set;  // kBytes
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+NodePtr make_bytes(ByteSet set) {
+  auto n = std::make_unique<Node>();
+  n->kind = Node::Kind::kBytes;
+  n->set = set;
+  return n;
+}
+
+NodePtr make_unary(Node::Kind kind, NodePtr child) {
+  auto n = std::make_unique<Node>();
+  n->kind = kind;
+  n->left = std::move(child);
+  return n;
+}
+
+NodePtr make_binary(Node::Kind kind, NodePtr a, NodePtr b) {
+  auto n = std::make_unique<Node>();
+  n->kind = kind;
+  n->left = std::move(a);
+  n->right = std::move(b);
+  return n;
+}
+
+// --- parser --------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view pattern) : input_{pattern} {}
+
+  NodePtr parse() {
+    NodePtr n = parse_alt();
+    if (pos_ != input_.size()) fail("unexpected ')'");
+    return n;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("regex parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  bool eof() const { return pos_ >= input_.size(); }
+  char peek() const { return input_[pos_]; }
+  char next() {
+    if (eof()) fail("unexpected end of pattern");
+    return input_[pos_++];
+  }
+
+  NodePtr parse_alt() {
+    NodePtr left = parse_concat();
+    while (!eof() && peek() == '|') {
+      ++pos_;
+      NodePtr right = parse_concat();
+      left = make_binary(Node::Kind::kAlt, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  NodePtr parse_concat() {
+    NodePtr left;
+    while (!eof() && peek() != '|' && peek() != ')') {
+      NodePtr atom = parse_repeat();
+      left = left ? make_binary(Node::Kind::kConcat, std::move(left),
+                                std::move(atom))
+                  : std::move(atom);
+    }
+    if (!left) {
+      left = std::make_unique<Node>();  // kEmpty: matches ""
+    }
+    return left;
+  }
+
+  NodePtr parse_repeat() {
+    NodePtr atom = parse_atom();
+    while (!eof()) {
+      const char c = peek();
+      if (c == '*') {
+        ++pos_;
+        atom = make_unary(Node::Kind::kStar, std::move(atom));
+      } else if (c == '+') {
+        ++pos_;
+        atom = make_unary(Node::Kind::kPlus, std::move(atom));
+      } else if (c == '?') {
+        ++pos_;
+        atom = make_unary(Node::Kind::kOpt, std::move(atom));
+      } else {
+        break;
+      }
+    }
+    return atom;
+  }
+
+  NodePtr parse_atom() {
+    if (eof()) fail("expected an atom");
+    const char c = next();
+    switch (c) {
+      case '(': {
+        NodePtr inner = parse_alt();
+        if (eof() || next() != ')') fail("missing ')'");
+        return inner;
+      }
+      case '[':
+        return make_bytes(parse_class());
+      case '.': {
+        ByteSet any;
+        any.set();
+        return make_bytes(any);
+      }
+      case '\\':
+        return make_bytes(parse_escape());
+      case '*':
+      case '+':
+      case '?':
+        fail("repetition with nothing to repeat");
+      case ')':
+        fail("unmatched ')'");
+      default: {
+        ByteSet s;
+        s.set(static_cast<unsigned char>(c));
+        return make_bytes(s);
+      }
+    }
+  }
+
+  static void add_named_class(ByteSet& s, char c) {
+    auto add_if = [&s](auto pred) {
+      for (int b = 0; b < 256; ++b) {
+        if (pred(static_cast<unsigned char>(b))) s.set(static_cast<std::size_t>(b));
+      }
+    };
+    switch (c) {
+      case 'd': add_if([](unsigned char b) { return std::isdigit(b); }); break;
+      case 'w': add_if([](unsigned char b) { return std::isalnum(b) || b == '_'; }); break;
+      case 's': add_if([](unsigned char b) { return std::isspace(b); }); break;
+      default: DHL_CHECK(false);
+    }
+  }
+
+  ByteSet parse_escape() {
+    if (eof()) fail("dangling backslash");
+    const char c = next();
+    ByteSet s;
+    switch (c) {
+      case 'n': s.set('\n'); return s;
+      case 'r': s.set('\r'); return s;
+      case 't': s.set('\t'); return s;
+      case '0': s.set(0); return s;
+      case 'd': case 'w': case 's':
+        add_named_class(s, c);
+        return s;
+      case 'D': case 'W': case 'S': {
+        add_named_class(s, static_cast<char>(std::tolower(c)));
+        s.flip();
+        return s;
+      }
+      case 'x': {
+        auto hex = [this](char h) -> int {
+          if (h >= '0' && h <= '9') return h - '0';
+          if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+          if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+          fail("bad \\xHH escape");
+        };
+        const int hi = hex(next());
+        const int lo = hex(next());
+        s.set(static_cast<std::size_t>(hi * 16 + lo));
+        return s;
+      }
+      default:
+        // Escaped literal (metacharacters and anything else).
+        s.set(static_cast<unsigned char>(c));
+        return s;
+    }
+  }
+
+  ByteSet parse_class() {
+    ByteSet s;
+    bool negate = false;
+    if (!eof() && peek() == '^') {
+      negate = true;
+      ++pos_;
+    }
+    bool first = true;
+    while (true) {
+      if (eof()) fail("missing ']'");
+      char c = peek();
+      if (c == ']' && !first) {
+        ++pos_;
+        break;
+      }
+      first = false;
+      ++pos_;
+      if (c == '\\') {
+        // Backslash consumed above; parse_escape() reads the escaped char.
+        s |= parse_escape();
+        continue;
+      }
+      // Range a-z?
+      if (pos_ + 1 < input_.size() && input_[pos_] == '-' &&
+          input_[pos_ + 1] != ']') {
+        const char hi = input_[pos_ + 1];
+        pos_ += 2;
+        if (static_cast<unsigned char>(c) > static_cast<unsigned char>(hi)) {
+          fail("reversed character range");
+        }
+        for (int b = static_cast<unsigned char>(c);
+             b <= static_cast<unsigned char>(hi); ++b) {
+          s.set(static_cast<std::size_t>(b));
+        }
+      } else {
+        s.set(static_cast<unsigned char>(c));
+      }
+    }
+    if (negate) s.flip();
+    return s;
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+// --- Thompson NFA ----------------------------------------------------------------
+
+struct Nfa {
+  struct State {
+    ByteSet on;           // byte transition (if target >= 0)
+    int target = -1;
+    int eps1 = -1;
+    int eps2 = -1;
+  };
+  std::vector<State> states;
+  int start = -1;
+  int accept = -1;
+
+  int add() {
+    states.push_back({});
+    return static_cast<int>(states.size() - 1);
+  }
+};
+
+struct Frag {
+  int start;
+  int accept;  // a state with free eps slots
+};
+
+void add_eps(Nfa& nfa, int from, int to) {
+  auto& s = nfa.states[static_cast<std::size_t>(from)];
+  if (s.eps1 < 0) {
+    s.eps1 = to;
+  } else if (s.eps2 < 0) {
+    s.eps2 = to;
+  } else {
+    // Out of slots: chain through a fresh state.  Read before add(): the
+    // vector may reallocate and invalidate `s`.
+    const int old = s.eps2;
+    const int mid = nfa.add();
+    nfa.states[static_cast<std::size_t>(from)].eps2 = mid;
+    add_eps(nfa, mid, old);
+    add_eps(nfa, mid, to);
+  }
+}
+
+Frag build(Nfa& nfa, const Node& node) {
+  switch (node.kind) {
+    case Node::Kind::kBytes: {
+      const int s0 = nfa.add();
+      const int s1 = nfa.add();
+      nfa.states[static_cast<std::size_t>(s0)].on = node.set;
+      nfa.states[static_cast<std::size_t>(s0)].target = s1;
+      return {s0, s1};
+    }
+    case Node::Kind::kEmpty: {
+      const int s0 = nfa.add();
+      return {s0, s0};
+    }
+    case Node::Kind::kConcat: {
+      const Frag a = build(nfa, *node.left);
+      const Frag b = build(nfa, *node.right);
+      add_eps(nfa, a.accept, b.start);
+      return {a.start, b.accept};
+    }
+    case Node::Kind::kAlt: {
+      const Frag a = build(nfa, *node.left);
+      const Frag b = build(nfa, *node.right);
+      const int start = nfa.add();
+      const int accept = nfa.add();
+      add_eps(nfa, start, a.start);
+      add_eps(nfa, start, b.start);
+      add_eps(nfa, a.accept, accept);
+      add_eps(nfa, b.accept, accept);
+      return {start, accept};
+    }
+    case Node::Kind::kStar: {
+      const Frag a = build(nfa, *node.left);
+      const int start = nfa.add();
+      const int accept = nfa.add();
+      add_eps(nfa, start, a.start);
+      add_eps(nfa, start, accept);
+      add_eps(nfa, a.accept, a.start);
+      add_eps(nfa, a.accept, accept);
+      return {start, accept};
+    }
+    case Node::Kind::kPlus: {
+      const Frag a = build(nfa, *node.left);
+      const int accept = nfa.add();
+      add_eps(nfa, a.accept, a.start);
+      add_eps(nfa, a.accept, accept);
+      return {a.start, accept};
+    }
+    case Node::Kind::kOpt: {
+      const Frag a = build(nfa, *node.left);
+      const int start = nfa.add();
+      const int accept = nfa.add();
+      add_eps(nfa, start, a.start);
+      add_eps(nfa, start, accept);
+      add_eps(nfa, a.accept, accept);
+      return {start, accept};
+    }
+  }
+  DHL_CHECK(false);
+  return {};
+}
+
+using StateSet = std::vector<int>;  // sorted, unique
+
+void closure(const Nfa& nfa, StateSet& set) {
+  std::vector<int> stack(set.begin(), set.end());
+  std::vector<bool> seen(nfa.states.size(), false);
+  for (int s : set) seen[static_cast<std::size_t>(s)] = true;
+  while (!stack.empty()) {
+    const int s = stack.back();
+    stack.pop_back();
+    const auto& st = nfa.states[static_cast<std::size_t>(s)];
+    for (const int e : {st.eps1, st.eps2}) {
+      if (e >= 0 && !seen[static_cast<std::size_t>(e)]) {
+        seen[static_cast<std::size_t>(e)] = true;
+        stack.push_back(e);
+      }
+    }
+  }
+  set.clear();
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i]) set.push_back(static_cast<int>(i));
+  }
+}
+
+/// Subset construction.  `sticky_start`: keep the start closure alive in
+/// every state (search semantics, implicit leading ".*").
+struct DfaBuild {
+  std::vector<std::uint32_t> table;  // state*256 + byte
+  std::vector<bool> accepting;
+};
+
+DfaBuild determinize(const Nfa& nfa, bool sticky_start,
+                     std::size_t max_states, std::uint32_t dead) {
+  DfaBuild out;
+  StateSet start{nfa.start};
+  closure(nfa, start);
+  const StateSet start_closure = start;
+
+  std::map<StateSet, std::uint32_t> ids;
+  std::vector<StateSet> work;
+  auto intern = [&](StateSet set) -> std::uint32_t {
+    const auto it = ids.find(set);
+    if (it != ids.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(ids.size());
+    if (ids.size() >= max_states) {
+      throw std::length_error("regex DFA exceeds the state budget");
+    }
+    ids.emplace(set, id);
+    work.push_back(set);
+    out.accepting.push_back(false);
+    for (const int s : work.back()) {
+      if (s == nfa.accept) out.accepting[id] = true;
+    }
+    return id;
+  };
+  intern(start_closure);
+
+  for (std::size_t next = 0; next < work.size(); ++next) {
+    const StateSet current = work[next];  // copy: work may reallocate
+    const std::size_t base = out.table.size();
+    out.table.resize(base + 256, dead);
+    for (int byte = 0; byte < 256; ++byte) {
+      StateSet target;
+      for (const int s : current) {
+        const auto& st = nfa.states[static_cast<std::size_t>(s)];
+        if (st.target >= 0 && st.on.test(static_cast<std::size_t>(byte))) {
+          target.push_back(st.target);
+        }
+      }
+      if (sticky_start) {
+        target.insert(target.end(), start_closure.begin(),
+                      start_closure.end());
+      }
+      if (target.empty()) continue;  // stays `dead`
+      std::sort(target.begin(), target.end());
+      target.erase(std::unique(target.begin(), target.end()), target.end());
+      closure(nfa, target);
+      out.table[base + static_cast<std::size_t>(byte)] = intern(target);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Regex Regex::compile(std::string_view pattern, std::size_t max_dfa_states) {
+  Parser parser{pattern};
+  const NodePtr ast = parser.parse();
+
+  Nfa nfa;
+  const Frag frag = build(nfa, *ast);
+  nfa.start = frag.start;
+  nfa.accept = frag.accept;
+
+  Regex re;
+  re.pattern_ = std::string(pattern);
+
+  // Search DFA: every byte has a transition (sticky start), so `dead` is
+  // unreachable; use 0 as a harmless default.
+  DfaBuild search = determinize(nfa, /*sticky_start=*/true, max_dfa_states, 0);
+  re.search_dfa_ = std::move(search.table);
+  re.search_accepting_ = std::move(search.accepting);
+
+  DfaBuild anchored =
+      determinize(nfa, /*sticky_start=*/false, max_dfa_states, kDead);
+  re.dfa_ = std::move(anchored.table);
+  re.accepting_ = std::move(anchored.accepting);
+  return re;
+}
+
+bool Regex::search(std::span<const std::uint8_t> text) const {
+  std::uint32_t state = 0;
+  if (search_accepting_[state]) return true;  // empty pattern
+  for (const std::uint8_t b : text) {
+    state = search_dfa_[static_cast<std::size_t>(state) * 256 + b];
+    if (search_accepting_[state]) return true;
+  }
+  return false;
+}
+
+bool Regex::full_match(std::span<const std::uint8_t> text) const {
+  std::uint32_t state = 0;
+  for (const std::uint8_t b : text) {
+    state = dfa_[static_cast<std::size_t>(state) * 256 + b];
+    if (state == kDead) return false;
+  }
+  return accepting_[state];
+}
+
+RegexClassifier::RegexClassifier(std::span<const std::string> patterns) {
+  DHL_CHECK_MSG(patterns.size() <= 64,
+                "classifier bitmap covers at most 64 patterns");
+  regexes_.reserve(patterns.size());
+  for (const std::string& p : patterns) {
+    regexes_.push_back(Regex::compile(p));
+  }
+}
+
+std::uint64_t RegexClassifier::classify(
+    std::span<const std::uint8_t> payload) const {
+  std::uint64_t bitmap = 0;
+  for (std::size_t i = 0; i < regexes_.size(); ++i) {
+    if (regexes_[i].search(payload)) bitmap |= 1ULL << i;
+  }
+  return bitmap;
+}
+
+}  // namespace dhl::match

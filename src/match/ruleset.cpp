@@ -1,0 +1,200 @@
+#include "dhl/match/ruleset.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace dhl::match {
+
+namespace {
+
+[[noreturn]] void parse_error(int line, const std::string& what) {
+  throw std::invalid_argument("ruleset parse error at line " +
+                              std::to_string(line) + ": " + what);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Decode a Snort content string: supports |xx xx| hex escapes.
+std::string decode_content(std::string_view raw, int line) {
+  std::string out;
+  bool in_hex = false;
+  std::string hex;
+  for (char c : raw) {
+    if (c == '|') {
+      if (in_hex) {
+        std::istringstream is{hex};
+        std::string tok;
+        while (is >> tok) {
+          if (tok.size() != 2) parse_error(line, "bad hex byte in content");
+          out.push_back(static_cast<char>(std::stoi(tok, nullptr, 16)));
+        }
+        hex.clear();
+      }
+      in_hex = !in_hex;
+    } else if (in_hex) {
+      hex.push_back(c);
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (in_hex) parse_error(line, "unterminated hex escape in content");
+  return out;
+}
+
+std::uint16_t parse_port(std::string_view tok, int line) {
+  if (tok == "any") return 0;
+  int v = 0;
+  for (char c : tok) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      parse_error(line, "bad port");
+    }
+    v = v * 10 + (c - '0');
+  }
+  if (v < 1 || v > 65535) parse_error(line, "port out of range");
+  return static_cast<std::uint16_t>(v);
+}
+
+}  // namespace
+
+RuleSet RuleSet::parse(std::string_view text) {
+  RuleSet rs;
+  std::istringstream stream{std::string(text)};
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    const auto paren = line.find('(');
+    if (paren == std::string_view::npos || line.back() != ')') {
+      parse_error(line_no, "missing rule options '(...)'");
+    }
+    std::istringstream head{std::string(line.substr(0, paren))};
+    std::string action_tok, proto, src_ip, src_port_tok, arrow, dst_ip,
+        dst_port_tok;
+    if (!(head >> action_tok >> proto >> src_ip >> src_port_tok >> arrow >>
+          dst_ip >> dst_port_tok)) {
+      parse_error(line_no, "malformed rule header");
+    }
+    if (arrow != "->") parse_error(line_no, "expected '->'");
+
+    Rule rule;
+    if (action_tok == "alert") {
+      rule.action = RuleAction::kAlert;
+    } else if (action_tok == "drop") {
+      rule.action = RuleAction::kDrop;
+    } else if (action_tok == "pass") {
+      rule.action = RuleAction::kPass;
+    } else {
+      parse_error(line_no, "unknown action '" + action_tok + "'");
+    }
+    if (proto != "tcp" && proto != "udp" && proto != "ip") {
+      parse_error(line_no, "unsupported protocol '" + proto + "'");
+    }
+    rule.proto = proto;
+    rule.src_port = parse_port(src_port_tok, line_no);
+    rule.dst_port = parse_port(dst_port_tok, line_no);
+
+    // Options: key:"value"; or bare key;
+    std::string_view opts = line.substr(paren + 1, line.size() - paren - 2);
+    std::size_t pos = 0;
+    while (pos < opts.size()) {
+      const auto semi = opts.find(';', pos);
+      if (semi == std::string_view::npos) break;
+      std::string_view opt = trim(opts.substr(pos, semi - pos));
+      pos = semi + 1;
+      if (opt.empty()) continue;
+      const auto colon = opt.find(':');
+      const std::string key{trim(colon == std::string_view::npos
+                                     ? opt
+                                     : opt.substr(0, colon))};
+      std::string_view val =
+          colon == std::string_view::npos ? "" : trim(opt.substr(colon + 1));
+      if (!val.empty() && val.front() == '"' && val.back() == '"' &&
+          val.size() >= 2) {
+        val = val.substr(1, val.size() - 2);
+      }
+      if (key == "msg") {
+        rule.msg = std::string(val);
+      } else if (key == "content") {
+        const std::string decoded = decode_content(val, line_no);
+        if (decoded.empty()) parse_error(line_no, "empty content");
+        rule.contents.push_back(decoded);
+      } else if (key == "nocase") {
+        rule.nocase = true;
+      } else if (key == "sid") {
+        rule.sid = static_cast<std::uint32_t>(std::stoul(std::string(val)));
+      } else if (key == "priority") {
+        rule.priority = static_cast<std::uint8_t>(std::stoul(std::string(val)));
+      }
+      // Other option keys (rev, classtype, ...) are ignored.
+    }
+    if (rule.contents.empty()) {
+      parse_error(line_no, "rule has no content option");
+    }
+    rs.rules_.push_back(std::move(rule));
+  }
+  rs.index_patterns();
+  return rs;
+}
+
+void RuleSet::index_patterns() {
+  std::map<std::string, std::uint32_t> seen;
+  rule_patterns_.assign(rules_.size(), {});
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    for (const std::string& c : rules_[r].contents) {
+      auto it = seen.find(c);
+      if (it == seen.end()) {
+        it = seen.emplace(c, static_cast<std::uint32_t>(patterns_.size())).first;
+        patterns_.push_back(c);
+      }
+      rule_patterns_[r].push_back(it->second);
+    }
+  }
+}
+
+RuleSet RuleSet::builtin_snort_sample() {
+  // A compact stand-in for the Snort community ruleset: real exploit
+  // signatures spanning web attacks, shellcode, scanners and malware C2.
+  static constexpr const char* kRules = R"(
+# web attacks
+alert tcp any any -> any 80 (msg:"WEB-ATTACK /etc/passwd access"; content:"/etc/passwd"; sid:1001; priority:2;)
+alert tcp any any -> any 80 (msg:"WEB-ATTACK cmd.exe access"; content:"cmd.exe"; sid:1002; priority:2;)
+alert tcp any any -> any 80 (msg:"WEB-ATTACK SQL injection union select"; content:"union select"; nocase; sid:1003; priority:2;)
+alert tcp any any -> any 80 (msg:"WEB-ATTACK SQL injection or 1=1"; content:"or 1=1"; nocase; sid:1004; priority:3;)
+alert tcp any any -> any 80 (msg:"WEB-ATTACK directory traversal"; content:"../../"; sid:1005; priority:2;)
+alert tcp any any -> any 80 (msg:"WEB-ATTACK xp_cmdshell"; content:"xp_cmdshell"; nocase; sid:1006; priority:1;)
+alert tcp any any -> any 80 (msg:"WEB-PHP remote include"; content:"php://input"; sid:1007; priority:2;)
+alert tcp any any -> any 80 (msg:"WEB-ATTACK script tag injection"; content:"<script>"; nocase; sid:1008; priority:3;)
+# shellcode
+alert ip any any -> any any (msg:"SHELLCODE x86 NOP sled"; content:"|90 90 90 90 90 90 90 90|"; sid:2001; priority:1;)
+alert ip any any -> any any (msg:"SHELLCODE /bin/sh"; content:"/bin/sh"; sid:2002; priority:1;)
+alert ip any any -> any any (msg:"SHELLCODE setuid zero"; content:"|31 c0 31 db 31 c9|"; sid:2003; priority:1;)
+# scanners / recon
+alert tcp any any -> any any (msg:"SCAN nikto probe"; content:"Nikto"; sid:3001; priority:3;)
+alert tcp any any -> any any (msg:"SCAN nmap http probe"; content:"Nmap Scripting Engine"; sid:3002; priority:3;)
+alert tcp any any -> any any (msg:"SCAN masscan banner"; content:"masscan"; nocase; sid:3003; priority:3;)
+# malware / C2
+alert tcp any any -> any any (msg:"MALWARE generic beacon"; content:"POST /gate.php"; sid:4001; priority:1;)
+alert tcp any any -> any any (msg:"MALWARE mirai default creds"; content:"xc3511"; sid:4002; priority:1;)
+alert tcp any any -> any any (msg:"MALWARE powershell encoded"; content:"powershell -enc"; nocase; sid:4003; priority:1;)
+alert udp any any -> any 53 (msg:"MALWARE DNS tunnel long label"; content:"dnscat"; sid:4004; priority:2;)
+# policy
+alert tcp any any -> any 21 (msg:"POLICY anonymous ftp"; content:"USER anonymous"; sid:5001; priority:3;)
+alert tcp any any -> any 23 (msg:"POLICY telnet root login"; content:"login: root"; sid:5002; priority:3;)
+)";
+  return parse(kRules);
+}
+
+}  // namespace dhl::match

@@ -1,0 +1,167 @@
+#include "dhl/netio/headers.hpp"
+
+#include <cstring>
+
+#include "dhl/common/check.hpp"
+
+namespace dhl::netio {
+
+// --- Ethernet ---------------------------------------------------------------
+
+EthernetHeader EthernetHeader::parse(std::span<const std::uint8_t> buf) {
+  DHL_CHECK(buf.size() >= kEthernetHeaderLen);
+  EthernetHeader h;
+  std::memcpy(h.dst.data(), buf.data(), 6);
+  std::memcpy(h.src.data(), buf.data() + 6, 6);
+  h.ether_type = load_be16(buf.data() + 12);
+  return h;
+}
+
+void EthernetHeader::write(std::span<std::uint8_t> buf) const {
+  DHL_CHECK(buf.size() >= kEthernetHeaderLen);
+  std::memcpy(buf.data(), dst.data(), 6);
+  std::memcpy(buf.data() + 6, src.data(), 6);
+  store_be16(buf.data() + 12, ether_type);
+}
+
+// --- IPv4 --------------------------------------------------------------------
+
+Ipv4Header Ipv4Header::parse(std::span<const std::uint8_t> buf) {
+  DHL_CHECK(buf.size() >= kIpv4HeaderLen);
+  Ipv4Header h;
+  h.dscp = static_cast<std::uint8_t>(buf[1] >> 2);
+  h.total_length = load_be16(buf.data() + 2);
+  h.identification = load_be16(buf.data() + 4);
+  h.ttl = buf[8];
+  h.protocol = buf[9];
+  h.src = load_be32(buf.data() + 12);
+  h.dst = load_be32(buf.data() + 16);
+  return h;
+}
+
+void Ipv4Header::write(std::span<std::uint8_t> buf) const {
+  DHL_CHECK(buf.size() >= kIpv4HeaderLen);
+  buf[0] = 0x45;  // version 4, IHL 5
+  buf[1] = static_cast<std::uint8_t>(dscp << 2);
+  store_be16(buf.data() + 2, total_length);
+  store_be16(buf.data() + 4, identification);
+  store_be16(buf.data() + 6, 0);  // flags/fragment: not used
+  buf[8] = ttl;
+  buf[9] = protocol;
+  store_be16(buf.data() + 10, 0);  // checksum placeholder
+  store_be32(buf.data() + 12, src);
+  store_be32(buf.data() + 16, dst);
+  store_be16(buf.data() + 10, checksum(buf.first(kIpv4HeaderLen)));
+}
+
+std::uint16_t Ipv4Header::checksum(std::span<const std::uint8_t> buf) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < buf.size(); i += 2) sum += load_be16(buf.data() + i);
+  if (i < buf.size()) sum += static_cast<std::uint32_t>(buf[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+bool Ipv4Header::checksum_ok(std::span<const std::uint8_t> buf) {
+  if (buf.size() < kIpv4HeaderLen) return false;
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < kIpv4HeaderLen; i += 2) {
+    sum += load_be16(buf.data() + i);
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return sum == 0xffff;
+}
+
+// --- UDP ----------------------------------------------------------------------
+
+UdpHeader UdpHeader::parse(std::span<const std::uint8_t> buf) {
+  DHL_CHECK(buf.size() >= kUdpHeaderLen);
+  UdpHeader h;
+  h.src_port = load_be16(buf.data());
+  h.dst_port = load_be16(buf.data() + 2);
+  h.length = load_be16(buf.data() + 4);
+  return h;
+}
+
+void UdpHeader::write(std::span<std::uint8_t> buf) const {
+  DHL_CHECK(buf.size() >= kUdpHeaderLen);
+  store_be16(buf.data(), src_port);
+  store_be16(buf.data() + 2, dst_port);
+  store_be16(buf.data() + 4, length);
+  store_be16(buf.data() + 6, 0);  // checksum optional for IPv4
+}
+
+// --- TCP ----------------------------------------------------------------------
+
+TcpHeader TcpHeader::parse(std::span<const std::uint8_t> buf) {
+  DHL_CHECK(buf.size() >= kTcpHeaderLen);
+  TcpHeader h;
+  h.src_port = load_be16(buf.data());
+  h.dst_port = load_be16(buf.data() + 2);
+  h.seq = load_be32(buf.data() + 4);
+  h.ack = load_be32(buf.data() + 8);
+  h.flags = buf[13];
+  h.window = load_be16(buf.data() + 14);
+  return h;
+}
+
+void TcpHeader::write(std::span<std::uint8_t> buf) const {
+  DHL_CHECK(buf.size() >= kTcpHeaderLen);
+  std::memset(buf.data(), 0, kTcpHeaderLen);
+  store_be16(buf.data(), src_port);
+  store_be16(buf.data() + 2, dst_port);
+  store_be32(buf.data() + 4, seq);
+  store_be32(buf.data() + 8, ack);
+  buf[12] = 5 << 4;  // data offset: 5 words
+  buf[13] = flags;
+  store_be16(buf.data() + 14, window);
+}
+
+// --- ESP ----------------------------------------------------------------------
+
+EspHeader EspHeader::parse(std::span<const std::uint8_t> buf) {
+  DHL_CHECK(buf.size() >= kEspHeaderLen);
+  EspHeader h;
+  h.spi = load_be32(buf.data());
+  h.seq = load_be32(buf.data() + 4);
+  return h;
+}
+
+void EspHeader::write(std::span<std::uint8_t> buf) const {
+  DHL_CHECK(buf.size() >= kEspHeaderLen);
+  store_be32(buf.data(), spi);
+  store_be32(buf.data() + 4, seq);
+}
+
+// --- PacketView ----------------------------------------------------------------
+
+PacketView parse_packet(std::span<const std::uint8_t> frame) {
+  PacketView v;
+  if (frame.size() < kEthernetHeaderLen + kIpv4HeaderLen) return v;
+  v.eth = EthernetHeader::parse(frame);
+  if (v.eth.ether_type != kEtherTypeIpv4) return v;
+  const auto ip_buf = frame.subspan(kEthernetHeaderLen);
+  if ((ip_buf[0] >> 4) != 4) return v;
+  v.ip = Ipv4Header::parse(ip_buf);
+  v.l4_offset = kEthernetHeaderLen + kIpv4HeaderLen;
+  if (v.ip.protocol == kIpProtoUdp) {
+    if (frame.size() < v.l4_offset + kUdpHeaderLen) return v;
+    const UdpHeader udp = UdpHeader::parse(frame.subspan(v.l4_offset));
+    v.l4_src_port = udp.src_port;
+    v.l4_dst_port = udp.dst_port;
+    v.payload_offset = v.l4_offset + kUdpHeaderLen;
+  } else if (v.ip.protocol == kIpProtoTcp) {
+    if (frame.size() < v.l4_offset + kTcpHeaderLen) return v;
+    const TcpHeader tcp = TcpHeader::parse(frame.subspan(v.l4_offset));
+    v.l4_src_port = tcp.src_port;
+    v.l4_dst_port = tcp.dst_port;
+    v.payload_offset = v.l4_offset + kTcpHeaderLen;
+  } else {
+    v.payload_offset = v.l4_offset;
+  }
+  v.valid = true;
+  return v;
+}
+
+}  // namespace dhl::netio

@@ -1,0 +1,140 @@
+#pragma once
+
+// Wire-format protocol headers: Ethernet, IPv4, UDP, TCP, ESP.
+//
+// Headers are parsed/serialized explicitly (no struct punning) so the code
+// is endian-safe and UB-free.  Network byte order on the wire, host-order
+// fields in the structs.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace dhl::netio {
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+inline constexpr std::uint8_t kIpProtoEsp = 50;
+
+inline constexpr std::size_t kEthernetHeaderLen = 14;
+inline constexpr std::size_t kIpv4HeaderLen = 20;  // no options
+inline constexpr std::size_t kUdpHeaderLen = 8;
+inline constexpr std::size_t kTcpHeaderLen = 20;  // no options
+inline constexpr std::size_t kEspHeaderLen = 8;   // SPI + sequence
+
+// --- byte-order helpers ------------------------------------------------------
+
+inline std::uint16_t load_be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+inline void store_be16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+// --- Ethernet ---------------------------------------------------------------
+
+struct EthernetHeader {
+  MacAddr dst{};
+  MacAddr src{};
+  std::uint16_t ether_type = kEtherTypeIpv4;
+
+  /// Parse from `buf` (must hold >= kEthernetHeaderLen bytes).
+  static EthernetHeader parse(std::span<const std::uint8_t> buf);
+  void write(std::span<std::uint8_t> buf) const;
+};
+
+// --- IPv4 ---------------------------------------------------------------------
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  // header + payload
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kIpProtoUdp;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+
+  static Ipv4Header parse(std::span<const std::uint8_t> buf);
+  /// Serialize including a correct header checksum.
+  void write(std::span<std::uint8_t> buf) const;
+
+  /// RFC 1071 checksum of `buf`; returns the value to place in the checksum
+  /// field (assumes that field is zero in `buf`).
+  static std::uint16_t checksum(std::span<const std::uint8_t> buf);
+  /// Validate the checksum of a serialized header.
+  static bool checksum_ok(std::span<const std::uint8_t> buf);
+};
+
+/// Build a dotted-quad address as a host-order uint32.
+constexpr std::uint32_t ipv4_addr(std::uint8_t a, std::uint8_t b,
+                                  std::uint8_t c, std::uint8_t d) {
+  return (static_cast<std::uint32_t>(a) << 24) |
+         (static_cast<std::uint32_t>(b) << 16) |
+         (static_cast<std::uint32_t>(c) << 8) | d;
+}
+
+// --- UDP ----------------------------------------------------------------------
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+
+  static UdpHeader parse(std::span<const std::uint8_t> buf);
+  void write(std::span<std::uint8_t> buf) const;
+};
+
+// --- TCP ----------------------------------------------------------------------
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+
+  static TcpHeader parse(std::span<const std::uint8_t> buf);
+  void write(std::span<std::uint8_t> buf) const;
+};
+
+// --- ESP (RFC 4303, header only) ------------------------------------------------
+
+struct EspHeader {
+  std::uint32_t spi = 0;
+  std::uint32_t seq = 0;
+
+  static EspHeader parse(std::span<const std::uint8_t> buf);
+  void write(std::span<std::uint8_t> buf) const;
+};
+
+/// Convenience view of the standard Eth/IPv4/L4 stack inside a packet.
+struct PacketView {
+  bool valid = false;
+  EthernetHeader eth;
+  Ipv4Header ip;
+  std::uint16_t l4_src_port = 0;
+  std::uint16_t l4_dst_port = 0;
+  std::size_t l4_offset = 0;       // byte offset of the L4 header
+  std::size_t payload_offset = 0;  // byte offset of the L4 payload
+};
+
+/// Parse the Eth/IPv4/{UDP,TCP} stack; `valid` is false for anything else.
+PacketView parse_packet(std::span<const std::uint8_t> frame);
+
+}  // namespace dhl::netio

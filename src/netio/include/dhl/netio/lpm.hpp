@@ -1,0 +1,70 @@
+#pragma once
+
+// Longest-prefix-match table, DIR-24-8 algorithm (the structure behind
+// DPDK's rte_lpm, used by the paper's L3fwd-lpm baseline in Table I).
+//
+// Lookups are one memory access for prefixes up to /24 and two for longer
+// prefixes -- which is why the paper measures an LPM lookup at ~60 CPU
+// cycles on average.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace dhl::netio {
+
+class LpmTable {
+ public:
+  /// `max_tbl8_groups`: number of 256-entry second-level tables available
+  /// for prefixes longer than /24.
+  explicit LpmTable(std::uint32_t max_tbl8_groups = 256);
+
+  /// Insert `prefix/depth -> next_hop`.  depth in [1,32], next_hop < 0x7fff.
+  /// Returns false if tbl8 groups are exhausted.
+  bool add(std::uint32_t prefix, std::uint8_t depth, std::uint16_t next_hop);
+
+  /// Remove a route.  Routes covered by a shorter prefix fall back to it.
+  /// (Simplified delete: rebuilds from the rule list, adequate for a
+  /// control-plane operation.)
+  bool remove(std::uint32_t prefix, std::uint8_t depth);
+
+  /// Longest-prefix lookup; nullopt when no route covers `addr`.
+  std::optional<std::uint16_t> lookup(std::uint32_t addr) const {
+    const std::uint32_t idx = addr >> 8;
+    const std::uint16_t e = tbl24_[idx];
+    if (e == kEmpty) return std::nullopt;
+    if ((e & kValidExtFlag) == 0) return e;
+    const std::uint32_t group = e & kGroupMask;
+    const std::uint16_t e8 = tbl8_[group * 256 + (addr & 0xff)];
+    if (e8 == kEmpty) return std::nullopt;
+    return e8;
+  }
+
+  std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  // Entry layout: kEmpty, or next_hop (<0x7fff), or kValidExtFlag|group.
+  static constexpr std::uint16_t kEmpty = 0xffff;
+  static constexpr std::uint16_t kValidExtFlag = 0x8000;
+  static constexpr std::uint16_t kGroupMask = 0x7fff;
+
+  struct Rule {
+    std::uint32_t prefix;
+    std::uint8_t depth;
+    std::uint16_t next_hop;
+  };
+
+  void insert_into_tables(const Rule& r);
+  void rebuild();
+
+  std::uint32_t max_tbl8_groups_;
+  std::vector<std::uint16_t> tbl24_;
+  std::vector<std::uint16_t> tbl8_;
+  std::vector<std::uint8_t> tbl8_group_depth_;  // depth owning each tbl24 slot redirect
+  std::vector<std::uint8_t> tbl24_depth_;
+  std::vector<std::uint8_t> tbl8_entry_depth_;
+  std::uint32_t next_free_group_ = 0;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace dhl::netio

@@ -1,0 +1,171 @@
+#pragma once
+
+// Packet buffers, modeled on DPDK's rte_mbuf.
+//
+// An Mbuf is a fixed-capacity buffer with headroom, owned by the MbufPool it
+// was allocated from.  DHL's runtime rides two metadata fields on every
+// packet -- nf_id and acc_id, the "2-byte tag pair" of paper section
+// IV-A3 -- plus an RX timestamp used for end-to-end latency measurement
+// (paper V-C measures latency by attaching a timestamp at NIC RX).
+//
+// Paper section VI-2: the rte_mbuf data size is capped at 64 KB; the DMA
+// batcher relies on this.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "dhl/common/check.hpp"
+#include "dhl/common/units.hpp"
+
+namespace dhl::netio {
+
+class MbufPool;
+
+/// Identifier of a registered NF instance (paper: nf_id, 1 byte on the wire).
+using NfId = std::uint8_t;
+/// Identifier of an accelerator module (paper: acc_id, 1 byte on the wire).
+using AccId = std::uint8_t;
+
+inline constexpr NfId kInvalidNfId = 0xff;
+inline constexpr AccId kInvalidAccId = 0xff;
+
+/// Sentinel for "no RX timestamp recorded" (valid timestamps include 0,
+/// since traffic can start at virtual time zero).
+inline constexpr Picos kNoRxTimestamp = ~Picos{0};
+
+/// Maximum data size an mbuf can describe (paper VI-2).
+inline constexpr std::uint32_t kMbufMaxDataLen = 64 * 1024;
+
+class Mbuf {
+ public:
+  // --- data area -----------------------------------------------------------
+
+  /// Bytes currently in the packet.
+  std::uint32_t data_len() const { return data_len_; }
+
+  std::uint8_t* data() { return buf_ + data_off_; }
+  const std::uint8_t* data() const { return buf_ + data_off_; }
+
+  std::span<std::uint8_t> payload() { return {data(), data_len_}; }
+  std::span<const std::uint8_t> payload() const { return {data(), data_len_}; }
+
+  std::uint32_t headroom() const { return data_off_; }
+  std::uint32_t tailroom() const { return buf_len_ - data_off_ - data_len_; }
+  std::uint32_t capacity() const { return buf_len_; }
+
+  /// Prepend `len` bytes (grow into headroom).  Returns pointer to the new
+  /// start of data.
+  std::uint8_t* prepend(std::uint32_t len) {
+    DHL_CHECK_MSG(len <= headroom(), "mbuf prepend: no headroom");
+    data_off_ -= len;
+    data_len_ += len;
+    return data();
+  }
+
+  /// Append `len` bytes (grow into tailroom).  Returns pointer to the first
+  /// appended byte.
+  std::uint8_t* append(std::uint32_t len) {
+    DHL_CHECK_MSG(len <= tailroom(), "mbuf append: no tailroom");
+    std::uint8_t* p = data() + data_len_;
+    data_len_ += len;
+    return p;
+  }
+
+  /// Remove `len` bytes from the front.
+  void adj(std::uint32_t len) {
+    DHL_CHECK_MSG(len <= data_len_, "mbuf adj: beyond data");
+    data_off_ += len;
+    data_len_ -= len;
+  }
+
+  /// Remove `len` bytes from the end.
+  void trim(std::uint32_t len) {
+    DHL_CHECK_MSG(len <= data_len_, "mbuf trim: beyond data");
+    data_len_ -= len;
+  }
+
+  /// Reset to an empty packet with default headroom.
+  void reset();
+
+  /// Copy `bytes` into the packet, replacing current contents.
+  void assign(std::span<const std::uint8_t> bytes) {
+    reset();
+    DHL_CHECK_MSG(bytes.size() <= tailroom(), "mbuf assign: too large");
+    std::memcpy(append(static_cast<std::uint32_t>(bytes.size())), bytes.data(),
+                bytes.size());
+  }
+
+  /// Replace the data region with `bytes`, preserving all metadata (port,
+  /// nf_id, timestamps...).  Used by the Distributor to write post-processed
+  /// bytes back into the in-flight mbuf.
+  void replace_data(std::span<const std::uint8_t> bytes);
+
+  // --- metadata ------------------------------------------------------------
+
+  std::uint16_t port() const { return port_; }
+  void set_port(std::uint16_t p) { port_ = p; }
+
+  NfId nf_id() const { return nf_id_; }
+  void set_nf_id(NfId id) { nf_id_ = id; }
+
+  AccId acc_id() const { return acc_id_; }
+  void set_acc_id(AccId id) { acc_id_ = id; }
+
+  /// Virtual time at which the packet entered the system (NIC RX).
+  Picos rx_timestamp() const { return rx_timestamp_; }
+  void set_rx_timestamp(Picos t) { rx_timestamp_ = t; }
+
+  /// Monotonically increasing per-generator sequence number; lets tests and
+  /// NFs verify ordering and match request/response pairs.
+  std::uint64_t seq() const { return seq_; }
+  void set_seq(std::uint64_t s) { seq_ = s; }
+
+  /// Free-form per-packet tag for NF-internal bookkeeping (DPDK's udata
+  /// analogue); e.g. the service-chain stage to resume after an offload.
+  std::uint16_t user_tag() const { return user_tag_; }
+  void set_user_tag(std::uint16_t t) { user_tag_ = t; }
+
+  /// Module-defined result word written by the accelerator on the return
+  /// path (e.g. the pattern-matching module's match bitmap).  Carried in the
+  /// DMA record header on the wire; this is the software-visible copy the
+  /// Distributor fills in.
+  std::uint64_t accel_result() const { return accel_result_; }
+  void set_accel_result(std::uint64_t r) { accel_result_ = r; }
+
+  // --- lifetime ------------------------------------------------------------
+
+  MbufPool* pool() const { return pool_; }
+  std::uint16_t refcnt() const { return refcnt_; }
+
+  /// Increment the reference count (mbuf sharing, DPDK-style).
+  void retain() { ++refcnt_; }
+
+  /// Decrement the reference count; returns the mbuf to its pool when it
+  /// reaches zero.  Defined in mbuf.cpp (needs MbufPool).
+  void release();
+
+  /// Mbufs are created by MbufPool; the default constructor exists only so
+  /// the pool can hold them in a vector.  A default-constructed Mbuf has no
+  /// buffer and must not be used.
+  Mbuf() = default;
+
+ private:
+  friend class MbufPool;
+
+  std::uint8_t* buf_ = nullptr;
+  std::uint32_t buf_len_ = 0;
+  std::uint32_t data_off_ = 0;
+  std::uint32_t data_len_ = 0;
+  std::uint16_t port_ = 0;
+  std::uint16_t refcnt_ = 0;
+  NfId nf_id_ = kInvalidNfId;
+  AccId acc_id_ = kInvalidAccId;
+  Picos rx_timestamp_ = kNoRxTimestamp;
+  std::uint16_t user_tag_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t accel_result_ = 0;
+  MbufPool* pool_ = nullptr;
+};
+
+}  // namespace dhl::netio

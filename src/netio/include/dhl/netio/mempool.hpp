@@ -1,0 +1,66 @@
+#pragma once
+
+// NUMA-aware mbuf pools, modeled on DPDK's hugepage-backed rte_mempool.
+//
+// A pool pre-allocates all of its mbufs and their data areas in one arena on
+// a given NUMA socket (paper IV-A2: descriptors and buffer queues are
+// allocated on the same node as the target FPGA).  Allocation is a LIFO free
+// list -- cache-warm like DPDK's per-lcore mempool cache.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dhl/common/check.hpp"
+#include "dhl/netio/mbuf.hpp"
+
+namespace dhl::netio {
+
+/// Default headroom reserved at the front of each mbuf (DPDK's
+/// RTE_PKTMBUF_HEADROOM); leaves room to prepend tunnel headers (ESP).
+inline constexpr std::uint32_t kMbufDefaultHeadroom = 128;
+
+class MbufPool {
+ public:
+  /// Create a pool of `count` mbufs, each with `data_room` bytes of buffer
+  /// (headroom included), pinned to NUMA `socket`.
+  MbufPool(std::string name, std::uint32_t count, std::uint32_t data_room,
+           int socket);
+
+  MbufPool(const MbufPool&) = delete;
+  MbufPool& operator=(const MbufPool&) = delete;
+  ~MbufPool();
+
+  const std::string& name() const { return name_; }
+  int socket() const { return socket_; }
+  std::uint32_t capacity() const { return static_cast<std::uint32_t>(mbufs_.size()); }
+  std::uint32_t available() const { return static_cast<std::uint32_t>(free_.size()); }
+  std::uint32_t in_use() const { return capacity() - available(); }
+  std::uint32_t data_room() const { return data_room_; }
+
+  /// Allocate one mbuf, reset and with refcnt 1.  Returns nullptr when the
+  /// pool is exhausted (callers treat this as packet drop, like DPDK).
+  Mbuf* alloc();
+
+  /// Allocate up to `n` mbufs into `out`.  Returns the number allocated
+  /// (all-or-nothing, DPDK bulk semantics).
+  std::size_t alloc_bulk(Mbuf** out, std::size_t n);
+
+  /// Number of allocation failures observed (pool exhausted).
+  std::uint64_t alloc_failures() const { return alloc_failures_; }
+
+ private:
+  friend class Mbuf;
+  void put(Mbuf* m);
+
+  std::string name_;
+  int socket_;
+  std::uint32_t data_room_;
+  std::unique_ptr<std::uint8_t[]> arena_;
+  std::vector<Mbuf> mbufs_;
+  std::vector<Mbuf*> free_;
+  std::uint64_t alloc_failures_ = 0;
+};
+
+}  // namespace dhl::netio

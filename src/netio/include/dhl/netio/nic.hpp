@@ -1,0 +1,108 @@
+#pragma once
+
+// Simulated NIC port.
+//
+// Models one port of an Intel XL710 (40 GbE) or X520 (10 GbE): ingress
+// traffic arrives at line rate (or a configured offered load) from an
+// attached FrameFactory into a finite RX queue; the application polls
+// rx_burst()/tx_burst() exactly like DPDK's rte_eth_rx_burst/tx_burst.
+// Frames that arrive while the RX queue is full are dropped and counted --
+// this back-pressure is what turns a slow worker into a low measured
+// throughput, exactly as on the real testbed.
+//
+// TX accounting: when the application transmits a frame, the port records
+// wire throughput and end-to-end latency (now - rx_timestamp); the paper
+// measures latency the same way (V-C: timestamp attached at RX, checked
+// before the packet leaves the NIC).
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dhl/common/units.hpp"
+#include "dhl/netio/mbuf.hpp"
+#include "dhl/netio/mempool.hpp"
+#include "dhl/netio/pktgen.hpp"
+#include "dhl/netio/ring.hpp"
+#include "dhl/sim/simulator.hpp"
+#include "dhl/sim/stats.hpp"
+
+namespace dhl::netio {
+
+struct NicPortConfig {
+  std::string name = "port0";
+  std::uint16_t port_id = 0;
+  Bandwidth link = Bandwidth::gbps(10);
+  int socket = 0;
+  std::uint32_t rx_queue_size = 4096;
+  /// Arrival events are batched: one event materializes up to this many
+  /// frames (with exact per-frame timestamps), bounding event-queue load.
+  std::uint32_t arrival_batch = 32;
+  /// Cap on the virtual-time span one arrival group may cover; keeps the
+  /// timestamp-to-enqueue skew (and thus measured-latency distortion) small
+  /// at low packet rates.
+  Picos max_arrival_span = microseconds(1);
+};
+
+class NicPort {
+ public:
+  NicPort(sim::Simulator& simulator, NicPortConfig config, MbufPool& rx_pool);
+
+  const std::string& name() const { return config_.name; }
+  std::uint16_t port_id() const { return config_.port_id; }
+  Bandwidth link() const { return config_.link; }
+  int socket() const { return config_.socket; }
+
+  /// Start generating ingress traffic.  `offered_fraction` scales the load
+  /// relative to line rate (1.0 = saturate the link).
+  ///
+  /// `burst_period` selects the arrival process: 0 = smooth CBR at the
+  /// offered rate; > 0 = ON/OFF bursts with that period -- the link runs at
+  /// line rate for offered_fraction of each period and is silent for the
+  /// rest (same mean load, very different queueing behaviour).
+  void start_traffic(TrafficConfig traffic, double offered_fraction = 1.0,
+                     Picos burst_period = 0);
+  void stop_traffic();
+  bool traffic_running() const { return generating_; }
+  const FrameFactory* factory() const { return factory_ ? &*factory_ : nullptr; }
+
+  /// Poll up to `n` received frames.  DPDK rte_eth_rx_burst semantics.
+  std::size_t rx_burst(Mbuf** out, std::size_t n);
+
+  /// Transmit `n` frames.  Consumes (frees) the mbufs; records TX meter and
+  /// latency.  Always accepts (TX is never the experiment bottleneck).
+  std::size_t tx_burst(Mbuf** pkts, std::size_t n);
+
+  // --- statistics ------------------------------------------------------------
+  const sim::ThroughputMeter& rx_meter() const { return rx_meter_; }
+  const sim::ThroughputMeter& tx_meter() const { return tx_meter_; }
+  const sim::LatencyHistogram& latency() const { return latency_; }
+  std::uint64_t rx_drops() const { return rx_drops_; }
+  std::uint64_t rx_queue_depth() const { return rx_queue_.count(); }
+
+  /// Clear counters (used to discard warm-up).
+  void reset_stats();
+
+ private:
+  void schedule_arrivals();
+  void arrival_event();
+
+  sim::Simulator& sim_;
+  NicPortConfig config_;
+  MbufPool& rx_pool_;
+  MbufRing rx_queue_;
+
+  std::optional<FrameFactory> factory_;
+  double offered_fraction_ = 1.0;
+  Picos burst_period_ = 0;
+  bool generating_ = false;
+  std::uint64_t traffic_epoch_ = 0;
+  Picos next_arrival_ = 0;
+
+  sim::ThroughputMeter rx_meter_;
+  sim::ThroughputMeter tx_meter_;
+  sim::LatencyHistogram latency_;
+  std::uint64_t rx_drops_ = 0;
+};
+
+}  // namespace dhl::netio

@@ -1,0 +1,128 @@
+#include "dhl/netio/lpm.hpp"
+
+#include <algorithm>
+
+#include "dhl/common/check.hpp"
+
+namespace dhl::netio {
+
+LpmTable::LpmTable(std::uint32_t max_tbl8_groups)
+    : max_tbl8_groups_{max_tbl8_groups},
+      tbl24_(1u << 24, kEmpty),
+      tbl8_(static_cast<std::size_t>(max_tbl8_groups) * 256, kEmpty),
+      tbl24_depth_(1u << 24, 0),
+      tbl8_entry_depth_(static_cast<std::size_t>(max_tbl8_groups) * 256, 0) {}
+
+bool LpmTable::add(std::uint32_t prefix, std::uint8_t depth,
+                   std::uint16_t next_hop) {
+  DHL_CHECK_MSG(depth >= 1 && depth <= 32, "LPM depth must be 1..32");
+  DHL_CHECK_MSG(next_hop < kValidExtFlag, "next_hop must fit in 15 bits");
+  const std::uint32_t mask =
+      depth == 32 ? 0xffffffffu : ~((1u << (32 - depth)) - 1);
+  prefix &= mask;
+
+  // Replace an identical rule if present.
+  auto it = std::find_if(rules_.begin(), rules_.end(), [&](const Rule& r) {
+    return r.prefix == prefix && r.depth == depth;
+  });
+  const Rule rule{prefix, depth, next_hop};
+  if (it != rules_.end()) {
+    *it = rule;
+    rebuild();
+    return true;
+  }
+
+  // Dry-run group allocation check for long prefixes.
+  if (depth > 24) {
+    const std::uint32_t idx = prefix >> 8;
+    const std::uint16_t e = tbl24_[idx];
+    const bool needs_group = (e == kEmpty) || ((e & kValidExtFlag) == 0);
+    if (needs_group && next_free_group_ >= max_tbl8_groups_) return false;
+  }
+
+  rules_.push_back(rule);
+  insert_into_tables(rule);
+  return true;
+}
+
+void LpmTable::insert_into_tables(const Rule& r) {
+  if (r.depth <= 24) {
+    const std::uint32_t first = r.prefix >> 8;
+    const std::uint32_t count = 1u << (24 - r.depth);
+    for (std::uint32_t i = first; i < first + count; ++i) {
+      const std::uint16_t e = tbl24_[i];
+      if (e != kEmpty && (e & kValidExtFlag)) {
+        // Slot redirects to a tbl8 group: update the group's shallow entries.
+        const std::uint32_t group = e & kGroupMask;
+        for (std::uint32_t j = 0; j < 256; ++j) {
+          const std::size_t k = group * 256 + j;
+          if (tbl8_[k] == kEmpty || tbl8_entry_depth_[k] <= r.depth) {
+            tbl8_[k] = r.next_hop;
+            tbl8_entry_depth_[k] = r.depth;
+          }
+        }
+      } else if (e == kEmpty || tbl24_depth_[i] <= r.depth) {
+        tbl24_[i] = r.next_hop;
+        tbl24_depth_[i] = r.depth;
+      }
+    }
+    return;
+  }
+
+  // depth 25..32: one tbl24 slot redirecting into a tbl8 group.
+  const std::uint32_t idx = r.prefix >> 8;
+  std::uint32_t group;
+  const std::uint16_t e = tbl24_[idx];
+  if (e != kEmpty && (e & kValidExtFlag)) {
+    group = e & kGroupMask;
+  } else {
+    DHL_CHECK(next_free_group_ < max_tbl8_groups_);
+    group = next_free_group_++;
+    // Seed the new group with whatever shallow route covered this slot.
+    const std::uint16_t prev = e;
+    const std::uint8_t prev_depth = tbl24_depth_[idx];
+    for (std::uint32_t j = 0; j < 256; ++j) {
+      tbl8_[group * 256 + j] = prev;
+      tbl8_entry_depth_[group * 256 + j] = prev == kEmpty ? 0 : prev_depth;
+    }
+    tbl24_[idx] = static_cast<std::uint16_t>(kValidExtFlag | group);
+    tbl24_depth_[idx] = 0;
+  }
+  const std::uint32_t first = r.prefix & 0xff;
+  const std::uint32_t count = 1u << (32 - r.depth);
+  for (std::uint32_t j = first; j < first + count; ++j) {
+    const std::size_t k = group * 256 + j;
+    if (tbl8_[k] == kEmpty || tbl8_entry_depth_[k] <= r.depth) {
+      tbl8_[k] = r.next_hop;
+      tbl8_entry_depth_[k] = r.depth;
+    }
+  }
+}
+
+bool LpmTable::remove(std::uint32_t prefix, std::uint8_t depth) {
+  const std::uint32_t mask =
+      depth == 32 ? 0xffffffffu : ~((1u << (32 - depth)) - 1);
+  prefix &= mask;
+  auto it = std::find_if(rules_.begin(), rules_.end(), [&](const Rule& r) {
+    return r.prefix == prefix && r.depth == depth;
+  });
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+  rebuild();
+  return true;
+}
+
+void LpmTable::rebuild() {
+  std::fill(tbl24_.begin(), tbl24_.end(), kEmpty);
+  std::fill(tbl8_.begin(), tbl8_.end(), kEmpty);
+  std::fill(tbl24_depth_.begin(), tbl24_depth_.end(), 0);
+  std::fill(tbl8_entry_depth_.begin(), tbl8_entry_depth_.end(), 0);
+  next_free_group_ = 0;
+  // Insert shallow-first so depth precedence works out naturally.
+  std::vector<Rule> sorted = rules_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Rule& a, const Rule& b) { return a.depth < b.depth; });
+  for (const Rule& r : sorted) insert_into_tables(r);
+}
+
+}  // namespace dhl::netio

@@ -1,0 +1,91 @@
+#include "dhl/netio/mempool.hpp"
+
+namespace dhl::netio {
+
+MbufPool::MbufPool(std::string name, std::uint32_t count,
+                   std::uint32_t data_room, int socket)
+    : name_{std::move(name)}, socket_{socket}, data_room_{data_room} {
+  DHL_CHECK(count > 0);
+  DHL_CHECK_MSG(data_room > kMbufDefaultHeadroom,
+                "data_room must exceed the default headroom");
+  DHL_CHECK_MSG(data_room <= kMbufMaxDataLen + kMbufDefaultHeadroom,
+                "mbuf data size is capped at 64 KB (paper VI-2)");
+  arena_ = std::make_unique<std::uint8_t[]>(
+      static_cast<std::size_t>(count) * data_room);
+  mbufs_.resize(count);
+  free_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Mbuf& m = mbufs_[i];
+    m.buf_ = arena_.get() + static_cast<std::size_t>(i) * data_room;
+    m.buf_len_ = data_room;
+    m.pool_ = this;
+    m.reset();
+    free_.push_back(&m);
+  }
+}
+
+MbufPool::~MbufPool() {
+  // All mbufs must be back in the pool; a leak here is a bug in the caller.
+  // Destructors must not throw, so just note it.
+  if (available() != capacity()) {
+    // Leaked mbufs will be reclaimed with the arena anyway.
+  }
+}
+
+Mbuf* MbufPool::alloc() {
+  if (free_.empty()) {
+    ++alloc_failures_;
+    return nullptr;
+  }
+  Mbuf* m = free_.back();
+  free_.pop_back();
+  m->reset();
+  m->refcnt_ = 1;
+  return m;
+}
+
+std::size_t MbufPool::alloc_bulk(Mbuf** out, std::size_t n) {
+  if (free_.size() < n) {
+    ++alloc_failures_;
+    return 0;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = alloc();
+  return n;
+}
+
+void MbufPool::put(Mbuf* m) {
+  DHL_DCHECK(m->pool_ == this);
+  free_.push_back(m);
+}
+
+void Mbuf::reset() {
+  data_off_ = buf_len_ > kMbufDefaultHeadroom ? kMbufDefaultHeadroom : 0;
+  data_len_ = 0;
+  port_ = 0;
+  nf_id_ = kInvalidNfId;
+  acc_id_ = kInvalidAccId;
+  rx_timestamp_ = kNoRxTimestamp;
+  user_tag_ = 0;
+  seq_ = 0;
+  accel_result_ = 0;
+}
+
+void Mbuf::replace_data(std::span<const std::uint8_t> bytes) {
+  const std::uint32_t headroom =
+      buf_len_ > kMbufDefaultHeadroom ? kMbufDefaultHeadroom : 0;
+  DHL_CHECK_MSG(bytes.size() + headroom <= buf_len_,
+                "mbuf replace_data: too large");
+  data_off_ = headroom;
+  data_len_ = static_cast<std::uint32_t>(bytes.size());
+  std::memcpy(data(), bytes.data(), bytes.size());
+}
+
+void Mbuf::release() {
+  DHL_CHECK_MSG(refcnt_ > 0, "double free of mbuf");
+  if (--refcnt_ == 0) {
+    DHL_CHECK_MSG(pool_ != nullptr, "mbuf has no owning pool");
+    pool_->put(this);
+  }
+}
+
+}  // namespace dhl::netio

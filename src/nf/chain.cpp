@@ -1,0 +1,208 @@
+#include "dhl/nf/chain.hpp"
+
+#include "dhl/common/check.hpp"
+
+namespace dhl::nf {
+
+using netio::Mbuf;
+
+ChainNf::ChainNf(sim::Simulator& simulator, ChainConfig config,
+                 std::vector<netio::NicPort*> ports,
+                 runtime::DhlRuntime* runtime, std::vector<ChainStage> stages)
+    : sim_{simulator},
+      config_{std::move(config)},
+      ports_{std::move(ports)},
+      runtime_{runtime},
+      stages_{std::move(stages)} {
+  DHL_CHECK(!ports_.empty());
+  DHL_CHECK(!stages_.empty());
+  DHL_CHECK_MSG(stages_.size() < 0xffff, "too many stages");
+
+  bool any_offload = false;
+  for (const ChainStage& s : stages_) any_offload |= s.is_offload();
+  DHL_CHECK_MSG(!any_offload || runtime_ != nullptr,
+                "offload stages require a DHL runtime");
+
+  handles_.resize(stages_.size());
+  if (runtime_ != nullptr) {
+    nf_id_ = DHL_register(*runtime_, config_.name, config_.socket);
+    ibq_ = DHL_get_shared_IBQ(*runtime_, nf_id_);
+    obq_ = DHL_get_private_OBQ(*runtime_, nf_id_);
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      if (!stages_[i].is_offload()) continue;
+      handles_[i] =
+          DHL_search_by_name(*runtime_, stages_[i].hf_name, config_.socket);
+      DHL_CHECK_MSG(handles_[i].valid(), "hardware function '"
+                                             << stages_[i].hf_name
+                                             << "' unavailable");
+      DHL_acc_configure(*runtime_, handles_[i], stages_[i].acc_config);
+    }
+  }
+
+  const Frequency clock = config_.timing.cpu.core_clock;
+  ingress_core_ = std::make_unique<sim::Lcore>(sim_, config_.name + ".in",
+                                               clock, config_.socket);
+  ingress_core_->set_idle_poll_cycles(config_.timing.cpu.idle_poll_cycles);
+  ingress_core_->set_poll([this](sim::Lcore&) { return ingress_poll(); });
+  if (any_offload) {
+    egress_core_ = std::make_unique<sim::Lcore>(sim_, config_.name + ".out",
+                                                clock, config_.socket);
+    egress_core_->set_idle_poll_cycles(config_.timing.cpu.idle_poll_cycles);
+    egress_core_->set_poll([this](sim::Lcore&) { return egress_poll(); });
+  }
+}
+
+bool ChainNf::ready() const {
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].is_offload() && !runtime_->acc_ready(handles_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ChainNf::start() {
+  ingress_core_->start();
+  if (egress_core_) egress_core_->start();
+}
+
+void ChainNf::stop() {
+  ingress_core_->stop();
+  if (egress_core_) egress_core_->stop();
+}
+
+std::vector<sim::Lcore*> ChainNf::cores() {
+  std::vector<sim::Lcore*> out{ingress_core_.get()};
+  if (egress_core_) out.push_back(egress_core_.get());
+  return out;
+}
+
+netio::NicPort* ChainNf::port_by_id(std::uint16_t port_id) {
+  for (netio::NicPort* p : ports_) {
+    if (p->port_id() == port_id) return p;
+  }
+  return ports_.front();
+}
+
+void ChainNf::run_from(Mbuf* m, std::size_t stage, double& cycles,
+                       std::vector<Mbuf*>& to_send,
+                       std::vector<Mbuf*>& to_tx) {
+  for (std::size_t i = stage; i < stages_.size(); ++i) {
+    ChainStage& s = stages_[i];
+    if (s.is_offload()) {
+      // Ship to the FPGA; resume at stage i+1 when it returns.
+      m->set_user_tag(static_cast<std::uint16_t>(i + 1));
+      m->set_nf_id(nf_id_);
+      m->set_acc_id(handles_[i].acc_id);
+      ++stats_.offloads;
+      to_send.push_back(m);
+      return;
+    }
+    cycles += s.cost(*m);
+    const Verdict v = s.fn(*m);
+    if (v == Verdict::kDrop) {
+      ++stats_.dropped;
+      m->release();
+      return;
+    }
+    if (v == Verdict::kBypass) break;  // skip the rest of the chain
+  }
+  ++stats_.completed;
+  cycles += config_.timing.cpu.nic_rxtx_per_pkt_cycles;
+  to_tx.push_back(m);
+}
+
+sim::PollResult ChainNf::ingress_poll() {
+  const auto& cpu = config_.timing.cpu;
+  double cycles = 0;
+  std::vector<Mbuf*> pkts(config_.io_burst);
+  std::vector<Mbuf*> to_send;
+  std::vector<Mbuf*> to_tx;
+
+  for (netio::NicPort* port : ports_) {
+    const std::size_t n = port->rx_burst(pkts.data(), pkts.size());
+    if (n == 0) continue;
+    stats_.rx_pkts += n;
+    cycles += cpu.nic_rxtx_fixed_cycles +
+              cpu.nic_rxtx_per_pkt_cycles * static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      run_from(pkts[i], 0, cycles, to_send, to_tx);
+    }
+  }
+
+  if (!to_send.empty()) {
+    cycles += cpu.ring_op_fixed_cycles +
+              cpu.ring_op_per_pkt_cycles * static_cast<double>(to_send.size());
+  }
+  if (!to_send.empty() || !to_tx.empty()) {
+    sim_.schedule_after(
+        cpu.core_clock.cycles(cycles),
+        [this, to_send = std::move(to_send), to_tx = std::move(to_tx)] {
+          for (Mbuf* m : to_tx) {
+            Mbuf* pkt = m;
+            port_by_id(m->port())->tx_burst(&pkt, 1);
+          }
+          if (!to_send.empty()) {
+            auto pkts_copy = to_send;  // DHL_send_packets wants Mbuf**
+            const std::size_t sent = DHL_send_packets(
+                *ibq_, pkts_copy.data(), pkts_copy.size());
+            for (std::size_t i = sent; i < pkts_copy.size(); ++i) {
+              ++stats_.ibq_drops;
+              pkts_copy[i]->release();
+            }
+          }
+        });
+  }
+  return {cycles, false};
+}
+
+sim::PollResult ChainNf::egress_poll() {
+  const auto& cpu = config_.timing.cpu;
+  double cycles = 0;
+  std::vector<Mbuf*> pkts(config_.io_burst);
+  const std::size_t n = DHL_receive_packets(*obq_, pkts.data(), pkts.size());
+  if (n == 0) return {0, false};
+  cycles += cpu.ring_op_fixed_cycles +
+            cpu.ring_op_per_pkt_cycles * static_cast<double>(n);
+
+  std::vector<Mbuf*> to_send;
+  std::vector<Mbuf*> to_tx;
+  for (std::size_t i = 0; i < n; ++i) {
+    Mbuf* m = pkts[i];
+    const std::size_t resume = m->user_tag();
+    DHL_CHECK_MSG(resume >= 1 && resume <= stages_.size(),
+                  "returned packet has a bogus resume stage");
+    ChainStage& s = stages_[resume - 1];
+    // Post-processing of the offload stage that just completed.
+    if (s.post_cost) cycles += s.post_cost(*m);
+    if (s.post && s.post(*m) == Verdict::kDrop) {
+      ++stats_.dropped;
+      m->release();
+      continue;
+    }
+    run_from(m, resume, cycles, to_send, to_tx);
+  }
+
+  if (!to_send.empty() || !to_tx.empty()) {
+    sim_.schedule_after(
+        cpu.core_clock.cycles(cycles),
+        [this, to_send = std::move(to_send), to_tx = std::move(to_tx)] {
+          for (Mbuf* m : to_tx) {
+            Mbuf* pkt = m;
+            port_by_id(m->port())->tx_burst(&pkt, 1);
+          }
+          if (!to_send.empty()) {
+            auto pkts_copy = to_send;
+            const std::size_t sent = DHL_send_packets(
+                *ibq_, pkts_copy.data(), pkts_copy.size());
+            for (std::size_t i = sent; i < pkts_copy.size(); ++i) {
+              ++stats_.ibq_drops;
+              pkts_copy[i]->release();
+            }
+          }
+        });
+  }
+  return {cycles, false};
+}
+
+}  // namespace dhl::nf

@@ -1,0 +1,75 @@
+#include "dhl/nf/forwarders.hpp"
+
+#include <algorithm>
+
+#include "dhl/netio/headers.hpp"
+
+namespace dhl::nf {
+
+using netio::Mbuf;
+
+PacketFn l2fwd_fn() {
+  return [](Mbuf& m) {
+    if (m.data_len() < netio::kEthernetHeaderLen) return Verdict::kDrop;
+    // Swap src/dst MAC in place.
+    std::uint8_t* p = m.data();
+    for (int i = 0; i < 6; ++i) std::swap(p[i], p[6 + i]);
+    return Verdict::kForward;
+  };
+}
+
+CostFn l2fwd_cost(const sim::TimingParams& timing) {
+  const sim::NfCpuCosts nf = timing.nf;
+  return [nf](const Mbuf& m) {
+    return nf.cost(nf.l2fwd_base, nf.l2fwd_per_byte, m.data_len());
+  };
+}
+
+PacketFn l3fwd_fn(std::shared_ptr<const netio::LpmTable> table) {
+  return [table](Mbuf& m) {
+    const netio::PacketView view = netio::parse_packet(m.payload());
+    if (!view.valid) return Verdict::kDrop;
+    const auto next_hop = table->lookup(view.ip.dst);
+    if (!next_hop.has_value()) return Verdict::kDrop;
+    std::uint8_t* p = m.data();
+    // Rewrite the destination MAC from the next hop and decrement TTL.
+    p[5] = static_cast<std::uint8_t>(*next_hop);
+    p[4] = static_cast<std::uint8_t>(*next_hop >> 8);
+    std::uint8_t* ttl = p + netio::kEthernetHeaderLen + 8;
+    if (*ttl <= 1) return Verdict::kDrop;
+    --*ttl;
+    return Verdict::kForward;
+  };
+}
+
+CostFn l3fwd_cost(const sim::TimingParams& timing) {
+  const sim::NfCpuCosts nf = timing.nf;
+  return [nf](const Mbuf& m) {
+    return nf.cost(nf.l3fwd_base, nf.l3fwd_per_byte, m.data_len());
+  };
+}
+
+std::shared_ptr<netio::LpmTable> make_test_routes(std::uint32_t dst_ip_base,
+                                                  std::uint32_t num_flows) {
+  auto table = std::make_shared<netio::LpmTable>();
+  // Cover the flow destinations with /24s and add a /0 default route.
+  const std::uint32_t first = dst_ip_base >> 8;
+  const std::uint32_t last = (dst_ip_base + num_flows - 1) >> 8;
+  std::uint16_t hop = 1;
+  for (std::uint32_t net = first; net <= last; ++net) {
+    table->add(net << 8, 24, hop++);
+  }
+  table->add(0, 1, 0);
+  table->add(0x80000000u, 1, 0);
+  return table;
+}
+
+PacketFn io_fwd_fn() {
+  return [](Mbuf&) { return Verdict::kForward; };
+}
+
+CostFn zero_cost() {
+  return [](const Mbuf&) { return 0.0; };
+}
+
+}  // namespace dhl::nf

@@ -1,0 +1,101 @@
+#pragma once
+
+// Experiment testbed: assembles the simulated server of paper Table III --
+// NUMA sockets, mbuf pools, NIC ports, one VC709 FPGA, and the DHL Runtime --
+// and provides the warm-up / measure protocol every benchmark uses.
+//
+// Benchmarks own the NFs; the testbed owns the substrate.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dhl/accel/catalog.hpp"
+#include "dhl/fpga/device.hpp"
+#include "dhl/netio/mempool.hpp"
+#include "dhl/netio/nic.hpp"
+#include "dhl/runtime/runtime.hpp"
+#include "dhl/sim/simulator.hpp"
+#include "dhl/sim/timing_params.hpp"
+
+namespace dhl::nf {
+
+struct TestbedConfig {
+  sim::TimingParams timing;
+  runtime::RuntimeConfig runtime;
+  fpga::FpgaDeviceConfig fpga;
+  std::uint32_t pool_size = 65536;
+  std::uint32_t mbuf_room = 2048 + 128;
+
+  TestbedConfig() {
+    fpga.timing = timing.fpga;
+    fpga.dma = timing.dma;
+  }
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+
+  sim::Simulator& sim() { return sim_; }
+  const sim::TimingParams& timing() const { return config_.timing; }
+  fpga::FpgaDevice& fpga() { return *fpgas_.front(); }
+  fpga::FpgaDevice& fpga(std::size_t i) { return *fpgas_[i]; }
+  std::size_t fpga_count() const { return fpgas_.size(); }
+
+  /// Add another FPGA board (paper VI-1: "install more FPGA cards into the
+  /// free PCIe slots").  Must be called before init_runtime().
+  fpga::FpgaDevice& add_fpga(int socket);
+
+  /// Add a NIC port on `socket`.  Returns a stable pointer.
+  netio::NicPort* add_port(const std::string& name, Bandwidth link,
+                           int socket = 0);
+  netio::NicPort* port(std::size_t i) { return ports_[i].get(); }
+  std::vector<netio::NicPort*> port_ptrs();
+  netio::MbufPool& pool(int socket) { return *pools_[static_cast<std::size_t>(socket)]; }
+
+  /// Create the DHL Runtime over the standard module database (built with
+  /// `nids_automaton` for the pattern-matching bitstream; nullptr skips it).
+  runtime::DhlRuntime& init_runtime(
+      std::shared_ptr<const match::AhoCorasick> nids_automaton = nullptr);
+  runtime::DhlRuntime& runtime() { return *runtime_; }
+  bool has_runtime() const { return runtime_ != nullptr; }
+
+  /// Run the simulation for `d` of virtual time.
+  void run_for(Picos d) { sim_.run_until(sim_.now() + d); }
+
+  /// Reset every port's statistics (end of warm-up).
+  void reset_port_stats();
+
+  /// Standard measurement protocol: run `warmup`, clear stats, run `window`.
+  /// Afterwards read ports' tx meters / latency histograms with
+  /// elapsed = `window`.
+  void measure(Picos warmup, Picos window) {
+    run_for(warmup);
+    reset_port_stats();
+    run_for(window);
+  }
+
+ private:
+  TestbedConfig config_;
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<netio::MbufPool>> pools_;
+  std::vector<std::unique_ptr<netio::NicPort>> ports_;
+  std::vector<std::unique_ptr<fpga::FpgaDevice>> fpgas_;
+  std::unique_ptr<runtime::DhlRuntime> runtime_;
+  std::uint16_t next_port_id_ = 0;
+};
+
+/// Forwarding throughput on the *input-traffic* basis.  NFs may grow frames
+/// in flight (ESP encapsulation adds ~50 bytes), but the paper reports the
+/// rate of offered traffic carried, so throughput is computed from forwarded
+/// frame count x the input wire size.
+inline double forwarded_wire_gbps(const netio::NicPort& port,
+                                  std::uint32_t input_frame_len,
+                                  Picos window) {
+  return static_cast<double>(port.tx_meter().frames()) *
+         static_cast<double>(wire_bytes(input_frame_len)) * 8.0 /
+         to_seconds(window) / 1e9;
+}
+
+}  // namespace dhl::nf

@@ -1,0 +1,101 @@
+#include "dhl/nf/ipsec_gateway.hpp"
+
+#include "dhl/accel/ipsec_crypto.hpp"
+#include "dhl/netio/headers.hpp"
+
+namespace dhl::nf {
+
+using netio::Mbuf;
+
+IpsecProcessor::IpsecProcessor(accel::SecurityAssociation sa,
+                               IpsecPolicy policy)
+    : sa_{sa}, policy_{policy}, cipher_{sa.key}, hmac_{sa.auth_key} {}
+
+Verdict IpsecProcessor::cpu_encrypt(Mbuf& m) {
+  const netio::PacketView view = netio::parse_packet(m.payload());
+  if (!view.valid) {
+    ++stats_.malformed;
+    return Verdict::kDrop;
+  }
+  if (!policy_.matches(view.ip.dst)) {
+    ++stats_.bypassed;
+    return Verdict::kBypass;
+  }
+  accel::esp_encapsulate(m, sa_, seq_++);
+  accel::esp_seal(m.payload(), cipher_, hmac_, sa_.salt);
+  ++stats_.encapsulated;
+  return Verdict::kForward;
+}
+
+Verdict IpsecProcessor::dhl_prep(Mbuf& m) {
+  const netio::PacketView view = netio::parse_packet(m.payload());
+  if (!view.valid) {
+    ++stats_.malformed;
+    return Verdict::kDrop;
+  }
+  if (!policy_.matches(view.ip.dst)) {
+    ++stats_.bypassed;
+    return Verdict::kBypass;  // transmit in the clear, no offload
+  }
+  accel::esp_encapsulate(m, sa_, seq_++);
+  ++stats_.encapsulated;
+  return Verdict::kForward;
+}
+
+Verdict IpsecProcessor::dhl_post(Mbuf& m) {
+  if (m.accel_result() != accel::IpsecCryptoModule::kOk) {
+    ++stats_.auth_failures;
+    return Verdict::kDrop;
+  }
+  return Verdict::kForward;
+}
+
+Verdict IpsecProcessor::cpu_decrypt(Mbuf& m) {
+  const netio::PacketView view = netio::parse_packet(m.payload());
+  if (!view.valid || view.ip.protocol != netio::kIpProtoEsp) {
+    ++stats_.malformed;
+    return Verdict::kDrop;
+  }
+  if (!accel::esp_open(m.payload(), cipher_, hmac_, sa_.salt)) {
+    ++stats_.auth_failures;
+    return Verdict::kDrop;
+  }
+  const std::vector<std::uint8_t> inner = accel::esp_extract_inner(m.payload());
+  m.replace_data(inner);
+  ++stats_.decapsulated;
+  return Verdict::kForward;
+}
+
+accel::SecurityAssociation test_security_association() {
+  accel::SecurityAssociation sa;
+  sa.spi = 0x1001;
+  for (std::size_t i = 0; i < sa.key.size(); ++i) {
+    sa.key[i] = static_cast<std::uint8_t>(0xa0 + i);
+  }
+  sa.salt = {0xde, 0xad, 0xbe, 0xef};
+  for (std::size_t i = 0; i < sa.auth_key.size(); ++i) {
+    sa.auth_key[i] = static_cast<std::uint8_t>(0x10 + i);
+  }
+  sa.tunnel_src = netio::ipv4_addr(172, 16, 0, 1);
+  sa.tunnel_dst = netio::ipv4_addr(172, 16, 0, 2);
+  return sa;
+}
+
+CostFn ipsec_cpu_cost(const sim::TimingParams& timing) {
+  const sim::NfCpuCosts nf = timing.nf;
+  return [nf](const Mbuf& m) {
+    return nf.cost(nf.ipsec_base, nf.ipsec_per_byte, m.data_len());
+  };
+}
+
+CostFn ipsec_dhl_prep_cost(const sim::TimingParams& timing) {
+  const double c = timing.nf.ipsec_dhl_prep;
+  return [c](const Mbuf&) { return c; };
+}
+
+CostFn ipsec_dhl_post_cost(const sim::TimingParams& timing) {
+  const double c = timing.nf.dhl_post;
+  return [c](const Mbuf&) { return c; };
+}
+
+}  // namespace dhl::nf

@@ -1,0 +1,63 @@
+#include "dhl/nf/testbed.hpp"
+
+#include "dhl/common/check.hpp"
+
+namespace dhl::nf {
+
+Testbed::Testbed(TestbedConfig config) : config_{std::move(config)} {
+  const int sockets = config_.runtime.num_sockets;
+  for (int s = 0; s < sockets; ++s) {
+    pools_.push_back(std::make_unique<netio::MbufPool>(
+        "pool.socket" + std::to_string(s), config_.pool_size,
+        config_.mbuf_room, s));
+  }
+  fpgas_.push_back(std::make_unique<fpga::FpgaDevice>(sim_, config_.fpga));
+}
+
+fpga::FpgaDevice& Testbed::add_fpga(int socket) {
+  DHL_CHECK_MSG(runtime_ == nullptr, "add FPGAs before init_runtime()");
+  fpga::FpgaDeviceConfig cfg = config_.fpga;
+  cfg.fpga_id = static_cast<int>(fpgas_.size());
+  cfg.name = "fpga" + std::to_string(cfg.fpga_id);
+  cfg.socket = socket;
+  fpgas_.push_back(std::make_unique<fpga::FpgaDevice>(sim_, cfg));
+  return *fpgas_.back();
+}
+
+netio::NicPort* Testbed::add_port(const std::string& name, Bandwidth link,
+                                  int socket) {
+  DHL_CHECK(socket >= 0 &&
+            socket < static_cast<int>(pools_.size()));
+  netio::NicPortConfig cfg;
+  cfg.name = name;
+  cfg.port_id = next_port_id_++;
+  cfg.link = link;
+  cfg.socket = socket;
+  ports_.push_back(std::make_unique<netio::NicPort>(
+      sim_, cfg, *pools_[static_cast<std::size_t>(socket)]));
+  return ports_.back().get();
+}
+
+std::vector<netio::NicPort*> Testbed::port_ptrs() {
+  std::vector<netio::NicPort*> out;
+  for (auto& p : ports_) out.push_back(p.get());
+  return out;
+}
+
+runtime::DhlRuntime& Testbed::init_runtime(
+    std::shared_ptr<const match::AhoCorasick> nids_automaton) {
+  DHL_CHECK_MSG(runtime_ == nullptr, "runtime already initialized");
+  std::vector<fpga::FpgaDevice*> devices;
+  for (auto& f : fpgas_) devices.push_back(f.get());
+  runtime_ = std::make_unique<runtime::DhlRuntime>(
+      sim_, config_.runtime,
+      accel::standard_module_database(std::move(nids_automaton)),
+      std::move(devices));
+  return *runtime_;
+}
+
+void Testbed::reset_port_stats() {
+  for (auto& p : ports_) p->reset_stats();
+}
+
+}  // namespace dhl::nf

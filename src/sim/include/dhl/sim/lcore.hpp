@@ -1,0 +1,127 @@
+#pragma once
+
+// Simulated logical CPU cores ("lcores", in DPDK parlance).
+//
+// DPDK applications are poll-mode: each lcore runs a tight loop that polls
+// rings/NIC queues and processes bursts.  We model an lcore as an actor that
+// repeatedly invokes a user poll function; the function reports how many CPU
+// cycles that iteration consumed, and the lcore re-schedules itself that many
+// cycles later.  Iterations that find no work charge a small idle-poll cost,
+// which is what dedicating a core to polling actually costs in DPDK.
+//
+// Busy vs idle cycles are tracked separately so experiments can report CPU
+// utilization per core, mirroring the paper's core-count accounting (Table IV).
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "dhl/common/check.hpp"
+#include "dhl/common/units.hpp"
+#include "dhl/sim/simulator.hpp"
+
+namespace dhl::sim {
+
+/// Result of one poll iteration.
+struct PollResult {
+  /// CPU cycles consumed by this iteration.  0 means "no work found"; the
+  /// lcore then charges its idle-poll cost instead.
+  double cycles = 0;
+  /// If true the lcore parks itself; someone must call wake().  Used by
+  /// components that know when new work can arrive (rare -- DPDK cores
+  /// normally spin forever).
+  bool park = false;
+};
+
+class Lcore {
+ public:
+  using PollFn = std::function<PollResult(Lcore&)>;
+
+  Lcore(Simulator& simulator, std::string name, Frequency freq, int socket)
+      : sim_{simulator}, name_{std::move(name)}, freq_{freq}, socket_{socket} {}
+
+  Lcore(const Lcore&) = delete;
+  Lcore& operator=(const Lcore&) = delete;
+
+  const std::string& name() const { return name_; }
+  Frequency frequency() const { return freq_; }
+  int socket() const { return socket_; }
+  Simulator& simulator() { return sim_; }
+
+  void set_poll(PollFn fn) { poll_ = std::move(fn); }
+
+  /// Cycles charged for an iteration that finds no work.
+  void set_idle_poll_cycles(double cycles) { idle_poll_cycles_ = cycles; }
+
+  /// Begin the poll loop.  Requires set_poll() to have been called.
+  void start() {
+    DHL_CHECK_MSG(static_cast<bool>(poll_), "lcore " << name_ << " has no poll fn");
+    if (running_) return;
+    running_ = true;
+    parked_ = false;
+    ++epoch_;  // invalidate any event left over from a previous start/stop
+    schedule_next(0);
+  }
+
+  void stop() {
+    running_ = false;
+    ++epoch_;
+  }
+  bool running() const { return running_; }
+
+  /// Un-park a parked lcore (next iteration runs immediately).
+  void wake() {
+    if (running_ && parked_) {
+      parked_ = false;
+      schedule_next(0);
+    }
+  }
+
+  double busy_cycles() const { return busy_cycles_; }
+  double idle_cycles() const { return idle_cycles_; }
+  double utilization() const {
+    const double total = busy_cycles_ + idle_cycles_;
+    return total > 0 ? busy_cycles_ / total : 0.0;
+  }
+  void reset_accounting() { busy_cycles_ = idle_cycles_ = 0; }
+
+ private:
+  void schedule_next(Picos delay) {
+    const std::uint64_t epoch = epoch_;
+    sim_.schedule_after(delay, [this, epoch] {
+      if (!running_ || parked_ || epoch != epoch_) return;
+      iterate();
+    });
+  }
+
+  void iterate() {
+    PollResult r = poll_(*this);
+    double cycles = r.cycles;
+    if (cycles <= 0) {
+      cycles = idle_poll_cycles_;
+      idle_cycles_ += cycles;
+    } else {
+      busy_cycles_ += cycles;
+    }
+    if (r.park) {
+      parked_ = true;
+      ++epoch_;
+      return;
+    }
+    schedule_next(freq_.cycles(cycles));
+  }
+
+  Simulator& sim_;
+  std::string name_;
+  Frequency freq_;
+  int socket_;
+  PollFn poll_;
+  double idle_poll_cycles_ = 40;
+  double busy_cycles_ = 0;
+  double idle_cycles_ = 0;
+  bool running_ = false;
+  bool parked_ = false;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace dhl::sim

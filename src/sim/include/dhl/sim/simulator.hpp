@@ -1,0 +1,90 @@
+#pragma once
+
+// Discrete-event simulation engine.
+//
+// All DHL experiments run in virtual time: components schedule callbacks at
+// picosecond timestamps, and the engine executes them in (time, insertion
+// sequence) order.  Using an insertion sequence as a tiebreaker makes runs
+// bit-for-bit reproducible regardless of heap implementation details.
+//
+// The engine is deliberately single-threaded: determinism is worth more to a
+// reproduction study than parallel speedup, and the hot loops (per-burst
+// packet processing) amortize the event overhead.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "dhl/common/check.hpp"
+#include "dhl/common/units.hpp"
+
+namespace dhl::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Picos now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `t` (must be >= now()).
+  void schedule_at(Picos t, Callback cb) {
+    DHL_CHECK_MSG(t >= now_, "cannot schedule event in the past");
+    queue_.push(Event{t, next_seq_++, std::move(cb)});
+  }
+
+  /// Schedule `cb` to run `dt` after the current time.
+  void schedule_after(Picos dt, Callback cb) {
+    schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Execute a single event.  Returns false if the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    // priority_queue::top returns const&; the callback must be moved out
+    // before pop, so copy the POD fields and steal the callback.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.callback();
+    return true;
+  }
+
+  /// Run until the queue is empty.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Run all events with time <= `t`, then set now() to `t`.
+  void run_until(Picos t) {
+    while (!queue_.empty() && queue_.top().time <= t) step();
+    if (t > now_) now_ = t;
+  }
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Picos time;
+    std::uint64_t seq;
+    Callback callback;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Picos now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace dhl::sim

@@ -1,0 +1,124 @@
+#pragma once
+
+// Measurement utilities: throughput meters and latency histograms.
+//
+// Latencies are recorded into log-spaced bins (96 bins per decade across
+// 1 ns .. 10 s) -- fine enough that a reported p50/p99 is within ~2.5% of
+// the true value, which is far below the calibration uncertainty of the
+// timing model itself.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "dhl/common/units.hpp"
+
+namespace dhl::sim {
+
+/// Counts frames and wire bytes over a measurement window.
+class ThroughputMeter {
+ public:
+  /// Record one frame of `frame_len` bytes (wire overhead added internally).
+  void record_frame(std::uint32_t frame_len) {
+    ++frames_;
+    wire_bytes_ += wire_bytes(frame_len);
+    payload_bytes_ += frame_len;
+  }
+
+  void reset() { frames_ = wire_bytes_ = payload_bytes_ = 0; }
+
+  std::uint64_t frames() const { return frames_; }
+  std::uint64_t payload_bytes() const { return payload_bytes_; }
+
+  /// Wire-rate throughput over an elapsed virtual duration.
+  Bandwidth wire_rate(Picos elapsed) const {
+    if (elapsed == 0) return Bandwidth::bits_per_sec(0);
+    return Bandwidth::bits_per_sec(static_cast<double>(wire_bytes_) * 8.0 /
+                                   to_seconds(elapsed));
+  }
+
+  /// Packets per second over an elapsed virtual duration.
+  double pps(Picos elapsed) const {
+    if (elapsed == 0) return 0;
+    return static_cast<double>(frames_) / to_seconds(elapsed);
+  }
+
+ private:
+  std::uint64_t frames_ = 0;
+  std::uint64_t wire_bytes_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+};
+
+/// Log-binned latency histogram over picosecond samples.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() { bins_.assign(kBinCount, 0); }
+
+  void record(Picos latency) {
+    ++count_;
+    sum_ += latency;
+    min_ = std::min(min_, latency);
+    max_ = std::max(max_, latency);
+    ++bins_[bin_index(latency)];
+  }
+
+  void reset() {
+    bins_.assign(kBinCount, 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = std::numeric_limits<Picos>::max();
+    max_ = 0;
+  }
+
+  std::uint64_t count() const { return count_; }
+  Picos min() const { return count_ ? min_ : 0; }
+  Picos max() const { return max_; }
+  Picos mean() const { return count_ ? sum_ / count_ : 0; }
+
+  /// Latency at quantile `q` in [0,1].  Nearest-rank: returns the upper edge
+  /// of the bin containing the ceil(q*count)-th sample.
+  Picos percentile(double q) const {
+    if (count_ == 0) return 0;
+    std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (target == 0) target = 1;
+    if (target > count_) target = count_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      seen += bins_[i];
+      if (seen >= target) return bin_upper_edge(i);
+    }
+    return max_;
+  }
+
+ private:
+  // 96 bins/decade over [1 ns, 10 s]: 10 decades.
+  static constexpr int kBinsPerDecade = 96;
+  static constexpr int kDecades = 10;
+  static constexpr int kBinCount = kBinsPerDecade * kDecades + 2;
+  static constexpr double kLo = 1e3;  // 1 ns in ps
+
+  static std::size_t bin_index(Picos v) {
+    if (v < static_cast<Picos>(kLo)) return 0;
+    const double d = std::log10(static_cast<double>(v) / kLo);
+    const int idx = 1 + static_cast<int>(d * kBinsPerDecade);
+    return static_cast<std::size_t>(std::min(idx, kBinCount - 1));
+  }
+
+  static Picos bin_upper_edge(std::size_t i) {
+    if (i == 0) return static_cast<Picos>(kLo);
+    const double exp10 = static_cast<double>(i) / kBinsPerDecade;
+    return static_cast<Picos>(kLo * std::pow(10.0, exp10));
+  }
+
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t count_ = 0;
+  Picos sum_ = 0;
+  Picos min_ = std::numeric_limits<Picos>::max();
+  Picos max_ = 0;
+};
+
+}  // namespace dhl::sim

@@ -1,0 +1,152 @@
+#pragma once
+
+// Central calibration constants for the timing model.
+//
+// Each constant is traceable either to the paper's own measurements
+// (Tables I, V, VI; Figures 4, 6) or to the hardware it names (Table III).
+// DESIGN.md section 5 documents the fits.  Benches copy this struct and
+// perturb fields for ablations, so everything is a plain value type.
+
+#include <cstdint>
+
+#include "dhl/common/units.hpp"
+
+namespace dhl::sim {
+
+/// CPU-side costs.  The evaluation testbed is a Xeon Silver 4116 @ 2.1 GHz
+/// (Table III); Table I was measured on an E5-2650 v3 @ 2.3 GHz.
+struct CpuParams {
+  Frequency core_clock = Frequency::gigahertz(2.1);
+
+  /// Cycles burned by a poll iteration that finds an empty ring/queue.
+  double idle_poll_cycles = 40;
+
+  /// rte_ring-style bulk enqueue/dequeue: fixed cost + per-packet pointer
+  /// copy.  These match DPDK's published ~30-cycle burst costs.
+  double ring_op_fixed_cycles = 24;
+  double ring_op_per_pkt_cycles = 1.5;
+
+  /// NIC RX/TX burst cost per packet on an I/O core (descriptor handling,
+  /// mbuf alloc/free; vector PMD numbers).  Calibrated so one core saturates
+  /// a 10G port at 64 B (14.88 Mpps) with headroom, and a 40G port needs two
+  /// cores (paper V-C).
+  double nic_rxtx_per_pkt_cycles = 25;
+  double nic_rxtx_fixed_cycles = 30;
+};
+
+/// Per-packet worker costs of the CPU-only NF implementations, as affine
+/// models cost(len) = base + per_byte * len (cycles).
+struct NfCpuCosts {
+  // Table I: L2fwd 36 cycles, L3fwd-lpm 60 cycles at 64 B.
+  double l2fwd_base = 36;
+  double l2fwd_per_byte = 0;
+  double l3fwd_base = 60;
+  double l3fwd_per_byte = 0;
+
+  // IPsec (AES-256-CTR + HMAC-SHA1 via Intel-ipsec-mb): compromise fit
+  // between Table I (796 cycles / 1.47 Gbps @64 B; the paper's two columns
+  // are not mutually consistent) and Fig 6a's CPU-only curve
+  // (2.5 Gbps @64 B, 7.3 Gbps @1500 B with two workers).
+  double ipsec_base = 700;
+  double ipsec_per_byte = 4.1;
+
+  // NIDS Aho-Corasick scan: fitted through Fig 6c's CPU-only curve.
+  double nids_base = 1045;
+  double nids_per_byte = 3.73;
+
+  // DHL-version shallow processing on the I/O cores: SA match + ESP
+  // encapsulation prep (IPsec) / header parse + tagging (NIDS), and the
+  // post-processing after DHL_receive_packets.  Calibrated so the ingress
+  // I/O core tops out near the paper's 19.4 / 18.3 Gbps at 64 B (Fig 6a/6c).
+  double ipsec_dhl_prep = 42;
+  double nids_dhl_prep = 50;
+  double dhl_post = 20;
+
+  double cost(double base, double per_byte, std::uint32_t len) const {
+    return base + per_byte * static_cast<double>(len);
+  }
+};
+
+/// PCIe + scatter-gather DMA engine model (Fig 4).
+struct DmaParams {
+  /// Effective serialization bandwidth of PCIe gen3 x8 after TLP overhead.
+  Bandwidth link = Bandwidth::gbps(50.0);
+  /// Sustained ceiling the paper's engine reaches for >= 6 KB transfers.
+  Bandwidth sustained_cap = Bandwidth::gbps(42.0);
+  /// Fixed per-transfer cost in the UIO poll-mode driver (descriptor fetch,
+  /// doorbell, completion poll).  Sets the Fig 4a knee at 6 KB.
+  Picos uio_per_transfer_overhead = nanoseconds(190);
+  /// Fixed one-way latency component (Fig 4b: ~2 us round trip @64 B).
+  Picos uio_base_latency = nanoseconds(950);
+  /// Extra one-way latency when buffers live on the remote NUMA node
+  /// (paper: ~0.4 us total round trip).
+  Picos numa_remote_penalty = nanoseconds(200);
+
+  /// In-kernel reference driver (Northwest Logic): syscall + copy overhead
+  /// per transfer and interrupt/scheduler round-trip latency (Fig 4b shows
+  /// ~10 ms).
+  Picos kernel_per_transfer_overhead = microseconds(10);
+  Picos kernel_base_latency = milliseconds(5);  // one-way; ~10 ms round trip
+};
+
+/// FPGA fabric and partial-reconfiguration model.
+struct FpgaParams {
+  Frequency fabric_clock = Frequency::megahertz(250);
+  /// Effective ICAP programming bandwidth.  5.6 MB / 23 ms (Table V)
+  /// => ~245 MB/s.
+  Bandwidth icap = Bandwidth::bytes_per_sec(245e6);
+  /// Reconfigurable-part datapath: 256-bit AXI4-Stream @ 250 MHz (paper IV-C).
+  std::uint32_t datapath_bytes_per_cycle = 32;
+};
+
+/// DHL runtime costs.
+struct RuntimeParams {
+  /// Packer: dequeue from shared IBQ, group by acc_id, encode the 2-byte
+  /// (nf_id, acc_id) tag pair, copy into the batch buffer.  A single TX
+  /// runtime core tops out near 46 Mpps -- above the single-NF 40G port
+  /// (Fig 6) and the binding constraint in the 4x10G multi-NF test (Fig 7).
+  double packer_per_pkt_cycles = 45;
+  double packer_per_batch_cycles = 220;
+
+  /// Distributor: decapsulate returned batch, route by nf_id to private OBQs.
+  double distributor_per_pkt_cycles = 40;
+  double distributor_per_batch_cycles = 150;
+
+  /// Maximum DMA batch payload (paper IV-A3: capped at 6 KB to balance
+  /// throughput and latency).
+  std::uint32_t max_batch_bytes = 6 * 1024;
+
+  /// Maximum time the packer lets a non-empty batch age before flushing it
+  /// even if under-full; bounds latency at low load.
+  Picos batch_timeout = microseconds(15);
+
+  /// Adaptive batching (the paper's future work, VI-2): the Packer scales
+  /// the batch cap with the observed IBQ arrival rate -- small batches when
+  /// traffic is light (latency), the full cap as it approaches the DMA
+  /// ceiling (throughput).
+  bool adaptive_batching = false;
+  /// Smallest cap the adaptive policy will use.
+  std::uint32_t min_batch_bytes = 512;
+  /// EWMA weight for the arrival-rate estimate (per packer iteration).
+  double adaptive_ewma_alpha = 0.05;
+};
+
+struct TimingParams {
+  CpuParams cpu;
+  NfCpuCosts nf;
+  DmaParams dma;
+  FpgaParams fpga;
+  RuntimeParams runtime;
+};
+
+/// Parameters matching the paper's testbed (Table III / IV).
+inline TimingParams default_timing() { return TimingParams{}; }
+
+/// Table I host: Intel Xeon E5-2650 v3 @ 2.30 GHz.
+inline TimingParams table1_timing() {
+  TimingParams p;
+  p.cpu.core_clock = Frequency::gigahertz(2.3);
+  return p;
+}
+
+}  // namespace dhl::sim

@@ -1,0 +1,170 @@
+// Unit + property tests for the Aho-Corasick automaton.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dhl/common/rng.hpp"
+#include "dhl/match/aho_corasick.hpp"
+
+namespace dhl::match {
+namespace {
+
+std::span<const std::uint8_t> bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+std::vector<PatternMatch> find(const AhoCorasick& ac, const std::string& text) {
+  std::vector<PatternMatch> out;
+  ac.find_all(bytes(text), out);
+  return out;
+}
+
+TEST(AhoCorasick, ClassicExample) {
+  const std::vector<std::string> patterns{"he", "she", "his", "hers"};
+  const auto ac = AhoCorasick::build(patterns);
+  const auto hits = find(ac, "ushers");
+  // "ushers": she@4, he@4, hers@6.
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].pattern, 1u);  // she
+  EXPECT_EQ(hits[0].end_offset, 4u);
+  EXPECT_EQ(hits[1].pattern, 0u);  // he
+  EXPECT_EQ(hits[1].end_offset, 4u);
+  EXPECT_EQ(hits[2].pattern, 3u);  // hers
+  EXPECT_EQ(hits[2].end_offset, 6u);
+}
+
+TEST(AhoCorasick, OverlappingAndNestedPatterns) {
+  const std::vector<std::string> patterns{"aa", "aaa"};
+  const auto ac = AhoCorasick::build(patterns);
+  const auto hits = find(ac, "aaaa");
+  // aa@2, aa@3+aaa@3, aa@4+aaa@4 -> 5 hits.
+  EXPECT_EQ(hits.size(), 5u);
+}
+
+TEST(AhoCorasick, NoMatch) {
+  const auto ac = AhoCorasick::build(std::vector<std::string>{"needle"});
+  EXPECT_TRUE(find(ac, "haystack without it").empty());
+  EXPECT_FALSE(ac.contains_any(bytes("haystack")));
+}
+
+TEST(AhoCorasick, ContainsAnyEarlyExit) {
+  const auto ac = AhoCorasick::build(std::vector<std::string>{"x"});
+  EXPECT_TRUE(ac.contains_any(bytes("aaaax")));
+  EXPECT_TRUE(ac.contains_any(bytes("xaaaa")));
+}
+
+TEST(AhoCorasick, CaseInsensitive) {
+  const auto ac = AhoCorasick::build(std::vector<std::string>{"Attack"},
+                                     /*case_insensitive=*/true);
+  EXPECT_TRUE(ac.contains_any(bytes("ATTACK")));
+  EXPECT_TRUE(ac.contains_any(bytes("attack")));
+  EXPECT_TRUE(ac.contains_any(bytes("aTtAcK")));
+  const auto ac_cs = AhoCorasick::build(std::vector<std::string>{"Attack"});
+  EXPECT_FALSE(ac_cs.contains_any(bytes("ATTACK")));
+  EXPECT_TRUE(ac_cs.contains_any(bytes("Attack")));
+}
+
+TEST(AhoCorasick, BinaryPatterns) {
+  const std::string nops("\x90\x90\x90\x90", 4);
+  const auto ac = AhoCorasick::build(std::vector<std::string>{nops});
+  const std::string hay = std::string("ab") + nops + "cd";
+  EXPECT_TRUE(ac.contains_any(bytes(hay)));
+}
+
+TEST(AhoCorasick, CountDistinct) {
+  const std::vector<std::string> patterns{"ab", "bc", "zz"};
+  const auto ac = AhoCorasick::build(patterns);
+  EXPECT_EQ(ac.count_distinct(bytes("abcabc")), 2u);  // ab, bc (each once)
+  EXPECT_EQ(ac.count_distinct(bytes("zzz")), 1u);
+  EXPECT_EQ(ac.count_distinct(bytes("qqq")), 0u);
+}
+
+TEST(AhoCorasick, RejectsEmptyPattern) {
+  EXPECT_THROW(AhoCorasick::build(std::vector<std::string>{""}),
+               std::logic_error);
+}
+
+TEST(AhoCorasick, DfaStepMatchesOutputs) {
+  const std::vector<std::string> patterns{"abc"};
+  const auto ac = AhoCorasick::build(patterns);
+  std::uint32_t s = 0;
+  s = ac.step(s, 'a');
+  EXPECT_TRUE(ac.outputs(s).empty());
+  s = ac.step(s, 'b');
+  s = ac.step(s, 'c');
+  ASSERT_EQ(ac.outputs(s).size(), 1u);
+  EXPECT_EQ(ac.outputs(s)[0], 0u);
+  // Failure transition: 'a' restarts the pattern.
+  s = ac.step(s, 'a');
+  s = ac.step(s, 'b');
+  s = ac.step(s, 'c');
+  EXPECT_EQ(ac.outputs(s).size(), 1u);
+}
+
+// --- property: agrees with naive substring search -----------------------------
+
+struct Scenario {
+  std::uint64_t seed;
+  int alphabet;  // small alphabets force heavy fail-link use
+};
+
+class AcProperty : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(AcProperty, AgreesWithNaiveSearch) {
+  const auto param = GetParam();
+  Xoshiro256 rng{param.seed};
+
+  // Random patterns over a small alphabet.
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 12; ++i) {
+    const std::size_t len = 1 + rng.bounded(6);
+    std::string p;
+    for (std::size_t j = 0; j < len; ++j) {
+      p.push_back(static_cast<char>('a' + rng.bounded(
+                                              static_cast<std::uint64_t>(
+                                                  param.alphabet))));
+    }
+    patterns.push_back(p);
+  }
+  const auto ac = AhoCorasick::build(patterns);
+
+  for (int round = 0; round < 50; ++round) {
+    std::string text;
+    const std::size_t len = rng.bounded(400);
+    for (std::size_t j = 0; j < len; ++j) {
+      text.push_back(static_cast<char>('a' + rng.bounded(
+                                                static_cast<std::uint64_t>(
+                                                    param.alphabet))));
+    }
+    // Naive: count every (pattern, end) occurrence.
+    std::size_t naive = 0;
+    for (const auto& p : patterns) {
+      for (std::size_t pos = 0; pos + p.size() <= text.size(); ++pos) {
+        if (text.compare(pos, p.size(), p) == 0) ++naive;
+      }
+    }
+    std::vector<PatternMatch> hits;
+    ac.find_all(bytes(text), hits);
+    ASSERT_EQ(hits.size(), naive) << "seed=" << param.seed << " round=" << round;
+    // Every reported hit must actually be there.
+    for (const auto& h : hits) {
+      const std::string& p = patterns[h.pattern];
+      ASSERT_GE(h.end_offset, p.size());
+      ASSERT_EQ(text.compare(h.end_offset - p.size(), p.size(), p), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, AcProperty,
+    ::testing::Values(Scenario{101, 2}, Scenario{202, 2}, Scenario{303, 3},
+                      Scenario{404, 4}, Scenario{505, 26}),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_a" +
+             std::to_string(info.param.alphabet);
+    });
+
+}  // namespace
+}  // namespace dhl::match

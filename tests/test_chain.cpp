@@ -1,0 +1,207 @@
+// Tests for NF service chains: multi-stage processing with multiple offload
+// stages per packet on one FPGA.
+
+#include <gtest/gtest.h>
+
+#include "dhl/nf/chain.hpp"
+#include "dhl/nf/forwarders.hpp"
+#include "dhl/nf/ipsec_gateway.hpp"
+#include "dhl/nf/nids.hpp"
+#include "dhl/nf/testbed.hpp"
+
+namespace dhl::nf {
+namespace {
+
+struct ChainFixture : public ::testing::Test {
+  Testbed tb;
+  netio::NicPort* port = tb.add_port("p0", Bandwidth::gbps(10));
+  std::shared_ptr<match::RuleSet> rules = std::make_shared<match::RuleSet>(
+      match::RuleSet::builtin_snort_sample());
+  std::shared_ptr<const match::AhoCorasick> automaton =
+      NidsProcessor::build_automaton(*rules);
+  accel::SecurityAssociation sa = test_security_association();
+
+  ChainStage nids_offload(std::shared_ptr<NidsProcessor> nids) {
+    return ChainStage::offload(
+        "nids", "pattern-matching", {},
+        [nids](netio::Mbuf& m) { return nids->dhl_post(m); },
+        nids_dhl_post_cost(tb.timing()));
+  }
+  ChainStage ipsec_offload(std::shared_ptr<IpsecProcessor> ipsec) {
+    // Encapsulation happens in a CPU stage before the offload; the offload
+    // post-step just checks the module result.
+    return ChainStage::offload(
+        "ipsec", "ipsec-crypto", accel::ipsec_module_config(false, sa),
+        [ipsec](netio::Mbuf& m) { return ipsec->dhl_post(m); },
+        ipsec_dhl_post_cost(tb.timing()));
+  }
+  ChainStage encap_stage(std::shared_ptr<IpsecProcessor> ipsec) {
+    return ChainStage::cpu(
+        "esp-encap", [ipsec](netio::Mbuf& m) { return ipsec->dhl_prep(m); },
+        ipsec_dhl_prep_cost(tb.timing()));
+  }
+};
+
+TEST_F(ChainFixture, CpuOnlyChainNeedsNoRuntime) {
+  auto stages = std::vector<ChainStage>{
+      ChainStage::cpu("l2fwd", l2fwd_fn(), l2fwd_cost(tb.timing()))};
+  ChainNf chain{tb.sim(), ChainConfig{.timing = tb.timing()}, {port}, nullptr,
+                std::move(stages)};
+  EXPECT_TRUE(chain.ready());
+  chain.start();
+  netio::TrafficConfig traffic;
+  traffic.frame_len = 256;
+  port->start_traffic(traffic, 0.5);
+  tb.measure(milliseconds(1), milliseconds(2));
+  EXPECT_GT(chain.stats().completed, 1000u);
+  EXPECT_NEAR(forwarded_wire_gbps(*port, 256, milliseconds(2)), 5.0, 0.3);
+}
+
+TEST_F(ChainFixture, OffloadWithoutRuntimeIsRejected) {
+  auto nids = std::make_shared<NidsProcessor>(rules, automaton);
+  auto stages = std::vector<ChainStage>{nids_offload(nids)};
+  EXPECT_THROW(
+      (ChainNf{tb.sim(), ChainConfig{.timing = tb.timing()}, {port}, nullptr,
+               std::move(stages)}),
+      std::logic_error);
+}
+
+TEST_F(ChainFixture, NidsThenIpsecChainEndToEnd) {
+  // The classic egress chain: scan, then encrypt.  Each packet makes two
+  // FPGA round trips through two different modules.
+  auto& rt = tb.init_runtime(automaton);
+  auto nids = std::make_shared<NidsProcessor>(rules, automaton);
+  auto ipsec = std::make_shared<IpsecProcessor>(sa, IpsecPolicy{});
+
+  std::vector<ChainStage> stages;
+  stages.push_back(nids_offload(nids));
+  stages.push_back(encap_stage(ipsec));
+  stages.push_back(ipsec_offload(ipsec));
+
+  ChainNf chain{tb.sim(), ChainConfig{.timing = tb.timing()}, {port}, &rt,
+                std::move(stages)};
+  tb.run_for(milliseconds(70));  // two PR loads
+  ASSERT_TRUE(chain.ready());
+  rt.start();
+  chain.start();
+
+  netio::TrafficConfig traffic;
+  traffic.frame_len = 512;
+  traffic.payload = netio::PayloadKind::kTextAttacks;
+  traffic.attack_probability = 0.05;
+  traffic.attack_strings = {"/bin/sh"};
+  port->start_traffic(traffic, 0.5);
+  tb.measure(milliseconds(2), milliseconds(4));
+  port->stop_traffic();
+  tb.run_for(milliseconds(2));
+
+  const auto& s = chain.stats();
+  EXPECT_GT(s.completed, 5'000u);
+  EXPECT_EQ(s.ibq_drops, 0u);
+  // Two offloads per completed packet.
+  EXPECT_NEAR(static_cast<double>(s.offloads),
+              2.0 * static_cast<double>(s.completed),
+              0.02 * static_cast<double>(s.offloads));
+  // The NIDS stage saw the attacks.
+  EXPECT_GT(nids->stats().alerts, 100u);
+  // Every forwarded packet was really encrypted.
+  EXPECT_EQ(ipsec->stats().encapsulated, s.completed + s.dropped > 0
+                                             ? ipsec->stats().encapsulated
+                                             : 0u);
+  EXPECT_GT(ipsec->stats().encapsulated, 5'000u);
+  EXPECT_EQ(rt.stats().error_records, 0u);
+  // Both modules live on the same FPGA.
+  EXPECT_EQ(rt.hardware_function_table().size(), 2u);
+}
+
+TEST_F(ChainFixture, DropStageStopsTheChain) {
+  auto& rt = tb.init_runtime(automaton);
+  auto ipsec = std::make_shared<IpsecProcessor>(sa, IpsecPolicy{});
+  std::uint64_t reached_second = 0;
+
+  std::vector<ChainStage> stages;
+  stages.push_back(ChainStage::cpu(
+      "drop-all", [](netio::Mbuf&) { return Verdict::kDrop; },
+      [](const netio::Mbuf&) { return 10.0; }));
+  stages.push_back(ChainStage::cpu(
+      "counter",
+      [&reached_second](netio::Mbuf&) {
+        ++reached_second;
+        return Verdict::kForward;
+      },
+      [](const netio::Mbuf&) { return 1.0; }));
+
+  ChainNf chain{tb.sim(), ChainConfig{.timing = tb.timing()}, {port}, &rt,
+                std::move(stages)};
+  chain.start();
+  netio::TrafficConfig traffic;
+  port->start_traffic(traffic, 0.2);
+  tb.measure(milliseconds(1), milliseconds(1));
+
+  EXPECT_GT(chain.stats().dropped, 0u);
+  EXPECT_EQ(chain.stats().completed, 0u);
+  EXPECT_EQ(reached_second, 0u);
+}
+
+TEST_F(ChainFixture, BypassSkipsRemainingStages) {
+  auto& rt = tb.init_runtime(automaton);
+  std::uint64_t reached_second = 0;
+  std::vector<ChainStage> stages;
+  stages.push_back(ChainStage::cpu(
+      "bypass-all", [](netio::Mbuf&) { return Verdict::kBypass; },
+      [](const netio::Mbuf&) { return 1.0; }));
+  stages.push_back(ChainStage::cpu(
+      "counter",
+      [&reached_second](netio::Mbuf&) {
+        ++reached_second;
+        return Verdict::kForward;
+      },
+      [](const netio::Mbuf&) { return 1.0; }));
+  ChainNf chain{tb.sim(), ChainConfig{.timing = tb.timing()}, {port}, &rt,
+                std::move(stages)};
+  chain.start();
+  netio::TrafficConfig traffic;
+  port->start_traffic(traffic, 0.2);
+  tb.measure(milliseconds(1), milliseconds(1));
+  EXPECT_GT(chain.stats().completed, 0u);  // bypass still transmits
+  EXPECT_EQ(reached_second, 0u);
+}
+
+TEST_F(ChainFixture, NidsDropRuleBlocksEncryptStage) {
+  // A drop verdict from the NIDS offload's post step must prevent the
+  // packet from ever reaching the encrypt stage.
+  const auto drop_rules = std::make_shared<match::RuleSet>(match::RuleSet::parse(
+      "drop udp any any -> any any (msg:\"kill\"; content:\"FORBIDDEN\"; sid:9;)"));
+  const auto drop_automaton = NidsProcessor::build_automaton(*drop_rules);
+  auto& rt = tb.init_runtime(drop_automaton);
+  auto nids = std::make_shared<NidsProcessor>(drop_rules, drop_automaton);
+  auto ipsec = std::make_shared<IpsecProcessor>(sa, IpsecPolicy{});
+
+  std::vector<ChainStage> stages;
+  stages.push_back(nids_offload(nids));
+  stages.push_back(encap_stage(ipsec));
+  stages.push_back(ipsec_offload(ipsec));
+  ChainNf chain{tb.sim(), ChainConfig{.timing = tb.timing()}, {port}, &rt,
+                std::move(stages)};
+  tb.run_for(milliseconds(70));
+  ASSERT_TRUE(chain.ready());
+  rt.start();
+  chain.start();
+
+  netio::TrafficConfig traffic;
+  traffic.frame_len = 512;
+  traffic.payload = netio::PayloadKind::kTextAttacks;
+  traffic.attack_probability = 1.0;  // every frame carries the kill string
+  traffic.attack_strings = {"FORBIDDEN"};
+  port->start_traffic(traffic, 0.1);
+  tb.measure(milliseconds(1), milliseconds(2));
+  port->stop_traffic();
+  tb.run_for(milliseconds(2));
+
+  EXPECT_GT(nids->stats().drops, 100u);
+  EXPECT_EQ(ipsec->stats().encapsulated, 0u);  // never encrypted
+  EXPECT_EQ(chain.stats().completed, 0u);
+}
+
+}  // namespace
+}  // namespace dhl::nf

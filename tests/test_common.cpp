@@ -1,0 +1,110 @@
+// Unit tests for dhl_common: units, rng, hexdump.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dhl/common/check.hpp"
+#include "dhl/common/hexdump.hpp"
+#include "dhl/common/rng.hpp"
+#include "dhl/common/units.hpp"
+
+namespace dhl {
+namespace {
+
+TEST(Units, TimeConversions) {
+  EXPECT_EQ(nanoseconds(1), 1'000u);
+  EXPECT_EQ(microseconds(1), 1'000'000u);
+  EXPECT_EQ(milliseconds(1), 1'000'000'000u);
+  EXPECT_EQ(seconds(1), kPicosPerSec);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(3.5)), 3.5);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(0.25)), 0.25);
+}
+
+TEST(Units, FrequencyCycles) {
+  const auto f = Frequency::gigahertz(2.0);
+  EXPECT_EQ(f.cycles(2), nanoseconds(1));
+  EXPECT_DOUBLE_EQ(f.cycles_in(nanoseconds(1)), 2.0);
+  const auto fabric = Frequency::megahertz(250);
+  EXPECT_EQ(fabric.cycles(1), nanoseconds(4));
+}
+
+TEST(Units, BandwidthTransferTime) {
+  const auto bw = Bandwidth::gbps(10);
+  // 1250 bytes at 10 Gbps = 1 us.
+  EXPECT_EQ(bw.transfer_time(1250), microseconds(1));
+  EXPECT_DOUBLE_EQ(Bandwidth::bytes_per_sec(1e9).gbps(), 8.0);
+}
+
+TEST(Units, WireBytesAddsFramingOverhead) {
+  EXPECT_EQ(wire_bytes(64), 84u);
+  EXPECT_EQ(wire_bytes(1500), 1520u);
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Xoshiro256 a{42}, b{42}, c{43};
+  EXPECT_EQ(a(), b());
+  Xoshiro256 a2{42};
+  EXPECT_NE(a2(), c());
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng{9};
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, FillCoversAllBytes) {
+  Xoshiro256 rng{11};
+  std::vector<std::uint8_t> buf(4096, 0);
+  rng.fill(buf.data(), buf.size());
+  std::set<std::uint8_t> seen(buf.begin(), buf.end());
+  EXPECT_GT(seen.size(), 200u);  // nearly all byte values should appear
+}
+
+TEST(Hexdump, ToHexAndBack) {
+  const std::vector<std::uint8_t> data{0xde, 0xad, 0xbe, 0xef, 0x00, 0x7f};
+  const std::string hex = to_hex(data);
+  EXPECT_EQ(hex, "deadbeef007f");
+  EXPECT_EQ(from_hex(hex), data);
+  EXPECT_EQ(from_hex("DEADBEEF007F"), data);
+}
+
+TEST(Hexdump, FromHexRejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // non-hex
+}
+
+TEST(Hexdump, DumpFormatsRows) {
+  std::vector<std::uint8_t> data(20, 0x41);  // 'A'
+  const std::string dump = hexdump(data);
+  EXPECT_NE(dump.find("41 41"), std::string::npos);
+  EXPECT_NE(dump.find("|AAAA"), std::string::npos);
+  EXPECT_NE(dump.find("00000010"), std::string::npos);  // second row address
+}
+
+TEST(Check, ThrowsLogicErrorWithContext) {
+  EXPECT_THROW(DHL_CHECK(1 == 2), std::logic_error);
+  try {
+    DHL_CHECK_MSG(false, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dhl

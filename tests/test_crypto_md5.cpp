@@ -1,0 +1,63 @@
+// MD5 tests against the RFC 1321 test suite.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dhl/common/hexdump.hpp"
+#include "dhl/crypto/md5.hpp"
+
+namespace dhl::crypto {
+namespace {
+
+std::span<const std::uint8_t> bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Md5, Rfc1321Suite) {
+  EXPECT_EQ(to_hex(Md5::digest(bytes(""))),
+            "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(to_hex(Md5::digest(bytes("a"))),
+            "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(to_hex(Md5::digest(bytes("abc"))),
+            "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(to_hex(Md5::digest(bytes("message digest"))),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(to_hex(Md5::digest(bytes("abcdefghijklmnopqrstuvwxyz"))),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(to_hex(Md5::digest(bytes(
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz012345678"
+                "9"))),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(to_hex(Md5::digest(bytes(
+                "1234567890123456789012345678901234567890123456789012345678901"
+                "2345678901234567890"))),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  const std::string msg(300, 'q');
+  for (std::size_t split : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 128u, 300u}) {
+    Md5 m;
+    m.update(bytes(msg.substr(0, split)));
+    m.update(bytes(msg.substr(split)));
+    std::array<std::uint8_t, Md5::kDigestBytes> d{};
+    m.finish(d);
+    EXPECT_EQ(to_hex(d), to_hex(Md5::digest(bytes(msg)))) << split;
+  }
+}
+
+TEST(Md5, ResetAllowsReuse) {
+  Md5 m;
+  m.update(bytes("first"));
+  std::array<std::uint8_t, Md5::kDigestBytes> d1{};
+  m.finish(d1);
+  m.reset();
+  m.update(bytes("abc"));
+  std::array<std::uint8_t, Md5::kDigestBytes> d2{};
+  m.finish(d2);
+  EXPECT_EQ(to_hex(d2), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+}  // namespace
+}  // namespace dhl::crypto

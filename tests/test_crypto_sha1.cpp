@@ -1,0 +1,108 @@
+// SHA-1 (FIPS 180-4) and HMAC-SHA1 (RFC 2202) vector tests.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dhl/common/hexdump.hpp"
+#include "dhl/crypto/sha1.hpp"
+
+namespace dhl::crypto {
+namespace {
+
+std::span<const std::uint8_t> bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Sha1, Fips180Vectors) {
+  EXPECT_EQ(to_hex(Sha1::digest(bytes("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(to_hex(Sha1::digest(bytes(""))),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(to_hex(Sha1::digest(bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 s;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) s.update(bytes(chunk));
+  std::array<std::uint8_t, Sha1::kDigestBytes> d{};
+  s.finish(d);
+  EXPECT_EQ(to_hex(d), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "the quick brown fox jumps over the lazy dog multiple times to cross "
+      "block boundaries in interesting ways 0123456789";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha1 s;
+    s.update(bytes(msg.substr(0, split)));
+    s.update(bytes(msg.substr(split)));
+    std::array<std::uint8_t, Sha1::kDigestBytes> d{};
+    s.finish(d);
+    EXPECT_EQ(to_hex(d), to_hex(Sha1::digest(bytes(msg)))) << split;
+  }
+}
+
+TEST(HmacSha1, Rfc2202Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  HmacSha1 mac{key};
+  EXPECT_EQ(to_hex(mac.mac(bytes("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1, Rfc2202Case2) {
+  HmacSha1 mac{bytes("Jefe")};
+  EXPECT_EQ(to_hex(mac.mac(bytes("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1, Rfc2202Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  HmacSha1 mac{key};
+  EXPECT_EQ(to_hex(mac.mac(data)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1, Rfc2202LongKey) {
+  // Case 6: 80-byte key (longer than the block size -> key is hashed).
+  const std::vector<std::uint8_t> key(80, 0xaa);
+  HmacSha1 mac{key};
+  EXPECT_EQ(to_hex(mac.mac(bytes("Test Using Larger Than Block-Size Key - "
+                                 "Hash Key First"))),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacSha1, Icv96IsTruncatedMac) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  HmacSha1 mac{key};
+  const auto full = mac.mac(bytes("Hi There"));
+  std::array<std::uint8_t, HmacSha1::kIpsecIcvBytes> icv{};
+  mac.icv96(bytes("Hi There"), icv);
+  EXPECT_TRUE(std::equal(icv.begin(), icv.end(), full.begin()));
+  EXPECT_TRUE(mac.verify96(bytes("Hi There"), icv));
+}
+
+TEST(HmacSha1, Verify96RejectsTamper) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  HmacSha1 mac{key};
+  std::array<std::uint8_t, HmacSha1::kIpsecIcvBytes> icv{};
+  mac.icv96(bytes("payload"), icv);
+  EXPECT_TRUE(mac.verify96(bytes("payload"), icv));
+  EXPECT_FALSE(mac.verify96(bytes("payloaD"), icv));
+  icv[0] ^= 1;
+  EXPECT_FALSE(mac.verify96(bytes("payload"), icv));
+}
+
+TEST(HmacSha1, DifferentKeysDiffer) {
+  const std::vector<std::uint8_t> k1(20, 0x01), k2(20, 0x02);
+  HmacSha1 a{k1}, b{k2};
+  EXPECT_NE(to_hex(a.mac(bytes("x"))), to_hex(b.mac(bytes("x"))));
+}
+
+}  // namespace
+}  // namespace dhl::crypto

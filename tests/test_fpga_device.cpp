@@ -1,0 +1,208 @@
+// Unit tests for the FPGA device model: PR regions, ICAP timing, dispatch.
+
+#include <gtest/gtest.h>
+
+#include "dhl/accel/ipsec_crypto.hpp"
+#include "dhl/accel/pattern_matching.hpp"
+#include "dhl/fpga/device.hpp"
+#include "dhl/fpga/loopback.hpp"
+#include "dhl/match/aho_corasick.hpp"
+#include "dhl/nf/nids.hpp"
+
+namespace dhl::fpga {
+namespace {
+
+FpgaDeviceConfig small_config() {
+  FpgaDeviceConfig cfg;
+  cfg.num_pr_regions = 3;
+  return cfg;
+}
+
+TEST(FpgaDevice, LoadModuleProgramsThroughIcap) {
+  sim::Simulator sim;
+  FpgaDevice dev{sim, small_config()};
+  bool ready = false;
+  const auto bitstream = loopback_bitstream();
+  const auto region = dev.load_module(bitstream, [&](int) { ready = true; });
+  ASSERT_TRUE(region.has_value());
+  EXPECT_EQ(dev.region_state(*region), RegionState::kReconfiguring);
+
+  const Picos expected = dev.reconfiguration_time(bitstream);
+  sim.run_until(expected - nanoseconds(1));
+  EXPECT_FALSE(ready);
+  sim.run_until(expected + nanoseconds(1));
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(dev.region_state(*region), RegionState::kReady);
+  EXPECT_EQ(dev.region_of("loopback"), region);
+}
+
+TEST(FpgaDevice, ReconfigurationTimeMatchesTableV) {
+  sim::Simulator sim;
+  FpgaDevice dev{sim, small_config()};
+  // Table V: 5.6 MB ipsec-crypto -> 23 ms at the calibrated ICAP bandwidth.
+  const Picos t = dev.reconfiguration_time(accel::ipsec_crypto_bitstream());
+  EXPECT_NEAR(to_milliseconds(t), 23.0, 1.0);
+}
+
+TEST(FpgaDevice, IcapSerializesConcurrentLoads) {
+  sim::Simulator sim;
+  FpgaDevice dev{sim, small_config()};
+  Picos first_done = 0, second_done = 0;
+  const auto bs = loopback_bitstream();
+  dev.load_module(bs, [&](int) { first_done = sim.now(); });
+  dev.load_module(bs, [&](int) { second_done = sim.now(); });
+  sim.run();
+  EXPECT_GT(first_done, 0u);
+  EXPECT_GE(second_done, first_done + dev.reconfiguration_time(bs));
+}
+
+TEST(FpgaDevice, PlacementRespectsResourceBudgets) {
+  sim::Simulator sim;
+  FpgaDeviceConfig cfg = small_config();
+  cfg.region_capacity = {5'000, 100};  // too small for ipsec-crypto (9464 LUTs)
+  FpgaDevice dev{sim, cfg};
+  EXPECT_FALSE(dev.load_module(accel::ipsec_crypto_bitstream(), nullptr)
+                   .has_value());
+}
+
+TEST(FpgaDevice, DeviceTotalsGateLoads) {
+  sim::Simulator sim;
+  FpgaDeviceConfig cfg = small_config();
+  cfg.num_pr_regions = 8;
+  // Paper VI-F: about 2 pattern-matching modules fit (BRAM-bound: 83 static
+  // + 2x524 = 1131 of 1470; a third would need 1655).
+  FpgaDevice dev{sim, cfg};
+  auto automaton = std::make_shared<const match::AhoCorasick>(
+      match::AhoCorasick::build(std::vector<std::string>{"x"}));
+  const auto bs = accel::pattern_matching_bitstream(automaton);
+  EXPECT_TRUE(dev.load_module(bs, nullptr).has_value());
+  EXPECT_TRUE(dev.load_module(bs, nullptr).has_value());
+  EXPECT_FALSE(dev.load_module(bs, nullptr).has_value());
+  EXPECT_GT(dev.bram_utilization(), 0.7);
+}
+
+TEST(FpgaDevice, FiveIpsecModulesFitTableVI) {
+  sim::Simulator sim;
+  FpgaDeviceConfig cfg;
+  cfg.num_pr_regions = 7;
+  FpgaDevice dev{sim, cfg};
+  // Paper VI-F: "there are enough resource to place 5 ipsec-crypto".
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(dev.load_module(accel::ipsec_crypto_bitstream(), nullptr)
+                    .has_value())
+        << i;
+  }
+  EXPECT_FALSE(
+      dev.load_module(accel::ipsec_crypto_bitstream(), nullptr).has_value());
+}
+
+TEST(FpgaDevice, UnloadFreesRegionAndResources) {
+  sim::Simulator sim;
+  FpgaDevice dev{sim, small_config()};
+  const auto region = dev.load_module(loopback_bitstream(), nullptr);
+  ASSERT_TRUE(region.has_value());
+  sim.run();
+  const auto used_with = dev.used_resources();
+  dev.unload_region(*region);
+  EXPECT_EQ(dev.region_state(*region), RegionState::kEmpty);
+  EXPECT_LT(dev.used_resources().luts, used_with.luts);
+  // The region can be reused.
+  EXPECT_TRUE(dev.load_module(accel::ipsec_crypto_bitstream(), nullptr)
+                  .has_value());
+}
+
+TEST(FpgaDevice, DispatchRoutesToModuleAndReturnsBatch) {
+  sim::Simulator sim;
+  FpgaDevice dev{sim, small_config()};
+  const auto region = dev.load_module(loopback_bitstream(), nullptr);
+  ASSERT_TRUE(region.has_value());
+  sim.run();
+  dev.map_acc(7, *region);
+
+  auto batch = std::make_unique<DmaBatch>(7);
+  batch->append(1, std::vector<std::uint8_t>(100, 0xcd), nullptr);
+
+  DmaBatchPtr returned;
+  dev.dma().set_rx_deliver([&](DmaBatchPtr b) { returned = std::move(b); });
+  dev.dma().submit_tx(std::move(batch));
+  sim.run();
+  ASSERT_NE(returned, nullptr);
+  const auto views = returned->parse();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].header.flags, 0);
+  EXPECT_EQ(returned->buffer()[views[0].data_offset], 0xcd);
+  EXPECT_EQ(dev.region_records(*region), 1u);
+  EXPECT_EQ(dev.region_bytes(*region), 100u);
+}
+
+TEST(FpgaDevice, UnmappedAccIdFlagsRecord) {
+  sim::Simulator sim;
+  FpgaDevice dev{sim, small_config()};
+  auto batch = std::make_unique<DmaBatch>(9);  // nothing mapped at 9
+  batch->append(0, std::vector<std::uint8_t>(10, 0), nullptr);
+  DmaBatchPtr returned;
+  dev.dma().set_rx_deliver([&](DmaBatchPtr b) { returned = std::move(b); });
+  dev.dma().submit_tx(std::move(batch));
+  sim.run();
+  ASSERT_NE(returned, nullptr);
+  EXPECT_EQ(returned->parse()[0].header.flags & 0x1, 0x1);
+  EXPECT_EQ(dev.dispatch_drops(), 1u);
+}
+
+TEST(FpgaDevice, ModuleThroughputCapDelaysCompletion) {
+  sim::Simulator sim;
+  FpgaDevice dev{sim, small_config()};
+  const auto region = dev.load_module(accel::ipsec_crypto_bitstream(), nullptr);
+  ASSERT_TRUE(region.has_value());
+  sim.run();
+  accel::SecurityAssociation sa;  // zero keys are fine for timing
+  dev.region_module(*region)->configure(accel::ipsec_module_config(false, sa));
+  dev.map_acc(1, *region);
+
+  // Two 6 KB batches of ESP frames: the second must finish one module
+  // occupancy later than the first.
+  auto make = [&] {
+    auto b = std::make_unique<DmaBatch>(1);
+    for (int i = 0; i < 4; ++i) {
+      std::vector<std::uint8_t> frame(1500, 0);
+      b->append(0, frame, nullptr);
+    }
+    return b;
+  };
+  std::vector<Picos> done;
+  dev.dma().set_rx_deliver([&](DmaBatchPtr) { done.push_back(sim.now()); });
+  dev.dma().submit_tx(make());
+  dev.dma().submit_tx(make());
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_GT(done[1], done[0]);
+}
+
+TEST(FpgaDevice, PrDoesNotDisturbRunningRegion) {
+  sim::Simulator sim;
+  FpgaDevice dev{sim, small_config()};
+  const auto r0 = dev.load_module(loopback_bitstream(), nullptr);
+  ASSERT_TRUE(r0.has_value());
+  sim.run();
+  dev.map_acc(0, *r0);
+
+  // Stream batches through region 0 while region 1 reconfigures; every batch
+  // must come back unflagged, at the same cadence.
+  std::uint64_t returned = 0;
+  dev.dma().set_rx_deliver([&](DmaBatchPtr b) {
+    for (const auto& v : b->parse()) EXPECT_EQ(v.header.flags, 0);
+    ++returned;
+  });
+  for (int i = 0; i < 50; ++i) {
+    auto b = std::make_unique<DmaBatch>(0);
+    b->append(0, std::vector<std::uint8_t>(1000, 1), nullptr);
+    dev.dma().submit_tx(std::move(b));
+  }
+  dev.load_module(accel::ipsec_crypto_bitstream(), nullptr);  // concurrent PR
+  sim.run();
+  EXPECT_EQ(returned, 50u);
+  EXPECT_EQ(dev.dispatch_drops(), 0u);
+}
+
+}  // namespace
+}  // namespace dhl::fpga

@@ -1,0 +1,189 @@
+// Unit tests for wire-format protocol headers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dhl/common/rng.hpp"
+#include "dhl/netio/headers.hpp"
+
+namespace dhl::netio {
+namespace {
+
+TEST(Ethernet, WriteParseRoundTrip) {
+  EthernetHeader h;
+  h.dst = {1, 2, 3, 4, 5, 6};
+  h.src = {7, 8, 9, 10, 11, 12};
+  h.ether_type = kEtherTypeIpv4;
+  std::vector<std::uint8_t> buf(kEthernetHeaderLen);
+  h.write(buf);
+  const EthernetHeader p = EthernetHeader::parse(buf);
+  EXPECT_EQ(p.dst, h.dst);
+  EXPECT_EQ(p.src, h.src);
+  EXPECT_EQ(p.ether_type, h.ether_type);
+}
+
+TEST(Ipv4, WriteParseRoundTripWithChecksum) {
+  Ipv4Header h;
+  h.src = ipv4_addr(10, 1, 2, 3);
+  h.dst = ipv4_addr(192, 168, 4, 5);
+  h.total_length = 576;
+  h.identification = 0x4242;
+  h.ttl = 17;
+  h.protocol = kIpProtoTcp;
+  std::vector<std::uint8_t> buf(kIpv4HeaderLen);
+  h.write(buf);
+  EXPECT_TRUE(Ipv4Header::checksum_ok(buf));
+  const Ipv4Header p = Ipv4Header::parse(buf);
+  EXPECT_EQ(p.src, h.src);
+  EXPECT_EQ(p.dst, h.dst);
+  EXPECT_EQ(p.total_length, h.total_length);
+  EXPECT_EQ(p.ttl, h.ttl);
+  EXPECT_EQ(p.protocol, h.protocol);
+}
+
+TEST(Ipv4, CorruptionBreaksChecksum) {
+  Ipv4Header h;
+  h.src = ipv4_addr(1, 2, 3, 4);
+  h.dst = ipv4_addr(5, 6, 7, 8);
+  h.total_length = 100;
+  std::vector<std::uint8_t> buf(kIpv4HeaderLen);
+  h.write(buf);
+  buf[15] ^= 0x01;
+  EXPECT_FALSE(Ipv4Header::checksum_ok(buf));
+}
+
+TEST(Ipv4, KnownChecksumVector) {
+  // Classic example from RFC 1071 discussions: verify against a hand-checked
+  // header.
+  std::vector<std::uint8_t> buf = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40,
+                                   0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+                                   0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+  const std::uint16_t sum = Ipv4Header::checksum(buf);
+  EXPECT_EQ(sum, 0xb861);
+}
+
+TEST(UdpTcp, RoundTrips) {
+  UdpHeader u;
+  u.src_port = 1234;
+  u.dst_port = 53;
+  u.length = 80;
+  std::vector<std::uint8_t> ubuf(kUdpHeaderLen);
+  u.write(ubuf);
+  const UdpHeader up = UdpHeader::parse(ubuf);
+  EXPECT_EQ(up.src_port, 1234);
+  EXPECT_EQ(up.dst_port, 53);
+  EXPECT_EQ(up.length, 80);
+
+  TcpHeader t;
+  t.src_port = 4000;
+  t.dst_port = 80;
+  t.seq = 0xdeadbeef;
+  t.ack = 0x12345678;
+  t.flags = 0x18;
+  t.window = 65535;
+  std::vector<std::uint8_t> tbuf(kTcpHeaderLen);
+  t.write(tbuf);
+  const TcpHeader tp = TcpHeader::parse(tbuf);
+  EXPECT_EQ(tp.src_port, 4000);
+  EXPECT_EQ(tp.dst_port, 80);
+  EXPECT_EQ(tp.seq, 0xdeadbeefu);
+  EXPECT_EQ(tp.ack, 0x12345678u);
+  EXPECT_EQ(tp.flags, 0x18);
+  EXPECT_EQ(tp.window, 65535);
+}
+
+TEST(Esp, RoundTrips) {
+  EspHeader e;
+  e.spi = 0x00001001;
+  e.seq = 77;
+  std::vector<std::uint8_t> buf(kEspHeaderLen);
+  e.write(buf);
+  const EspHeader p = EspHeader::parse(buf);
+  EXPECT_EQ(p.spi, 0x1001u);
+  EXPECT_EQ(p.seq, 77u);
+}
+
+std::vector<std::uint8_t> build_udp_frame(std::uint16_t dst_port,
+                                          std::size_t payload_len) {
+  std::vector<std::uint8_t> frame(kEthernetHeaderLen + kIpv4HeaderLen +
+                                  kUdpHeaderLen + payload_len);
+  EthernetHeader eth;
+  eth.write(frame);
+  Ipv4Header ip;
+  ip.src = ipv4_addr(10, 0, 0, 1);
+  ip.dst = ipv4_addr(10, 0, 0, 2);
+  ip.protocol = kIpProtoUdp;
+  ip.total_length = static_cast<std::uint16_t>(frame.size() - kEthernetHeaderLen);
+  ip.write({frame.data() + kEthernetHeaderLen, frame.size() - kEthernetHeaderLen});
+  UdpHeader udp;
+  udp.src_port = 9999;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(kUdpHeaderLen + payload_len);
+  udp.write({frame.data() + kEthernetHeaderLen + kIpv4HeaderLen,
+             kUdpHeaderLen + payload_len});
+  return frame;
+}
+
+TEST(PacketView, ParsesUdpStack) {
+  const auto frame = build_udp_frame(53, 30);
+  const PacketView v = parse_packet(frame);
+  ASSERT_TRUE(v.valid);
+  EXPECT_EQ(v.ip.protocol, kIpProtoUdp);
+  EXPECT_EQ(v.l4_dst_port, 53);
+  EXPECT_EQ(v.payload_offset, kEthernetHeaderLen + kIpv4HeaderLen + kUdpHeaderLen);
+}
+
+TEST(PacketView, RejectsTruncatedAndNonIp) {
+  std::vector<std::uint8_t> tiny(10, 0);
+  EXPECT_FALSE(parse_packet(tiny).valid);
+
+  auto frame = build_udp_frame(53, 30);
+  frame[12] = 0x86;  // ether_type -> not IPv4
+  frame[13] = 0xdd;
+  EXPECT_FALSE(parse_packet(frame).valid);
+}
+
+TEST(PacketView, NonTcpUdpProtocolStillParses) {
+  auto frame = build_udp_frame(53, 30);
+  frame[kEthernetHeaderLen + 9] = kIpProtoEsp;
+  const PacketView v = parse_packet(frame);
+  ASSERT_TRUE(v.valid);
+  EXPECT_EQ(v.ip.protocol, kIpProtoEsp);
+  EXPECT_EQ(v.l4_src_port, 0);
+  EXPECT_EQ(v.payload_offset, v.l4_offset);
+}
+
+// Property: random header fields survive a write/parse round trip.
+class HeaderRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeaderRoundTrip, RandomIpv4) {
+  Xoshiro256 rng{GetParam()};
+  for (int i = 0; i < 200; ++i) {
+    Ipv4Header h;
+    h.src = static_cast<std::uint32_t>(rng());
+    h.dst = static_cast<std::uint32_t>(rng());
+    h.total_length = static_cast<std::uint16_t>(rng.bounded(65536));
+    h.identification = static_cast<std::uint16_t>(rng.bounded(65536));
+    h.ttl = static_cast<std::uint8_t>(1 + rng.bounded(255));
+    h.protocol = static_cast<std::uint8_t>(rng.bounded(256));
+    h.dscp = static_cast<std::uint8_t>(rng.bounded(64));
+    std::vector<std::uint8_t> buf(kIpv4HeaderLen);
+    h.write(buf);
+    ASSERT_TRUE(Ipv4Header::checksum_ok(buf));
+    const Ipv4Header p = Ipv4Header::parse(buf);
+    ASSERT_EQ(p.src, h.src);
+    ASSERT_EQ(p.dst, h.dst);
+    ASSERT_EQ(p.total_length, h.total_length);
+    ASSERT_EQ(p.identification, h.identification);
+    ASSERT_EQ(p.ttl, h.ttl);
+    ASSERT_EQ(p.protocol, h.protocol);
+    ASSERT_EQ(p.dscp, h.dscp);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeaderRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace dhl::netio

@@ -1,0 +1,159 @@
+// Unit + property tests for the DIR-24-8 longest-prefix-match table.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "dhl/common/rng.hpp"
+#include "dhl/netio/headers.hpp"
+#include "dhl/netio/lpm.hpp"
+
+namespace dhl::netio {
+namespace {
+
+TEST(Lpm, EmptyTableMisses) {
+  LpmTable t;
+  EXPECT_FALSE(t.lookup(ipv4_addr(1, 2, 3, 4)).has_value());
+}
+
+TEST(Lpm, ShortPrefixCoversRange) {
+  LpmTable t;
+  ASSERT_TRUE(t.add(ipv4_addr(10, 0, 0, 0), 8, 7));
+  EXPECT_EQ(t.lookup(ipv4_addr(10, 0, 0, 1)), 7);
+  EXPECT_EQ(t.lookup(ipv4_addr(10, 255, 255, 255)), 7);
+  EXPECT_FALSE(t.lookup(ipv4_addr(11, 0, 0, 0)).has_value());
+}
+
+TEST(Lpm, LongestPrefixWins) {
+  LpmTable t;
+  ASSERT_TRUE(t.add(ipv4_addr(10, 0, 0, 0), 8, 1));
+  ASSERT_TRUE(t.add(ipv4_addr(10, 1, 0, 0), 16, 2));
+  ASSERT_TRUE(t.add(ipv4_addr(10, 1, 1, 0), 24, 3));
+  EXPECT_EQ(t.lookup(ipv4_addr(10, 9, 9, 9)), 1);
+  EXPECT_EQ(t.lookup(ipv4_addr(10, 1, 9, 9)), 2);
+  EXPECT_EQ(t.lookup(ipv4_addr(10, 1, 1, 9)), 3);
+}
+
+TEST(Lpm, InsertionOrderDoesNotMatter) {
+  LpmTable t;
+  ASSERT_TRUE(t.add(ipv4_addr(10, 1, 1, 0), 24, 3));
+  ASSERT_TRUE(t.add(ipv4_addr(10, 0, 0, 0), 8, 1));  // shallower added later
+  EXPECT_EQ(t.lookup(ipv4_addr(10, 1, 1, 9)), 3);
+  EXPECT_EQ(t.lookup(ipv4_addr(10, 2, 0, 0)), 1);
+}
+
+TEST(Lpm, DeepPrefixesUseTbl8) {
+  LpmTable t;
+  ASSERT_TRUE(t.add(ipv4_addr(10, 0, 0, 0), 24, 1));
+  ASSERT_TRUE(t.add(ipv4_addr(10, 0, 0, 128), 25, 2));
+  ASSERT_TRUE(t.add(ipv4_addr(10, 0, 0, 200), 32, 3));
+  EXPECT_EQ(t.lookup(ipv4_addr(10, 0, 0, 1)), 1);
+  EXPECT_EQ(t.lookup(ipv4_addr(10, 0, 0, 129)), 2);
+  EXPECT_EQ(t.lookup(ipv4_addr(10, 0, 0, 200)), 3);
+  EXPECT_EQ(t.lookup(ipv4_addr(10, 0, 0, 201)), 2);
+}
+
+TEST(Lpm, HostRoute) {
+  LpmTable t;
+  ASSERT_TRUE(t.add(ipv4_addr(1, 1, 1, 1), 32, 9));
+  EXPECT_EQ(t.lookup(ipv4_addr(1, 1, 1, 1)), 9);
+  EXPECT_FALSE(t.lookup(ipv4_addr(1, 1, 1, 2)).has_value());
+}
+
+TEST(Lpm, Tbl8GroupExhaustion) {
+  LpmTable t{2};  // only two tbl8 groups
+  ASSERT_TRUE(t.add(ipv4_addr(1, 0, 0, 0), 32, 1));
+  ASSERT_TRUE(t.add(ipv4_addr(2, 0, 0, 0), 32, 2));
+  // Same /24 as an existing group: no new group needed.
+  ASSERT_TRUE(t.add(ipv4_addr(1, 0, 0, 99), 32, 3));
+  // A third /24 needing a group must fail.
+  EXPECT_FALSE(t.add(ipv4_addr(3, 0, 0, 0), 32, 4));
+}
+
+TEST(Lpm, RemoveFallsBackToCoveringRoute) {
+  LpmTable t;
+  ASSERT_TRUE(t.add(ipv4_addr(10, 0, 0, 0), 8, 1));
+  ASSERT_TRUE(t.add(ipv4_addr(10, 1, 0, 0), 16, 2));
+  EXPECT_EQ(t.lookup(ipv4_addr(10, 1, 2, 3)), 2);
+  ASSERT_TRUE(t.remove(ipv4_addr(10, 1, 0, 0), 16));
+  EXPECT_EQ(t.lookup(ipv4_addr(10, 1, 2, 3)), 1);
+  EXPECT_FALSE(t.remove(ipv4_addr(10, 1, 0, 0), 16));  // already gone
+}
+
+TEST(Lpm, ReAddReplacesNextHop) {
+  LpmTable t;
+  ASSERT_TRUE(t.add(ipv4_addr(10, 0, 0, 0), 8, 1));
+  ASSERT_TRUE(t.add(ipv4_addr(10, 0, 0, 0), 8, 5));
+  EXPECT_EQ(t.lookup(ipv4_addr(10, 3, 3, 3)), 5);
+  EXPECT_EQ(t.rule_count(), 1u);
+}
+
+// --- property: matches a naive reference implementation ------------------------
+
+struct NaiveLpm {
+  struct Rule {
+    std::uint32_t prefix;
+    std::uint8_t depth;
+    std::uint16_t hop;
+  };
+  std::vector<Rule> rules;
+  std::optional<std::uint16_t> lookup(std::uint32_t addr) const {
+    int best = -1;
+    std::uint16_t hop = 0;
+    for (const auto& r : rules) {
+      const std::uint32_t mask =
+          r.depth == 32 ? 0xffffffffu : ~((1u << (32 - r.depth)) - 1);
+      if ((addr & mask) == (r.prefix & mask) && r.depth > best) {
+        best = r.depth;
+        hop = r.hop;
+      }
+    }
+    if (best < 0) return std::nullopt;
+    return hop;
+  }
+};
+
+class LpmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpmProperty, AgreesWithNaiveReference) {
+  Xoshiro256 rng{GetParam()};
+  LpmTable t{512};
+  NaiveLpm naive;
+
+  // Cluster prefixes in a few /16s so lookups actually collide.
+  for (int i = 0; i < 120; ++i) {
+    const std::uint32_t base =
+        (static_cast<std::uint32_t>(10 + rng.bounded(3)) << 24) |
+        (static_cast<std::uint32_t>(rng.bounded(4)) << 16);
+    const std::uint8_t depth = static_cast<std::uint8_t>(8 + rng.bounded(25));
+    const std::uint32_t prefix = base | static_cast<std::uint32_t>(rng() & 0xffff);
+    const std::uint16_t hop = static_cast<std::uint16_t>(1 + rng.bounded(1000));
+    if (t.add(prefix, depth, hop)) {
+      const std::uint32_t mask =
+          depth == 32 ? 0xffffffffu : ~((1u << (32 - depth)) - 1);
+      // Mirror replace semantics in the reference.
+      std::erase_if(naive.rules, [&](const NaiveLpm::Rule& r) {
+        return r.prefix == (prefix & mask) && r.depth == depth;
+      });
+      naive.rules.push_back({prefix & mask, depth, hop});
+    }
+  }
+
+  for (int i = 0; i < 20'000; ++i) {
+    std::uint32_t addr;
+    if (i % 2 == 0) {
+      addr = (static_cast<std::uint32_t>(10 + rng.bounded(3)) << 24) |
+             (static_cast<std::uint32_t>(rng.bounded(4)) << 16) |
+             static_cast<std::uint32_t>(rng() & 0xffff);
+    } else {
+      addr = static_cast<std::uint32_t>(rng());
+    }
+    ASSERT_EQ(t.lookup(addr), naive.lookup(addr)) << "addr=" << addr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmProperty, ::testing::Values(17, 23, 31, 47));
+
+}  // namespace
+}  // namespace dhl::netio

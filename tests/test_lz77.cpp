@@ -1,0 +1,97 @@
+// Unit + property tests for the LZ77 codec.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dhl/accel/lz77.hpp"
+#include "dhl/common/rng.hpp"
+
+namespace dhl::accel {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Lz77, EmptyInput) {
+  EXPECT_TRUE(lz77_compress({}).empty());
+  EXPECT_TRUE(lz77_decompress({}).empty());
+}
+
+TEST(Lz77, RoundTripsText) {
+  const auto in = bytes(
+      "the quick brown fox jumps over the lazy dog the quick brown fox "
+      "jumps over the lazy dog the quick brown fox");
+  const auto packed = lz77_compress(in);
+  EXPECT_LT(packed.size(), in.size());  // repetitive text must shrink
+  EXPECT_EQ(lz77_decompress(packed), in);
+}
+
+TEST(Lz77, RoundTripsHighlyRepetitive) {
+  const std::vector<std::uint8_t> in(10'000, 0x42);
+  const auto packed = lz77_compress(in);
+  EXPECT_LT(packed.size(), in.size() / 10);
+  EXPECT_EQ(lz77_decompress(packed), in);
+}
+
+TEST(Lz77, OverlappingMatchCopy) {
+  // "abcabcabc..." forces matches that overlap their own output.
+  std::vector<std::uint8_t> in;
+  for (int i = 0; i < 1000; ++i) in.push_back(static_cast<std::uint8_t>("abc"[i % 3]));
+  const auto packed = lz77_compress(in);
+  EXPECT_EQ(lz77_decompress(packed), in);
+}
+
+TEST(Lz77, RandomDataDoesNotShrinkButRoundTrips) {
+  Xoshiro256 rng{5};
+  std::vector<std::uint8_t> in(2000);
+  rng.fill(in.data(), in.size());
+  const auto packed = lz77_compress(in);
+  EXPECT_GE(packed.size(), in.size());  // incompressible
+  EXPECT_EQ(lz77_decompress(packed), in);
+}
+
+TEST(Lz77, MalformedStreamsThrow) {
+  EXPECT_THROW(lz77_decompress(std::vector<std::uint8_t>{0x02}),
+               std::runtime_error);  // bad opcode
+  EXPECT_THROW(lz77_decompress(std::vector<std::uint8_t>{0x00}),
+               std::runtime_error);  // truncated literal header
+  EXPECT_THROW(lz77_decompress(std::vector<std::uint8_t>{0x00, 0x05, 0x01}),
+               std::runtime_error);  // truncated literal body
+  EXPECT_THROW(lz77_decompress(std::vector<std::uint8_t>{0x01, 0x01}),
+               std::runtime_error);  // truncated match
+  // Match referencing before the start of output.
+  EXPECT_THROW(lz77_decompress(std::vector<std::uint8_t>{0x01, 0x10, 0x00, 0x00}),
+               std::runtime_error);
+}
+
+class Lz77Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: decompress(compress(x)) == x over mixed random/repetitive data.
+TEST_P(Lz77Property, RoundTrip) {
+  Xoshiro256 rng{GetParam()};
+  for (int round = 0; round < 40; ++round) {
+    std::vector<std::uint8_t> in;
+    const std::size_t segments = 1 + rng.bounded(8);
+    for (std::size_t s = 0; s < segments; ++s) {
+      const std::size_t len = rng.bounded(500);
+      if (rng.bounded(2) == 0) {
+        // Repetitive segment.
+        const std::uint8_t b = static_cast<std::uint8_t>(rng());
+        in.insert(in.end(), len, b);
+      } else {
+        const std::size_t start = in.size();
+        in.resize(start + len);
+        rng.fill(in.data() + start, len);
+      }
+    }
+    const auto packed = lz77_compress(in);
+    ASSERT_EQ(lz77_decompress(packed), in) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lz77Property, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace dhl::accel

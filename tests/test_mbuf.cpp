@@ -1,0 +1,147 @@
+// Unit tests for mbufs and NUMA-aware pools.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dhl/netio/mbuf.hpp"
+#include "dhl/netio/mempool.hpp"
+
+namespace dhl::netio {
+namespace {
+
+TEST(MbufPool, AllocatesUpToCapacity) {
+  MbufPool pool{"p", 4, 2048, 0};
+  EXPECT_EQ(pool.capacity(), 4u);
+  std::vector<Mbuf*> taken;
+  for (int i = 0; i < 4; ++i) {
+    Mbuf* m = pool.alloc();
+    ASSERT_NE(m, nullptr);
+    taken.push_back(m);
+  }
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_EQ(pool.alloc(), nullptr);
+  EXPECT_EQ(pool.alloc_failures(), 1u);
+  for (Mbuf* m : taken) m->release();
+  EXPECT_EQ(pool.available(), 4u);
+}
+
+TEST(MbufPool, BulkIsAllOrNothing) {
+  MbufPool pool{"p", 4, 2048, 1};
+  Mbuf* bufs[8];
+  EXPECT_EQ(pool.alloc_bulk(bufs, 8), 0u);
+  EXPECT_EQ(pool.alloc_bulk(bufs, 4), 4u);
+  for (int i = 0; i < 4; ++i) bufs[i]->release();
+}
+
+TEST(MbufPool, SocketIsRecorded) {
+  MbufPool pool{"p", 2, 2048, 1};
+  EXPECT_EQ(pool.socket(), 1);
+}
+
+TEST(Mbuf, FreshMbufHasDefaultHeadroom) {
+  MbufPool pool{"p", 1, 2048, 0};
+  Mbuf* m = pool.alloc();
+  EXPECT_EQ(m->headroom(), kMbufDefaultHeadroom);
+  EXPECT_EQ(m->data_len(), 0u);
+  EXPECT_EQ(m->tailroom(), 2048u - kMbufDefaultHeadroom);
+  m->release();
+}
+
+TEST(Mbuf, AppendPrependAdjTrim) {
+  MbufPool pool{"p", 1, 2048, 0};
+  Mbuf* m = pool.alloc();
+  std::uint8_t* a = m->append(100);
+  std::iota(a, a + 100, 0);
+  EXPECT_EQ(m->data_len(), 100u);
+
+  std::uint8_t* p = m->prepend(20);
+  EXPECT_EQ(m->data_len(), 120u);
+  EXPECT_EQ(m->headroom(), kMbufDefaultHeadroom - 20);
+  EXPECT_EQ(p + 20, a);
+
+  m->adj(20);  // strip what we prepended
+  EXPECT_EQ(m->data_len(), 100u);
+  EXPECT_EQ(m->data()[0], 0);
+
+  m->trim(50);
+  EXPECT_EQ(m->data_len(), 50u);
+  m->release();
+}
+
+TEST(Mbuf, BoundsAreChecked) {
+  MbufPool pool{"p", 1, 512, 0};
+  Mbuf* m = pool.alloc();
+  EXPECT_THROW(m->prepend(kMbufDefaultHeadroom + 1), std::logic_error);
+  EXPECT_THROW(m->append(10'000), std::logic_error);
+  m->append(10);
+  EXPECT_THROW(m->adj(11), std::logic_error);
+  EXPECT_THROW(m->trim(11), std::logic_error);
+  m->release();
+}
+
+TEST(Mbuf, RefcountSharing) {
+  MbufPool pool{"p", 1, 2048, 0};
+  Mbuf* m = pool.alloc();
+  m->retain();
+  EXPECT_EQ(m->refcnt(), 2u);
+  m->release();
+  EXPECT_EQ(pool.available(), 0u);  // still held
+  m->release();
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(Mbuf, DoubleFreeThrows) {
+  MbufPool pool{"p", 1, 2048, 0};
+  Mbuf* m = pool.alloc();
+  m->release();
+  EXPECT_THROW(m->release(), std::logic_error);
+}
+
+TEST(Mbuf, AssignResetsMetadataReplaceDataKeepsIt) {
+  MbufPool pool{"p", 1, 2048, 0};
+  Mbuf* m = pool.alloc();
+  m->set_port(7);
+  m->set_nf_id(3);
+  m->set_acc_id(5);
+  m->set_rx_timestamp(1234);
+  m->set_seq(99);
+
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4};
+  m->replace_data(payload);
+  EXPECT_EQ(m->data_len(), 4u);
+  EXPECT_EQ(m->port(), 7);
+  EXPECT_EQ(m->nf_id(), 3);
+  EXPECT_EQ(m->rx_timestamp(), 1234u);
+  EXPECT_EQ(m->seq(), 99u);
+
+  m->assign(payload);
+  EXPECT_EQ(m->data_len(), 4u);
+  EXPECT_EQ(m->nf_id(), kInvalidNfId);  // assign resets metadata
+  EXPECT_EQ(m->rx_timestamp(), kNoRxTimestamp);
+  m->release();
+}
+
+TEST(Mbuf, AllocResetsState) {
+  MbufPool pool{"p", 1, 2048, 0};
+  Mbuf* m = pool.alloc();
+  m->append(64);
+  m->set_nf_id(9);
+  m->set_accel_result(42);
+  m->release();
+  Mbuf* m2 = pool.alloc();
+  EXPECT_EQ(m2, m);  // LIFO free list returns the same buffer
+  EXPECT_EQ(m2->data_len(), 0u);
+  EXPECT_EQ(m2->nf_id(), kInvalidNfId);
+  EXPECT_EQ(m2->accel_result(), 0u);
+  m2->release();
+}
+
+TEST(MbufPool, RejectsOversizedDataRoom) {
+  EXPECT_THROW((MbufPool{"p", 1, kMbufMaxDataLen + kMbufDefaultHeadroom + 1, 0}),
+               std::logic_error);
+  EXPECT_NO_THROW((MbufPool{"p", 1, kMbufMaxDataLen + kMbufDefaultHeadroom, 0}));
+}
+
+}  // namespace
+}  // namespace dhl::netio

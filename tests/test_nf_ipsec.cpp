@@ -1,0 +1,182 @@
+// Tests for the IPsec gateway NF: ESP correctness, CPU/DHL path equivalence.
+
+#include <gtest/gtest.h>
+
+#include "dhl/accel/ipsec_crypto.hpp"
+#include "dhl/netio/mempool.hpp"
+#include "dhl/netio/pktgen.hpp"
+#include "dhl/nf/ipsec_gateway.hpp"
+
+namespace dhl::nf {
+namespace {
+
+using netio::Mbuf;
+using netio::MbufPool;
+
+Mbuf* make_traffic_pkt(MbufPool& pool, std::uint32_t len, std::uint64_t seed) {
+  netio::TrafficConfig cfg;
+  cfg.frame_len = len;
+  cfg.seed = seed;
+  netio::FrameFactory factory{cfg};
+  Mbuf* m = pool.alloc();
+  factory.build(*m);
+  return m;
+}
+
+TEST(EspLayout, EncapLengthsAndPadding) {
+  // (inner + pad + 2) must be a multiple of 4 for every frame size.
+  for (std::uint32_t len = 64; len <= 1500; len += 13) {
+    const std::uint32_t inner = len - netio::kEthernetHeaderLen;
+    const std::uint32_t pad = accel::esp_pad_len(inner);
+    EXPECT_LT(pad, 4u);
+    EXPECT_EQ((inner + pad + 2) % 4, 0u);
+    EXPECT_EQ(accel::esp_encap_len(len),
+              accel::kEspPayloadOffset + inner + pad + 2 + accel::kEspIcvLen);
+  }
+}
+
+TEST(IpsecProcessor, EncryptDecryptRoundTrip) {
+  MbufPool pool{"p", 2, 4096, 0};
+  const auto sa = test_security_association();
+  IpsecProcessor enc{sa, {}};
+  IpsecProcessor dec{sa, {}};
+
+  for (const std::uint32_t len : {64u, 65u, 66u, 67u, 512u, 1500u}) {
+    Mbuf* m = make_traffic_pkt(pool, len, len);
+    const std::vector<std::uint8_t> original(m->payload().begin(),
+                                             m->payload().end());
+    ASSERT_EQ(enc.cpu_encrypt(*m), Verdict::kForward);
+    EXPECT_EQ(m->data_len(), accel::esp_encap_len(len));
+    // Outer header is ESP, tunnel endpoints as configured.
+    const auto view = netio::parse_packet(m->payload());
+    ASSERT_TRUE(view.valid);
+    EXPECT_EQ(view.ip.protocol, netio::kIpProtoEsp);
+    EXPECT_EQ(view.ip.src, sa.tunnel_src);
+    EXPECT_EQ(view.ip.dst, sa.tunnel_dst);
+    // Ciphertext differs from plaintext.
+    EXPECT_NE(std::vector<std::uint8_t>(
+                  m->payload().begin() + accel::kEspPayloadOffset,
+                  m->payload().begin() + accel::kEspPayloadOffset + 16),
+              std::vector<std::uint8_t>(original.begin() + 14,
+                                        original.begin() + 30));
+
+    ASSERT_EQ(dec.cpu_decrypt(*m), Verdict::kForward);
+    EXPECT_EQ(std::vector<std::uint8_t>(m->payload().begin(),
+                                        m->payload().end()),
+              original);
+    m->release();
+  }
+  EXPECT_EQ(enc.stats().encapsulated, 6u);
+  EXPECT_EQ(dec.stats().decapsulated, 6u);
+}
+
+TEST(IpsecProcessor, EspSequenceNumbersIncrease) {
+  MbufPool pool{"p", 2, 4096, 0};
+  IpsecProcessor enc{test_security_association(), {}};
+  std::uint32_t prev_seq = 0;
+  for (int i = 0; i < 3; ++i) {
+    Mbuf* m = make_traffic_pkt(pool, 128, static_cast<std::uint64_t>(i));
+    enc.cpu_encrypt(*m);
+    const auto esp = netio::EspHeader::parse(
+        {m->data() + accel::kEspOffset, netio::kEspHeaderLen});
+    EXPECT_GT(esp.seq, prev_seq);
+    prev_seq = esp.seq;
+    EXPECT_EQ(esp.spi, test_security_association().spi);
+    m->release();
+  }
+}
+
+TEST(IpsecProcessor, DecryptRejectsTamper) {
+  MbufPool pool{"p", 1, 4096, 0};
+  const auto sa = test_security_association();
+  IpsecProcessor enc{sa, {}};
+  IpsecProcessor dec{sa, {}};
+  Mbuf* m = make_traffic_pkt(pool, 256, 1);
+  enc.cpu_encrypt(*m);
+  m->data()[100] ^= 0x40;
+  EXPECT_EQ(dec.cpu_decrypt(*m), Verdict::kDrop);
+  EXPECT_EQ(dec.stats().auth_failures, 1u);
+  m->release();
+}
+
+TEST(IpsecProcessor, PolicyBypassesUnmatchedTraffic) {
+  MbufPool pool{"p", 1, 4096, 0};
+  IpsecPolicy policy;
+  policy.dst_prefix = netio::ipv4_addr(1, 2, 3, 0);
+  policy.dst_depth = 24;  // traffic goes to 192.168/16 -> no match
+  IpsecProcessor enc{test_security_association(), policy};
+  Mbuf* m = make_traffic_pkt(pool, 128, 1);
+  const std::uint32_t len_before = m->data_len();
+  EXPECT_EQ(enc.cpu_encrypt(*m), Verdict::kBypass);
+  EXPECT_EQ(m->data_len(), len_before);  // untouched
+  EXPECT_EQ(enc.stats().bypassed, 1u);
+  m->release();
+}
+
+TEST(IpsecProcessor, DhlPrepPlusModuleEqualsCpuPath) {
+  // The central DHL claim: offloading the crypto produces the same bytes.
+  MbufPool pool{"p", 2, 4096, 0};
+  const auto sa = test_security_association();
+  IpsecProcessor cpu{sa, {}};
+  IpsecProcessor dhl{sa, {}};
+  accel::IpsecCryptoModule module;
+  module.configure(accel::ipsec_module_config(false, sa));
+
+  for (const std::uint32_t len : {64u, 200u, 1500u}) {
+    Mbuf* a = make_traffic_pkt(pool, len, len);
+    Mbuf* b = make_traffic_pkt(pool, len, len);  // identical seed -> identical
+
+    ASSERT_EQ(cpu.cpu_encrypt(*a), Verdict::kForward);
+
+    ASSERT_EQ(dhl.dhl_prep(*b), Verdict::kForward);
+    std::vector<std::uint8_t> record(b->payload().begin(), b->payload().end());
+    const auto res = module.process(record);
+    ASSERT_EQ(res.result, accel::IpsecCryptoModule::kOk);
+    b->replace_data(record);
+
+    EXPECT_TRUE(std::equal(a->payload().begin(), a->payload().end(),
+                           b->payload().begin(), b->payload().end()))
+        << "len=" << len;
+    a->release();
+    b->release();
+  }
+}
+
+TEST(IpsecProcessor, DhlPostChecksResultWord) {
+  MbufPool pool{"p", 1, 4096, 0};
+  IpsecProcessor p{test_security_association(), {}};
+  Mbuf* m = make_traffic_pkt(pool, 64, 1);
+  m->set_accel_result(accel::IpsecCryptoModule::kOk);
+  EXPECT_EQ(p.dhl_post(*m), Verdict::kForward);
+  m->set_accel_result(accel::IpsecCryptoModule::kAuthFail);
+  EXPECT_EQ(p.dhl_post(*m), Verdict::kDrop);
+  EXPECT_EQ(p.stats().auth_failures, 1u);
+  m->release();
+}
+
+TEST(IpsecProcessor, MalformedFramesDrop) {
+  MbufPool pool{"p", 1, 4096, 0};
+  IpsecProcessor p{test_security_association(), {}};
+  Mbuf* m = pool.alloc();
+  m->assign(std::vector<std::uint8_t>(10, 0));  // runt
+  EXPECT_EQ(p.cpu_encrypt(*m), Verdict::kDrop);
+  EXPECT_EQ(p.stats().malformed, 1u);
+  m->release();
+}
+
+TEST(IpsecCosts, ModelsAreAffine) {
+  sim::TimingParams t;
+  const auto cost = ipsec_cpu_cost(t);
+  MbufPool pool{"p", 2, 4096, 0};
+  Mbuf* small = make_traffic_pkt(pool, 64, 1);
+  Mbuf* big = make_traffic_pkt(pool, 1500, 1);
+  EXPECT_NEAR(cost(*small), t.nf.ipsec_base + 64 * t.nf.ipsec_per_byte, 1e-9);
+  EXPECT_GT(cost(*big), cost(*small));
+  const auto prep = ipsec_dhl_prep_cost(t);
+  EXPECT_LT(prep(*big), cost(*big) / 10);  // shallow vs deep
+  small->release();
+  big->release();
+}
+
+}  // namespace
+}  // namespace dhl::nf

@@ -1,0 +1,135 @@
+// Unit tests for the simulated NIC port: arrival rates, drops, latency.
+
+#include <gtest/gtest.h>
+
+#include "dhl/netio/nic.hpp"
+#include "dhl/sim/simulator.hpp"
+
+namespace dhl::netio {
+namespace {
+
+NicPortConfig port_10g() {
+  NicPortConfig cfg;
+  cfg.name = "p0";
+  cfg.link = Bandwidth::gbps(10);
+  return cfg;
+}
+
+TEST(NicPort, ArrivalsMatchLineRate) {
+  sim::Simulator sim;
+  MbufPool pool{"p", 8192, 2048, 0};
+  NicPort port{sim, port_10g(), pool};
+
+  TrafficConfig traffic;
+  traffic.frame_len = 64;
+  port.start_traffic(traffic, 1.0);
+
+  // Drain the queue continuously so nothing is dropped.
+  std::uint64_t received = 0;
+  std::function<void()> drain = [&] {
+    Mbuf* pkts[64];
+    const std::size_t n = port.rx_burst(pkts, 64);
+    for (std::size_t i = 0; i < n; ++i) pkts[i]->release();
+    received += n;
+    if (sim.now() < milliseconds(1)) sim.schedule_after(microseconds(1), drain);
+  };
+  sim.schedule_after(0, drain);
+  sim.run_until(milliseconds(1));
+  port.stop_traffic();
+
+  // 10G line rate, 64 B frames -> 14.88 Mpps -> ~14881 frames in 1 ms.
+  EXPECT_NEAR(static_cast<double>(received), 14'881, 150);
+  EXPECT_NEAR(port.rx_meter().wire_rate(milliseconds(1)).gbps(), 10.0, 0.1);
+  EXPECT_EQ(port.rx_drops(), 0u);
+}
+
+TEST(NicPort, OfferedFractionScalesRate) {
+  sim::Simulator sim;
+  MbufPool pool{"p", 8192, 2048, 0};
+  NicPort port{sim, port_10g(), pool};
+  TrafficConfig traffic;
+  traffic.frame_len = 1500;
+  port.start_traffic(traffic, 0.5);
+  sim.run_until(milliseconds(2));
+  port.stop_traffic();
+  EXPECT_NEAR(port.rx_meter().wire_rate(milliseconds(2)).gbps(), 5.0, 0.2);
+}
+
+TEST(NicPort, QueueOverflowDropsAreCounted) {
+  sim::Simulator sim;
+  MbufPool pool{"p", 8192, 2048, 0};
+  NicPortConfig cfg = port_10g();
+  cfg.rx_queue_size = 64;
+  NicPort port{sim, cfg, pool};
+  TrafficConfig traffic;
+  traffic.frame_len = 64;
+  port.start_traffic(traffic, 1.0);
+  sim.run_until(milliseconds(1));  // nobody drains
+  port.stop_traffic();
+  EXPECT_GT(port.rx_drops(), 10'000u);
+  EXPECT_LE(port.rx_queue_depth(), 63u);
+}
+
+TEST(NicPort, PoolExhaustionCountsAsDrops) {
+  sim::Simulator sim;
+  MbufPool pool{"tiny", 32, 2048, 0};
+  NicPort port{sim, port_10g(), pool};
+  TrafficConfig traffic;
+  traffic.frame_len = 64;
+  port.start_traffic(traffic, 1.0);
+  sim.run_until(milliseconds(1));
+  port.stop_traffic();
+  EXPECT_GT(port.rx_drops(), 0u);
+}
+
+TEST(NicPort, TxRecordsLatencyFromRxTimestamp) {
+  sim::Simulator sim;
+  MbufPool pool{"p", 1024, 2048, 0};
+  NicPort port{sim, port_10g(), pool};
+  TrafficConfig traffic;
+  traffic.frame_len = 64;
+  port.start_traffic(traffic, 1.0);
+  sim.run_until(microseconds(10));
+  port.stop_traffic();
+
+  Mbuf* pkts[32];
+  const std::size_t n = port.rx_burst(pkts, 32);
+  ASSERT_GT(n, 0u);
+  // Transmit 5 us later: recorded latency >= 5 us for every frame.
+  sim.run_until(sim.now() + microseconds(5));
+  port.tx_burst(pkts, n);
+  EXPECT_EQ(port.latency().count(), n);
+  EXPECT_GE(port.latency().min(), microseconds(5));
+  EXPECT_EQ(port.tx_meter().frames(), n);
+}
+
+TEST(NicPort, StopTrafficHaltsArrivals) {
+  sim::Simulator sim;
+  MbufPool pool{"p", 8192, 2048, 0};
+  NicPort port{sim, port_10g(), pool};
+  TrafficConfig traffic;
+  traffic.frame_len = 512;
+  port.start_traffic(traffic, 1.0);
+  sim.run_until(microseconds(100));
+  port.stop_traffic();
+  const std::uint64_t frames = port.rx_meter().frames();
+  sim.run_until(milliseconds(1));
+  EXPECT_EQ(port.rx_meter().frames(), frames);
+}
+
+TEST(NicPort, ResetStatsClearsCounters) {
+  sim::Simulator sim;
+  MbufPool pool{"p", 1024, 2048, 0};
+  NicPort port{sim, port_10g(), pool};
+  TrafficConfig traffic;
+  port.start_traffic(traffic, 1.0);
+  sim.run_until(microseconds(50));
+  port.stop_traffic();
+  port.reset_stats();
+  EXPECT_EQ(port.rx_meter().frames(), 0u);
+  EXPECT_EQ(port.rx_drops(), 0u);
+  EXPECT_EQ(port.latency().count(), 0u);
+}
+
+}  // namespace
+}  // namespace dhl::netio

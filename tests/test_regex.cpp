@@ -1,0 +1,210 @@
+// Unit + property tests for the regex engine behind the regex-classifier
+// module.
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+#include "dhl/common/rng.hpp"
+#include "dhl/match/regex.hpp"
+
+namespace dhl::match {
+namespace {
+
+TEST(Regex, Literals) {
+  const auto re = Regex::compile("abc");
+  EXPECT_TRUE(re.full_match("abc"));
+  EXPECT_FALSE(re.full_match("ab"));
+  EXPECT_FALSE(re.full_match("abcd"));
+  EXPECT_TRUE(re.search("xxabcxx"));
+  EXPECT_FALSE(re.search("axbxc"));
+}
+
+TEST(Regex, Dot) {
+  const auto re = Regex::compile("a.c");
+  EXPECT_TRUE(re.full_match("abc"));
+  EXPECT_TRUE(re.full_match("azc"));
+  EXPECT_TRUE(re.full_match(std::string("a\0c", 3)));  // '.' is any byte
+  EXPECT_FALSE(re.full_match("ac"));
+}
+
+TEST(Regex, StarPlusOpt) {
+  EXPECT_TRUE(Regex::compile("ab*c").full_match("ac"));
+  EXPECT_TRUE(Regex::compile("ab*c").full_match("abbbbc"));
+  EXPECT_FALSE(Regex::compile("ab+c").full_match("ac"));
+  EXPECT_TRUE(Regex::compile("ab+c").full_match("abc"));
+  EXPECT_TRUE(Regex::compile("ab?c").full_match("ac"));
+  EXPECT_TRUE(Regex::compile("ab?c").full_match("abc"));
+  EXPECT_FALSE(Regex::compile("ab?c").full_match("abbc"));
+}
+
+TEST(Regex, Alternation) {
+  const auto re = Regex::compile("cat|dog|bird");
+  EXPECT_TRUE(re.full_match("cat"));
+  EXPECT_TRUE(re.full_match("dog"));
+  EXPECT_TRUE(re.full_match("bird"));
+  EXPECT_FALSE(re.full_match("cow"));
+  EXPECT_TRUE(re.search("hotdog stand"));
+}
+
+TEST(Regex, Grouping) {
+  const auto re = Regex::compile("(ab)+");
+  EXPECT_TRUE(re.full_match("ab"));
+  EXPECT_TRUE(re.full_match("abab"));
+  EXPECT_FALSE(re.full_match("aba"));
+  const auto re2 = Regex::compile("a(b|c)d");
+  EXPECT_TRUE(re2.full_match("abd"));
+  EXPECT_TRUE(re2.full_match("acd"));
+  EXPECT_FALSE(re2.full_match("aed"));
+}
+
+TEST(Regex, CharClasses) {
+  const auto re = Regex::compile("[a-f0-9]+");
+  EXPECT_TRUE(re.full_match("deadbeef42"));
+  EXPECT_FALSE(re.full_match("xyz"));
+  const auto neg = Regex::compile("[^0-9]+");
+  EXPECT_TRUE(neg.full_match("hello"));
+  EXPECT_FALSE(neg.full_match("h3llo"));
+  // ']' first in class is a literal.
+  const auto bracket = Regex::compile("[]]");
+  EXPECT_TRUE(bracket.full_match("]"));
+}
+
+TEST(Regex, NamedClassesAndEscapes) {
+  EXPECT_TRUE(Regex::compile("\\d+").full_match("12345"));
+  EXPECT_FALSE(Regex::compile("\\d+").full_match("12a45"));
+  EXPECT_TRUE(Regex::compile("\\w+").full_match("under_score9"));
+  EXPECT_TRUE(Regex::compile("\\s").full_match(" "));
+  EXPECT_TRUE(Regex::compile("\\S+").full_match("nospace"));
+  EXPECT_TRUE(Regex::compile("a\\.b").full_match("a.b"));
+  EXPECT_FALSE(Regex::compile("a\\.b").full_match("axb"));
+  EXPECT_TRUE(Regex::compile("\\x41\\x42").full_match("AB"));
+  EXPECT_TRUE(Regex::compile("\\x90+").search(std::string("\x90\x90\x90", 3)));
+}
+
+TEST(Regex, EmptyAndDegenerate) {
+  EXPECT_TRUE(Regex::compile("").full_match(""));
+  EXPECT_TRUE(Regex::compile("").search("anything"));
+  EXPECT_TRUE(Regex::compile("a|").full_match(""));
+  EXPECT_TRUE(Regex::compile("a|").full_match("a"));
+  EXPECT_TRUE(Regex::compile("()").full_match(""));
+}
+
+TEST(Regex, SearchSemantics) {
+  const auto re = Regex::compile("GET /[a-z]+\\.php");
+  EXPECT_TRUE(re.search("xxxx GET /gate.php HTTP/1.1"));
+  EXPECT_FALSE(re.search("GET /INDEX.PHP"));
+  // Overlap with earlier partial matches must not confuse the DFA.
+  EXPECT_TRUE(Regex::compile("aab").search("aaab"));
+  EXPECT_TRUE(Regex::compile("abab").search("ababab"));
+}
+
+TEST(Regex, SyntaxErrors) {
+  EXPECT_THROW(Regex::compile("("), std::invalid_argument);
+  EXPECT_THROW(Regex::compile(")"), std::invalid_argument);
+  EXPECT_THROW(Regex::compile("a)b"), std::invalid_argument);
+  EXPECT_THROW(Regex::compile("*a"), std::invalid_argument);
+  EXPECT_THROW(Regex::compile("[abc"), std::invalid_argument);
+  EXPECT_THROW(Regex::compile("[z-a]"), std::invalid_argument);
+  EXPECT_THROW(Regex::compile("a\\"), std::invalid_argument);
+  EXPECT_THROW(Regex::compile("\\xg1"), std::invalid_argument);
+}
+
+TEST(Regex, StateBudgetEnforced) {
+  // (a|b)(a|b)... blows up the DFA; a tiny budget must throw length_error.
+  std::string pattern;
+  for (int i = 0; i < 16; ++i) pattern += "(a|aa)";
+  EXPECT_THROW(Regex::compile(pattern, 8), std::length_error);
+  EXPECT_NO_THROW(Regex::compile(pattern, 8192));
+}
+
+TEST(RegexClassifier, BitmapSemantics) {
+  const std::vector<std::string> patterns{"cat", "d[ou]g+", "\\d\\d\\d"};
+  RegexClassifier cls{patterns};
+  ASSERT_EQ(cls.size(), 3u);
+  auto classify = [&](const std::string& s) {
+    return cls.classify(std::span<const std::uint8_t>{
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  };
+  EXPECT_EQ(classify("the cat sat"), 0b001u);
+  EXPECT_EQ(classify("hot dogg"), 0b010u);
+  EXPECT_EQ(classify("cat 123 dug"), 0b111u);
+  EXPECT_EQ(classify("nothing here"), 0u);
+}
+
+TEST(RegexClassifier, RejectsTooManyPatterns) {
+  std::vector<std::string> many(65, "a");
+  EXPECT_THROW((RegexClassifier{many}), std::logic_error);
+}
+
+// --- property: agree with std::regex on a restricted random grammar -----------
+
+class RegexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegexProperty, AgreesWithStdRegex) {
+  Xoshiro256 rng{GetParam()};
+  const char kAlphabet[] = "abc";
+
+  // The reference oracle (libstdc++ std::regex) backtracks, so the generator
+  // must avoid nested quantifiers -- `((a|aa)+)*`-style patterns send it into
+  // catastrophic (super-exponential) blowup.  Our DFA engine is immune, but
+  // the *oracle* must terminate.  `quantified` tracks whether the subtree
+  // already contains a quantifier.
+  struct Gen {
+    std::string pattern;
+    bool quantified = false;
+  };
+  auto random_pattern = [&](auto&& self, int depth) -> Gen {
+    if (depth <= 0 || rng.bounded(3) == 0) {
+      return {std::string(1, kAlphabet[rng.bounded(3)]), false};
+    }
+    switch (rng.bounded(5)) {
+      case 0: {
+        Gen a = self(self, depth - 1);
+        Gen b = self(self, depth - 1);
+        return {a.pattern + b.pattern, a.quantified || b.quantified};
+      }
+      case 1: {
+        Gen a = self(self, depth - 1);
+        Gen b = self(self, depth - 1);
+        return {"(" + a.pattern + "|" + b.pattern + ")",
+                a.quantified || b.quantified};
+      }
+      case 2:
+      case 3:
+      case 4: {
+        Gen a = self(self, depth - 1);
+        if (a.quantified) return a;  // no nesting
+        const char* op = rng.bounded(3) == 0   ? "*"
+                         : rng.bounded(2) == 0 ? "+"
+                                               : "?";
+        return {"(" + a.pattern + ")" + op, true};
+      }
+    }
+    return {std::string(1, 'a'), false};
+  };
+
+  for (int round = 0; round < 50; ++round) {
+    const std::string pattern = random_pattern(random_pattern, 3).pattern;
+    const Regex ours = Regex::compile(pattern);
+    const std::regex theirs{pattern, std::regex::ECMAScript};
+    for (int t = 0; t < 30; ++t) {
+      std::string text;
+      const std::size_t len = rng.bounded(10);
+      for (std::size_t i = 0; i < len; ++i) {
+        text.push_back(kAlphabet[rng.bounded(3)]);
+      }
+      ASSERT_EQ(ours.full_match(text), std::regex_match(text, theirs))
+          << "pattern='" << pattern << "' text='" << text << "'";
+      ASSERT_EQ(ours.search(text), std::regex_search(text, theirs))
+          << "pattern='" << pattern << "' text='" << text << "'";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexProperty,
+                         ::testing::Values(1001, 2002, 3003, 4004));
+
+}  // namespace
+}  // namespace dhl::match

@@ -1,0 +1,110 @@
+// Unit tests for the Snort-style rule parser.
+
+#include <gtest/gtest.h>
+
+#include "dhl/match/ruleset.hpp"
+
+namespace dhl::match {
+namespace {
+
+TEST(RuleSet, ParsesBasicRule) {
+  const auto rs = RuleSet::parse(
+      R"(alert tcp any any -> any 80 (msg:"web attack"; content:"/etc/passwd"; sid:42; priority:2;))");
+  ASSERT_EQ(rs.size(), 1u);
+  const Rule& r = rs.rules()[0];
+  EXPECT_EQ(r.action, RuleAction::kAlert);
+  EXPECT_EQ(r.proto, "tcp");
+  EXPECT_EQ(r.src_port, 0);
+  EXPECT_EQ(r.dst_port, 80);
+  EXPECT_EQ(r.msg, "web attack");
+  EXPECT_EQ(r.sid, 42u);
+  EXPECT_EQ(r.priority, 2);
+  ASSERT_EQ(r.contents.size(), 1u);
+  EXPECT_EQ(r.contents[0], "/etc/passwd");
+}
+
+TEST(RuleSet, ParsesDropAndPass) {
+  const auto rs = RuleSet::parse(
+      "drop udp any 53 -> any any (content:\"evil\"; sid:1;)\n"
+      "pass tcp any any -> any 22 (content:\"ok\"; sid:2;)\n");
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs.rules()[0].action, RuleAction::kDrop);
+  EXPECT_EQ(rs.rules()[0].src_port, 53);
+  EXPECT_EQ(rs.rules()[1].action, RuleAction::kPass);
+}
+
+TEST(RuleSet, HexContentDecodes) {
+  const auto rs = RuleSet::parse(
+      R"(alert ip any any -> any any (content:"|90 90 90|"; sid:1;))");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rules()[0].contents[0], std::string("\x90\x90\x90", 3));
+}
+
+TEST(RuleSet, MixedTextAndHexContent) {
+  const auto rs = RuleSet::parse(
+      R"(alert ip any any -> any any (content:"GET |2f 2f| HTTP"; sid:1;))");
+  EXPECT_EQ(rs.rules()[0].contents[0], "GET // HTTP");
+}
+
+TEST(RuleSet, MultipleContentsAndNocase) {
+  const auto rs = RuleSet::parse(
+      R"(alert tcp any any -> any 80 (content:"a"; content:"b"; nocase; sid:1;))");
+  EXPECT_EQ(rs.rules()[0].contents.size(), 2u);
+  EXPECT_TRUE(rs.rules()[0].nocase);
+}
+
+TEST(RuleSet, CommentsAndBlankLinesIgnored) {
+  const auto rs = RuleSet::parse(
+      "# a comment\n"
+      "\n"
+      "alert tcp any any -> any any (content:\"x\"; sid:1;)\n"
+      "   # indented comment\n");
+  EXPECT_EQ(rs.size(), 1u);
+}
+
+TEST(RuleSet, ErrorsCarryLineNumbers) {
+  try {
+    RuleSet::parse("alert tcp any any -> any any (content:\"x\"; sid:1;)\n"
+                   "garbage here\n");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(RuleSet, RejectsBadInput) {
+  EXPECT_THROW(RuleSet::parse("alert tcp any any -> any any ()"),
+               std::invalid_argument);  // no content
+  EXPECT_THROW(RuleSet::parse("alert icmp any any -> any any (content:\"x\"; sid:1;)"),
+               std::invalid_argument);  // unsupported proto
+  EXPECT_THROW(RuleSet::parse("alert tcp any any <- any any (content:\"x\";)"),
+               std::invalid_argument);  // bad arrow
+  EXPECT_THROW(RuleSet::parse("alert tcp any 99999 -> any any (content:\"x\";)"),
+               std::invalid_argument);  // bad port
+  EXPECT_THROW(RuleSet::parse("warn tcp any any -> any any (content:\"x\";)"),
+               std::invalid_argument);  // bad action
+  EXPECT_THROW(RuleSet::parse("alert ip any any -> any any (content:\"|9|\"; sid:1;)"),
+               std::invalid_argument);  // bad hex byte
+}
+
+TEST(RuleSet, PatternIndexDeduplicates) {
+  const auto rs = RuleSet::parse(
+      "alert tcp any any -> any any (content:\"dup\"; sid:1;)\n"
+      "alert udp any any -> any any (content:\"dup\"; content:\"other\"; sid:2;)\n");
+  EXPECT_EQ(rs.patterns().size(), 2u);
+  EXPECT_EQ(rs.rule_patterns(0), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(rs.rule_patterns(1), (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(RuleSet, BuiltinSampleIsWellFormed) {
+  const auto rs = RuleSet::builtin_snort_sample();
+  EXPECT_GE(rs.size(), 15u);
+  EXPECT_LE(rs.patterns().size(), 48u);  // fits the module result bitmap
+  for (std::size_t r = 0; r < rs.size(); ++r) {
+    EXPECT_FALSE(rs.rules()[r].contents.empty());
+    EXPECT_GT(rs.rules()[r].sid, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dhl::match

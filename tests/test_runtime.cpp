@@ -1,0 +1,360 @@
+// Unit/integration tests for the DHL Runtime: control plane, Packer,
+// Distributor, and the data-isolation property.
+
+#include <gtest/gtest.h>
+
+#include "dhl/accel/catalog.hpp"
+#include "dhl/fpga/loopback.hpp"
+#include "dhl/netio/mempool.hpp"
+#include "dhl/netio/pktgen.hpp"
+#include "dhl/runtime/api.hpp"
+#include "dhl/runtime/runtime.hpp"
+
+namespace dhl::runtime {
+namespace {
+
+using fpga::FpgaDevice;
+using netio::Mbuf;
+using netio::MbufPool;
+
+struct Harness {
+  sim::Simulator sim;
+  fpga::FpgaDeviceConfig fpga_cfg;
+  std::unique_ptr<FpgaDevice> fpga;
+  std::unique_ptr<DhlRuntime> rt;
+  MbufPool pool{"test", 8192, 2048, 0};
+
+  explicit Harness(RuntimeConfig cfg = {}) {
+    fpga = std::make_unique<FpgaDevice>(sim, fpga_cfg);
+    rt = std::make_unique<DhlRuntime>(sim, cfg,
+                                      accel::standard_module_database(nullptr),
+                                      std::vector<FpgaDevice*>{fpga.get()});
+  }
+
+  /// Run until the handle's PR load completes.
+  void wait_ready(const AccHandle& h) {
+    sim.run_until(sim.now() + milliseconds(40));
+    ASSERT_TRUE(rt->acc_ready(h));
+  }
+
+  Mbuf* make_pkt(netio::NfId nf, netio::AccId acc, std::uint32_t len,
+                 std::uint8_t fill) {
+    Mbuf* m = pool.alloc();
+    std::vector<std::uint8_t> data(len, fill);
+    m->assign(data);
+    m->set_nf_id(nf);
+    m->set_acc_id(acc);
+    m->set_rx_timestamp(sim.now() == 0 ? 1 : sim.now());
+    return m;
+  }
+};
+
+TEST(Runtime, RegisterAssignsSequentialIds) {
+  Harness h;
+  EXPECT_EQ(h.rt->register_nf("a", 0), 0);
+  EXPECT_EQ(h.rt->register_nf("b", 1), 1);
+  EXPECT_EQ(h.rt->nf_count(), 2u);
+  // Different sockets -> different shared IBQs; private OBQs per NF.
+  EXPECT_NE(&h.rt->get_shared_ibq(0), &h.rt->get_shared_ibq(1));
+  EXPECT_NE(&h.rt->get_private_obq(0), &h.rt->get_private_obq(1));
+}
+
+TEST(Runtime, SearchByNameLoadsFromDatabase) {
+  Harness h;
+  const AccHandle handle = h.rt->search_by_name("loopback", 0);
+  ASSERT_TRUE(handle.valid());
+  EXPECT_FALSE(h.rt->acc_ready(handle));  // PR still in flight
+  h.wait_ready(handle);
+  ASSERT_EQ(h.rt->hardware_function_table().size(), 1u);
+  EXPECT_EQ(h.rt->hardware_function_table()[0].hf_name, "loopback");
+}
+
+TEST(Runtime, SearchByNameSharesExistingEntry) {
+  Harness h;
+  const AccHandle a = h.rt->search_by_name("loopback", 0);
+  const AccHandle b = h.rt->search_by_name("loopback", 0);
+  EXPECT_EQ(a.acc_id, b.acc_id);  // same module shared, no second PR load
+  EXPECT_EQ(h.rt->hardware_function_table().size(), 1u);
+}
+
+TEST(Runtime, SearchByNameUnknownFunctionFails) {
+  Harness h;
+  EXPECT_FALSE(h.rt->search_by_name("no-such-module", 0).valid());
+}
+
+TEST(Runtime, LoadPrTargetsSpecificFpga) {
+  Harness h;
+  const AccHandle handle = h.rt->load_pr("md5-auth", h.fpga->fpga_id());
+  ASSERT_TRUE(handle.valid());
+  h.wait_ready(handle);
+  EXPECT_TRUE(h.fpga->region_of("md5-auth").has_value());
+  EXPECT_FALSE(h.rt->load_pr("md5-auth", 12345).valid());  // unknown FPGA
+}
+
+TEST(Runtime, AccConfigureReachesModule) {
+  Harness h;
+  const AccHandle handle = h.rt->search_by_name("md5-auth", 0);
+  ASSERT_TRUE(handle.valid());
+  EXPECT_NO_THROW(h.rt->acc_configure(handle, {}));
+  const std::vector<std::uint8_t> bad{1};
+  EXPECT_THROW(h.rt->acc_configure(handle, bad), std::invalid_argument);
+  AccHandle bogus;
+  bogus.acc_id = 200;
+  EXPECT_THROW(h.rt->acc_configure(bogus, {}), std::logic_error);
+}
+
+TEST(Runtime, EndToEndLoopback) {
+  Harness h;
+  const netio::NfId nf = h.rt->register_nf("nf0", 0);
+  const AccHandle handle = h.rt->search_by_name("loopback", 0);
+  h.wait_ready(handle);
+  h.rt->start();
+
+  auto& ibq = h.rt->get_shared_ibq(nf);
+  auto& obq = h.rt->get_private_obq(nf);
+
+  std::vector<Mbuf*> pkts;
+  for (int i = 0; i < 40; ++i) {
+    Mbuf* m = h.make_pkt(nf, handle.acc_id, 200, static_cast<std::uint8_t>(i));
+    m->set_seq(static_cast<std::uint64_t>(i));
+    pkts.push_back(m);
+  }
+  ASSERT_EQ(DhlRuntime::send_packets(ibq, pkts.data(), pkts.size()),
+            pkts.size());
+  h.sim.run_until(h.sim.now() + milliseconds(1));
+
+  Mbuf* out[64];
+  const std::size_t n = DhlRuntime::receive_packets(obq, out, 64);
+  ASSERT_EQ(n, 40u);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i]->seq(), i);  // order preserved
+    EXPECT_EQ(out[i]->data_len(), 200u);
+    EXPECT_EQ(out[i]->data()[0], static_cast<std::uint8_t>(i));
+    out[i]->release();
+  }
+  EXPECT_EQ(h.rt->stats().pkts_to_fpga, 40u);
+  EXPECT_EQ(h.rt->stats().pkts_from_fpga, 40u);
+  EXPECT_EQ(h.rt->in_flight(), 0u);
+}
+
+TEST(Runtime, PackerRespectsBatchSizeCap) {
+  RuntimeConfig cfg;
+  cfg.timing.runtime.max_batch_bytes = 2048;
+  Harness h{cfg};
+  const netio::NfId nf = h.rt->register_nf("nf0", 0);
+  const AccHandle handle = h.rt->search_by_name("loopback", 0);
+  h.wait_ready(handle);
+  h.rt->start();
+
+  auto& ibq = h.rt->get_shared_ibq(nf);
+  // 40 x 500 B > 2 KB: must split into multiple DMA batches.
+  std::vector<Mbuf*> pkts;
+  for (int i = 0; i < 40; ++i) {
+    pkts.push_back(h.make_pkt(nf, handle.acc_id, 500, 0));
+  }
+  DhlRuntime::send_packets(ibq, pkts.data(), pkts.size());
+  h.sim.run_until(h.sim.now() + milliseconds(1));
+
+  const auto& stats = h.rt->stats();
+  EXPECT_EQ(stats.pkts_to_fpga, 40u);
+  EXPECT_GE(stats.batches_to_fpga, 10u);  // 500+16 B records, <= 3 per batch
+  EXPECT_LE(stats.bytes_to_fpga / stats.batches_to_fpga, 2048u);
+
+  Mbuf* out[64];
+  auto& obq = h.rt->get_private_obq(nf);
+  const std::size_t n = DhlRuntime::receive_packets(obq, out, 64);
+  EXPECT_EQ(n, 40u);
+  for (std::size_t i = 0; i < n; ++i) out[i]->release();
+}
+
+TEST(Runtime, DataIsolationBetweenNfs) {
+  // Paper IV-B: two NFs share the same accelerator module; each private OBQ
+  // must receive exactly its own packets, payloads intact.
+  Harness h;
+  const netio::NfId nf_a = h.rt->register_nf("a", 0);
+  const netio::NfId nf_b = h.rt->register_nf("b", 0);
+  const AccHandle handle = h.rt->search_by_name("loopback", 0);
+  h.wait_ready(handle);
+  h.rt->start();
+
+  auto& ibq = h.rt->get_shared_ibq(nf_a);  // same socket -> same shared IBQ
+  ASSERT_EQ(&ibq, &h.rt->get_shared_ibq(nf_b));
+
+  // Interleave the two NFs' packets on the shared IBQ.
+  for (int i = 0; i < 100; ++i) {
+    const bool is_a = i % 2 == 0;
+    Mbuf* m = h.make_pkt(is_a ? nf_a : nf_b, handle.acc_id, 100,
+                         is_a ? 0xaa : 0xbb);
+    m->set_seq(static_cast<std::uint64_t>(i));
+    ASSERT_EQ(DhlRuntime::send_packets(ibq, &m, 1), 1u);
+  }
+  h.sim.run_until(h.sim.now() + milliseconds(2));
+
+  Mbuf* out[128];
+  const std::size_t na =
+      DhlRuntime::receive_packets(h.rt->get_private_obq(nf_a), out, 128);
+  EXPECT_EQ(na, 50u);
+  for (std::size_t i = 0; i < na; ++i) {
+    EXPECT_EQ(out[i]->nf_id(), nf_a);
+    EXPECT_EQ(out[i]->data()[0], 0xaa);
+    EXPECT_EQ(out[i]->seq() % 2, 0u);
+    out[i]->release();
+  }
+  const std::size_t nb =
+      DhlRuntime::receive_packets(h.rt->get_private_obq(nf_b), out, 128);
+  EXPECT_EQ(nb, 50u);
+  for (std::size_t i = 0; i < nb; ++i) {
+    EXPECT_EQ(out[i]->nf_id(), nf_b);
+    EXPECT_EQ(out[i]->data()[0], 0xbb);
+    out[i]->release();
+  }
+}
+
+TEST(Runtime, BatchTimeoutFlushesUnderfullBatch) {
+  Harness h;
+  const netio::NfId nf = h.rt->register_nf("nf0", 0);
+  const AccHandle handle = h.rt->search_by_name("loopback", 0);
+  h.wait_ready(handle);
+  h.rt->start();
+
+  // A single small packet: far below 6 KB, must still come back quickly
+  // (drain-flush / timeout policy bounds latency at low load).
+  Mbuf* m = h.make_pkt(nf, handle.acc_id, 64, 0x7e);
+  DhlRuntime::send_packets(h.rt->get_shared_ibq(nf), &m, 1);
+  h.sim.run_until(h.sim.now() + microseconds(100));
+
+  Mbuf* out[4];
+  ASSERT_EQ(DhlRuntime::receive_packets(h.rt->get_private_obq(nf), out, 4), 1u);
+  EXPECT_EQ(out[0]->data()[0], 0x7e);
+  out[0]->release();
+}
+
+TEST(Runtime, ObqOverflowCountsDrops) {
+  RuntimeConfig cfg;
+  cfg.obq_size = 16;  // tiny private OBQ
+  Harness h{cfg};
+  const netio::NfId nf = h.rt->register_nf("nf0", 0);
+  const AccHandle handle = h.rt->search_by_name("loopback", 0);
+  h.wait_ready(handle);
+  h.rt->start();
+
+  std::vector<Mbuf*> pkts;
+  for (int i = 0; i < 64; ++i) {
+    pkts.push_back(h.make_pkt(nf, handle.acc_id, 64, 0));
+  }
+  DhlRuntime::send_packets(h.rt->get_shared_ibq(nf), pkts.data(), pkts.size());
+  h.sim.run_until(h.sim.now() + milliseconds(1));  // nobody drains the OBQ
+  EXPECT_GT(h.rt->stats().obq_drops, 0u);
+  EXPECT_EQ(h.rt->in_flight(), 0u);  // every mbuf accounted for
+
+  Mbuf* out[64];
+  const std::size_t n =
+      DhlRuntime::receive_packets(h.rt->get_private_obq(nf), out, 64);
+  EXPECT_LE(n, 15u);
+  for (std::size_t i = 0; i < n; ++i) out[i]->release();
+  // No mbuf leaked: pool fully recovers.
+  EXPECT_EQ(h.pool.in_use(), 0u);
+}
+
+TEST(Runtime, AdaptiveBatchingShrinksBatchesAtLowRate) {
+  RuntimeConfig cfg;
+  cfg.timing.runtime.adaptive_batching = true;
+  Harness h{cfg};
+  const netio::NfId nf = h.rt->register_nf("nf0", 0);
+  const AccHandle handle = h.rt->search_by_name("loopback", 0);
+  h.wait_ready(handle);
+  h.rt->start();
+
+  auto& ibq = h.rt->get_shared_ibq(nf);
+  auto& obq = h.rt->get_private_obq(nf);
+
+  // Trickle: one 200 B packet every 10 us -> EWMA rate ~20 MB/s -> the
+  // adaptive cap collapses to min_batch_bytes, so every packet ships in its
+  // own small batch instead of waiting for a 6 KB fill.
+  for (int i = 0; i < 200; ++i) {
+    Mbuf* m = h.make_pkt(nf, handle.acc_id, 200, 0x3c);
+    ASSERT_EQ(DhlRuntime::send_packets(ibq, &m, 1), 1u);
+    h.sim.run_until(h.sim.now() + microseconds(10));
+  }
+  h.sim.run_until(h.sim.now() + microseconds(200));
+
+  const auto& stats = h.rt->stats();
+  EXPECT_EQ(stats.pkts_to_fpga, 200u);
+  const double avg_batch =
+      static_cast<double>(stats.bytes_to_fpga) /
+      static_cast<double>(stats.batches_to_fpga);
+  EXPECT_LT(avg_batch, 1024.0);  // far below the 6 KB fixed cap
+
+  Mbuf* out[256];
+  const std::size_t got = DhlRuntime::receive_packets(obq, out, 256);
+  EXPECT_EQ(got, 200u);
+  for (std::size_t i = 0; i < got; ++i) out[i]->release();
+}
+
+TEST(Runtime, AdaptiveBatchingGrowsBatchesAtHighRate) {
+  RuntimeConfig cfg;
+  cfg.timing.runtime.adaptive_batching = true;
+  Harness h{cfg};
+  const netio::NfId nf = h.rt->register_nf("nf0", 0);
+  const AccHandle handle = h.rt->search_by_name("loopback", 0);
+  h.wait_ready(handle);
+  h.rt->start();
+
+  auto& ibq = h.rt->get_shared_ibq(nf);
+  auto& obq = h.rt->get_private_obq(nf);
+
+  // Flood: bursts of 64 x 1000 B packets every microsecond (~64 GB/s
+  // offered) -> the cap must open up to the full 6 KB.
+  std::uint64_t sent = 0;
+  for (int burst = 0; burst < 200; ++burst) {
+    for (int i = 0; i < 64; ++i) {
+      if (h.pool.available() == 0) break;  // backlog in flight
+      Mbuf* m = h.make_pkt(nf, handle.acc_id, 1000, 0x11);
+      if (DhlRuntime::send_packets(ibq, &m, 1) == 1) {
+        ++sent;
+      } else {
+        m->release();
+      }
+    }
+    h.sim.run_until(h.sim.now() + microseconds(1));
+    Mbuf* out[256];
+    std::size_t got;
+    while ((got = DhlRuntime::receive_packets(obq, out, 256)) > 0) {
+      for (std::size_t i = 0; i < got; ++i) out[i]->release();
+    }
+  }
+  // Drain the DMA backlog (we offered far above the 42 Gbps ceiling).
+  for (int round = 0; round < 20 && h.rt->in_flight() > 0; ++round) {
+    h.sim.run_until(h.sim.now() + milliseconds(1));
+    Mbuf* out[256];
+    std::size_t got;
+    while ((got = DhlRuntime::receive_packets(obq, out, 256)) > 0) {
+      for (std::size_t i = 0; i < got; ++i) out[i]->release();
+    }
+  }
+
+  const auto& stats = h.rt->stats();
+  EXPECT_GT(sent, 5000u);
+  const double avg_batch =
+      static_cast<double>(stats.bytes_to_fpga) /
+      static_cast<double>(stats.batches_to_fpga);
+  EXPECT_GT(avg_batch, 4000.0);  // near the 6 KB cap
+  EXPECT_EQ(h.rt->in_flight(), 0u);
+}
+
+TEST(Runtime, StopHaltsTransferCores) {
+  Harness h;
+  h.rt->register_nf("nf0", 0);
+  const AccHandle handle = h.rt->search_by_name("loopback", 0);
+  h.wait_ready(handle);
+  h.rt->start();
+  EXPECT_EQ(h.rt->transfer_cores().size(), 4u);  // 2 sockets x (tx+rx)
+  h.rt->stop();
+  const auto executed = h.sim.executed();
+  h.sim.run_until(h.sim.now() + milliseconds(1));
+  // No transfer-core polling events while stopped.
+  EXPECT_LE(h.sim.executed() - executed, 8u);
+}
+
+}  // namespace
+}  // namespace dhl::runtime

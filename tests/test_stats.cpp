@@ -1,0 +1,85 @@
+// Unit tests for throughput meters and latency histograms.
+
+#include <gtest/gtest.h>
+
+#include "dhl/sim/stats.hpp"
+
+namespace dhl::sim {
+namespace {
+
+TEST(ThroughputMeter, WireRateIncludesFraming) {
+  ThroughputMeter m;
+  // 14.88 Mpps of 64 B frames for 1 ms = 14880 frames -> 10 Gbps wire.
+  for (int i = 0; i < 14'880; ++i) m.record_frame(64);
+  const Bandwidth rate = m.wire_rate(milliseconds(1));
+  EXPECT_NEAR(rate.gbps(), 10.0, 0.01);
+  EXPECT_NEAR(m.pps(milliseconds(1)), 14.88e6, 1e4);
+}
+
+TEST(ThroughputMeter, ResetClears) {
+  ThroughputMeter m;
+  m.record_frame(1500);
+  m.reset();
+  EXPECT_EQ(m.frames(), 0u);
+  EXPECT_DOUBLE_EQ(m.wire_rate(seconds(1)).gbps(), 0.0);
+}
+
+TEST(ThroughputMeter, ZeroElapsedIsZeroRate) {
+  ThroughputMeter m;
+  m.record_frame(64);
+  EXPECT_DOUBLE_EQ(m.wire_rate(0).gbps(), 0.0);
+  EXPECT_DOUBLE_EQ(m.pps(0), 0.0);
+}
+
+TEST(LatencyHistogram, BasicMoments) {
+  LatencyHistogram h;
+  h.record(microseconds(1));
+  h.record(microseconds(2));
+  h.record(microseconds(3));
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), microseconds(1));
+  EXPECT_EQ(h.max(), microseconds(3));
+  EXPECT_EQ(h.mean(), microseconds(2));
+}
+
+TEST(LatencyHistogram, PercentilesWithinBinResolution) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(microseconds(i));
+  // 96 bins/decade => ~2.4% bin width.
+  EXPECT_NEAR(to_microseconds(h.percentile(0.5)), 500, 500 * 0.05);
+  EXPECT_NEAR(to_microseconds(h.percentile(0.99)), 990, 990 * 0.05);
+  EXPECT_GE(h.percentile(1.0), h.percentile(0.5));
+}
+
+TEST(LatencyHistogram, HandlesExtremes) {
+  LatencyHistogram h;
+  h.record(1);                 // below first bin edge
+  h.record(seconds(100));      // beyond last bin
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), seconds(100));
+  EXPECT_GT(h.percentile(0.99), seconds(1));
+}
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.mean(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(LatencyHistogram, MonotoneQuantiles) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10'000; ++i) {
+    h.record(nanoseconds(100 + (i * 7919) % 100'000));
+  }
+  Picos prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const Picos v = h.percentile(q);
+    EXPECT_GE(v, prev) << "quantile " << q;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace dhl::sim
