@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhl_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/dhl_runtime.dir/runtime.cpp.o.d"
+  "libdhl_runtime.a"
+  "libdhl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
