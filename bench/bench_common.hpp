@@ -9,6 +9,7 @@
 // latency with finite queues (the paper's "under different load factors").
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -19,6 +20,8 @@
 #include "dhl/nf/ipsec_gateway.hpp"
 #include "dhl/nf/nids.hpp"
 #include "dhl/nf/testbed.hpp"
+#include "dhl/telemetry/sampler.hpp"
+#include "dhl/telemetry/telemetry.hpp"
 
 namespace dhl::bench {
 
@@ -53,7 +56,26 @@ struct SingleNfOptions {
   fpga::DmaDriver driver = fpga::DmaDriver::kUioPoll;
   bool numa_aware = true;
   int fpga_socket = 0;
+  /// When non-empty, enable span tracing + periodic registry sampling for
+  /// this run and write a telemetry sidecar (Chrome trace JSON + metrics
+  /// snapshot + sampler series) to this path.
+  std::string telemetry_out;
+  /// Virtual-time sampling period for the sidecar's time series.
+  Picos telemetry_period = milliseconds(1);
 };
+
+/// Parse `--telemetry-out=<path>` from a bench binary's argv (empty when
+/// absent), so every bench can grow a telemetry sidecar without a full
+/// flag-parsing framework.
+inline std::string telemetry_out_arg(int argc, char** argv) {
+  constexpr const char* kPrefix = "--telemetry-out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kPrefix, std::strlen(kPrefix)) == 0) {
+      return argv[i] + std::strlen(kPrefix);
+    }
+  }
+  return {};
+}
 
 inline PointResult run_single_nf(const SingleNfOptions& opt) {
   nf::TestbedConfig tb_cfg;
@@ -66,6 +88,15 @@ inline PointResult run_single_nf(const SingleNfOptions& opt) {
   tb_cfg.fpga.socket = opt.fpga_socket;
   nf::Testbed tb{tb_cfg};
   auto* port = tb.add_port("p0", opt.link);
+
+  // Telemetry sidecar: trace spans + a periodic registry time series.
+  std::unique_ptr<telemetry::PeriodicSampler> sampler;
+  if (!opt.telemetry_out.empty()) {
+    tb.telemetry().trace.enable();
+    sampler = std::make_unique<telemetry::PeriodicSampler>(
+        tb.sim(), tb.telemetry().metrics, opt.telemetry_period);
+    sampler->start();
+  }
 
   const auto sa = nf::test_security_association();
   auto rules = std::make_shared<match::RuleSet>(
@@ -154,6 +185,22 @@ inline PointResult run_single_nf(const SingleNfOptions& opt) {
   r.latency_p50_us = to_microseconds(port->latency().percentile(0.5));
   r.latency_mean_us = to_microseconds(port->latency().mean());
   r.latency_p99_us = to_microseconds(port->latency().percentile(0.99));
+
+  if (sampler) {
+    sampler->stop();
+    const auto snap = tb.telemetry().metrics.snapshot(tb.sim().now());
+    if (telemetry::export_session_file(opt.telemetry_out,
+                                       tb.telemetry().trace, snap,
+                                       sampler.get())) {
+      std::printf("telemetry sidecar written to %s (%zu spans, %zu series, "
+                  "%zu samples)\n",
+                  opt.telemetry_out.c_str(), tb.telemetry().trace.size(),
+                  snap.samples.size(), sampler->series().size());
+    } else {
+      std::fprintf(stderr, "failed to write telemetry sidecar %s\n",
+                   opt.telemetry_out.c_str());
+    }
+  }
   return r;
 }
 

@@ -8,7 +8,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dhl;
   using namespace dhl::bench;
 
@@ -64,5 +64,17 @@ int main() {
       "\npaper shape: DHL < 10 us at every size (batch-fill wait makes 64 B\n"
       "slightly worse than 1500 B); CPU-only grows into tens of us with size;\n"
       "overall DHL gives ~7.7x throughput and ~1/19 latency at equal cores.\n");
+
+  // Optional instrumented run: one DHL point with tracing + sampling on.
+  const std::string telemetry_out = telemetry_out_arg(argc, argv);
+  if (!telemetry_out.empty()) {
+    SingleNfOptions opt;
+    opt.kind = NfKind::kIpsec;
+    opt.mode = ExecMode::kDhl;
+    opt.frame_len = 1500;
+    opt.offered = 0.8;
+    opt.telemetry_out = telemetry_out;
+    run_single_nf(opt);
+  }
   return 0;
 }

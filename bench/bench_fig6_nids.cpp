@@ -11,7 +11,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dhl;
   using namespace dhl::bench;
 
@@ -63,5 +63,17 @@ int main() {
       "\npaper shape: DHL-NIDS saturates near the 32 Gbps module ceiling at\n"
       "large packets; CPU-only stays below 8 Gbps; DHL latency < 10 us, i.e.\n"
       "~8.3x throughput and ~1/36 latency at 1500 B.\n");
+
+  // Optional instrumented run: one DHL point with tracing + sampling on.
+  const std::string telemetry_out = telemetry_out_arg(argc, argv);
+  if (!telemetry_out.empty()) {
+    SingleNfOptions opt;
+    opt.kind = NfKind::kNids;
+    opt.mode = ExecMode::kDhl;
+    opt.frame_len = 1500;
+    opt.offered = 0.8;
+    opt.telemetry_out = telemetry_out;
+    run_single_nf(opt);
+  }
   return 0;
 }

@@ -74,5 +74,10 @@ int main() {
   std::printf("runtime stats: %llu pkts to FPGA in %llu batches\n",
               static_cast<unsigned long long>(rt.stats().pkts_to_fpga),
               static_cast<unsigned long long>(rt.stats().batches_to_fpga));
+
+  // The same numbers, as the telemetry registry sees them (Prometheus text
+  // exposition; see DESIGN.md "Observability").
+  std::printf("\n--- metrics snapshot ---\n%s",
+              rt.telemetry().metrics.snapshot(sim.now()).to_prometheus().c_str());
   return got == sent ? 0 : 1;
 }

@@ -6,18 +6,38 @@
 // library from multiple OS threads, so the sink is guarded by a mutex.
 // Default level is kWarn to keep bench output clean; tests and examples can
 // lower it for tracing.
+//
+// The "[LEVEL] component: message" prefix is formatted into one string
+// before a single stream write, so concurrent writers can never interleave
+// fragments of a line.  A pluggable sink replaces the stderr write; tests
+// use it to assert on log output and telemetry exporters can tee through it.
 
+#include <functional>
 #include <iostream>
 #include <mutex>
 #include <sstream>
+#include <string>
 #include <string_view>
+#include <utility>
 
 namespace dhl {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
+inline std::string_view log_level_name(LogLevel level) {
+  static constexpr std::string_view kNames[] = {"TRACE", "DEBUG", "INFO",
+                                                "WARN",  "ERROR", "OFF"};
+  return kNames[static_cast<int>(level)];
+}
+
 class Logger {
  public:
+  /// Receives the structured record (level + component + bare message); the
+  /// formatted single-line form is what the default stderr sink prints.
+  using Sink =
+      std::function<void(LogLevel, std::string_view component,
+                         std::string_view message)>;
+
   static Logger& instance() {
     static Logger logger;
     return logger;
@@ -27,18 +47,38 @@ class Logger {
   LogLevel level() const { return level_; }
   bool enabled(LogLevel level) const { return level >= level_; }
 
-  void write(LogLevel level, std::string_view component, std::string_view msg) {
-    static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
-                                             "WARN", "ERROR", "OFF"};
+  /// Replace the output sink.  A null sink restores the default (stderr).
+  void set_sink(Sink sink) {
     std::lock_guard<std::mutex> lock(mu_);
-    std::clog << '[' << kNames[static_cast<int>(level)] << "] " << component
-              << ": " << msg << '\n';
+    sink_ = std::move(sink);
+  }
+  void reset_sink() { set_sink(nullptr); }
+
+  void write(LogLevel level, std::string_view component, std::string_view msg) {
+    // Format outside the lock; emit with one operator<< so lines from
+    // different threads never interleave.
+    std::string line;
+    line.reserve(component.size() + msg.size() + 16);
+    line += '[';
+    line += log_level_name(level);
+    line += "] ";
+    line += component;
+    line += ": ";
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sink_) {
+      sink_(level, component, msg);
+    } else {
+      std::clog << line;
+    }
   }
 
  private:
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
   std::mutex mu_;
+  Sink sink_;
 };
 
 }  // namespace dhl

@@ -35,6 +35,7 @@
 #include "dhl/sim/lcore.hpp"
 #include "dhl/sim/simulator.hpp"
 #include "dhl/sim/timing_params.hpp"
+#include "dhl/telemetry/telemetry.hpp"
 
 namespace dhl::runtime {
 
@@ -70,8 +71,13 @@ struct RuntimeConfig {
   /// other sockets pay the remote penalty (the Fig 4 "different NUMA node"
   /// series and our NUMA ablation).
   bool numa_aware = true;
+  /// Shared telemetry context; when null the runtime creates a private one.
+  telemetry::TelemetryPtr telemetry;
 };
 
+/// Compatibility view over the metrics registry (the pre-telemetry flat
+/// stats struct).  Assembled on demand by DhlRuntime::stats(); the
+/// registry series `dhl.runtime.<field>` are the source of truth.
 struct RuntimeStats {
   std::uint64_t pkts_to_fpga = 0;
   std::uint64_t batches_to_fpga = 0;
@@ -155,7 +161,12 @@ class DhlRuntime {
 
   // --- introspection -----------------------------------------------------------
 
-  const RuntimeStats& stats() const { return stats_; }
+  /// Flat stats view assembled from the metrics registry (compatibility
+  /// shim; prefer telemetry().metrics for new code).
+  RuntimeStats stats() const;
+  telemetry::Telemetry& telemetry() { return *telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return *telemetry_; }
+  const telemetry::TelemetryPtr& telemetry_ptr() const { return telemetry_; }
   const std::vector<HwFunctionEntry>& hardware_function_table() const {
     return hf_table_;
   }
@@ -171,6 +182,9 @@ class DhlRuntime {
     std::string name;
     int socket = 0;
     std::unique_ptr<netio::MbufRing> obq;
+    // Per-NF instruments (dhl.nf.* with {nf=name}).
+    telemetry::Gauge* obq_depth = nullptr;
+    telemetry::Counter* obq_drops = nullptr;
   };
 
   struct OpenBatch {
@@ -187,7 +201,23 @@ class DhlRuntime {
     // Adaptive batching: EWMA of the IBQ arrival byte rate.
     double ewma_bytes_per_sec = 0;
     Picos last_tx_poll = 0;
+    // Occupancy gauges, sampled once per poll iteration.
+    telemetry::Gauge* ibq_depth = nullptr;
+    telemetry::Gauge* completions_depth = nullptr;
+    std::string tx_track;
+    std::string rx_track;
   };
+
+  /// Hot-path counters for one (nf_id, acc_id) pair, created lazily on
+  /// first packet so the registry only carries live series.
+  struct NfAccCounters {
+    telemetry::Counter* pkts = nullptr;      // host -> FPGA
+    telemetry::Counter* bytes = nullptr;     // host -> FPGA payload bytes
+    telemetry::Counter* returned = nullptr;  // FPGA -> host
+    telemetry::Counter* errors = nullptr;    // error-flagged records
+  };
+
+  enum class FlushReason : std::uint8_t { kFull, kTimeout };
 
   using PendingSubmits =
       std::vector<std::pair<fpga::FpgaDevice*, fpga::DmaBatchPtr>>;
@@ -197,23 +227,42 @@ class DhlRuntime {
   /// Current batch cap for `state` (fixed, or adaptive per VI-2).
   std::uint32_t batch_cap(const SocketState& state) const;
   double flush_batch(int socket, netio::AccId acc_id, OpenBatch&& open,
-                     PendingSubmits& pending);
+                     PendingSubmits& pending, FlushReason reason);
   const HwFunctionEntry* entry_for(netio::AccId acc_id) const;
   fpga::FpgaDevice* device(int fpga_id);
   AccHandle start_load(const fpga::PartialBitstream& bitstream,
                        fpga::FpgaDevice& dev, int socket_for_entry);
+  NfAccCounters& nf_acc_counters(netio::NfId nf_id, netio::AccId acc_id);
 
   sim::Simulator& sim_;
   RuntimeConfig config_;
+  telemetry::TelemetryPtr telemetry_;
   fpga::BitstreamDatabase database_;
   std::vector<fpga::FpgaDevice*> fpgas_;
   std::vector<SocketState> sockets_;
   std::vector<NfInfo> nfs_;
   std::vector<HwFunctionEntry> hf_table_;
   netio::AccId next_acc_id_ = 0;
-  RuntimeStats stats_;
   std::uint64_t in_flight_ = 0;
+  std::uint64_t next_batch_id_ = 1;
   bool started_ = false;
+
+  // dhl.runtime.* instruments backing the RuntimeStats shim.
+  telemetry::Counter* pkts_to_fpga_ = nullptr;
+  telemetry::Counter* batches_to_fpga_ = nullptr;
+  telemetry::Counter* bytes_to_fpga_ = nullptr;
+  telemetry::Counter* pkts_from_fpga_ = nullptr;
+  telemetry::Counter* batches_from_fpga_ = nullptr;
+  telemetry::Counter* obq_drops_ = nullptr;
+  telemetry::Counter* error_records_ = nullptr;
+  // Packer behaviour: why batches shipped and how full they were.
+  telemetry::Counter* flush_full_ = nullptr;
+  telemetry::Counter* flush_timeout_ = nullptr;
+  telemetry::Counter* unready_drops_ = nullptr;
+  /// Batch fill at flush in parts-per-million of max_batch_bytes (the
+  /// log-binned histogram needs integer samples >= 1000 for resolution).
+  telemetry::Histogram* batch_fill_ppm_ = nullptr;
+  std::map<std::uint16_t, NfAccCounters> nf_acc_;
 };
 
 }  // namespace dhl::runtime

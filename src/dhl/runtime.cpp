@@ -17,14 +17,34 @@ DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
                        std::vector<fpga::FpgaDevice*> fpgas)
     : sim_{simulator},
       config_{std::move(config)},
+      telemetry_{telemetry::ensure(config_.telemetry)},
       database_{std::move(database)},
       fpgas_{std::move(fpgas)},
       sockets_(static_cast<std::size_t>(config_.num_sockets)) {
   DHL_CHECK(config_.num_sockets > 0);
+  telemetry::MetricsRegistry& reg = telemetry_->metrics;
+  pkts_to_fpga_ = reg.counter("dhl.runtime.pkts_to_fpga");
+  batches_to_fpga_ = reg.counter("dhl.runtime.batches_to_fpga");
+  bytes_to_fpga_ = reg.counter("dhl.runtime.bytes_to_fpga");
+  pkts_from_fpga_ = reg.counter("dhl.runtime.pkts_from_fpga");
+  batches_from_fpga_ = reg.counter("dhl.runtime.batches_from_fpga");
+  obq_drops_ = reg.counter("dhl.runtime.obq_drops");
+  error_records_ = reg.counter("dhl.runtime.error_records");
+  flush_full_ = reg.counter("dhl.runtime.flush_full_batches");
+  flush_timeout_ = reg.counter("dhl.runtime.flush_timeout_batches");
+  unready_drops_ = reg.counter("dhl.runtime.unready_drops");
+  batch_fill_ppm_ = reg.histogram("dhl.runtime.batch_fill_ppm");
   for (int s = 0; s < config_.num_sockets; ++s) {
-    sockets_[static_cast<std::size_t>(s)].ibq = std::make_unique<MbufRing>(
+    SocketState& state = sockets_[static_cast<std::size_t>(s)];
+    state.ibq = std::make_unique<MbufRing>(
         "dhl.ibq.socket" + std::to_string(s), config_.ibq_size,
         netio::SyncMode::kMulti, netio::SyncMode::kSingle);
+    const telemetry::Labels socket_label{{"socket", std::to_string(s)}};
+    state.ibq_depth = reg.gauge("dhl.runtime.ibq_depth", socket_label);
+    state.completions_depth =
+        reg.gauge("dhl.runtime.completions_depth", socket_label);
+    state.tx_track = "dhl.tx.socket" + std::to_string(s);
+    state.rx_track = "dhl.rx.socket" + std::to_string(s);
   }
   for (fpga::FpgaDevice* dev : fpgas_) {
     DHL_CHECK(dev != nullptr);
@@ -52,6 +72,9 @@ NfId DhlRuntime::register_nf(const std::string& name, int socket) {
   info.obq = std::make_unique<MbufRing>(
       "dhl.obq." + name, config_.obq_size, netio::SyncMode::kSingle,
       netio::SyncMode::kSingle);
+  const telemetry::Labels nf_label{{"nf", name}};
+  info.obq_depth = telemetry_->metrics.gauge("dhl.nf.obq_depth", nf_label);
+  info.obq_drops = telemetry_->metrics.counter("dhl.nf.obq_drops", nf_label);
   nfs_.push_back(std::move(info));
   DHL_INFO("dhl", "registered NF '" << name << "' as nf_id "
                                     << static_cast<int>(id) << " on socket "
@@ -238,9 +261,39 @@ std::vector<sim::Lcore*> DhlRuntime::transfer_cores() {
   return out;
 }
 
+DhlRuntime::NfAccCounters& DhlRuntime::nf_acc_counters(NfId nf_id,
+                                                       AccId acc_id) {
+  const auto key = static_cast<std::uint16_t>((nf_id << 8) | acc_id);
+  const auto it = nf_acc_.find(key);
+  if (it != nf_acc_.end()) return it->second;
+  const std::string nf_name = nf_id < nfs_.size()
+                                  ? nfs_[nf_id].name
+                                  : "nf" + std::to_string(nf_id);
+  const telemetry::Labels labels{
+      {"nf", nf_name}, {"acc", std::to_string(static_cast<int>(acc_id))}};
+  telemetry::MetricsRegistry& reg = telemetry_->metrics;
+  NfAccCounters c;
+  c.pkts = reg.counter("dhl.runtime.nf_pkts", labels);
+  c.bytes = reg.counter("dhl.runtime.nf_bytes", labels);
+  c.returned = reg.counter("dhl.runtime.nf_returned_pkts", labels);
+  c.errors = reg.counter("dhl.runtime.nf_error_records", labels);
+  return nf_acc_.emplace(key, c).first->second;
+}
+
+RuntimeStats DhlRuntime::stats() const {
+  RuntimeStats s;
+  s.pkts_to_fpga = pkts_to_fpga_->value();
+  s.batches_to_fpga = batches_to_fpga_->value();
+  s.bytes_to_fpga = bytes_to_fpga_->value();
+  s.pkts_from_fpga = pkts_from_fpga_->value();
+  s.batches_from_fpga = batches_from_fpga_->value();
+  s.obq_drops = obq_drops_->value();
+  s.error_records = error_records_->value();
+  return s;
+}
+
 double DhlRuntime::flush_batch(int socket, AccId acc_id, OpenBatch&& open,
-                               PendingSubmits& pending) {
-  (void)socket;
+                               PendingSubmits& pending, FlushReason reason) {
   const HwFunctionEntry* e = entry_for(acc_id);
   DHL_CHECK_MSG(e != nullptr, "batch for unknown acc_id");
   fpga::FpgaDevice* dev = device(e->fpga_id);
@@ -250,9 +303,23 @@ double DhlRuntime::flush_batch(int socket, AccId acc_id, OpenBatch&& open,
   // NUMA-aware allocation keeps the buffers on the FPGA's node; otherwise
   // they live on socket 0 and FPGAs elsewhere pay the remote penalty.
   batch->remote_numa = !config_.numa_aware && dev->socket() != 0;
-  stats_.batches_to_fpga += 1;
-  stats_.pkts_to_fpga += batch->record_count();
-  stats_.bytes_to_fpga += batch->size_bytes();
+  batch->batch_id = next_batch_id_++;
+  batches_to_fpga_->add(1);
+  pkts_to_fpga_->add(batch->record_count());
+  bytes_to_fpga_->add(batch->size_bytes());
+  (reason == FlushReason::kFull ? flush_full_ : flush_timeout_)->add(1);
+  batch_fill_ppm_->record(batch->size_bytes() * 1'000'000ull /
+                          config_.timing.runtime.max_batch_bytes);
+  if (telemetry_->trace.enabled()) {
+    telemetry_->trace.complete_span(
+        sockets_[static_cast<std::size_t>(socket)].tx_track, "batch.pack",
+        "runtime", open.opened_at, sim_.now(),
+        {{"batch", std::to_string(batch->batch_id)},
+         {"acc", std::to_string(static_cast<int>(acc_id))},
+         {"bytes", std::to_string(batch->size_bytes())},
+         {"records", std::to_string(batch->record_count())},
+         {"reason", reason == FlushReason::kFull ? "full" : "timeout"}});
+  }
   pending.emplace_back(dev, std::move(batch));
   return config_.timing.runtime.packer_per_batch_cycles;
 }
@@ -279,6 +346,7 @@ sim::PollResult DhlRuntime::tx_poll(int socket) {
 
   std::vector<Mbuf*> pkts(config_.ibq_burst);
   const std::size_t n = state.ibq->dequeue_burst({pkts.data(), pkts.size()});
+  state.ibq_depth->set(static_cast<double>(state.ibq->count()));
   if (n > 0) {
     cycles += cpu.ring_op_fixed_cycles +
               cpu.ring_op_per_pkt_cycles * static_cast<double>(n);
@@ -308,6 +376,7 @@ sim::PollResult DhlRuntime::tx_poll(int socket) {
       // Paper never sends before search/configure; treat as caller error.
       DHL_WARN("dhl", "packet tagged with unknown/unready acc_id "
                           << static_cast<int>(acc_id) << "; dropping");
+      unready_drops_->add(1);
       m->release();
       continue;
     }
@@ -323,7 +392,8 @@ sim::PollResult DhlRuntime::tx_poll(int socket) {
     const std::size_t record_bytes = fpga::kRecordHeaderBytes + m->data_len();
     if (open.batch->size_bytes() + record_bytes > cap &&
         !open.batch->empty()) {
-      cycles += flush_batch(socket, acc_id, std::move(open), pending);
+      cycles += flush_batch(socket, acc_id, std::move(open), pending,
+                            FlushReason::kFull);
       open.batch = std::make_unique<fpga::DmaBatch>(
           acc_id, rt.max_batch_bytes + fpga::kRecordHeaderBytes);
       open.batch->created_at = sim_.now();
@@ -331,6 +401,9 @@ sim::PollResult DhlRuntime::tx_poll(int socket) {
     }
     if (open.batch->empty()) open.batch->first_pkt_enqueued_at = sim_.now();
     open.batch->append(m->nf_id(), m->payload(), m);
+    NfAccCounters& c = nf_acc_counters(m->nf_id(), acc_id);
+    c.pkts->add(1);
+    c.bytes->add(m->data_len());
     ++in_flight_;
     cycles += rt.packer_per_pkt_cycles;
   }
@@ -346,7 +419,8 @@ sim::PollResult DhlRuntime::tx_poll(int socket) {
     const bool have = open.batch != nullptr && !open.batch->empty();
     const bool aged = have && sim_.now() - open.opened_at >= rt.batch_timeout;
     if (aged) {
-      cycles += flush_batch(socket, it->first, std::move(open), pending);
+      cycles += flush_batch(socket, it->first, std::move(open), pending,
+                            FlushReason::kTimeout);
       it = state.open_batches.erase(it);
     } else {
       ++it;
@@ -370,14 +444,24 @@ sim::PollResult DhlRuntime::tx_poll(int socket) {
 sim::PollResult DhlRuntime::rx_poll(int socket) {
   SocketState& state = sockets_[static_cast<std::size_t>(socket)];
   const auto& rt = config_.timing.runtime;
+  const Frequency clock = config_.timing.cpu.core_clock;
+  const Picos t0 = sim_.now();
+  const bool tracing = telemetry_->trace.enabled();
   double cycles = 0;
-  std::vector<std::pair<MbufRing*, Mbuf*>> deliveries;
+  // Deliveries carry the NF index (not the ring pointer) so the deferred
+  // lambda can also bump that NF's drop counter and depth gauge.
+  struct Delivery {
+    std::size_t nf;
+    Mbuf* m;
+  };
+  std::vector<Delivery> deliveries;
 
   for (std::uint32_t b = 0; b < config_.rx_burst && !state.completions.empty();
        ++b) {
     fpga::DmaBatchPtr batch = std::move(state.completions.front());
     state.completions.pop_front();
-    stats_.batches_from_fpga += 1;
+    batches_from_fpga_->add(1);
+    const double batch_start_cycles = cycles;
     cycles += rt.distributor_per_batch_cycles;
 
     const auto views = batch->parse();
@@ -387,9 +471,14 @@ sim::PollResult DhlRuntime::rx_poll(int socket) {
       const fpga::RecordView& v = views[i];
       Mbuf* m = batch->pkts()[i];
       --in_flight_;
-      stats_.pkts_from_fpga += 1;
+      pkts_from_fpga_->add(1);
       cycles += rt.distributor_per_pkt_cycles;
-      if (v.header.flags & 0x1) ++stats_.error_records;
+      NfAccCounters& c = nf_acc_counters(v.header.nf_id, v.header.acc_id);
+      c.returned->add(1);
+      if (v.header.flags & 0x1) {
+        error_records_->add(1);
+        c.errors->add(1);
+      }
 
       // Restore post-processed bytes and the module result into the mbuf.
       m->replace_data({batch->buffer().data() + v.data_offset,
@@ -399,25 +488,45 @@ sim::PollResult DhlRuntime::rx_poll(int socket) {
       // Isolation: route on the wire-format nf_id (paper IV-B1).
       const NfId nf = v.header.nf_id;
       if (nf >= nfs_.size()) {
-        ++stats_.obq_drops;
+        obq_drops_->add(1);
         m->release();
         continue;
       }
-      deliveries.emplace_back(nfs_[nf].obq.get(), m);
+      deliveries.push_back({nf, m});
+    }
+
+    if (tracing) {
+      // Span endpoints use the cumulative distributor cycles within this
+      // iteration, so back-to-back batches tile the RX lane without overlap.
+      const Picos d0 = t0 + clock.cycles(batch_start_cycles);
+      const Picos d1 = t0 + clock.cycles(cycles);
+      telemetry_->trace.complete_span(
+          state.rx_track, "batch.distribute", "runtime", d0, d1,
+          {{"batch", std::to_string(batch->batch_id)},
+           {"records", std::to_string(views.size())}});
+      // Whole life of the batch: opened by the Packer, DMA'd, processed,
+      // DMA'd back, distributed.
+      telemetry_->trace.complete_span(
+          "dhl.batch", "batch.lifecycle", "runtime", batch->created_at, d1,
+          {{"batch", std::to_string(batch->batch_id)},
+           {"records", std::to_string(views.size())}});
     }
   }
+  state.completions_depth->set(static_cast<double>(state.completions.size()));
 
   // Packets land in their private OBQs after the Distributor cycles spent
   // on them (same reasoning as the Packer's deferred doorbell).
   if (!deliveries.empty()) {
     sim_.schedule_after(
-        config_.timing.cpu.core_clock.cycles(cycles),
-        [this, deliveries = std::move(deliveries)] {
-          for (const auto& [obq, m] : deliveries) {
-            if (!obq->enqueue(m)) {
-              ++stats_.obq_drops;
-              m->release();
+        clock.cycles(cycles), [this, deliveries = std::move(deliveries)] {
+          for (const auto& d : deliveries) {
+            NfInfo& info = nfs_[d.nf];
+            if (!info.obq->enqueue(d.m)) {
+              obq_drops_->add(1);
+              info.obq_drops->add(1);
+              d.m->release();
             }
+            info.obq_depth->set(static_cast<double>(info.obq->count()));
           }
         });
   }

@@ -10,6 +10,7 @@ namespace dhl::fpga {
 FpgaDevice::FpgaDevice(sim::Simulator& simulator, FpgaDeviceConfig config)
     : sim_{simulator},
       config_{std::move(config)},
+      telemetry_{telemetry::ensure(config_.telemetry)},
       dma_{simulator, config_.dma, config_.driver},
       regions_(config_.num_pr_regions),
       acc_map_(256, -1) {
@@ -17,6 +18,18 @@ FpgaDevice::FpgaDevice(sim::Simulator& simulator, FpgaDeviceConfig config)
   DHL_CHECK(config_.static_region.luts <= config_.total_luts);
   DHL_CHECK(config_.static_region.brams <= config_.total_brams);
   dma_.set_tx_deliver([this](DmaBatchPtr b) { dispatch_batch(std::move(b)); });
+
+  const telemetry::Labels fpga_label{{"fpga", config_.name}};
+  telemetry::MetricsRegistry& reg = telemetry_->metrics;
+  pr_loads_ = reg.counter("dhl.fpga.pr_loads", fpga_label);
+  pr_load_time_ = reg.histogram("dhl.fpga.pr_load_time", fpga_label);
+  dispatch_records_ = reg.counter("dhl.fpga.dispatch_records", fpga_label);
+  dispatch_error_records_ =
+      reg.counter("dhl.fpga.dispatch_error_records", fpga_label);
+  dispatch_track_ = "fpga." + config_.name + ".dispatch";
+  dma_.set_telemetry(reg.histogram("dhl.dma.tx_latency", fpga_label),
+                     reg.histogram("dhl.dma.rx_latency", fpga_label),
+                     &telemetry_->trace, "fpga." + config_.name + ".dma");
 }
 
 std::optional<int> FpgaDevice::load_module(const PartialBitstream& bitstream,
@@ -55,6 +68,14 @@ std::optional<int> FpgaDevice::load_module(const PartialBitstream& bitstream,
   const Picos start = std::max(icap_busy_until_, sim_.now());
   const Picos done = start + reconfiguration_time(bitstream);
   icap_busy_until_ = done;
+  pr_loads_->add(1);
+  // Request->ready, including time queued behind the single ICAP port.
+  pr_load_time_->record(done - sim_.now());
+  if (telemetry_->trace.enabled()) {
+    telemetry_->trace.complete_span(
+        "fpga." + config_.name + ".icap", "pr.load", "pr", sim_.now(), done,
+        {{"hf", bitstream.hf_name}, {"region", std::to_string(region)}});
+  }
   sim_.schedule_at(done, [this, region, cb = std::move(on_ready)] {
     regions_[static_cast<std::size_t>(region)].state = RegionState::kReady;
     DHL_INFO("fpga", config_.name << " region " << region << " ready: "
@@ -155,6 +176,7 @@ void FpgaDevice::dispatch_batch(DmaBatchPtr batch) {
       v.header.flags |= 0x1;
       batch->store_header(v);
       ++dispatch_drops_;
+      dispatch_error_records_->add(1);
       continue;
     }
     Region& region = regions_[static_cast<std::size_t>(region_idx)];
@@ -182,6 +204,14 @@ void FpgaDevice::dispatch_batch(DmaBatchPtr batch) {
     const Picos completion =
         region.busy_until + config_.timing.fabric_clock.cycles(t.delay_cycles);
     batch_done = std::max(batch_done, completion);
+  }
+
+  dispatch_records_->add(views.size());
+  if (telemetry_->trace.enabled()) {
+    telemetry_->trace.complete_span(
+        dispatch_track_, "fpga.process", "fpga", arrival, batch_done,
+        {{"batch", std::to_string(batch->batch_id)},
+         {"records", std::to_string(views.size())}});
   }
 
   // Return the re-packed batch once every record has drained.

@@ -95,6 +95,9 @@ class DmaBatch {
   Picos first_pkt_enqueued_at = 0;
   /// True when the DMA transferred via the remote NUMA path.
   bool remote_numa = false;
+  /// Correlates a batch's telemetry spans (pack / dma / fpga / distribute)
+  /// across components.  0 = unassigned (batches built outside the runtime).
+  std::uint64_t batch_id = 0;
 
  private:
   netio::AccId acc_id_;

@@ -27,6 +27,7 @@
 #include "dhl/fpga/dma.hpp"
 #include "dhl/sim/simulator.hpp"
 #include "dhl/sim/timing_params.hpp"
+#include "dhl/telemetry/telemetry.hpp"
 
 namespace dhl::fpga {
 
@@ -53,6 +54,9 @@ struct FpgaDeviceConfig {
 
   /// Dispatcher fabric cost per record (route + re-pack).
   double dispatcher_cycles_per_record = 4;
+
+  /// Shared telemetry context; when null the device creates a private one.
+  telemetry::TelemetryPtr telemetry;
 };
 
 enum class RegionState : std::uint8_t { kEmpty, kReconfiguring, kReady };
@@ -69,6 +73,8 @@ class FpgaDevice {
   int socket() const { return config_.socket; }
   DmaEngine& dma() { return dma_; }
   const FpgaDeviceConfig& config() const { return config_; }
+  telemetry::Telemetry& telemetry() { return *telemetry_; }
+  const telemetry::TelemetryPtr& telemetry_ptr() const { return telemetry_; }
 
   // --- partial reconfiguration ----------------------------------------------
 
@@ -131,11 +137,19 @@ class FpgaDevice {
 
   sim::Simulator& sim_;
   FpgaDeviceConfig config_;
+  telemetry::TelemetryPtr telemetry_;
   DmaEngine dma_;
   std::vector<Region> regions_;
   std::vector<int> acc_map_;  // acc_id -> region (-1 = unmapped)
   Picos icap_busy_until_ = 0;
   std::uint64_t dispatch_drops_ = 0;
+
+  // Registered instruments (dhl.fpga.* with {fpga=name}).
+  telemetry::Counter* pr_loads_ = nullptr;
+  telemetry::Histogram* pr_load_time_ = nullptr;
+  telemetry::Counter* dispatch_records_ = nullptr;
+  telemetry::Counter* dispatch_error_records_ = nullptr;
+  std::string dispatch_track_;
 };
 
 }  // namespace dhl::fpga

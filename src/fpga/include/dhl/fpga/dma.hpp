@@ -20,12 +20,15 @@
 // each with its own serialization queue.
 
 #include <functional>
+#include <string>
 #include <utility>
 
 #include "dhl/common/units.hpp"
 #include "dhl/fpga/batch.hpp"
 #include "dhl/sim/simulator.hpp"
 #include "dhl/sim/timing_params.hpp"
+#include "dhl/telemetry/metrics.hpp"
+#include "dhl/telemetry/trace.hpp"
 
 namespace dhl::fpga {
 
@@ -52,6 +55,18 @@ class DmaEngine {
   /// Called with each batch that completes the FPGA->host transfer
   /// (the runtime's transfer layer hooks this).
   void set_rx_deliver(DeliverFn fn) { rx_deliver_ = std::move(fn); }
+
+  /// Attach telemetry: per-direction submit->complete latency histograms
+  /// and (when tracing) one `dma.tx`/`dma.rx` span per transfer on `track`.
+  /// All pointers may be null; the owning FpgaDevice wires this up.
+  void set_telemetry(telemetry::Histogram* tx_latency,
+                     telemetry::Histogram* rx_latency,
+                     telemetry::TraceSession* trace, std::string track) {
+    tx_latency_ = tx_latency;
+    rx_latency_ = rx_latency;
+    trace_ = trace;
+    track_ = std::move(track);
+  }
 
   /// Submit a batch for host->FPGA transfer.
   void submit_tx(DmaBatchPtr batch) { submit(std::move(batch), tx_); }
@@ -92,13 +107,26 @@ class DmaEngine {
   };
 
   void submit(DmaBatchPtr batch, Channel& ch) {
+    const bool is_tx = &ch == &tx_;
     const std::uint64_t bytes = batch->size_bytes();
     const Picos start = ch.busy_until > sim_.now() ? ch.busy_until : sim_.now();
     ch.busy_until = start + occupancy(bytes);
     ch.transfers += 1;
     ch.bytes += bytes;
     const Picos deliver_at = start + one_way_latency(bytes, batch->remote_numa);
-    DeliverFn& fn = (&ch == &tx_) ? tx_deliver_ : rx_deliver_;
+    // Submit->complete latency as the host observes it: queueing behind the
+    // channel plus the one-way delivery (decided now -- virtual time).
+    if (telemetry::Histogram* h = is_tx ? tx_latency_ : rx_latency_) {
+      h->record(deliver_at - sim_.now());
+    }
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->complete_span(
+          track_, is_tx ? "dma.tx" : "dma.rx", "dma", sim_.now(), deliver_at,
+          {{"bytes", std::to_string(bytes)},
+           {"batch", std::to_string(batch->batch_id)},
+           {"records", std::to_string(batch->record_count())}});
+    }
+    DeliverFn& fn = is_tx ? tx_deliver_ : rx_deliver_;
     DHL_CHECK_MSG(static_cast<bool>(fn), "DMA channel has no deliver hook");
     // The shared_ptr shim lets the move-only batch ride a std::function.
     auto shared = std::make_shared<DmaBatchPtr>(std::move(batch));
@@ -113,6 +141,10 @@ class DmaEngine {
   DeliverFn rx_deliver_;
   Channel tx_;
   Channel rx_;
+  telemetry::Histogram* tx_latency_ = nullptr;
+  telemetry::Histogram* rx_latency_ = nullptr;
+  telemetry::TraceSession* trace_ = nullptr;
+  std::string track_;
 };
 
 }  // namespace dhl::fpga

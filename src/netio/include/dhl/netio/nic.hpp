@@ -26,6 +26,7 @@
 #include "dhl/netio/ring.hpp"
 #include "dhl/sim/simulator.hpp"
 #include "dhl/sim/stats.hpp"
+#include "dhl/telemetry/telemetry.hpp"
 
 namespace dhl::netio {
 
@@ -42,6 +43,9 @@ struct NicPortConfig {
   /// timestamp-to-enqueue skew (and thus measured-latency distortion) small
   /// at low packet rates.
   Picos max_arrival_span = microseconds(1);
+
+  /// Shared telemetry context; when null the port creates a private one.
+  telemetry::TelemetryPtr telemetry;
 };
 
 class NicPort {
@@ -80,7 +84,8 @@ class NicPort {
   std::uint64_t rx_drops() const { return rx_drops_; }
   std::uint64_t rx_queue_depth() const { return rx_queue_.count(); }
 
-  /// Clear counters (used to discard warm-up).
+  /// Clear counters (used to discard warm-up).  Registry counters are
+  /// cumulative (Prometheus semantics) and are not reset here.
   void reset_stats();
 
  private:
@@ -89,8 +94,17 @@ class NicPort {
 
   sim::Simulator& sim_;
   NicPortConfig config_;
+  telemetry::TelemetryPtr telemetry_;
   MbufPool& rx_pool_;
   MbufRing rx_queue_;
+
+  // dhl.nic.* instruments with {port=name}.
+  telemetry::Counter* m_rx_pkts_ = nullptr;
+  telemetry::Counter* m_rx_bytes_ = nullptr;
+  telemetry::Counter* m_rx_drops_ = nullptr;
+  telemetry::Counter* m_tx_pkts_ = nullptr;
+  telemetry::Counter* m_tx_bytes_ = nullptr;
+  telemetry::Gauge* m_rx_depth_ = nullptr;
 
   std::optional<FrameFactory> factory_;
   double offered_fraction_ = 1.0;

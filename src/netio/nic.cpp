@@ -10,12 +10,21 @@ NicPort::NicPort(sim::Simulator& simulator, NicPortConfig config,
                  MbufPool& rx_pool)
     : sim_{simulator},
       config_{std::move(config)},
+      telemetry_{telemetry::ensure(config_.telemetry)},
       rx_pool_{rx_pool},
       // Multi-consumer: several I/O lcores may share one port's RX queue
       // (the 40G ports need two I/O cores, paper V-C).
       rx_queue_{config_.name + ".rxq", config_.rx_queue_size,
                 SyncMode::kSingle, SyncMode::kMulti} {
   DHL_CHECK(config_.arrival_batch > 0);
+  const telemetry::Labels port_label{{"port", config_.name}};
+  telemetry::MetricsRegistry& reg = telemetry_->metrics;
+  m_rx_pkts_ = reg.counter("dhl.nic.rx_pkts", port_label);
+  m_rx_bytes_ = reg.counter("dhl.nic.rx_bytes", port_label);
+  m_rx_drops_ = reg.counter("dhl.nic.rx_drops", port_label);
+  m_tx_pkts_ = reg.counter("dhl.nic.tx_pkts", port_label);
+  m_tx_bytes_ = reg.counter("dhl.nic.tx_bytes", port_label);
+  m_rx_depth_ = reg.gauge("dhl.nic.rx_queue_depth", port_label);
 }
 
 void NicPort::start_traffic(TrafficConfig traffic, double offered_fraction,
@@ -62,6 +71,7 @@ void NicPort::schedule_arrivals() {
     if (m == nullptr) {
       // Pool exhausted: count as RX drop and retry this slot next group.
       ++rx_drops_;
+      m_rx_drops_->add(1);
       break;
     }
     const std::uint32_t len = factory_->build(*m);
@@ -103,11 +113,15 @@ void NicPort::schedule_arrivals() {
     }
     for (const auto& s : staged) {
       rx_meter_.record_frame(s.m->data_len());
+      m_rx_pkts_->add(1);
+      m_rx_bytes_->add(s.m->data_len());
       if (!rx_queue_.enqueue(s.m)) {
         ++rx_drops_;
+        m_rx_drops_->add(1);
         s.m->release();
       }
     }
+    m_rx_depth_->set(rx_queue_.count());
     if (generating_) schedule_arrivals();
   });
 }
@@ -120,6 +134,8 @@ std::size_t NicPort::tx_burst(Mbuf** pkts, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     Mbuf* m = pkts[i];
     tx_meter_.record_frame(m->data_len());
+    m_tx_pkts_->add(1);
+    m_tx_bytes_->add(m->data_len());
     if (m->rx_timestamp() != kNoRxTimestamp &&
         sim_.now() >= m->rx_timestamp()) {
       latency_.record(sim_.now() - m->rx_timestamp());

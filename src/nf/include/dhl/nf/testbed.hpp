@@ -26,6 +26,10 @@ struct TestbedConfig {
   fpga::FpgaDeviceConfig fpga;
   std::uint32_t pool_size = 65536;
   std::uint32_t mbuf_room = 2048 + 128;
+  /// Shared telemetry context injected into every component the testbed
+  /// builds (runtime, FPGAs, NIC ports).  Created when left null, so
+  /// `testbed.telemetry()` always has the whole picture.
+  telemetry::TelemetryPtr telemetry;
 
   TestbedConfig() {
     fpga.timing = timing.fpga;
@@ -60,6 +64,13 @@ class Testbed {
       std::shared_ptr<const match::AhoCorasick> nids_automaton = nullptr);
   runtime::DhlRuntime& runtime() { return *runtime_; }
   bool has_runtime() const { return runtime_ != nullptr; }
+
+  /// The testbed-wide telemetry context (registry + trace session) shared by
+  /// every component built here.
+  telemetry::Telemetry& telemetry() { return *config_.telemetry; }
+  const telemetry::TelemetryPtr& telemetry_ptr() const {
+    return config_.telemetry;
+  }
 
   /// Run the simulation for `d` of virtual time.
   void run_for(Picos d) { sim_.run_until(sim_.now() + d); }

@@ -5,6 +5,10 @@
 namespace dhl::nf {
 
 Testbed::Testbed(TestbedConfig config) : config_{std::move(config)} {
+  // One telemetry context for everything the testbed assembles.
+  config_.telemetry = telemetry::ensure(std::move(config_.telemetry));
+  config_.runtime.telemetry = config_.telemetry;
+  config_.fpga.telemetry = config_.telemetry;
   const int sockets = config_.runtime.num_sockets;
   for (int s = 0; s < sockets; ++s) {
     pools_.push_back(std::make_unique<netio::MbufPool>(
@@ -33,6 +37,7 @@ netio::NicPort* Testbed::add_port(const std::string& name, Bandwidth link,
   cfg.port_id = next_port_id_++;
   cfg.link = link;
   cfg.socket = socket;
+  cfg.telemetry = config_.telemetry;
   ports_.push_back(std::make_unique<netio::NicPort>(
       sim_, cfg, *pools_[static_cast<std::size_t>(socket)]));
   return ports_.back().get();

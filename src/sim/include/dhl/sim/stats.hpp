@@ -73,6 +73,19 @@ class LatencyHistogram {
     max_ = 0;
   }
 
+  /// Fold `other`'s samples into this histogram (bin layouts are identical
+  /// by construction).  Used to aggregate per-component histograms into one
+  /// distribution at export time.
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+
   std::uint64_t count() const { return count_; }
   Picos min() const { return count_ ? min_ : 0; }
   Picos max() const { return max_; }

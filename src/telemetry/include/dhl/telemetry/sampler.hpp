@@ -1,0 +1,53 @@
+#pragma once
+
+// PeriodicSampler: snapshots a MetricsRegistry every `period` of virtual
+// time into a time series.
+//
+// The sampler rides the discrete-event engine directly (a self-rescheduling
+// event chain) rather than an Lcore poll loop: sampling consumes no modeled
+// CPU cycles, so enabling telemetry never perturbs the measured numbers --
+// the observability layer must not heisenberg the experiment.
+//
+// The bench harness starts one per run and emits the series as the
+// "samples" section of the --telemetry-out sidecar.
+
+#include <vector>
+
+#include "dhl/sim/simulator.hpp"
+#include "dhl/telemetry/metrics.hpp"
+
+namespace dhl::telemetry {
+
+class PeriodicSampler {
+ public:
+  PeriodicSampler(sim::Simulator& simulator, const MetricsRegistry& registry,
+                  Picos period);
+
+  PeriodicSampler(const PeriodicSampler&) = delete;
+  PeriodicSampler& operator=(const PeriodicSampler&) = delete;
+
+  /// Take one snapshot now, then one every period until stop().
+  void start();
+  void stop();
+  bool running() const { return running_; }
+  Picos period() const { return period_; }
+
+  const std::vector<MetricsSnapshot>& series() const { return series_; }
+  void clear() { series_.clear(); }
+
+  /// JSON array of {"at_ps", "metrics"} snapshot objects.
+  std::string to_json() const;
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  const MetricsRegistry& registry_;
+  Picos period_;
+  std::vector<MetricsSnapshot> series_;
+  bool running_ = false;
+  // Stale scheduled ticks from before a stop()/start() cycle are ignored.
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace dhl::telemetry

@@ -1,0 +1,48 @@
+#pragma once
+
+// Telemetry context: one MetricsRegistry + one TraceSession, shared by every
+// component of an experiment.
+//
+// Ownership: configs carry a `std::shared_ptr<Telemetry>`; a component whose
+// config leaves it null creates a private context so its instruments always
+// exist (the RuntimeStats compatibility shim depends on that).  The Testbed
+// creates a single shared context and injects it into the runtime, FPGAs and
+// NIC ports, so one snapshot covers the whole experiment.
+
+#include <memory>
+#include <string>
+
+#include "dhl/telemetry/metrics.hpp"
+#include "dhl/telemetry/sampler.hpp"
+#include "dhl/telemetry/trace.hpp"
+
+namespace dhl::telemetry {
+
+struct Telemetry {
+  MetricsRegistry metrics;
+  TraceSession trace;
+};
+
+using TelemetryPtr = std::shared_ptr<Telemetry>;
+
+inline TelemetryPtr make_telemetry() { return std::make_shared<Telemetry>(); }
+
+/// Ensure `t` is non-null: components call this on their config's pointer so
+/// instruments exist even when nobody wired a shared context.
+inline TelemetryPtr ensure(TelemetryPtr t) {
+  return t ? std::move(t) : make_telemetry();
+}
+
+/// Write the combined sidecar: a Chrome trace-event object (loads directly in
+/// chrome://tracing and Perfetto) whose extra top-level keys carry the
+/// metrics snapshot and, when a sampler ran, the sampled time series.
+void export_session(std::ostream& os, const TraceSession& trace,
+                    const MetricsSnapshot& snapshot,
+                    const PeriodicSampler* sampler = nullptr);
+
+/// Same, to a file.  Returns false when the file cannot be opened.
+bool export_session_file(const std::string& path, const TraceSession& trace,
+                         const MetricsSnapshot& snapshot,
+                         const PeriodicSampler* sampler = nullptr);
+
+}  // namespace dhl::telemetry

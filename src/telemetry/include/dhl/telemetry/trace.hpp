@@ -1,0 +1,83 @@
+#pragma once
+
+// TraceSession: batch- and PR-lifecycle spans on the simulator's virtual
+// clock, exported as Chrome trace-event JSON.
+//
+// Components record *complete* spans ("X" phase events): the emitter calls
+// complete_span() at the moment it knows both endpoints -- the discrete-event
+// engine schedules endings ahead of time, so most spans are emitted the
+// instant they are decided, not when virtual time reaches them.
+//
+// Tracks ("tid"s in the Chrome format) are named lanes: one per transfer-layer
+// core, per FPGA dispatcher, per DMA channel.  The exporter emits
+// thread_name metadata so chrome://tracing / Perfetto shows the lane names.
+//
+// Recording is off by default (enable() flips it); a disabled session makes
+// every record call a cheap early-out so the hot paths stay clean in
+// non-traced runs.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dhl/common/units.hpp"
+
+namespace dhl::telemetry {
+
+/// Span/event arguments, serialized into the Chrome event's "args" object.
+/// Values that look numeric are emitted as JSON numbers.
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+struct TraceEvent {
+  char phase = 'X';  // 'X' complete span, 'i' instant
+  std::string track;
+  std::string name;
+  std::string category;
+  Picos start = 0;
+  Picos duration = 0;
+  TraceArgs args;
+};
+
+class TraceSession {
+ public:
+  TraceSession() = default;
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  void enable(bool on = true) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Record a finished span [start, end] on `track`.  No-op while disabled.
+  void complete_span(std::string_view track, std::string_view name,
+                     std::string_view category, Picos start, Picos end,
+                     TraceArgs args = {});
+
+  /// Record a point event at `t` on `track`.  No-op while disabled.
+  void instant(std::string_view track, std::string_view name,
+               std::string_view category, Picos t, TraceArgs args = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Count of recorded events whose name matches exactly.
+  std::size_t count_named(std::string_view name) const;
+
+  /// The bare traceEvents JSON array (metadata + spans), without the
+  /// enclosing object -- composed by the exporters in telemetry.hpp.
+  void write_events_array(std::ostream& os) const;
+
+  /// A self-contained Chrome trace: {"displayTimeUnit": ..,
+  /// "traceEvents": [..]}.  Loads directly in chrome://tracing / Perfetto.
+  void write_json(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dhl::telemetry

@@ -1,0 +1,49 @@
+#include "dhl/telemetry/sampler.hpp"
+
+#include <sstream>
+
+#include "dhl/common/check.hpp"
+
+namespace dhl::telemetry {
+
+PeriodicSampler::PeriodicSampler(sim::Simulator& simulator,
+                                 const MetricsRegistry& registry,
+                                 Picos period)
+    : sim_{simulator}, registry_{registry}, period_{period} {
+  DHL_CHECK_MSG(period_ > 0, "sampler period must be positive");
+}
+
+void PeriodicSampler::start() {
+  if (running_) return;
+  running_ = true;
+  ++epoch_;
+  tick();
+}
+
+void PeriodicSampler::stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+void PeriodicSampler::tick() {
+  series_.push_back(registry_.snapshot(sim_.now()));
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_after(period_, [this, epoch] {
+    if (running_ && epoch == epoch_) tick();
+  });
+}
+
+std::string PeriodicSampler::to_json() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const MetricsSnapshot& snap : series_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << snap.to_json();
+  }
+  os << "\n]";
+  return os.str();
+}
+
+}  // namespace dhl::telemetry

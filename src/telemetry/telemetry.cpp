@@ -1,0 +1,37 @@
+#include "dhl/telemetry/telemetry.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "dhl/common/log.hpp"
+
+namespace dhl::telemetry {
+
+void export_session(std::ostream& os, const TraceSession& trace,
+                    const MetricsSnapshot& snapshot,
+                    const PeriodicSampler* sampler) {
+  os << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": ";
+  trace.write_events_array(os);
+  os << ",\n\"metrics\": " << snapshot.to_json();
+  if (sampler != nullptr) {
+    os << ",\n\"samples\": " << sampler->to_json();
+  }
+  os << "\n}\n";
+}
+
+bool export_session_file(const std::string& path, const TraceSession& trace,
+                         const MetricsSnapshot& snapshot,
+                         const PeriodicSampler* sampler) {
+  std::ofstream os(path);
+  if (!os) {
+    DHL_ERROR("telemetry", "cannot open '" << path << "' for writing");
+    return false;
+  }
+  export_session(os, trace, snapshot, sampler);
+  DHL_INFO("telemetry", "wrote " << trace.size() << " trace events and "
+                                 << snapshot.samples.size()
+                                 << " metric series to " << path);
+  return os.good();
+}
+
+}  // namespace dhl::telemetry

@@ -1,0 +1,165 @@
+#include "dhl/telemetry/trace.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+
+namespace dhl::telemetry {
+
+namespace {
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+bool looks_numeric(std::string_view s) {
+  if (s.empty()) return false;
+  std::size_t i = s[0] == '-' ? 1 : 0;
+  if (i == s.size()) return false;
+  bool dot = false;
+  for (; i < s.size(); ++i) {
+    if (s[i] == '.') {
+      if (dot) return false;
+      dot = true;
+    } else if (!std::isdigit(static_cast<unsigned char>(s[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Chrome trace timestamps are microseconds; ps precision survives as the
+/// fractional part.
+void write_us(std::ostream& os, Picos t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                static_cast<unsigned long long>(t / kPicosPerMicro),
+                static_cast<unsigned long long>(t % kPicosPerMicro));
+  os << buf;
+}
+
+void write_args(std::ostream& os, const TraceArgs& args) {
+  os << "\"args\":{";
+  bool first = true;
+  for (const auto& [k, v] : args) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    json_escape(os, k);
+    os << "\":";
+    if (looks_numeric(v)) {
+      os << v;
+    } else {
+      os << '"';
+      json_escape(os, v);
+      os << '"';
+    }
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void TraceSession::complete_span(std::string_view track, std::string_view name,
+                                 std::string_view category, Picos start,
+                                 Picos end, TraceArgs args) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.phase = 'X';
+  e.track = std::string(track);
+  e.name = std::string(name);
+  e.category = std::string(category);
+  e.start = start;
+  e.duration = end >= start ? end - start : 0;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceSession::instant(std::string_view track, std::string_view name,
+                           std::string_view category, Picos t,
+                           TraceArgs args) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.phase = 'i';
+  e.track = std::string(track);
+  e.name = std::string(name);
+  e.category = std::string(category);
+  e.start = t;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+std::size_t TraceSession::count_named(std::string_view name) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.name == name) ++n;
+  }
+  return n;
+}
+
+void TraceSession::write_events_array(std::ostream& os) const {
+  // Stable track -> tid mapping in first-appearance order.
+  std::map<std::string, int> tids;
+  for (const TraceEvent& e : events_) {
+    tids.try_emplace(e.track, 0);
+  }
+  int next = 1;
+  for (auto& [track, tid] : tids) tid = next++;
+
+  os << "[\n";
+  bool first = true;
+  // Process + thread naming metadata so viewers label the lanes.
+  os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"dhl\"}}";
+  first = false;
+  for (const auto& [track, tid] : tids) {
+    os << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escape(os, track);
+    os << "\"}}";
+  }
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"ph\":\"" << e.phase << "\",\"pid\":0,\"tid\":"
+       << tids[e.track] << ",\"name\":\"";
+    json_escape(os, e.name);
+    os << "\",\"cat\":\"";
+    json_escape(os, e.category);
+    os << "\",\"ts\":";
+    write_us(os, e.start);
+    if (e.phase == 'X') {
+      os << ",\"dur\":";
+      write_us(os, e.duration);
+    } else if (e.phase == 'i') {
+      os << ",\"s\":\"t\"";
+    }
+    os << ',';
+    write_args(os, e.args);
+    os << '}';
+  }
+  os << "\n]";
+}
+
+void TraceSession::write_json(std::ostream& os) const {
+  os << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": ";
+  write_events_array(os);
+  os << "\n}\n";
+}
+
+}  // namespace dhl::telemetry

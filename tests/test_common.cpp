@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "dhl/common/check.hpp"
 #include "dhl/common/hexdump.hpp"
+#include "dhl/common/log.hpp"
 #include "dhl/common/rng.hpp"
 #include "dhl/common/units.hpp"
 
@@ -94,6 +96,43 @@ TEST(Hexdump, DumpFormatsRows) {
   EXPECT_NE(dump.find("41 41"), std::string::npos);
   EXPECT_NE(dump.find("|AAAA"), std::string::npos);
   EXPECT_NE(dump.find("00000010"), std::string::npos);  // second row address
+}
+
+TEST(Logger, SinkReceivesStructuredRecords) {
+  struct Record {
+    LogLevel level;
+    std::string component;
+    std::string message;
+  };
+  std::vector<Record> records;
+  Logger& log = Logger::instance();
+  const LogLevel saved = log.level();
+  log.set_level(LogLevel::kInfo);
+  log.set_sink([&records](LogLevel level, std::string_view component,
+                          std::string_view message) {
+    records.push_back({level, std::string(component), std::string(message)});
+  });
+
+  DHL_INFO("test", "hello " << 42);
+  DHL_DEBUG("test", "filtered: below the level threshold");
+  DHL_WARN("other", "warn line");
+
+  log.reset_sink();
+  log.set_level(saved);
+  DHL_INFO("test", "after reset: goes to stderr, not the sink");
+
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].level, LogLevel::kInfo);
+  EXPECT_EQ(records[0].component, "test");
+  EXPECT_EQ(records[0].message, "hello 42");  // bare message, no prefix
+  EXPECT_EQ(records[1].level, LogLevel::kWarn);
+  EXPECT_EQ(records[1].component, "other");
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_EQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_EQ(log_level_name(LogLevel::kOff), "OFF");
 }
 
 TEST(Check, ThrowsLogicErrorWithContext) {

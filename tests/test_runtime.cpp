@@ -19,12 +19,17 @@ using netio::MbufPool;
 
 struct Harness {
   sim::Simulator sim;
+  // One shared telemetry context across device and runtime, as the Testbed
+  // wires it, so a single trace session sees the whole data path.
+  telemetry::TelemetryPtr tel = telemetry::make_telemetry();
   fpga::FpgaDeviceConfig fpga_cfg;
   std::unique_ptr<FpgaDevice> fpga;
   std::unique_ptr<DhlRuntime> rt;
   MbufPool pool{"test", 8192, 2048, 0};
 
   explicit Harness(RuntimeConfig cfg = {}) {
+    fpga_cfg.telemetry = tel;
+    cfg.telemetry = tel;
     fpga = std::make_unique<FpgaDevice>(sim, fpga_cfg);
     rt = std::make_unique<DhlRuntime>(sim, cfg,
                                       accel::standard_module_database(nullptr),
@@ -254,6 +259,115 @@ TEST(Runtime, ObqOverflowCountsDrops) {
   for (std::size_t i = 0; i < n; ++i) out[i]->release();
   // No mbuf leaked: pool fully recovers.
   EXPECT_EQ(h.pool.in_use(), 0u);
+}
+
+TEST(Runtime, StatsShimMatchesRegistry) {
+  // The flat RuntimeStats view is assembled from the metrics registry; after
+  // an end-to-end run with failures injected, every field must agree with
+  // its dhl.runtime.* series.
+  RuntimeConfig cfg;
+  cfg.obq_size = 16;  // tiny OBQ: forces obq_drops
+  Harness h{cfg};
+  const netio::NfId nf = h.rt->register_nf("nf0", 0);
+  const AccHandle handle = h.rt->search_by_name("loopback", 0);
+  h.wait_ready(handle);
+  h.rt->start();
+
+  // Phase 1: overflow the private OBQ, with one corrupted tag thrown in --
+  // nf_id 7 is unregistered, so its record must count as an obq_drop.
+  std::vector<Mbuf*> pkts;
+  for (int i = 0; i < 64; ++i) {
+    pkts.push_back(h.make_pkt(nf, handle.acc_id, 64, 0));
+  }
+  pkts[5]->set_nf_id(7);
+  DhlRuntime::send_packets(h.rt->get_shared_ibq(nf), pkts.data(), pkts.size());
+  h.sim.run_until(h.sim.now() + milliseconds(1));
+
+  // Phase 2: unmap the accelerator on the device while the hardware-function
+  // table still says ready -- the dispatcher flags these records as errors.
+  h.fpga->unmap_acc(handle.acc_id);
+  std::vector<Mbuf*> more;
+  for (int i = 0; i < 8; ++i) {
+    more.push_back(h.make_pkt(nf, handle.acc_id, 64, 0));
+  }
+  DhlRuntime::send_packets(h.rt->get_shared_ibq(nf), more.data(), more.size());
+  h.sim.run_until(h.sim.now() + milliseconds(1));
+
+  const RuntimeStats s = h.rt->stats();
+  EXPECT_EQ(s.pkts_to_fpga, 72u);
+  EXPECT_GT(s.obq_drops, 0u);
+  EXPECT_EQ(s.error_records, 8u);
+
+  const auto snap = h.rt->telemetry().metrics.snapshot(h.sim.now());
+  const auto value = [&](const char* name) {
+    const auto* sample = snap.find(name);
+    return sample != nullptr ? static_cast<std::uint64_t>(sample->value) : 0u;
+  };
+  EXPECT_EQ(s.pkts_to_fpga, value("dhl.runtime.pkts_to_fpga"));
+  EXPECT_EQ(s.batches_to_fpga, value("dhl.runtime.batches_to_fpga"));
+  EXPECT_EQ(s.bytes_to_fpga, value("dhl.runtime.bytes_to_fpga"));
+  EXPECT_EQ(s.pkts_from_fpga, value("dhl.runtime.pkts_from_fpga"));
+  EXPECT_EQ(s.batches_from_fpga, value("dhl.runtime.batches_from_fpga"));
+  EXPECT_EQ(s.obq_drops, value("dhl.runtime.obq_drops"));
+  EXPECT_EQ(s.error_records, value("dhl.runtime.error_records"));
+
+  // Per-(nf, acc) series: nf0 carried everything except the corrupted tag,
+  // which was accounted to the unregistered id it claimed.
+  const auto* nf0 = snap.find("dhl.runtime.nf_pkts", {{"nf", "nf0"}});
+  ASSERT_NE(nf0, nullptr);
+  EXPECT_DOUBLE_EQ(nf0->value, 71.0);
+  const auto* nf7 = snap.find("dhl.runtime.nf_pkts", {{"nf", "nf7"}});
+  ASSERT_NE(nf7, nullptr);
+  EXPECT_DOUBLE_EQ(nf7->value, 1.0);
+  const auto* nf0_err =
+      snap.find("dhl.runtime.nf_error_records", {{"nf", "nf0"}});
+  ASSERT_NE(nf0_err, nullptr);
+  EXPECT_DOUBLE_EQ(nf0_err->value, 8.0);
+  // The per-NF drop counter only counts OBQ-full drops for registered NFs.
+  const auto* nf0_drops = snap.find("dhl.nf.obq_drops", {{"nf", "nf0"}});
+  ASSERT_NE(nf0_drops, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(nf0_drops->value) + 1, s.obq_drops);
+
+  // Drain what made it through.
+  Mbuf* out[64];
+  const std::size_t n =
+      DhlRuntime::receive_packets(h.rt->get_private_obq(nf), out, 64);
+  for (std::size_t i = 0; i < n; ++i) out[i]->release();
+}
+
+TEST(Runtime, TraceSessionRecordsBatchSpans) {
+  Harness h;
+  h.rt->telemetry().trace.enable();
+  const netio::NfId nf = h.rt->register_nf("nf0", 0);
+  const AccHandle handle = h.rt->search_by_name("loopback", 0);
+  h.wait_ready(handle);
+  h.rt->start();
+
+  std::vector<Mbuf*> pkts;
+  for (int i = 0; i < 20; ++i) {
+    pkts.push_back(h.make_pkt(nf, handle.acc_id, 200, 0));
+  }
+  DhlRuntime::send_packets(h.rt->get_shared_ibq(nf), pkts.data(), pkts.size());
+  h.sim.run_until(h.sim.now() + milliseconds(1));
+
+  const auto& trace = h.rt->telemetry().trace;
+  EXPECT_GT(trace.count_named("batch.pack"), 0u);
+  EXPECT_GT(trace.count_named("dma.tx"), 0u);
+  EXPECT_GT(trace.count_named("fpga.process"), 0u);
+  EXPECT_GT(trace.count_named("dma.rx"), 0u);
+  EXPECT_GT(trace.count_named("batch.distribute"), 0u);
+  // Every batch that completed the round trip has one lifecycle span, and it
+  // covers the whole journey (duration > 0 on the virtual clock).
+  EXPECT_EQ(trace.count_named("batch.lifecycle"),
+            h.rt->stats().batches_from_fpga);
+  for (const auto& e : trace.events()) {
+    if (e.name == "batch.lifecycle") EXPECT_GT(e.duration, 0u);
+  }
+
+  Mbuf* out[32];
+  const std::size_t n =
+      DhlRuntime::receive_packets(h.rt->get_private_obq(nf), out, 32);
+  for (std::size_t i = 0; i < n; ++i) out[i]->release();
 }
 
 TEST(Runtime, AdaptiveBatchingShrinksBatchesAtLowRate) {

@@ -68,6 +68,85 @@ TEST(LatencyHistogram, EmptyIsZero) {
   EXPECT_EQ(h.min(), 0u);
 }
 
+TEST(LatencyHistogram, EdgeQuantiles) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.record(microseconds(i));
+  // q=0 clamps to the first sample's bin; q=1 covers the last sample.
+  EXPECT_LE(h.percentile(0.0), h.percentile(0.01));
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.0)),
+              static_cast<double>(microseconds(1)), microseconds(1) * 0.05);
+  EXPECT_GE(h.percentile(1.0), microseconds(100));
+  EXPECT_NEAR(static_cast<double>(h.percentile(1.0)),
+              static_cast<double>(microseconds(100)),
+              microseconds(100) * 0.05);
+}
+
+TEST(LatencyHistogram, ClampsBelowFirstBin) {
+  LatencyHistogram h;
+  h.record(500);  // 0.5 ns, below the 1 ns first bin edge
+  h.record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 1u);  // moments keep the exact values...
+  // ...while quantiles clamp to the underflow bin's 1 ns upper edge.
+  EXPECT_EQ(h.percentile(0.5), nanoseconds(1));
+  EXPECT_EQ(h.percentile(1.0), nanoseconds(1));
+}
+
+TEST(LatencyHistogram, ClampsAboveLastBin) {
+  LatencyHistogram h;
+  h.record(seconds(100));  // beyond the 10 s top decade
+  EXPECT_EQ(h.max(), seconds(100));
+  // The overflow bin still reports something >= the histogram range top.
+  EXPECT_GE(h.percentile(0.5), seconds(10));
+}
+
+TEST(LatencyHistogram, ResetAfterRecords) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 50; ++i) h.record(microseconds(i));
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0u);
+  // Recording after reset starts a fresh distribution (no stale bins).
+  h.record(microseconds(7));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), microseconds(7));
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.5)),
+              static_cast<double>(microseconds(7)), microseconds(7) * 0.05);
+}
+
+TEST(LatencyHistogram, MergeCombinesDistributions) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(microseconds(1));
+  for (int i = 0; i < 100; ++i) b.record(microseconds(100));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), microseconds(1));
+  EXPECT_EQ(a.max(), microseconds(100));
+  EXPECT_EQ(a.mean(), (microseconds(1) + microseconds(100)) / 2);
+  // Half the mass at 1 us, half at 100 us: p25 in the low mode, p75 high.
+  EXPECT_NEAR(static_cast<double>(a.percentile(0.25)),
+              static_cast<double>(microseconds(1)), microseconds(1) * 0.05);
+  EXPECT_NEAR(static_cast<double>(a.percentile(0.75)),
+              static_cast<double>(microseconds(100)),
+              microseconds(100) * 0.05);
+}
+
+TEST(LatencyHistogram, MergeWithEmptyKeepsMinMax) {
+  LatencyHistogram a, b, c;
+  a.record(microseconds(5));
+  a.merge(b);  // merging an empty histogram must not fold its sentinel min
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), microseconds(5));
+  EXPECT_EQ(a.max(), microseconds(5));
+  c.merge(a);  // merging into an empty histogram adopts the other's extremes
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_EQ(c.min(), microseconds(5));
+  EXPECT_EQ(c.max(), microseconds(5));
+}
+
 TEST(LatencyHistogram, MonotoneQuantiles) {
   LatencyHistogram h;
   for (int i = 0; i < 10'000; ++i) {
