@@ -64,6 +64,59 @@ double run_scaling(int num_fpgas, std::uint32_t frame_len) {
          nf::forwarded_wire_gbps(*port_b, frame_len, milliseconds(6));
 }
 
+// Replicated-function series: the same 80 Gbps aggregate demand, but both
+// gateways live on socket 0 and share ONE ipsec-crypto hardware function.
+// With one replica everything funnels through fpga0's 42 Gbps DMA engine;
+// with DHL_replicate(..., 2) the second replica lands on the socket-1 board
+// and the least-outstanding-bytes policy splits the batch stream per flush.
+double run_replicated(std::size_t replicas, std::uint32_t frame_len) {
+  nf::TestbedConfig tb_cfg;
+  tb_cfg.runtime.dispatch_policy =
+      runtime::DispatchPolicyKind::kLeastOutstandingBytes;
+  nf::Testbed tb{tb_cfg};       // FPGA 0 on socket 0
+  tb.add_fpga(/*socket=*/1);    // second board always installed
+  auto* port_a = tb.add_port("xl710.a", Bandwidth::gbps(40), /*socket=*/0);
+  auto* port_b = tb.add_port("xl710.b", Bandwidth::gbps(40), /*socket=*/0);
+  auto& rt = tb.init_runtime();
+  const auto sa = nf::test_security_association();
+
+  auto make_nf = [&](const std::string& name, netio::NicPort* port,
+                     std::shared_ptr<nf::IpsecProcessor> proc) {
+    nf::DhlNfConfig cfg;
+    cfg.name = name;
+    cfg.socket = 0;
+    cfg.timing = tb.timing();
+    cfg.hf_name = "ipsec-crypto";
+    cfg.acc_config = accel::ipsec_module_config(false, sa);
+    return std::make_unique<nf::DhlOffloadNf>(
+        tb.sim(), cfg, std::vector<netio::NicPort*>{port}, rt,
+        [proc](netio::Mbuf& m) { return proc->dhl_prep(m); },
+        nf::ipsec_dhl_prep_cost(tb.timing()),
+        [proc](netio::Mbuf& m) { return proc->dhl_post(m); },
+        nf::ipsec_dhl_post_cost(tb.timing()));
+  };
+  auto proc_a = std::make_shared<nf::IpsecProcessor>(sa, nf::IpsecPolicy{});
+  auto proc_b = std::make_shared<nf::IpsecProcessor>(sa, nf::IpsecPolicy{});
+  auto nf_a = make_nf("ipsec-a", port_a, proc_a);
+  auto nf_b = make_nf("ipsec-b", port_b, proc_b);
+
+  rt.replicate("ipsec-crypto", replicas);
+  tb.run_for(milliseconds(60));  // PR load(s)
+  rt.start();
+  nf_a->start();
+  nf_b->start();
+
+  netio::TrafficConfig traffic;
+  traffic.frame_len = frame_len;
+  port_a->start_traffic(traffic, 1.0);
+  traffic.seed = 2;
+  port_b->start_traffic(traffic, 1.0);
+  tb.measure(milliseconds(3), milliseconds(6));
+
+  return nf::forwarded_wire_gbps(*port_a, frame_len, milliseconds(6)) +
+         nf::forwarded_wire_gbps(*port_b, frame_len, milliseconds(6));
+}
+
 }  // namespace
 }  // namespace dhl::bench
 
@@ -85,5 +138,22 @@ int main() {
       "\nexpected: with one board the aggregate saturates at the ~42 Gbps\n"
       "DMA ceiling; a second board on the other NUMA node roughly doubles\n"
       "it (each NF local to its own FPGA, runtime cores per socket).\n");
+
+  print_title(
+      "Replicated hardware function: one ipsec-crypto, 1 vs 2 replicas\n"
+      "(both 40G gateways on socket 0; least-outstanding-bytes dispatch)");
+  std::printf("%-8s %16s %16s %10s\n", "size", "1 replica (Gbps)",
+              "2 replicas (Gbps)", "gain");
+  print_rule(56);
+  for (const std::uint32_t size : {256u, 512u, 1024u, 1500u}) {
+    const double one = run_replicated(1, size);
+    const double two = run_replicated(2, size);
+    std::printf("%-8u %16.2f %16.2f %9.2fx\n", size, one, two, two / one);
+  }
+  std::printf(
+      "\nexpected: a single replica is pinned to one board's DMA engine\n"
+      "(~42 Gbps); replicating the function onto the second board lets the\n"
+      "dispatch policy split the batch stream per flush, approaching 2x\n"
+      "without moving either NF.\n");
   return 0;
 }

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chain.dir/bench_chain.cpp.o"
+  "CMakeFiles/bench_chain.dir/bench_chain.cpp.o.d"
+  "bench_chain"
+  "bench_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ipsec.dir/bench_fig6_ipsec.cpp.o"
+  "CMakeFiles/bench_fig6_ipsec.dir/bench_fig6_ipsec.cpp.o.d"
+  "bench_fig6_ipsec"
+  "bench_fig6_ipsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ipsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

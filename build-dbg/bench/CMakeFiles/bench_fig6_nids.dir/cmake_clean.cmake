@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_nids.dir/bench_fig6_nids.cpp.o"
+  "CMakeFiles/bench_fig6_nids.dir/bench_fig6_nids.cpp.o.d"
+  "bench_fig6_nids"
+  "bench_fig6_nids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_nids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

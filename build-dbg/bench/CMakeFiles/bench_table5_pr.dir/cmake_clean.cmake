@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_pr.dir/bench_table5_pr.cpp.o"
+  "CMakeFiles/bench_table5_pr.dir/bench_table5_pr.cpp.o.d"
+  "bench_table5_pr"
+  "bench_table5_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6_util.cpp" "bench/CMakeFiles/bench_table6_util.dir/bench_table6_util.cpp.o" "gcc" "bench/CMakeFiles/bench_table6_util.dir/bench_table6_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-dbg/src/nf/CMakeFiles/dhl_nf.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/dhl/CMakeFiles/dhl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/accel/CMakeFiles/dhl_accel.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/fpga/CMakeFiles/dhl_fpga.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/match/CMakeFiles/dhl_match.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/crypto/CMakeFiles/dhl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/netio/CMakeFiles/dhl_netio.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/telemetry/CMakeFiles/dhl_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/common/CMakeFiles/dhl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

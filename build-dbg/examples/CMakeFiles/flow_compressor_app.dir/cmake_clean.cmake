@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_compressor_app.dir/flow_compressor_app.cpp.o"
+  "CMakeFiles/flow_compressor_app.dir/flow_compressor_app.cpp.o.d"
+  "flow_compressor_app"
+  "flow_compressor_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_compressor_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

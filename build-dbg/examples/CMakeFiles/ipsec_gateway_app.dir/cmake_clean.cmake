@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsec_gateway_app.dir/ipsec_gateway_app.cpp.o"
+  "CMakeFiles/ipsec_gateway_app.dir/ipsec_gateway_app.cpp.o.d"
+  "ipsec_gateway_app"
+  "ipsec_gateway_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsec_gateway_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_nf_app.dir/multi_nf_app.cpp.o"
+  "CMakeFiles/multi_nf_app.dir/multi_nf_app.cpp.o.d"
+  "multi_nf_app"
+  "multi_nf_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_nf_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

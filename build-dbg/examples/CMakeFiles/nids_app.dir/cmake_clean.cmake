@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nids_app.dir/nids_app.cpp.o"
+  "CMakeFiles/nids_app.dir/nids_app.cpp.o.d"
+  "nids_app"
+  "nids_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nids_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nids_app.
+# This may be replaced when dependencies are built.

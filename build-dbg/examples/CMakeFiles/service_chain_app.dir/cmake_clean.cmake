@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_chain_app.dir/service_chain_app.cpp.o"
+  "CMakeFiles/service_chain_app.dir/service_chain_app.cpp.o.d"
+  "service_chain_app"
+  "service_chain_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_chain_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

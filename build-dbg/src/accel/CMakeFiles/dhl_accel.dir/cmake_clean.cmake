@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhl_accel.dir/catalog.cpp.o"
+  "CMakeFiles/dhl_accel.dir/catalog.cpp.o.d"
+  "CMakeFiles/dhl_accel.dir/extra_modules.cpp.o"
+  "CMakeFiles/dhl_accel.dir/extra_modules.cpp.o.d"
+  "CMakeFiles/dhl_accel.dir/ipsec_common.cpp.o"
+  "CMakeFiles/dhl_accel.dir/ipsec_common.cpp.o.d"
+  "CMakeFiles/dhl_accel.dir/ipsec_crypto.cpp.o"
+  "CMakeFiles/dhl_accel.dir/ipsec_crypto.cpp.o.d"
+  "CMakeFiles/dhl_accel.dir/lz77.cpp.o"
+  "CMakeFiles/dhl_accel.dir/lz77.cpp.o.d"
+  "CMakeFiles/dhl_accel.dir/pattern_matching.cpp.o"
+  "CMakeFiles/dhl_accel.dir/pattern_matching.cpp.o.d"
+  "CMakeFiles/dhl_accel.dir/regex_classifier.cpp.o"
+  "CMakeFiles/dhl_accel.dir/regex_classifier.cpp.o.d"
+  "libdhl_accel.a"
+  "libdhl_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhl_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

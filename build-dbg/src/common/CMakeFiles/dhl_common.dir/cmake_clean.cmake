@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhl_common.dir/hexdump.cpp.o"
+  "CMakeFiles/dhl_common.dir/hexdump.cpp.o.d"
+  "libdhl_common.a"
+  "libdhl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhl_crypto.dir/aes.cpp.o"
+  "CMakeFiles/dhl_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/dhl_crypto.dir/md5.cpp.o"
+  "CMakeFiles/dhl_crypto.dir/md5.cpp.o.d"
+  "CMakeFiles/dhl_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/dhl_crypto.dir/sha1.cpp.o.d"
+  "libdhl_crypto.a"
+  "libdhl_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhl_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

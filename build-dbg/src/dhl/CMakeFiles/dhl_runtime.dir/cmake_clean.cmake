@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhl_runtime.dir/dispatch_policy.cpp.o"
+  "CMakeFiles/dhl_runtime.dir/dispatch_policy.cpp.o.d"
+  "CMakeFiles/dhl_runtime.dir/distributor.cpp.o"
+  "CMakeFiles/dhl_runtime.dir/distributor.cpp.o.d"
+  "CMakeFiles/dhl_runtime.dir/hw_function_table.cpp.o"
+  "CMakeFiles/dhl_runtime.dir/hw_function_table.cpp.o.d"
+  "CMakeFiles/dhl_runtime.dir/packer.cpp.o"
+  "CMakeFiles/dhl_runtime.dir/packer.cpp.o.d"
+  "CMakeFiles/dhl_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/dhl_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/dhl_runtime.dir/runtime_metrics.cpp.o"
+  "CMakeFiles/dhl_runtime.dir/runtime_metrics.cpp.o.d"
+  "libdhl_runtime.a"
+  "libdhl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

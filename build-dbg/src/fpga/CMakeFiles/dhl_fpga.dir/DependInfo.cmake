@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/batch.cpp" "src/fpga/CMakeFiles/dhl_fpga.dir/batch.cpp.o" "gcc" "src/fpga/CMakeFiles/dhl_fpga.dir/batch.cpp.o.d"
+  "/root/repo/src/fpga/bitstream.cpp" "src/fpga/CMakeFiles/dhl_fpga.dir/bitstream.cpp.o" "gcc" "src/fpga/CMakeFiles/dhl_fpga.dir/bitstream.cpp.o.d"
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/dhl_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/dhl_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/loopback.cpp" "src/fpga/CMakeFiles/dhl_fpga.dir/loopback.cpp.o" "gcc" "src/fpga/CMakeFiles/dhl_fpga.dir/loopback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-dbg/src/common/CMakeFiles/dhl_common.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/telemetry/CMakeFiles/dhl_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/netio/CMakeFiles/dhl_netio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhl_fpga.dir/batch.cpp.o"
+  "CMakeFiles/dhl_fpga.dir/batch.cpp.o.d"
+  "CMakeFiles/dhl_fpga.dir/bitstream.cpp.o"
+  "CMakeFiles/dhl_fpga.dir/bitstream.cpp.o.d"
+  "CMakeFiles/dhl_fpga.dir/device.cpp.o"
+  "CMakeFiles/dhl_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/dhl_fpga.dir/loopback.cpp.o"
+  "CMakeFiles/dhl_fpga.dir/loopback.cpp.o.d"
+  "libdhl_fpga.a"
+  "libdhl_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhl_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

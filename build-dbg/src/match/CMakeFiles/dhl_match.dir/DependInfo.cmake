@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/aho_corasick.cpp" "src/match/CMakeFiles/dhl_match.dir/aho_corasick.cpp.o" "gcc" "src/match/CMakeFiles/dhl_match.dir/aho_corasick.cpp.o.d"
+  "/root/repo/src/match/regex.cpp" "src/match/CMakeFiles/dhl_match.dir/regex.cpp.o" "gcc" "src/match/CMakeFiles/dhl_match.dir/regex.cpp.o.d"
+  "/root/repo/src/match/ruleset.cpp" "src/match/CMakeFiles/dhl_match.dir/ruleset.cpp.o" "gcc" "src/match/CMakeFiles/dhl_match.dir/ruleset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-dbg/src/common/CMakeFiles/dhl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhl_match.dir/aho_corasick.cpp.o"
+  "CMakeFiles/dhl_match.dir/aho_corasick.cpp.o.d"
+  "CMakeFiles/dhl_match.dir/regex.cpp.o"
+  "CMakeFiles/dhl_match.dir/regex.cpp.o.d"
+  "CMakeFiles/dhl_match.dir/ruleset.cpp.o"
+  "CMakeFiles/dhl_match.dir/ruleset.cpp.o.d"
+  "libdhl_match.a"
+  "libdhl_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhl_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

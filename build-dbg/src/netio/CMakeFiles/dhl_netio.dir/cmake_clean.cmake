@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhl_netio.dir/headers.cpp.o"
+  "CMakeFiles/dhl_netio.dir/headers.cpp.o.d"
+  "CMakeFiles/dhl_netio.dir/lpm.cpp.o"
+  "CMakeFiles/dhl_netio.dir/lpm.cpp.o.d"
+  "CMakeFiles/dhl_netio.dir/mempool.cpp.o"
+  "CMakeFiles/dhl_netio.dir/mempool.cpp.o.d"
+  "CMakeFiles/dhl_netio.dir/nic.cpp.o"
+  "CMakeFiles/dhl_netio.dir/nic.cpp.o.d"
+  "CMakeFiles/dhl_netio.dir/pktgen.cpp.o"
+  "CMakeFiles/dhl_netio.dir/pktgen.cpp.o.d"
+  "libdhl_netio.a"
+  "libdhl_netio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhl_netio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/chain.cpp" "src/nf/CMakeFiles/dhl_nf.dir/chain.cpp.o" "gcc" "src/nf/CMakeFiles/dhl_nf.dir/chain.cpp.o.d"
+  "/root/repo/src/nf/dhl_nf.cpp" "src/nf/CMakeFiles/dhl_nf.dir/dhl_nf.cpp.o" "gcc" "src/nf/CMakeFiles/dhl_nf.dir/dhl_nf.cpp.o.d"
+  "/root/repo/src/nf/forwarders.cpp" "src/nf/CMakeFiles/dhl_nf.dir/forwarders.cpp.o" "gcc" "src/nf/CMakeFiles/dhl_nf.dir/forwarders.cpp.o.d"
+  "/root/repo/src/nf/ipsec_gateway.cpp" "src/nf/CMakeFiles/dhl_nf.dir/ipsec_gateway.cpp.o" "gcc" "src/nf/CMakeFiles/dhl_nf.dir/ipsec_gateway.cpp.o.d"
+  "/root/repo/src/nf/nids.cpp" "src/nf/CMakeFiles/dhl_nf.dir/nids.cpp.o" "gcc" "src/nf/CMakeFiles/dhl_nf.dir/nids.cpp.o.d"
+  "/root/repo/src/nf/pipeline.cpp" "src/nf/CMakeFiles/dhl_nf.dir/pipeline.cpp.o" "gcc" "src/nf/CMakeFiles/dhl_nf.dir/pipeline.cpp.o.d"
+  "/root/repo/src/nf/testbed.cpp" "src/nf/CMakeFiles/dhl_nf.dir/testbed.cpp.o" "gcc" "src/nf/CMakeFiles/dhl_nf.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-dbg/src/common/CMakeFiles/dhl_common.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/netio/CMakeFiles/dhl_netio.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/crypto/CMakeFiles/dhl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/match/CMakeFiles/dhl_match.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/accel/CMakeFiles/dhl_accel.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/dhl/CMakeFiles/dhl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/fpga/CMakeFiles/dhl_fpga.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/telemetry/CMakeFiles/dhl_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhl_nf.dir/chain.cpp.o"
+  "CMakeFiles/dhl_nf.dir/chain.cpp.o.d"
+  "CMakeFiles/dhl_nf.dir/dhl_nf.cpp.o"
+  "CMakeFiles/dhl_nf.dir/dhl_nf.cpp.o.d"
+  "CMakeFiles/dhl_nf.dir/forwarders.cpp.o"
+  "CMakeFiles/dhl_nf.dir/forwarders.cpp.o.d"
+  "CMakeFiles/dhl_nf.dir/ipsec_gateway.cpp.o"
+  "CMakeFiles/dhl_nf.dir/ipsec_gateway.cpp.o.d"
+  "CMakeFiles/dhl_nf.dir/nids.cpp.o"
+  "CMakeFiles/dhl_nf.dir/nids.cpp.o.d"
+  "CMakeFiles/dhl_nf.dir/pipeline.cpp.o"
+  "CMakeFiles/dhl_nf.dir/pipeline.cpp.o.d"
+  "CMakeFiles/dhl_nf.dir/testbed.cpp.o"
+  "CMakeFiles/dhl_nf.dir/testbed.cpp.o.d"
+  "libdhl_nf.a"
+  "libdhl_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhl_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

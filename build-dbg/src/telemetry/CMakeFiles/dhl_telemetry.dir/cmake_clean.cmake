@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhl_telemetry.dir/metrics.cpp.o"
+  "CMakeFiles/dhl_telemetry.dir/metrics.cpp.o.d"
+  "CMakeFiles/dhl_telemetry.dir/sampler.cpp.o"
+  "CMakeFiles/dhl_telemetry.dir/sampler.cpp.o.d"
+  "CMakeFiles/dhl_telemetry.dir/telemetry.cpp.o"
+  "CMakeFiles/dhl_telemetry.dir/telemetry.cpp.o.d"
+  "CMakeFiles/dhl_telemetry.dir/trace.cpp.o"
+  "CMakeFiles/dhl_telemetry.dir/trace.cpp.o.d"
+  "libdhl_telemetry.a"
+  "libdhl_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhl_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

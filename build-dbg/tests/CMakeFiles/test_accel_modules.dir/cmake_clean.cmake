@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_modules.dir/test_accel_modules.cpp.o"
+  "CMakeFiles/test_accel_modules.dir/test_accel_modules.cpp.o.d"
+  "test_accel_modules"
+  "test_accel_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

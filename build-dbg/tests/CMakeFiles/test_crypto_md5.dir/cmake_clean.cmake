@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_md5.dir/test_crypto_md5.cpp.o"
+  "CMakeFiles/test_crypto_md5.dir/test_crypto_md5.cpp.o.d"
+  "test_crypto_md5"
+  "test_crypto_md5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_md5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

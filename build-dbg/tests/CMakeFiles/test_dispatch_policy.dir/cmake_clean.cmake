@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dispatch_policy.dir/test_dispatch_policy.cpp.o"
+  "CMakeFiles/test_dispatch_policy.dir/test_dispatch_policy.cpp.o.d"
+  "test_dispatch_policy"
+  "test_dispatch_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dispatch_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

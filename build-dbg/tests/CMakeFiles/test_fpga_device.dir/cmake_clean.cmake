@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga_device.dir/test_fpga_device.cpp.o"
+  "CMakeFiles/test_fpga_device.dir/test_fpga_device.cpp.o.d"
+  "test_fpga_device"
+  "test_fpga_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_function_table.dir/test_hw_function_table.cpp.o"
+  "CMakeFiles/test_hw_function_table.dir/test_hw_function_table.cpp.o.d"
+  "test_hw_function_table"
+  "test_hw_function_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_function_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lz77.dir/test_lz77.cpp.o"
+  "CMakeFiles/test_lz77.dir/test_lz77.cpp.o.d"
+  "test_lz77"
+  "test_lz77.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lz77.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

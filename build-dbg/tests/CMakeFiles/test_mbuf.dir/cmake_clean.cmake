@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mbuf.dir/test_mbuf.cpp.o"
+  "CMakeFiles/test_mbuf.dir/test_mbuf.cpp.o.d"
+  "test_mbuf"
+  "test_mbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nf_ipsec.dir/test_nf_ipsec.cpp.o"
+  "CMakeFiles/test_nf_ipsec.dir/test_nf_ipsec.cpp.o.d"
+  "test_nf_ipsec"
+  "test_nf_ipsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nf_ipsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

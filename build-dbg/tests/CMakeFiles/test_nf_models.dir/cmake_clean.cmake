@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nf_models.dir/test_nf_models.cpp.o"
+  "CMakeFiles/test_nf_models.dir/test_nf_models.cpp.o.d"
+  "test_nf_models"
+  "test_nf_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nf_nids.dir/test_nf_nids.cpp.o"
+  "CMakeFiles/test_nf_nids.dir/test_nf_nids.cpp.o.d"
+  "test_nf_nids"
+  "test_nf_nids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nf_nids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pktgen.dir/test_pktgen.cpp.o"
+  "CMakeFiles/test_pktgen.dir/test_pktgen.cpp.o.d"
+  "test_pktgen"
+  "test_pktgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pktgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

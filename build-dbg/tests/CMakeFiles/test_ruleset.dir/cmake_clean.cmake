@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ruleset.dir/test_ruleset.cpp.o"
+  "CMakeFiles/test_ruleset.dir/test_ruleset.cpp.o.d"
+  "test_ruleset"
+  "test_ruleset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ruleset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

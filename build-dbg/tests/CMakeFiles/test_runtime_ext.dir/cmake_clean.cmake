@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_ext.dir/test_runtime_ext.cpp.o"
+  "CMakeFiles/test_runtime_ext.dir/test_runtime_ext.cpp.o.d"
+  "test_runtime_ext"
+  "test_runtime_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

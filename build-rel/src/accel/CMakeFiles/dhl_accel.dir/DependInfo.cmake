@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/catalog.cpp" "src/accel/CMakeFiles/dhl_accel.dir/catalog.cpp.o" "gcc" "src/accel/CMakeFiles/dhl_accel.dir/catalog.cpp.o.d"
+  "/root/repo/src/accel/extra_modules.cpp" "src/accel/CMakeFiles/dhl_accel.dir/extra_modules.cpp.o" "gcc" "src/accel/CMakeFiles/dhl_accel.dir/extra_modules.cpp.o.d"
+  "/root/repo/src/accel/ipsec_common.cpp" "src/accel/CMakeFiles/dhl_accel.dir/ipsec_common.cpp.o" "gcc" "src/accel/CMakeFiles/dhl_accel.dir/ipsec_common.cpp.o.d"
+  "/root/repo/src/accel/ipsec_crypto.cpp" "src/accel/CMakeFiles/dhl_accel.dir/ipsec_crypto.cpp.o" "gcc" "src/accel/CMakeFiles/dhl_accel.dir/ipsec_crypto.cpp.o.d"
+  "/root/repo/src/accel/lz77.cpp" "src/accel/CMakeFiles/dhl_accel.dir/lz77.cpp.o" "gcc" "src/accel/CMakeFiles/dhl_accel.dir/lz77.cpp.o.d"
+  "/root/repo/src/accel/pattern_matching.cpp" "src/accel/CMakeFiles/dhl_accel.dir/pattern_matching.cpp.o" "gcc" "src/accel/CMakeFiles/dhl_accel.dir/pattern_matching.cpp.o.d"
+  "/root/repo/src/accel/regex_classifier.cpp" "src/accel/CMakeFiles/dhl_accel.dir/regex_classifier.cpp.o" "gcc" "src/accel/CMakeFiles/dhl_accel.dir/regex_classifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/common/CMakeFiles/dhl_common.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/crypto/CMakeFiles/dhl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/match/CMakeFiles/dhl_match.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/fpga/CMakeFiles/dhl_fpga.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/netio/CMakeFiles/dhl_netio.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/telemetry/CMakeFiles/dhl_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

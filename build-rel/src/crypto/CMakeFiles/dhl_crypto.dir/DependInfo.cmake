@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/dhl_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/dhl_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/md5.cpp" "src/crypto/CMakeFiles/dhl_crypto.dir/md5.cpp.o" "gcc" "src/crypto/CMakeFiles/dhl_crypto.dir/md5.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/dhl_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/dhl_crypto.dir/sha1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/common/CMakeFiles/dhl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

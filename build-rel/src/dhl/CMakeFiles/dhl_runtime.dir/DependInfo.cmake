@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dhl/dispatch_policy.cpp" "src/dhl/CMakeFiles/dhl_runtime.dir/dispatch_policy.cpp.o" "gcc" "src/dhl/CMakeFiles/dhl_runtime.dir/dispatch_policy.cpp.o.d"
+  "/root/repo/src/dhl/distributor.cpp" "src/dhl/CMakeFiles/dhl_runtime.dir/distributor.cpp.o" "gcc" "src/dhl/CMakeFiles/dhl_runtime.dir/distributor.cpp.o.d"
+  "/root/repo/src/dhl/hw_function_table.cpp" "src/dhl/CMakeFiles/dhl_runtime.dir/hw_function_table.cpp.o" "gcc" "src/dhl/CMakeFiles/dhl_runtime.dir/hw_function_table.cpp.o.d"
+  "/root/repo/src/dhl/packer.cpp" "src/dhl/CMakeFiles/dhl_runtime.dir/packer.cpp.o" "gcc" "src/dhl/CMakeFiles/dhl_runtime.dir/packer.cpp.o.d"
+  "/root/repo/src/dhl/runtime.cpp" "src/dhl/CMakeFiles/dhl_runtime.dir/runtime.cpp.o" "gcc" "src/dhl/CMakeFiles/dhl_runtime.dir/runtime.cpp.o.d"
+  "/root/repo/src/dhl/runtime_metrics.cpp" "src/dhl/CMakeFiles/dhl_runtime.dir/runtime_metrics.cpp.o" "gcc" "src/dhl/CMakeFiles/dhl_runtime.dir/runtime_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/common/CMakeFiles/dhl_common.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/telemetry/CMakeFiles/dhl_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/netio/CMakeFiles/dhl_netio.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/fpga/CMakeFiles/dhl_fpga.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

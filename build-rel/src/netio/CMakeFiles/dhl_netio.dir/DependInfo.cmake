@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netio/headers.cpp" "src/netio/CMakeFiles/dhl_netio.dir/headers.cpp.o" "gcc" "src/netio/CMakeFiles/dhl_netio.dir/headers.cpp.o.d"
+  "/root/repo/src/netio/lpm.cpp" "src/netio/CMakeFiles/dhl_netio.dir/lpm.cpp.o" "gcc" "src/netio/CMakeFiles/dhl_netio.dir/lpm.cpp.o.d"
+  "/root/repo/src/netio/mempool.cpp" "src/netio/CMakeFiles/dhl_netio.dir/mempool.cpp.o" "gcc" "src/netio/CMakeFiles/dhl_netio.dir/mempool.cpp.o.d"
+  "/root/repo/src/netio/nic.cpp" "src/netio/CMakeFiles/dhl_netio.dir/nic.cpp.o" "gcc" "src/netio/CMakeFiles/dhl_netio.dir/nic.cpp.o.d"
+  "/root/repo/src/netio/pktgen.cpp" "src/netio/CMakeFiles/dhl_netio.dir/pktgen.cpp.o" "gcc" "src/netio/CMakeFiles/dhl_netio.dir/pktgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/common/CMakeFiles/dhl_common.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/telemetry/CMakeFiles/dhl_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

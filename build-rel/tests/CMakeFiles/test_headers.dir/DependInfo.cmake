@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_headers.cpp" "tests/CMakeFiles/test_headers.dir/test_headers.cpp.o" "gcc" "tests/CMakeFiles/test_headers.dir/test_headers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/nf/CMakeFiles/dhl_nf.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/dhl/CMakeFiles/dhl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/accel/CMakeFiles/dhl_accel.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/fpga/CMakeFiles/dhl_fpga.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/match/CMakeFiles/dhl_match.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/crypto/CMakeFiles/dhl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/netio/CMakeFiles/dhl_netio.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/telemetry/CMakeFiles/dhl_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/common/CMakeFiles/dhl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,83 @@
+#include "dhl/runtime/dispatch_policy.hpp"
+
+#include "dhl/common/check.hpp"
+
+namespace dhl::runtime {
+
+const char* to_string(DispatchPolicyKind kind) {
+  switch (kind) {
+    case DispatchPolicyKind::kNumaLocal:
+      return "numa-local";
+    case DispatchPolicyKind::kRoundRobin:
+      return "round-robin";
+    case DispatchPolicyKind::kLeastOutstandingBytes:
+      return "least-outstanding-bytes";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class RoundRobinPolicy final : public DispatchPolicy {
+ public:
+  const char* name() const override { return "round-robin"; }
+  HwFunctionEntry* pick(std::span<HwFunctionEntry* const> replicas,
+                        const DispatchContext& ctx) override {
+    const std::uint32_t i = ctx.cursor != nullptr ? (*ctx.cursor)++ : 0;
+    return replicas[i % replicas.size()];
+  }
+};
+
+class LeastOutstandingBytesPolicy final : public DispatchPolicy {
+ public:
+  const char* name() const override { return "least-outstanding-bytes"; }
+  HwFunctionEntry* pick(std::span<HwFunctionEntry* const> replicas,
+                        const DispatchContext&) override {
+    HwFunctionEntry* best = replicas[0];
+    for (HwFunctionEntry* e : replicas.subspan(1)) {
+      if (e->outstanding_bytes < best->outstanding_bytes) best = e;
+    }
+    return best;
+  }
+};
+
+class NumaLocalPolicy final : public DispatchPolicy {
+ public:
+  const char* name() const override { return "numa-local"; }
+  HwFunctionEntry* pick(std::span<HwFunctionEntry* const> replicas,
+                        const DispatchContext& ctx) override {
+    // Round-robin among the replicas local to the flushing socket; fall
+    // back to all replicas when none is local (a single remote board must
+    // still serve both nodes -- the paper's V-D setup).
+    std::size_t local = 0;
+    for (HwFunctionEntry* e : replicas) {
+      if (e->socket_id == ctx.socket) ++local;
+    }
+    const std::uint32_t i = ctx.cursor != nullptr ? (*ctx.cursor)++ : 0;
+    if (local == 0) return replicas[i % replicas.size()];
+    std::size_t want = i % local;
+    for (HwFunctionEntry* e : replicas) {
+      if (e->socket_id != ctx.socket) continue;
+      if (want == 0) return e;
+      --want;
+    }
+    return replicas[0];  // unreachable
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DispatchPolicy> make_dispatch_policy(DispatchPolicyKind kind) {
+  switch (kind) {
+    case DispatchPolicyKind::kNumaLocal:
+      return std::make_unique<NumaLocalPolicy>();
+    case DispatchPolicyKind::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>();
+    case DispatchPolicyKind::kLeastOutstandingBytes:
+      return std::make_unique<LeastOutstandingBytesPolicy>();
+  }
+  DHL_CHECK_MSG(false, "unknown dispatch policy kind");
+  return nullptr;
+}
+
+}  // namespace dhl::runtime

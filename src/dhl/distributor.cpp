@@ -1,0 +1,147 @@
+#include "dhl/runtime/distributor.hpp"
+
+#include "dhl/common/check.hpp"
+
+namespace dhl::runtime {
+
+using netio::Mbuf;
+using netio::NfId;
+
+Distributor::Distributor(sim::Simulator& simulator,
+                         const RuntimeConfig& config,
+                         telemetry::Telemetry& telemetry,
+                         RuntimeMetrics& metrics, HwFunctionTable& table,
+                         std::vector<NfInfo>& nfs)
+    : sim_{simulator},
+      config_{config},
+      telemetry_{telemetry},
+      metrics_{metrics},
+      table_{table},
+      nfs_{nfs},
+      sockets_(static_cast<std::size_t>(config.num_sockets)) {
+  for (int s = 0; s < config_.num_sockets; ++s) {
+    SocketState& state = sockets_[static_cast<std::size_t>(s)];
+    state.completions_depth = telemetry_.metrics.gauge(
+        "dhl.runtime.completions_depth",
+        telemetry::Labels{{"socket", std::to_string(s)}});
+    state.rx_track = "dhl.rx.socket" + std::to_string(s);
+  }
+}
+
+void Distributor::enqueue_completion(int socket, fpga::DmaBatchPtr batch) {
+  sockets_[static_cast<std::size_t>(socket)].completions.push_back(
+      std::move(batch));
+}
+
+std::unique_ptr<Distributor::DeliveryVec> Distributor::take_buffer(
+    SocketState& state) {
+  if (!state.free_buffers.empty()) {
+    auto buf = std::move(state.free_buffers.back());
+    state.free_buffers.pop_back();
+    return buf;
+  }
+  return std::make_unique<DeliveryVec>();
+}
+
+sim::PollResult Distributor::poll(int socket) {
+  SocketState& state = sockets_[static_cast<std::size_t>(socket)];
+  const auto& rt = config_.timing.runtime;
+  const Frequency clock = config_.timing.cpu.core_clock;
+  const Picos t0 = sim_.now();
+  const bool tracing = telemetry_.trace.enabled();
+  double cycles = 0;
+  std::unique_ptr<DeliveryVec> deliveries;
+
+  for (std::uint32_t b = 0; b < config_.rx_burst && !state.completions.empty();
+       ++b) {
+    fpga::DmaBatchPtr batch = std::move(state.completions.front());
+    state.completions.pop_front();
+    metrics_.batches_from_fpga->add(1);
+    const double batch_start_cycles = cycles;
+    cycles += rt.distributor_per_batch_cycles;
+
+    // Retire the batch against its replica's outstanding-bytes account
+    // (acc_id reflects the replica that actually processed it; the entry
+    // may be gone when an unload raced the round trip).
+    if (HwFunctionEntry* e = table_.entry_for(batch->acc_id())) {
+      e->outstanding_bytes -= std::min<std::uint64_t>(
+          e->outstanding_bytes, batch->submitted_bytes);
+    }
+
+    const auto views = batch->parse();
+    DHL_CHECK_MSG(views.size() == batch->pkts().size(),
+                  "batch record/mbuf count mismatch");
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      const fpga::RecordView& v = views[i];
+      Mbuf* m = batch->pkts()[i];
+      --metrics_.in_flight;
+      metrics_.pkts_from_fpga->add(1);
+      cycles += rt.distributor_per_pkt_cycles;
+      RuntimeMetrics::NfAccCounters& c =
+          metrics_.nf_acc(v.header.nf_id, v.header.acc_id);
+      c.returned->add(1);
+      if (v.header.flags & 0x1) {
+        metrics_.error_records->add(1);
+        c.errors->add(1);
+      }
+
+      // Restore post-processed bytes and the module result into the mbuf.
+      m->replace_data({batch->buffer().data() + v.data_offset,
+                       v.header.data_len});
+      m->set_accel_result(v.header.result);
+
+      // Isolation: route on the wire-format nf_id (paper IV-B1).
+      const NfId nf = v.header.nf_id;
+      if (nf >= nfs_.size()) {
+        metrics_.obq_drops->add(1);
+        m->release();
+        continue;
+      }
+      if (deliveries == nullptr) deliveries = take_buffer(state);
+      deliveries->push_back({nf, m});
+    }
+
+    if (tracing) {
+      // Span endpoints use the cumulative distributor cycles within this
+      // iteration, so back-to-back batches tile the RX lane without overlap.
+      const Picos d0 = t0 + clock.cycles(batch_start_cycles);
+      const Picos d1 = t0 + clock.cycles(cycles);
+      telemetry_.trace.complete_span(
+          state.rx_track, "batch.distribute", "runtime", d0, d1,
+          {{"batch", std::to_string(batch->batch_id)},
+           {"records", std::to_string(views.size())}});
+      // Whole life of the batch: opened by the Packer, DMA'd, processed,
+      // DMA'd back, distributed.
+      telemetry_.trace.complete_span(
+          "dhl.batch", "batch.lifecycle", "runtime", batch->created_at, d1,
+          {{"batch", std::to_string(batch->batch_id)},
+           {"records", std::to_string(views.size())}});
+    }
+  }
+  state.completions_depth->set(static_cast<double>(state.completions.size()));
+
+  // Packets land in their private OBQs after the Distributor cycles spent
+  // on them (same reasoning as the Packer's deferred doorbell).
+  if (deliveries != nullptr && !deliveries->empty()) {
+    auto shared = std::shared_ptr<DeliveryVec>(std::move(deliveries));
+    sim_.schedule_after(
+        clock.cycles(cycles), [this, socket, shared] {
+          for (const Delivery& d : *shared) {
+            NfInfo& info = nfs_[d.nf];
+            if (!info.obq->enqueue(d.m)) {
+              metrics_.obq_drops->add(1);
+              info.obq_drops->add(1);
+              d.m->release();
+            }
+            info.obq_depth->set(static_cast<double>(info.obq->count()));
+          }
+          // Recycle the buffer for a later iteration on this socket.
+          shared->clear();
+          sockets_[static_cast<std::size_t>(socket)].free_buffers.push_back(
+              std::make_unique<DeliveryVec>(std::move(*shared)));
+        });
+  }
+  return {cycles, false};
+}
+
+}  // namespace dhl::runtime

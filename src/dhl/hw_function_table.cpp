@@ -1,0 +1,269 @@
+#include "dhl/runtime/hw_function_table.hpp"
+
+#include <algorithm>
+
+#include "dhl/common/check.hpp"
+#include "dhl/common/log.hpp"
+
+namespace dhl::runtime {
+
+using netio::AccId;
+
+HwFunctionTable::HwFunctionTable(sim::Simulator& simulator,
+                                 fpga::BitstreamDatabase database,
+                                 std::vector<fpga::FpgaDevice*> fpgas,
+                                 telemetry::Telemetry& telemetry)
+    : sim_{simulator},
+      database_{std::move(database)},
+      fpgas_{std::move(fpgas)},
+      telemetry_{telemetry} {
+  for (fpga::FpgaDevice* dev : fpgas_) DHL_CHECK(dev != nullptr);
+}
+
+AccId HwFunctionTable::alloc_acc_id() const {
+  for (int i = 0; i < 256; ++i) {
+    const auto id = static_cast<AccId>((next_acc_id_ + i) & 0xff);
+    if (id == netio::kInvalidAccId) continue;
+    if (by_acc_[id] == nullptr) {
+      next_acc_id_ = static_cast<AccId>(id + 1);
+      return id;
+    }
+  }
+  DHL_CHECK_MSG(false, "acc_id space exhausted (255 live replicas)");
+  return netio::kInvalidAccId;
+}
+
+AccHandle HwFunctionTable::start_load(const fpga::PartialBitstream& bitstream,
+                                      fpga::FpgaDevice& dev,
+                                      int socket_for_entry) {
+  const AccId acc_id = alloc_acc_id();
+  // Look the entry up by acc_id when ICAP finishes: unload_function() may
+  // have erased entries meanwhile, so the dense slot is the ground truth.
+  const auto region = dev.load_module(
+      bitstream, [this, acc_id, &dev](int r) {
+        HwFunctionEntry* e = by_acc_[acc_id];
+        if (e != nullptr && e->fpga_id == dev.fpga_id() && e->region == r) {
+          e->ready = true;
+          dev.map_acc(acc_id, r);
+          return;
+        }
+        // Entry was unloaded mid-PR: free the part right away.
+        dev.unload_region(r);
+      });
+  if (!region.has_value()) return {};
+
+  auto entry = std::make_unique<HwFunctionEntry>();
+  entry->hf_name = bitstream.hf_name;
+  entry->socket_id = socket_for_entry;
+  entry->acc_id = acc_id;
+  entry->fpga_id = dev.fpga_id();
+  entry->region = *region;
+  entry->ready = false;
+  entry->device = &dev;
+  const telemetry::Labels labels{{"hf", bitstream.hf_name},
+                                 {"fpga", dev.name()},
+                                 {"region", std::to_string(*region)}};
+  entry->dispatch_batches =
+      telemetry_.metrics.counter("dhl.runtime.replica_batches", labels);
+  entry->dispatch_bytes =
+      telemetry_.metrics.counter("dhl.runtime.replica_bytes", labels);
+
+  // A replica loaded after acc_configure() ran inherits the retained blob,
+  // so the dispatch policy can treat all replicas as interchangeable.
+  const auto cfg = configs_.find(bitstream.hf_name);
+  if (cfg != configs_.end()) {
+    fpga::AcceleratorModule* module = dev.region_module(*region);
+    DHL_CHECK(module != nullptr);
+    module->configure(cfg->second);
+  }
+
+  HwFunctionEntry* raw = entry.get();
+  by_acc_[acc_id] = raw;
+  entries_.push_back(std::move(entry));
+  ReplicaSet& set = sets_[bitstream.hf_name];
+  set.hf_name = bitstream.hf_name;
+  set.replicas.push_back(raw);
+  DHL_INFO("dhl", "loading '" << bitstream.hf_name << "' into fpga "
+                              << dev.fpga_id() << " region " << *region
+                              << " as acc_id " << static_cast<int>(acc_id)
+                              << " (replica " << set.replicas.size() << ")");
+  return AccHandle{acc_id, dev.fpga_id(), socket_for_entry};
+}
+
+AccHandle HwFunctionTable::search_by_name(const std::string& hf_name,
+                                          int socket) {
+  // Table hit: an entry for this (hf_name, socket_id).
+  if (const ReplicaSet* set = replica_set(hf_name)) {
+    for (const HwFunctionEntry* e : set->replicas) {
+      if (e->socket_id == socket) {
+        return AccHandle{e->acc_id, e->fpga_id, e->socket_id};
+      }
+    }
+  }
+  // Miss for this socket: search the accelerator module database.
+  const fpga::PartialBitstream* bitstream = database_.find(hf_name);
+  if (bitstream == nullptr) {
+    DHL_WARN("dhl", "hardware function '" << hf_name
+                                          << "' not in module database");
+    return {};
+  }
+  // Placement order (paper IV-A2's NUMA awareness applied to control plane):
+  //  1. load on an FPGA on the caller's socket;
+  //  2. share an existing entry from another socket (a single board must
+  //     still serve NFs on the other node -- the paper's V-D setup);
+  //  3. load on any FPGA with space.
+  for (fpga::FpgaDevice* dev : fpgas_) {
+    if (dev->socket() != socket) continue;
+    AccHandle h = start_load(*bitstream, *dev, socket);
+    if (h.valid()) return h;
+  }
+  if (const ReplicaSet* set = replica_set(hf_name)) {
+    if (!set->replicas.empty()) {
+      const HwFunctionEntry* e = set->replicas.front();
+      return AccHandle{e->acc_id, e->fpga_id, e->socket_id};
+    }
+  }
+  for (fpga::FpgaDevice* dev : fpgas_) {
+    if (dev->socket() == socket) continue;
+    AccHandle h = start_load(*bitstream, *dev, socket);
+    if (h.valid()) return h;
+  }
+  DHL_WARN("dhl", "no FPGA can host '" << hf_name << "'");
+  return {};
+}
+
+AccHandle HwFunctionTable::load_pr(const std::string& hf_name, int fpga_id) {
+  const fpga::PartialBitstream* bitstream = database_.find(hf_name);
+  fpga::FpgaDevice* dev = device(fpga_id);
+  if (bitstream == nullptr || dev == nullptr) return {};
+  return start_load(*bitstream, *dev, dev->socket());
+}
+
+std::size_t HwFunctionTable::replicate(const std::string& hf_name,
+                                       std::size_t n) {
+  const fpga::PartialBitstream* bitstream = database_.find(hf_name);
+  if (bitstream == nullptr) {
+    DHL_WARN("dhl", "replicate: '" << hf_name << "' not in module database");
+    return 0;
+  }
+  auto count = [&] {
+    const ReplicaSet* set = replica_set(hf_name);
+    return set != nullptr ? set->replicas.size() : 0u;
+  };
+  while (count() < n) {
+    // Spread: load on the device hosting the fewest replicas of this
+    // function (ties break toward lower fpga_id, i.e. declaration order).
+    fpga::FpgaDevice* best = nullptr;
+    std::size_t best_load = 0;
+    for (fpga::FpgaDevice* dev : fpgas_) {
+      std::size_t load = 0;
+      if (const ReplicaSet* set = replica_set(hf_name)) {
+        for (const HwFunctionEntry* e : set->replicas) {
+          if (e->fpga_id == dev->fpga_id()) ++load;
+        }
+      }
+      if (best == nullptr || load < best_load) {
+        best = dev;
+        best_load = load;
+      }
+    }
+    // Devices are tried in preference order until one accepts the load.
+    const std::size_t before = count();
+    AccHandle h = best != nullptr
+                      ? start_load(*bitstream, *best, best->socket())
+                      : AccHandle{};
+    if (!h.valid()) {
+      // The preferred device is full; try the rest before giving up.
+      for (fpga::FpgaDevice* dev : fpgas_) {
+        if (dev == best) continue;
+        h = start_load(*bitstream, *dev, dev->socket());
+        if (h.valid()) break;
+      }
+    }
+    if (count() == before) {
+      DHL_WARN("dhl", "replicate: no FPGA can host another '" << hf_name
+                                                              << "' replica");
+      break;
+    }
+  }
+  return count();
+}
+
+void HwFunctionTable::configure(netio::AccId acc_id,
+                                std::span<const std::uint8_t> config) {
+  HwFunctionEntry* e = entry_for(acc_id);
+  DHL_CHECK_MSG(e != nullptr, "acc_configure: unknown acc_id");
+  ReplicaSet* set = replica_set(e->hf_name);
+  DHL_CHECK(set != nullptr);
+  for (HwFunctionEntry* r : set->replicas) {
+    fpga::AcceleratorModule* module = r->device->region_module(r->region);
+    DHL_CHECK_MSG(module != nullptr, "acc_configure: module not loaded");
+    module->configure(config);
+  }
+  configs_[e->hf_name].assign(config.begin(), config.end());
+}
+
+std::size_t HwFunctionTable::unload_function(const std::string& hf_name) {
+  const auto it = sets_.find(hf_name);
+  if (it == sets_.end()) return 0;
+  std::size_t removed = 0;
+  // erase_entry pops from the set's replica vector; iterate over a copy.
+  const std::vector<HwFunctionEntry*> victims = it->second.replicas;
+  for (HwFunctionEntry* e : victims) {
+    fpga::FpgaDevice* dev = e->device;
+    DHL_CHECK(dev != nullptr);
+    dev->unmap_acc(e->acc_id);
+    if (e->ready) {
+      dev->unload_region(e->region);
+    }
+    // A region still mid-ICAP is freed by the PR-done callback, which
+    // notices the dense slot no longer points at this replica.
+    erase_entry(e);
+    ++removed;
+  }
+  sets_.erase(hf_name);
+  configs_.erase(hf_name);
+  if (removed > 0) DHL_INFO("dhl", "unloaded '" << hf_name << "'");
+  return removed;
+}
+
+void HwFunctionTable::erase_entry(HwFunctionEntry* entry) {
+  by_acc_[entry->acc_id] = nullptr;
+  if (auto* set = replica_set(entry->hf_name)) {
+    auto& v = set->replicas;
+    v.erase(std::remove(v.begin(), v.end(), entry), v.end());
+  }
+  entries_.erase(
+      std::remove_if(entries_.begin(), entries_.end(),
+                     [entry](const std::unique_ptr<HwFunctionEntry>& p) {
+                       return p.get() == entry;
+                     }),
+      entries_.end());
+}
+
+ReplicaSet* HwFunctionTable::replica_set(const std::string& hf_name) {
+  const auto it = sets_.find(hf_name);
+  return it != sets_.end() ? &it->second : nullptr;
+}
+
+const ReplicaSet* HwFunctionTable::replica_set(
+    const std::string& hf_name) const {
+  const auto it = sets_.find(hf_name);
+  return it != sets_.end() ? &it->second : nullptr;
+}
+
+fpga::FpgaDevice* HwFunctionTable::device(int fpga_id) const {
+  for (fpga::FpgaDevice* dev : fpgas_) {
+    if (dev->fpga_id() == fpga_id) return dev;
+  }
+  return nullptr;
+}
+
+std::vector<HwFunctionEntry> HwFunctionTable::snapshot() const {
+  std::vector<HwFunctionEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(*e);
+  return out;
+}
+
+}  // namespace dhl::runtime

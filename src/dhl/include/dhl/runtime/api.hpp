@@ -38,6 +38,14 @@ inline runtime::AccHandle DHL_load_pr(runtime::DhlRuntime& rt,
   return rt.load_pr(hf_name, fpga_id);
 }
 
+/// Ensure a hardware function occupies at least `n` PR regions (replicas
+/// may land on other FPGAs); the runtime's dispatch policy then spreads
+/// batches across them.  Returns the resulting replica count.
+inline std::size_t DHL_replicate(runtime::DhlRuntime& rt,
+                                 const std::string& hf_name, std::size_t n) {
+  return rt.replicate(hf_name, n);
+}
+
 /// Configure the parameters of the desired accelerator module.
 inline void DHL_acc_configure(runtime::DhlRuntime& rt,
                               const runtime::AccHandle& handle,

@@ -1,0 +1,42 @@
+#pragma once
+
+// DispatchPolicy: which replica of a hardware function receives a batch.
+//
+// When a hardware function occupies several PR regions (possibly on several
+// FPGAs -- hXDP-style schedulable execution slots), the Packer asks the
+// policy once per flush.  Candidates are always ready replicas of the same
+// hf_name; the policy never sees empty input.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "dhl/runtime/types.hpp"
+
+namespace dhl::runtime {
+
+/// Per-flush context handed to the policy.
+struct DispatchContext {
+  /// NUMA socket of the TX core performing the flush.
+  int socket = 0;
+  /// Name of the replica set being dispatched.
+  const std::string* hf_name = nullptr;
+  /// Per-replica-set scratch word (persists across flushes); round-robin
+  /// style policies use it as their cursor.
+  std::uint32_t* cursor = nullptr;
+};
+
+class DispatchPolicy {
+ public:
+  virtual ~DispatchPolicy() = default;
+  /// Human-readable policy name (telemetry label, bench output).
+  virtual const char* name() const = 0;
+  /// Pick one of `replicas` (all ready, non-empty) for this flush.
+  virtual HwFunctionEntry* pick(std::span<HwFunctionEntry* const> replicas,
+                                const DispatchContext& ctx) = 0;
+};
+
+/// Factory for the built-in policies of DispatchPolicyKind.
+std::unique_ptr<DispatchPolicy> make_dispatch_policy(DispatchPolicyKind kind);
+
+}  // namespace dhl::runtime

@@ -1,0 +1,74 @@
+#pragma once
+
+// Distributor: the RX half of the transfer layer (paper IV-B1).
+//
+// One poll loop per NUMA socket: drain the completion queue the DMA engines
+// deliver into, decapsulate returned batches, restore payloads/results into
+// the parked mbufs, and route each packet to its NF's private OBQ by the
+// wire-format nf_id -- never host-side state, so a corrupted tag is caught
+// by the isolation machinery instead of leaking across NFs.
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dhl/fpga/batch.hpp"
+#include "dhl/runtime/hw_function_table.hpp"
+#include "dhl/runtime/runtime_metrics.hpp"
+#include "dhl/runtime/types.hpp"
+#include "dhl/sim/lcore.hpp"
+#include "dhl/sim/simulator.hpp"
+
+namespace dhl::runtime {
+
+class Distributor {
+ public:
+  Distributor(sim::Simulator& simulator, const RuntimeConfig& config,
+              telemetry::Telemetry& telemetry, RuntimeMetrics& metrics,
+              HwFunctionTable& table, std::vector<NfInfo>& nfs);
+
+  Distributor(const Distributor&) = delete;
+  Distributor& operator=(const Distributor&) = delete;
+
+  /// DMA RX delivery hook: park a returned batch on `socket`'s completion
+  /// queue until that socket's RX core drains it.
+  void enqueue_completion(int socket, fpga::DmaBatchPtr batch);
+
+  /// One RX poll iteration for `socket` (runs on that socket's RX lcore).
+  sim::PollResult poll(int socket);
+
+  std::size_t completions_pending(int socket) const {
+    return sockets_[static_cast<std::size_t>(socket)].completions.size();
+  }
+
+ private:
+  /// A packet routed to an NF, delivered after the Distributor cycles
+  /// spent on it have elapsed.
+  struct Delivery {
+    std::size_t nf;
+    netio::Mbuf* m;
+  };
+  using DeliveryVec = std::vector<Delivery>;
+
+  struct SocketState {
+    std::deque<fpga::DmaBatchPtr> completions;
+    /// Recycled delivery buffers: the deferred-enqueue closures hand their
+    /// vector back here, so steady-state polling never heap-allocates.
+    std::vector<std::unique_ptr<DeliveryVec>> free_buffers;
+    telemetry::Gauge* completions_depth = nullptr;
+    std::string rx_track;
+  };
+
+  std::unique_ptr<DeliveryVec> take_buffer(SocketState& state);
+
+  sim::Simulator& sim_;
+  const RuntimeConfig& config_;
+  telemetry::Telemetry& telemetry_;
+  RuntimeMetrics& metrics_;
+  HwFunctionTable& table_;
+  std::vector<NfInfo>& nfs_;
+  std::vector<SocketState> sockets_;
+};
+
+}  // namespace dhl::runtime

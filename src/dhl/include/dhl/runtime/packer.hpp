@@ -1,0 +1,94 @@
+#pragma once
+
+// Packer: the TX half of the transfer layer (paper IV-A3).
+//
+// One poll loop per NUMA socket: dequeue the shared IBQ, group packets by
+// their tagged acc_id into open DMA batches, flush on fill or timeout, and
+// let the DispatchPolicy pick which replica of the hardware function
+// receives each flushed batch.  Also owns the adaptive-batching EWMA of
+// the per-socket arrival rate (paper VI-2's proposed policy).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dhl/fpga/batch.hpp"
+#include "dhl/runtime/dispatch_policy.hpp"
+#include "dhl/runtime/hw_function_table.hpp"
+#include "dhl/runtime/runtime_metrics.hpp"
+#include "dhl/runtime/types.hpp"
+#include "dhl/sim/lcore.hpp"
+#include "dhl/sim/simulator.hpp"
+
+namespace dhl::runtime {
+
+class Packer {
+ public:
+  Packer(sim::Simulator& simulator, const RuntimeConfig& config,
+         telemetry::Telemetry& telemetry, RuntimeMetrics& metrics,
+         HwFunctionTable& table);
+
+  Packer(const Packer&) = delete;
+  Packer& operator=(const Packer&) = delete;
+
+  /// Replica-selection policy used at flush time.  Owned by the facade;
+  /// must outlive the Packer's poll loops.
+  void set_dispatch_policy(DispatchPolicy* policy) { policy_ = policy; }
+  DispatchPolicy* dispatch_policy() const { return policy_; }
+
+  /// The shared per-NUMA-node input buffer queue (paper IV-A4).
+  netio::MbufRing& ibq(int socket) {
+    return *sockets_[static_cast<std::size_t>(socket)].ibq;
+  }
+
+  /// One TX poll iteration for `socket` (runs on that socket's TX lcore).
+  sim::PollResult poll(int socket);
+
+ private:
+  struct OpenBatch {
+    fpga::DmaBatchPtr batch;
+    Picos opened_at = 0;
+  };
+
+  struct SocketState {
+    std::unique_ptr<netio::MbufRing> ibq;
+    std::map<netio::AccId, OpenBatch> open_batches;
+    /// Reusable dequeue buffer -- sized once to ibq_burst so the hot loop
+    /// never heap-allocates.
+    std::vector<netio::Mbuf*> scratch;
+    // Adaptive batching: EWMA of the IBQ arrival byte rate.
+    double ewma_bytes_per_sec = 0;
+    Picos last_tx_poll = 0;
+    telemetry::Gauge* ibq_depth = nullptr;
+    std::string tx_track;
+  };
+
+  enum class FlushReason : std::uint8_t { kFull, kTimeout };
+
+  using PendingSubmits =
+      std::vector<std::pair<fpga::FpgaDevice*, fpga::DmaBatchPtr>>;
+
+  /// Current batch cap for `state` (fixed, or adaptive per VI-2).
+  std::uint32_t batch_cap(const SocketState& state) const;
+  double flush_batch(int socket, netio::AccId acc_id, OpenBatch&& open,
+                     PendingSubmits& pending, FlushReason reason);
+  /// Replica receiving this flush: the policy's pick among the ready
+  /// replicas of the tagged entry's hardware function.
+  HwFunctionEntry* choose_replica(HwFunctionEntry* primary, int socket);
+  /// Drop a flushed batch whose hardware function vanished mid-open
+  /// (unload raced the timeout flush): release the parked mbufs.
+  void drop_batch(fpga::DmaBatchPtr batch);
+
+  sim::Simulator& sim_;
+  const RuntimeConfig& config_;
+  telemetry::Telemetry& telemetry_;
+  RuntimeMetrics& metrics_;
+  HwFunctionTable& table_;
+  DispatchPolicy* policy_ = nullptr;
+  std::vector<SocketState> sockets_;
+  /// Flush-time candidate list, reused across flushes (no hot-path alloc).
+  std::vector<HwFunctionEntry*> candidates_;
+};
+
+}  // namespace dhl::runtime

@@ -2,28 +2,33 @@
 
 // The DHL Runtime -- the paper's core contribution (sections III-C, IV).
 //
-// Control plane: the Controller registers NFs (assigning nf_ids and creating
-// their private OBQs), maintains the hardware function table mapping
-// (hf_name, socket_id) -> (acc_id, fpga_id, region), and loads PR bitstreams
-// from the accelerator module database on demand.
+// DhlRuntime is a thin facade over four cohesive components:
 //
-// Data plane: one shared multi-producer single-consumer input buffer queue
-// (IBQ) per NUMA node and one private single-producer single-consumer output
-// buffer queue (OBQ) per NF (paper IV-A4).  Two poll-mode lcores per active
-// socket implement the transfer layer: the TX core runs the Packer (dequeue
-// the shared IBQ, group by acc_id, encode the (nf_id, acc_id) tag pair,
-// batch up to 6 KB, submit DMA) and the RX core runs the Distributor
-// (decapsulate returned batches, restore payloads into the parked mbufs,
-// route to private OBQs by nf_id).
+//   Control plane: HwFunctionTable (hw_function_table.hpp) maintains the
+//   hardware function table as (hf_name) -> replica sets -- each replica
+//   one PR region on one FPGA -- loads PR bitstreams from the accelerator
+//   module database on demand, and resolves acc_ids in O(1) through a
+//   dense array.  replicate() lets one hot hardware function occupy
+//   several regions/boards (hXDP-style schedulable execution slots).
+//
+//   Data plane: one shared multi-producer single-consumer input buffer
+//   queue (IBQ) per NUMA node and one private single-producer
+//   single-consumer output buffer queue (OBQ) per NF (paper IV-A4).  Two
+//   poll-mode lcores per active socket implement the transfer layer: the
+//   TX core runs the Packer (packer.hpp: dequeue the shared IBQ, group by
+//   acc_id, batch up to 6 KB, pick a replica via the DispatchPolicy,
+//   submit DMA) and the RX core runs the Distributor (distributor.hpp:
+//   decapsulate returned batches, restore payloads into the parked mbufs,
+//   route to private OBQs by nf_id).
+//
+//   DispatchPolicy (dispatch_policy.hpp): replica selection per flush --
+//   NUMA-locality-first (default), round-robin, least-outstanding-bytes.
 //
 // Data isolation (paper IV-B): routing on the return path uses the nf_id
 // from the wire-format record header, never host-side state, so a test can
 // corrupt the tag and watch isolation machinery catch it.
 
-#include <deque>
-#include <map>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,61 +37,18 @@
 #include "dhl/fpga/device.hpp"
 #include "dhl/netio/mbuf.hpp"
 #include "dhl/netio/ring.hpp"
+#include "dhl/runtime/dispatch_policy.hpp"
+#include "dhl/runtime/distributor.hpp"
+#include "dhl/runtime/hw_function_table.hpp"
+#include "dhl/runtime/packer.hpp"
+#include "dhl/runtime/runtime_metrics.hpp"
+#include "dhl/runtime/types.hpp"
 #include "dhl/sim/lcore.hpp"
 #include "dhl/sim/simulator.hpp"
 #include "dhl/sim/timing_params.hpp"
 #include "dhl/telemetry/telemetry.hpp"
 
 namespace dhl::runtime {
-
-/// Handle to a loaded hardware function, returned by search_by_name().
-struct AccHandle {
-  netio::AccId acc_id = netio::kInvalidAccId;
-  int fpga_id = -1;
-  int socket_id = -1;
-  bool valid() const { return acc_id != netio::kInvalidAccId; }
-};
-
-/// One row of the hardware function table (paper Figure 2).
-struct HwFunctionEntry {
-  std::string hf_name;
-  int socket_id = 0;
-  netio::AccId acc_id = netio::kInvalidAccId;
-  int fpga_id = -1;
-  int region = -1;
-  bool ready = false;  // PR completed
-};
-
-struct RuntimeConfig {
-  sim::TimingParams timing;
-  int num_sockets = 2;
-  std::uint32_t ibq_size = 8192;
-  std::uint32_t obq_size = 8192;
-  /// Packets the TX core dequeues from an IBQ per iteration.
-  std::uint32_t ibq_burst = 64;
-  /// Batches the RX core drains per iteration.
-  std::uint32_t rx_burst = 8;
-  /// Paper IV-A2: allocate DMA buffers/queues on the FPGA's NUMA node.
-  /// When false, everything lives on socket 0 and transfers to FPGAs on
-  /// other sockets pay the remote penalty (the Fig 4 "different NUMA node"
-  /// series and our NUMA ablation).
-  bool numa_aware = true;
-  /// Shared telemetry context; when null the runtime creates a private one.
-  telemetry::TelemetryPtr telemetry;
-};
-
-/// Compatibility view over the metrics registry (the pre-telemetry flat
-/// stats struct).  Assembled on demand by DhlRuntime::stats(); the
-/// registry series `dhl.runtime.<field>` are the source of truth.
-struct RuntimeStats {
-  std::uint64_t pkts_to_fpga = 0;
-  std::uint64_t batches_to_fpga = 0;
-  std::uint64_t bytes_to_fpga = 0;
-  std::uint64_t pkts_from_fpga = 0;
-  std::uint64_t batches_from_fpga = 0;
-  std::uint64_t obq_drops = 0;
-  std::uint64_t error_records = 0;  // records flagged by the dispatcher
-};
 
 class DhlRuntime {
  public:
@@ -118,15 +80,20 @@ class DhlRuntime {
   /// `fpga_id`.  Returns the handle (not yet ready) or an invalid handle.
   AccHandle load_pr(const std::string& hf_name, int fpga_id);
 
-  /// DHL_acc_configure(): write a module-specific configuration blob.
+  /// Ensure `hf_name` is loaded on at least `n` PR regions (replicas may
+  /// land on other FPGAs); the DispatchPolicy then spreads batches across
+  /// them.  Returns the resulting replica count.
+  std::size_t replicate(const std::string& hf_name, std::size_t n);
+
+  /// DHL_acc_configure(): write a module-specific configuration blob to
+  /// every replica of the handle's hardware function.
   void acc_configure(const AccHandle& handle,
                      std::span<const std::uint8_t> config);
 
-  /// Unload a hardware function: removes its hardware-function-table entries
-  /// and frees the reconfigurable part for the next PR (paper IV-C's
-  /// "changeable NFV environment").  Packets still tagged with the old
-  /// acc_id come back flagged as error records.  Returns the number of
-  /// entries removed.
+  /// Unload a hardware function: removes all its replicas and frees their
+  /// reconfigurable parts for the next PR (paper IV-C's "changeable NFV
+  /// environment").  Packets still tagged with the old acc_id come back
+  /// flagged as error records.  Returns the number of replicas removed.
   std::size_t unload_function(const std::string& hf_name);
 
   /// DHL_get_shared_IBQ(): the calling NF's per-NUMA-node shared IBQ.
@@ -167,102 +134,44 @@ class DhlRuntime {
   telemetry::Telemetry& telemetry() { return *telemetry_; }
   const telemetry::Telemetry& telemetry() const { return *telemetry_; }
   const telemetry::TelemetryPtr& telemetry_ptr() const { return telemetry_; }
-  const std::vector<HwFunctionEntry>& hardware_function_table() const {
-    return hf_table_;
+  /// Value snapshot of the hardware function table, one row per replica,
+  /// in load order (compatibility view over HwFunctionTable).
+  std::vector<HwFunctionEntry> hardware_function_table() const {
+    return table_.snapshot();
   }
-  const fpga::BitstreamDatabase& module_database() const { return database_; }
+  const HwFunctionTable& function_table() const { return table_; }
+  HwFunctionTable& function_table() { return table_; }
+  const fpga::BitstreamDatabase& module_database() const {
+    return table_.database();
+  }
   /// Packets currently parked inside batches / the FPGA / completion queues.
-  std::uint64_t in_flight() const { return in_flight_; }
+  std::uint64_t in_flight() const { return metrics_.in_flight; }
   /// Registered NF count.
   std::size_t nf_count() const { return nfs_.size(); }
   std::vector<sim::Lcore*> transfer_cores();
 
+  /// Active replica-selection policy (configurable via
+  /// RuntimeConfig::dispatch_policy, replaceable at runtime for tests).
+  DispatchPolicy& dispatch_policy() { return *policy_; }
+  void set_dispatch_policy(std::unique_ptr<DispatchPolicy> policy);
+
  private:
-  struct NfInfo {
-    std::string name;
-    int socket = 0;
-    std::unique_ptr<netio::MbufRing> obq;
-    // Per-NF instruments (dhl.nf.* with {nf=name}).
-    telemetry::Gauge* obq_depth = nullptr;
-    telemetry::Counter* obq_drops = nullptr;
+  struct CorePair {
+    std::unique_ptr<sim::Lcore> tx;
+    std::unique_ptr<sim::Lcore> rx;
   };
-
-  struct OpenBatch {
-    fpga::DmaBatchPtr batch;
-    Picos opened_at = 0;
-  };
-
-  struct SocketState {
-    std::unique_ptr<netio::MbufRing> ibq;
-    std::map<netio::AccId, OpenBatch> open_batches;
-    std::unique_ptr<sim::Lcore> tx_core;
-    std::unique_ptr<sim::Lcore> rx_core;
-    std::deque<fpga::DmaBatchPtr> completions;
-    // Adaptive batching: EWMA of the IBQ arrival byte rate.
-    double ewma_bytes_per_sec = 0;
-    Picos last_tx_poll = 0;
-    // Occupancy gauges, sampled once per poll iteration.
-    telemetry::Gauge* ibq_depth = nullptr;
-    telemetry::Gauge* completions_depth = nullptr;
-    std::string tx_track;
-    std::string rx_track;
-  };
-
-  /// Hot-path counters for one (nf_id, acc_id) pair, created lazily on
-  /// first packet so the registry only carries live series.
-  struct NfAccCounters {
-    telemetry::Counter* pkts = nullptr;      // host -> FPGA
-    telemetry::Counter* bytes = nullptr;     // host -> FPGA payload bytes
-    telemetry::Counter* returned = nullptr;  // FPGA -> host
-    telemetry::Counter* errors = nullptr;    // error-flagged records
-  };
-
-  enum class FlushReason : std::uint8_t { kFull, kTimeout };
-
-  using PendingSubmits =
-      std::vector<std::pair<fpga::FpgaDevice*, fpga::DmaBatchPtr>>;
-
-  sim::PollResult tx_poll(int socket);
-  sim::PollResult rx_poll(int socket);
-  /// Current batch cap for `state` (fixed, or adaptive per VI-2).
-  std::uint32_t batch_cap(const SocketState& state) const;
-  double flush_batch(int socket, netio::AccId acc_id, OpenBatch&& open,
-                     PendingSubmits& pending, FlushReason reason);
-  const HwFunctionEntry* entry_for(netio::AccId acc_id) const;
-  fpga::FpgaDevice* device(int fpga_id);
-  AccHandle start_load(const fpga::PartialBitstream& bitstream,
-                       fpga::FpgaDevice& dev, int socket_for_entry);
-  NfAccCounters& nf_acc_counters(netio::NfId nf_id, netio::AccId acc_id);
 
   sim::Simulator& sim_;
   RuntimeConfig config_;
   telemetry::TelemetryPtr telemetry_;
-  fpga::BitstreamDatabase database_;
-  std::vector<fpga::FpgaDevice*> fpgas_;
-  std::vector<SocketState> sockets_;
+  RuntimeMetrics metrics_;
+  HwFunctionTable table_;
+  std::unique_ptr<DispatchPolicy> policy_;
   std::vector<NfInfo> nfs_;
-  std::vector<HwFunctionEntry> hf_table_;
-  netio::AccId next_acc_id_ = 0;
-  std::uint64_t in_flight_ = 0;
-  std::uint64_t next_batch_id_ = 1;
+  Packer packer_;
+  Distributor distributor_;
+  std::vector<CorePair> cores_;
   bool started_ = false;
-
-  // dhl.runtime.* instruments backing the RuntimeStats shim.
-  telemetry::Counter* pkts_to_fpga_ = nullptr;
-  telemetry::Counter* batches_to_fpga_ = nullptr;
-  telemetry::Counter* bytes_to_fpga_ = nullptr;
-  telemetry::Counter* pkts_from_fpga_ = nullptr;
-  telemetry::Counter* batches_from_fpga_ = nullptr;
-  telemetry::Counter* obq_drops_ = nullptr;
-  telemetry::Counter* error_records_ = nullptr;
-  // Packer behaviour: why batches shipped and how full they were.
-  telemetry::Counter* flush_full_ = nullptr;
-  telemetry::Counter* flush_timeout_ = nullptr;
-  telemetry::Counter* unready_drops_ = nullptr;
-  /// Batch fill at flush in parts-per-million of max_batch_bytes (the
-  /// log-binned histogram needs integer samples >= 1000 for resolution).
-  telemetry::Histogram* batch_fill_ppm_ = nullptr;
-  std::map<std::uint16_t, NfAccCounters> nf_acc_;
 };
 
 }  // namespace dhl::runtime

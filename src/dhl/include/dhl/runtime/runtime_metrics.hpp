@@ -1,0 +1,66 @@
+#pragma once
+
+// Shared data-plane instruments and counters of the DHL Runtime.
+//
+// The Packer and Distributor both account packets against the same
+// dhl.runtime.* series and the same lazily-created per-(nf, acc) counters;
+// this object owns them so the two components stay decoupled.
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "dhl/netio/mbuf.hpp"
+#include "dhl/telemetry/telemetry.hpp"
+
+namespace dhl::runtime {
+
+struct RuntimeMetrics {
+  explicit RuntimeMetrics(telemetry::Telemetry& telemetry);
+
+  /// Hot-path counters for one (nf_id, acc_id) pair, created lazily on
+  /// first packet so the registry only carries live series.
+  struct NfAccCounters {
+    telemetry::Counter* pkts = nullptr;      // host -> FPGA
+    telemetry::Counter* bytes = nullptr;     // host -> FPGA payload bytes
+    telemetry::Counter* returned = nullptr;  // FPGA -> host
+    telemetry::Counter* errors = nullptr;    // error-flagged records
+  };
+
+  NfAccCounters& nf_acc(netio::NfId nf_id, netio::AccId acc_id);
+
+  telemetry::MetricsRegistry& registry;
+  /// Resolves an NF id to its registered name for counter labels; falls
+  /// back to "nf<id>" when unset or out of range.
+  std::function<std::string(netio::NfId)> nf_name;
+
+  // dhl.runtime.* instruments backing the RuntimeStats shim.
+  telemetry::Counter* pkts_to_fpga = nullptr;
+  telemetry::Counter* batches_to_fpga = nullptr;
+  telemetry::Counter* bytes_to_fpga = nullptr;
+  telemetry::Counter* pkts_from_fpga = nullptr;
+  telemetry::Counter* batches_from_fpga = nullptr;
+  telemetry::Counter* obq_drops = nullptr;
+  telemetry::Counter* error_records = nullptr;
+  // Packer behaviour: why batches shipped and how full they were.
+  telemetry::Counter* flush_full = nullptr;
+  telemetry::Counter* flush_timeout = nullptr;
+  telemetry::Counter* unready_drops = nullptr;
+  /// Batch fill at flush in parts-per-million of max_batch_bytes (the
+  /// log-binned histogram needs integer samples >= 1000 for resolution).
+  telemetry::Histogram* batch_fill_ppm = nullptr;
+
+  /// Packets currently parked inside batches / the FPGA / completion
+  /// queues.  ++ by the Packer on append, -- by the Distributor on return.
+  std::uint64_t in_flight = 0;
+  /// Correlates a batch's telemetry spans across components.
+  std::uint64_t next_batch_id = 1;
+
+ private:
+  /// Keyed on (nf_id << 16) | acc_id.  The shift is 16 (not the ids' 8-bit
+  /// width) so a widened AccId -- long-running PR churn pushing past 256 --
+  /// can never alias another NF's counters.
+  std::map<std::uint32_t, NfAccCounters> nf_acc_;
+};
+
+}  // namespace dhl::runtime

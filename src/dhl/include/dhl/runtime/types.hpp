@@ -1,0 +1,127 @@
+#pragma once
+
+// Shared value types of the DHL Runtime's control and data planes.
+//
+// The runtime is decomposed into cohesive components (paper III-C / IV):
+//
+//   HwFunctionTable  -- control plane: (hf_name, socket) -> replica set,
+//                       PR loads, O(1) acc_id lookup (hw_function_table.hpp)
+//   Packer           -- TX data plane: IBQ dequeue, batching, EWMA
+//                       (packer.hpp)
+//   Distributor      -- RX data plane: completions, OBQ routing
+//                       (distributor.hpp)
+//   DispatchPolicy   -- replica selection per flush (dispatch_policy.hpp)
+//   DhlRuntime       -- thin facade preserving the Table II API
+//                       (runtime.hpp)
+//
+// This header holds the types those components exchange.
+
+#include <memory>
+#include <string>
+
+#include "dhl/netio/mbuf.hpp"
+#include "dhl/netio/ring.hpp"
+#include "dhl/sim/timing_params.hpp"
+#include "dhl/telemetry/telemetry.hpp"
+
+namespace dhl::fpga {
+class FpgaDevice;
+}  // namespace dhl::fpga
+
+namespace dhl::runtime {
+
+/// Handle to a loaded hardware function, returned by search_by_name().
+struct AccHandle {
+  netio::AccId acc_id = netio::kInvalidAccId;
+  int fpga_id = -1;
+  int socket_id = -1;
+  bool valid() const { return acc_id != netio::kInvalidAccId; }
+};
+
+/// One row of the hardware function table (paper Figure 2).  With
+/// replication, each row is one *replica*: one PR region on one FPGA.
+/// Replicas of the same hardware function keep distinct acc_ids; the
+/// Packer retags a batch when the dispatch policy redirects it.
+struct HwFunctionEntry {
+  std::string hf_name;
+  int socket_id = 0;
+  netio::AccId acc_id = netio::kInvalidAccId;
+  int fpga_id = -1;
+  int region = -1;
+  bool ready = false;  // PR completed
+  /// Bytes flushed to this replica and not yet returned by the
+  /// Distributor; the least-outstanding-bytes policy keys on this.
+  std::uint64_t outstanding_bytes = 0;
+  /// Device hosting the replica (cached so the hot path never scans).
+  fpga::FpgaDevice* device = nullptr;
+  // Per-replica dispatch accounting: dhl.runtime.replica_* with
+  // {hf, fpga, region} labels.
+  telemetry::Counter* dispatch_batches = nullptr;
+  telemetry::Counter* dispatch_bytes = nullptr;
+};
+
+/// Replica-selection policies (see dispatch_policy.hpp).
+enum class DispatchPolicyKind : std::uint8_t {
+  /// Prefer replicas on the flushing socket's NUMA node; round-robin among
+  /// them.  Falls back to all ready replicas when none is local.  This is
+  /// the default and degenerates to the classic single-replica behaviour.
+  kNumaLocal,
+  /// Cycle through all ready replicas regardless of locality.
+  kRoundRobin,
+  /// Pick the replica with the fewest outstanding (in-flight) bytes.
+  kLeastOutstandingBytes,
+};
+
+const char* to_string(DispatchPolicyKind kind);
+
+struct RuntimeConfig {
+  sim::TimingParams timing;
+  int num_sockets = 2;
+  std::uint32_t ibq_size = 8192;
+  std::uint32_t obq_size = 8192;
+  /// Packets the TX core dequeues from an IBQ per iteration.
+  std::uint32_t ibq_burst = 64;
+  /// Batches the RX core drains per iteration.
+  std::uint32_t rx_burst = 8;
+  /// Paper IV-A2: allocate DMA buffers/queues on the FPGA's NUMA node.
+  /// When false, everything lives on socket 0 and transfers to FPGAs on
+  /// other sockets pay the remote penalty (the Fig 4 "different NUMA node"
+  /// series and our NUMA ablation).
+  bool numa_aware = true;
+  /// How the Packer picks a replica when a hardware function is loaded on
+  /// several PR regions / FPGAs.
+  DispatchPolicyKind dispatch_policy = DispatchPolicyKind::kNumaLocal;
+  /// When true, a replica whose outstanding bytes exceed the threshold at
+  /// flush time triggers loading one more replica of its hardware function
+  /// (up to max_auto_replicas), so a hot function spreads across regions.
+  bool auto_replicate = false;
+  std::uint64_t auto_replicate_threshold_bytes = 64 * 1024;
+  std::uint32_t max_auto_replicas = 2;
+  /// Shared telemetry context; when null the runtime creates a private one.
+  telemetry::TelemetryPtr telemetry;
+};
+
+/// Compatibility view over the metrics registry (the pre-telemetry flat
+/// stats struct).  Assembled on demand by DhlRuntime::stats(); the
+/// registry series `dhl.runtime.<field>` are the source of truth.
+struct RuntimeStats {
+  std::uint64_t pkts_to_fpga = 0;
+  std::uint64_t batches_to_fpga = 0;
+  std::uint64_t bytes_to_fpga = 0;
+  std::uint64_t pkts_from_fpga = 0;
+  std::uint64_t batches_from_fpga = 0;
+  std::uint64_t obq_drops = 0;
+  std::uint64_t error_records = 0;  // records flagged by the dispatcher
+};
+
+/// One registered NF: identity plus its private OBQ (paper IV-A4).
+struct NfInfo {
+  std::string name;
+  int socket = 0;
+  std::unique_ptr<netio::MbufRing> obq;
+  // Per-NF instruments (dhl.nf.* with {nf=name}).
+  telemetry::Gauge* obq_depth = nullptr;
+  telemetry::Counter* obq_drops = nullptr;
+};
+
+}  // namespace dhl::runtime

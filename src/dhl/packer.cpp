@@ -1,0 +1,244 @@
+#include "dhl/runtime/packer.hpp"
+
+#include "dhl/common/check.hpp"
+#include "dhl/common/log.hpp"
+#include "dhl/fpga/device.hpp"
+
+namespace dhl::runtime {
+
+using netio::AccId;
+using netio::Mbuf;
+using netio::MbufRing;
+
+Packer::Packer(sim::Simulator& simulator, const RuntimeConfig& config,
+               telemetry::Telemetry& telemetry, RuntimeMetrics& metrics,
+               HwFunctionTable& table)
+    : sim_{simulator},
+      config_{config},
+      telemetry_{telemetry},
+      metrics_{metrics},
+      table_{table},
+      sockets_(static_cast<std::size_t>(config.num_sockets)) {
+  for (int s = 0; s < config_.num_sockets; ++s) {
+    SocketState& state = sockets_[static_cast<std::size_t>(s)];
+    state.ibq = std::make_unique<MbufRing>(
+        "dhl.ibq.socket" + std::to_string(s), config_.ibq_size,
+        netio::SyncMode::kMulti, netio::SyncMode::kSingle);
+    state.scratch.resize(config_.ibq_burst);
+    state.ibq_depth = telemetry_.metrics.gauge(
+        "dhl.runtime.ibq_depth",
+        telemetry::Labels{{"socket", std::to_string(s)}});
+    state.tx_track = "dhl.tx.socket" + std::to_string(s);
+  }
+}
+
+std::uint32_t Packer::batch_cap(const SocketState& state) const {
+  const auto& rt = config_.timing.runtime;
+  if (!rt.adaptive_batching) return rt.max_batch_bytes;
+  // Size the batch so it fills in roughly one DMA round trip's worth of
+  // arrivals: low rates get small batches (latency), rates near the DMA
+  // ceiling get the full cap (throughput).  Paper VI-2's proposed policy.
+  constexpr double kTargetFillSeconds = 3e-6;
+  const double target = state.ewma_bytes_per_sec * kTargetFillSeconds;
+  if (target <= rt.min_batch_bytes) return rt.min_batch_bytes;
+  if (target >= rt.max_batch_bytes) return rt.max_batch_bytes;
+  return static_cast<std::uint32_t>(target);
+}
+
+HwFunctionEntry* Packer::choose_replica(HwFunctionEntry* primary, int socket) {
+  ReplicaSet* set = table_.replica_set(primary->hf_name);
+  if (set == nullptr || set->replicas.size() <= 1 || policy_ == nullptr) {
+    return primary;
+  }
+  candidates_.clear();
+  for (HwFunctionEntry* e : set->replicas) {
+    if (e->ready) candidates_.push_back(e);
+  }
+  if (candidates_.empty()) return primary;
+  if (candidates_.size() == 1) return candidates_.front();
+  DispatchContext ctx;
+  ctx.socket = socket;
+  ctx.hf_name = &set->hf_name;
+  ctx.cursor = &set->cursor;
+  HwFunctionEntry* picked = policy_->pick(candidates_, ctx);
+  return picked != nullptr ? picked : primary;
+}
+
+void Packer::drop_batch(fpga::DmaBatchPtr batch) {
+  for (Mbuf* m : batch->pkts()) {
+    --metrics_.in_flight;
+    metrics_.unready_drops->add(1);
+    m->release();
+  }
+}
+
+double Packer::flush_batch(int socket, AccId acc_id, OpenBatch&& open,
+                           PendingSubmits& pending, FlushReason reason) {
+  const auto& rt = config_.timing.runtime;
+  fpga::DmaBatchPtr batch = std::move(open.batch);
+  HwFunctionEntry* primary = table_.entry_for(acc_id);
+  if (primary == nullptr) {
+    // unload_function() raced this open batch (e.g. a timeout flush after
+    // the entry vanished): release the parked packets, loudly.
+    DHL_WARN("dhl", "dropping open batch for unloaded acc_id "
+                        << static_cast<int>(acc_id));
+    drop_batch(std::move(batch));
+    return rt.packer_per_batch_cycles;
+  }
+  HwFunctionEntry* target = choose_replica(primary, socket);
+  fpga::FpgaDevice* dev = target->device;
+  DHL_CHECK(dev != nullptr);
+  if (target->acc_id != acc_id) {
+    // Redirected to another replica: records must carry the acc_id the
+    // target device's Dispatcher has mapped.
+    batch->retag_acc(target->acc_id);
+  }
+
+  // NUMA-aware allocation keeps the buffers on the FPGA's node; otherwise
+  // they live on socket 0 and FPGAs elsewhere pay the remote penalty.
+  batch->remote_numa = !config_.numa_aware && dev->socket() != 0;
+  batch->batch_id = metrics_.next_batch_id++;
+  batch->submitted_bytes = batch->size_bytes();
+  target->outstanding_bytes += batch->size_bytes();
+  target->dispatch_batches->add(1);
+  target->dispatch_bytes->add(batch->size_bytes());
+  metrics_.batches_to_fpga->add(1);
+  metrics_.pkts_to_fpga->add(batch->record_count());
+  metrics_.bytes_to_fpga->add(batch->size_bytes());
+  (reason == FlushReason::kFull ? metrics_.flush_full
+                                : metrics_.flush_timeout)
+      ->add(1);
+  metrics_.batch_fill_ppm->record(batch->size_bytes() * 1'000'000ull /
+                                  rt.max_batch_bytes);
+  if (telemetry_.trace.enabled()) {
+    telemetry_.trace.complete_span(
+        sockets_[static_cast<std::size_t>(socket)].tx_track, "batch.pack",
+        "runtime", open.opened_at, sim_.now(),
+        {{"batch", std::to_string(batch->batch_id)},
+         {"acc", std::to_string(static_cast<int>(target->acc_id))},
+         {"fpga", dev->name()},
+         {"bytes", std::to_string(batch->size_bytes())},
+         {"records", std::to_string(batch->record_count())},
+         {"reason", reason == FlushReason::kFull ? "full" : "timeout"}});
+  }
+  pending.emplace_back(dev, std::move(batch));
+
+  // Replication pressure valve: a backed-up replica asks the control plane
+  // for one more region (no-op while a previous replica is still loading,
+  // since loading replicas already count toward the set size).
+  if (config_.auto_replicate &&
+      target->outstanding_bytes > config_.auto_replicate_threshold_bytes) {
+    ReplicaSet* set = table_.replica_set(primary->hf_name);
+    if (set != nullptr && set->replicas.size() < config_.max_auto_replicas) {
+      table_.replicate(primary->hf_name, set->replicas.size() + 1);
+    }
+  }
+  return rt.packer_per_batch_cycles;
+}
+
+sim::PollResult Packer::poll(int socket) {
+  SocketState& state = sockets_[static_cast<std::size_t>(socket)];
+  const auto& rt = config_.timing.runtime;
+  const auto& cpu = config_.timing.cpu;
+  double cycles = 0;
+  PendingSubmits pending;
+
+  Mbuf** pkts = state.scratch.data();
+  const std::size_t n =
+      state.ibq->dequeue_burst({pkts, state.scratch.size()});
+  state.ibq_depth->set(static_cast<double>(state.ibq->count()));
+  if (n > 0) {
+    cycles += cpu.ring_op_fixed_cycles +
+              cpu.ring_op_per_pkt_cycles * static_cast<double>(n);
+  }
+
+  if (rt.adaptive_batching) {
+    // Update the arrival-rate estimate once per iteration.
+    const Picos now = sim_.now();
+    if (state.last_tx_poll != 0 && now > state.last_tx_poll) {
+      std::uint64_t bytes = 0;
+      for (std::size_t i = 0; i < n; ++i) bytes += pkts[i]->data_len();
+      const double inst = static_cast<double>(bytes) /
+                          to_seconds(now - state.last_tx_poll);
+      state.ewma_bytes_per_sec =
+          rt.adaptive_ewma_alpha * inst +
+          (1 - rt.adaptive_ewma_alpha) * state.ewma_bytes_per_sec;
+    }
+    state.last_tx_poll = now;
+  }
+  const std::uint32_t cap = batch_cap(state);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Mbuf* m = pkts[i];
+    const AccId acc_id = m->acc_id();
+    const HwFunctionEntry* e = table_.entry_for(acc_id);  // O(1)
+    if (e == nullptr || !e->ready) {
+      // Paper never sends before search/configure; treat as caller error.
+      DHL_WARN("dhl", "packet tagged with unknown/unready acc_id "
+                          << static_cast<int>(acc_id) << "; dropping");
+      metrics_.unready_drops->add(1);
+      m->release();
+      continue;
+    }
+    auto [it, inserted] = state.open_batches.try_emplace(acc_id);
+    OpenBatch& open = it->second;
+    if (inserted || open.batch == nullptr) {
+      open.batch = std::make_unique<fpga::DmaBatch>(
+          acc_id, rt.max_batch_bytes + fpga::kRecordHeaderBytes);
+      open.batch->created_at = sim_.now();
+      open.opened_at = sim_.now();
+    }
+    // Flush-before-append if this record would overflow the batch cap.
+    const std::size_t record_bytes = fpga::kRecordHeaderBytes + m->data_len();
+    if (open.batch->size_bytes() + record_bytes > cap &&
+        !open.batch->empty()) {
+      cycles += flush_batch(socket, acc_id, std::move(open), pending,
+                            FlushReason::kFull);
+      open.batch = std::make_unique<fpga::DmaBatch>(
+          acc_id, rt.max_batch_bytes + fpga::kRecordHeaderBytes);
+      open.batch->created_at = sim_.now();
+      open.opened_at = sim_.now();
+    }
+    if (open.batch->empty()) open.batch->first_pkt_enqueued_at = sim_.now();
+    open.batch->append(m->nf_id(), m->payload(), m);
+    RuntimeMetrics::NfAccCounters& c = metrics_.nf_acc(m->nf_id(), acc_id);
+    c.pkts->add(1);
+    c.bytes->add(m->data_len());
+    ++metrics_.in_flight;
+    cycles += rt.packer_per_pkt_cycles;
+  }
+
+  // Flush policy: a batch goes out when full (handled above) or when it
+  // ages past the timeout.  The paper's Packer aggregates aggressively to
+  // the 6 KB batching size -- that is why 64 B packets see a higher latency
+  // than 1500 B ones (V-C) -- and the timeout bounds latency at low load
+  // (the adaptive version is the paper's future work, see the batching
+  // ablation bench).
+  for (auto it = state.open_batches.begin(); it != state.open_batches.end();) {
+    OpenBatch& open = it->second;
+    const bool have = open.batch != nullptr && !open.batch->empty();
+    const bool aged = have && sim_.now() - open.opened_at >= rt.batch_timeout;
+    if (aged) {
+      cycles += flush_batch(socket, it->first, std::move(open), pending,
+                            FlushReason::kTimeout);
+      it = state.open_batches.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // DMA doorbells ring once this iteration's packing cycles have elapsed --
+  // submitting at iteration start would hide the Packer's cost from the
+  // measured packet latency.
+  if (!pending.empty()) {
+    auto shared = std::make_shared<PendingSubmits>(std::move(pending));
+    sim_.schedule_after(cpu.core_clock.cycles(cycles), [shared] {
+      for (auto& [dev, batch] : *shared) {
+        dev->dma().submit_tx(std::move(batch));
+      }
+    });
+  }
+  return {cycles, false};
+}
+
+}  // namespace dhl::runtime

@@ -1,14 +1,10 @@
 #include "dhl/runtime/runtime.hpp"
 
-#include <algorithm>
-
 #include "dhl/common/check.hpp"
 #include "dhl/common/log.hpp"
 
 namespace dhl::runtime {
 
-using netio::AccId;
-using netio::Mbuf;
 using netio::MbufRing;
 using netio::NfId;
 
@@ -18,44 +14,31 @@ DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
     : sim_{simulator},
       config_{std::move(config)},
       telemetry_{telemetry::ensure(config_.telemetry)},
-      database_{std::move(database)},
-      fpgas_{std::move(fpgas)},
-      sockets_(static_cast<std::size_t>(config_.num_sockets)) {
+      metrics_{*telemetry_},
+      table_{simulator, std::move(database), std::move(fpgas), *telemetry_},
+      policy_{make_dispatch_policy(config_.dispatch_policy)},
+      packer_{simulator, config_, *telemetry_, metrics_, table_},
+      distributor_{simulator, config_, *telemetry_, metrics_, table_, nfs_} {
   DHL_CHECK(config_.num_sockets > 0);
-  telemetry::MetricsRegistry& reg = telemetry_->metrics;
-  pkts_to_fpga_ = reg.counter("dhl.runtime.pkts_to_fpga");
-  batches_to_fpga_ = reg.counter("dhl.runtime.batches_to_fpga");
-  bytes_to_fpga_ = reg.counter("dhl.runtime.bytes_to_fpga");
-  pkts_from_fpga_ = reg.counter("dhl.runtime.pkts_from_fpga");
-  batches_from_fpga_ = reg.counter("dhl.runtime.batches_from_fpga");
-  obq_drops_ = reg.counter("dhl.runtime.obq_drops");
-  error_records_ = reg.counter("dhl.runtime.error_records");
-  flush_full_ = reg.counter("dhl.runtime.flush_full_batches");
-  flush_timeout_ = reg.counter("dhl.runtime.flush_timeout_batches");
-  unready_drops_ = reg.counter("dhl.runtime.unready_drops");
-  batch_fill_ppm_ = reg.histogram("dhl.runtime.batch_fill_ppm");
-  for (int s = 0; s < config_.num_sockets; ++s) {
-    SocketState& state = sockets_[static_cast<std::size_t>(s)];
-    state.ibq = std::make_unique<MbufRing>(
-        "dhl.ibq.socket" + std::to_string(s), config_.ibq_size,
-        netio::SyncMode::kMulti, netio::SyncMode::kSingle);
-    const telemetry::Labels socket_label{{"socket", std::to_string(s)}};
-    state.ibq_depth = reg.gauge("dhl.runtime.ibq_depth", socket_label);
-    state.completions_depth =
-        reg.gauge("dhl.runtime.completions_depth", socket_label);
-    state.tx_track = "dhl.tx.socket" + std::to_string(s);
-    state.rx_track = "dhl.rx.socket" + std::to_string(s);
-  }
-  for (fpga::FpgaDevice* dev : fpgas_) {
-    DHL_CHECK(dev != nullptr);
+  packer_.set_dispatch_policy(policy_.get());
+  metrics_.nf_name = [this](NfId nf_id) {
+    return nf_id < nfs_.size() ? nfs_[nf_id].name
+                               : "nf" + std::to_string(nf_id);
+  };
+  // Surface the active policy as a labelled gauge so dashboards can tell
+  // runs apart without parsing logs.
+  telemetry_->metrics
+      .gauge("dhl.runtime.dispatch_policy",
+             telemetry::Labels{{"policy", policy_->name()}})
+      ->set(1);
+  for (fpga::FpgaDevice* dev : table_.devices()) {
     DHL_CHECK_MSG(dev->socket() >= 0 && dev->socket() < config_.num_sockets,
                   "FPGA socket out of range");
     // Completion queues are per-socket; deliver into the FPGA's node when
     // NUMA-aware, socket 0 otherwise (that is where the buffers live).
     const int target = config_.numa_aware ? dev->socket() : 0;
     dev->dma().set_rx_deliver([this, target](fpga::DmaBatchPtr batch) {
-      sockets_[static_cast<std::size_t>(target)].completions.push_back(
-          std::move(batch));
+      distributor_.enqueue_completion(target, std::move(batch));
     });
   }
 }
@@ -82,141 +65,35 @@ NfId DhlRuntime::register_nf(const std::string& name, int socket) {
   return id;
 }
 
-fpga::FpgaDevice* DhlRuntime::device(int fpga_id) {
-  for (fpga::FpgaDevice* dev : fpgas_) {
-    if (dev->fpga_id() == fpga_id) return dev;
-  }
-  return nullptr;
-}
-
-AccHandle DhlRuntime::start_load(const fpga::PartialBitstream& bitstream,
-                                 fpga::FpgaDevice& dev, int socket_for_entry) {
-  const AccId acc_id = next_acc_id_++;
-  DHL_CHECK_MSG(acc_id != netio::kInvalidAccId, "acc_id space exhausted");
-  // Look the entry up by acc_id when ICAP finishes: unload_function() may
-  // have erased entries meanwhile, so table indices are not stable.
-  const auto region = dev.load_module(
-      bitstream, [this, acc_id, &dev](int r) {
-        for (HwFunctionEntry& e : hf_table_) {
-          if (e.acc_id == acc_id) {
-            e.ready = true;
-            dev.map_acc(acc_id, r);
-            return;
-          }
-        }
-        // Entry was unloaded mid-PR: free the part right away.
-        dev.unload_region(r);
-      });
-  if (!region.has_value()) return {};
-
-  HwFunctionEntry entry;
-  entry.hf_name = bitstream.hf_name;
-  entry.socket_id = socket_for_entry;
-  entry.acc_id = acc_id;
-  entry.fpga_id = dev.fpga_id();
-  entry.region = *region;
-  entry.ready = false;
-  hf_table_.push_back(entry);
-  DHL_INFO("dhl", "loading '" << bitstream.hf_name << "' into fpga "
-                              << dev.fpga_id() << " region " << *region
-                              << " as acc_id " << static_cast<int>(acc_id));
-  return AccHandle{acc_id, dev.fpga_id(), socket_for_entry};
-}
-
 AccHandle DhlRuntime::search_by_name(const std::string& hf_name, int socket) {
-  // Table hit: an entry for this (hf_name, socket_id).
-  for (const HwFunctionEntry& e : hf_table_) {
-    if (e.hf_name == hf_name && e.socket_id == socket) {
-      return AccHandle{e.acc_id, e.fpga_id, e.socket_id};
-    }
-  }
-  // Miss for this socket: search the accelerator module database.
-  const fpga::PartialBitstream* bitstream = database_.find(hf_name);
-  if (bitstream == nullptr) {
-    DHL_WARN("dhl", "hardware function '" << hf_name
-                                          << "' not in module database");
-    return {};
-  }
-  // Placement order (paper IV-A2's NUMA awareness applied to control plane):
-  //  1. load on an FPGA on the caller's socket;
-  //  2. share an existing entry from another socket (a single board must
-  //     still serve NFs on the other node -- the paper's V-D setup);
-  //  3. load on any FPGA with space.
-  for (fpga::FpgaDevice* dev : fpgas_) {
-    if (dev->socket() != socket) continue;
-    AccHandle h = start_load(*bitstream, *dev, socket);
-    if (h.valid()) return h;
-  }
-  for (const HwFunctionEntry& e : hf_table_) {
-    if (e.hf_name == hf_name) {
-      return AccHandle{e.acc_id, e.fpga_id, e.socket_id};
-    }
-  }
-  for (fpga::FpgaDevice* dev : fpgas_) {
-    if (dev->socket() == socket) continue;
-    AccHandle h = start_load(*bitstream, *dev, socket);
-    if (h.valid()) return h;
-  }
-  DHL_WARN("dhl", "no FPGA can host '" << hf_name << "'");
-  return {};
+  return table_.search_by_name(hf_name, socket);
 }
 
 bool DhlRuntime::acc_ready(const AccHandle& handle) const {
-  const HwFunctionEntry* e = entry_for(handle.acc_id);
-  return e != nullptr && e->ready;
+  return table_.acc_ready(handle.acc_id);
 }
 
 AccHandle DhlRuntime::load_pr(const std::string& hf_name, int fpga_id) {
-  const fpga::PartialBitstream* bitstream = database_.find(hf_name);
-  fpga::FpgaDevice* dev = device(fpga_id);
-  if (bitstream == nullptr || dev == nullptr) return {};
-  return start_load(*bitstream, *dev, dev->socket());
+  return table_.load_pr(hf_name, fpga_id);
+}
+
+std::size_t DhlRuntime::replicate(const std::string& hf_name, std::size_t n) {
+  return table_.replicate(hf_name, n);
 }
 
 void DhlRuntime::acc_configure(const AccHandle& handle,
                                std::span<const std::uint8_t> config) {
-  const HwFunctionEntry* e = entry_for(handle.acc_id);
-  DHL_CHECK_MSG(e != nullptr, "acc_configure: unknown acc_id");
-  fpga::FpgaDevice* dev = device(e->fpga_id);
-  DHL_CHECK(dev != nullptr);
-  fpga::AcceleratorModule* module = dev->region_module(e->region);
-  DHL_CHECK_MSG(module != nullptr, "acc_configure: module not loaded");
-  module->configure(config);
+  table_.configure(handle.acc_id, config);
 }
 
 std::size_t DhlRuntime::unload_function(const std::string& hf_name) {
-  std::size_t removed = 0;
-  for (auto it = hf_table_.begin(); it != hf_table_.end();) {
-    if (it->hf_name != hf_name) {
-      ++it;
-      continue;
-    }
-    fpga::FpgaDevice* dev = device(it->fpga_id);
-    DHL_CHECK(dev != nullptr);
-    dev->unmap_acc(it->acc_id);
-    if (it->ready) {
-      dev->unload_region(it->region);
-    }
-    // A region still mid-ICAP is freed by the PR-done callback, which
-    // notices the entry is gone.
-    it = hf_table_.erase(it);
-    ++removed;
-    DHL_INFO("dhl", "unloaded '" << hf_name << "'");
-  }
-  return removed;
-}
-
-const HwFunctionEntry* DhlRuntime::entry_for(AccId acc_id) const {
-  for (const HwFunctionEntry& e : hf_table_) {
-    if (e.acc_id == acc_id) return &e;
-  }
-  return nullptr;
+  return table_.unload_function(hf_name);
 }
 
 MbufRing& DhlRuntime::get_shared_ibq(NfId nf_id) {
   DHL_CHECK_MSG(nf_id < nfs_.size(), "unregistered nf_id");
   const int socket = config_.numa_aware ? nfs_[nf_id].socket : 0;
-  return *sockets_[static_cast<std::size_t>(socket)].ibq;
+  return packer_.ibq(socket);
 }
 
 MbufRing& DhlRuntime::get_private_obq(NfId nf_id) {
@@ -228,309 +105,60 @@ void DhlRuntime::start() {
   if (started_) return;
   started_ = true;
   const Frequency clock = config_.timing.cpu.core_clock;
+  cores_.resize(static_cast<std::size_t>(config_.num_sockets));
   for (int s = 0; s < config_.num_sockets; ++s) {
-    SocketState& state = sockets_[static_cast<std::size_t>(s)];
-    state.tx_core = std::make_unique<sim::Lcore>(
+    CorePair& pair = cores_[static_cast<std::size_t>(s)];
+    pair.tx = std::make_unique<sim::Lcore>(
         sim_, "dhl.tx.socket" + std::to_string(s), clock, s);
-    state.tx_core->set_idle_poll_cycles(config_.timing.cpu.idle_poll_cycles);
-    state.tx_core->set_poll([this, s](sim::Lcore&) { return tx_poll(s); });
-    state.tx_core->start();
+    pair.tx->set_idle_poll_cycles(config_.timing.cpu.idle_poll_cycles);
+    pair.tx->set_poll([this, s](sim::Lcore&) { return packer_.poll(s); });
+    pair.tx->start();
 
-    state.rx_core = std::make_unique<sim::Lcore>(
+    pair.rx = std::make_unique<sim::Lcore>(
         sim_, "dhl.rx.socket" + std::to_string(s), clock, s);
-    state.rx_core->set_idle_poll_cycles(config_.timing.cpu.idle_poll_cycles);
-    state.rx_core->set_poll([this, s](sim::Lcore&) { return rx_poll(s); });
-    state.rx_core->start();
+    pair.rx->set_idle_poll_cycles(config_.timing.cpu.idle_poll_cycles);
+    pair.rx->set_poll([this, s](sim::Lcore&) { return distributor_.poll(s); });
+    pair.rx->start();
   }
 }
 
 void DhlRuntime::stop() {
-  for (SocketState& s : sockets_) {
-    if (s.tx_core) s.tx_core->stop();
-    if (s.rx_core) s.rx_core->stop();
+  for (CorePair& pair : cores_) {
+    if (pair.tx) pair.tx->stop();
+    if (pair.rx) pair.rx->stop();
   }
   started_ = false;
 }
 
 std::vector<sim::Lcore*> DhlRuntime::transfer_cores() {
   std::vector<sim::Lcore*> out;
-  for (SocketState& s : sockets_) {
-    if (s.tx_core) out.push_back(s.tx_core.get());
-    if (s.rx_core) out.push_back(s.rx_core.get());
+  for (CorePair& pair : cores_) {
+    if (pair.tx) out.push_back(pair.tx.get());
+    if (pair.rx) out.push_back(pair.rx.get());
   }
   return out;
 }
 
-DhlRuntime::NfAccCounters& DhlRuntime::nf_acc_counters(NfId nf_id,
-                                                       AccId acc_id) {
-  const auto key = static_cast<std::uint16_t>((nf_id << 8) | acc_id);
-  const auto it = nf_acc_.find(key);
-  if (it != nf_acc_.end()) return it->second;
-  const std::string nf_name = nf_id < nfs_.size()
-                                  ? nfs_[nf_id].name
-                                  : "nf" + std::to_string(nf_id);
-  const telemetry::Labels labels{
-      {"nf", nf_name}, {"acc", std::to_string(static_cast<int>(acc_id))}};
-  telemetry::MetricsRegistry& reg = telemetry_->metrics;
-  NfAccCounters c;
-  c.pkts = reg.counter("dhl.runtime.nf_pkts", labels);
-  c.bytes = reg.counter("dhl.runtime.nf_bytes", labels);
-  c.returned = reg.counter("dhl.runtime.nf_returned_pkts", labels);
-  c.errors = reg.counter("dhl.runtime.nf_error_records", labels);
-  return nf_acc_.emplace(key, c).first->second;
+void DhlRuntime::set_dispatch_policy(std::unique_ptr<DispatchPolicy> policy) {
+  DHL_CHECK(policy != nullptr);
+  policy_ = std::move(policy);
+  packer_.set_dispatch_policy(policy_.get());
+  telemetry_->metrics
+      .gauge("dhl.runtime.dispatch_policy",
+             telemetry::Labels{{"policy", policy_->name()}})
+      ->set(1);
 }
 
 RuntimeStats DhlRuntime::stats() const {
   RuntimeStats s;
-  s.pkts_to_fpga = pkts_to_fpga_->value();
-  s.batches_to_fpga = batches_to_fpga_->value();
-  s.bytes_to_fpga = bytes_to_fpga_->value();
-  s.pkts_from_fpga = pkts_from_fpga_->value();
-  s.batches_from_fpga = batches_from_fpga_->value();
-  s.obq_drops = obq_drops_->value();
-  s.error_records = error_records_->value();
+  s.pkts_to_fpga = metrics_.pkts_to_fpga->value();
+  s.batches_to_fpga = metrics_.batches_to_fpga->value();
+  s.bytes_to_fpga = metrics_.bytes_to_fpga->value();
+  s.pkts_from_fpga = metrics_.pkts_from_fpga->value();
+  s.batches_from_fpga = metrics_.batches_from_fpga->value();
+  s.obq_drops = metrics_.obq_drops->value();
+  s.error_records = metrics_.error_records->value();
   return s;
-}
-
-double DhlRuntime::flush_batch(int socket, AccId acc_id, OpenBatch&& open,
-                               PendingSubmits& pending, FlushReason reason) {
-  const HwFunctionEntry* e = entry_for(acc_id);
-  DHL_CHECK_MSG(e != nullptr, "batch for unknown acc_id");
-  fpga::FpgaDevice* dev = device(e->fpga_id);
-  DHL_CHECK(dev != nullptr);
-
-  fpga::DmaBatchPtr batch = std::move(open.batch);
-  // NUMA-aware allocation keeps the buffers on the FPGA's node; otherwise
-  // they live on socket 0 and FPGAs elsewhere pay the remote penalty.
-  batch->remote_numa = !config_.numa_aware && dev->socket() != 0;
-  batch->batch_id = next_batch_id_++;
-  batches_to_fpga_->add(1);
-  pkts_to_fpga_->add(batch->record_count());
-  bytes_to_fpga_->add(batch->size_bytes());
-  (reason == FlushReason::kFull ? flush_full_ : flush_timeout_)->add(1);
-  batch_fill_ppm_->record(batch->size_bytes() * 1'000'000ull /
-                          config_.timing.runtime.max_batch_bytes);
-  if (telemetry_->trace.enabled()) {
-    telemetry_->trace.complete_span(
-        sockets_[static_cast<std::size_t>(socket)].tx_track, "batch.pack",
-        "runtime", open.opened_at, sim_.now(),
-        {{"batch", std::to_string(batch->batch_id)},
-         {"acc", std::to_string(static_cast<int>(acc_id))},
-         {"bytes", std::to_string(batch->size_bytes())},
-         {"records", std::to_string(batch->record_count())},
-         {"reason", reason == FlushReason::kFull ? "full" : "timeout"}});
-  }
-  pending.emplace_back(dev, std::move(batch));
-  return config_.timing.runtime.packer_per_batch_cycles;
-}
-
-std::uint32_t DhlRuntime::batch_cap(const SocketState& state) const {
-  const auto& rt = config_.timing.runtime;
-  if (!rt.adaptive_batching) return rt.max_batch_bytes;
-  // Size the batch so it fills in roughly one DMA round trip's worth of
-  // arrivals: low rates get small batches (latency), rates near the DMA
-  // ceiling get the full cap (throughput).  Paper VI-2's proposed policy.
-  constexpr double kTargetFillSeconds = 3e-6;
-  const double target = state.ewma_bytes_per_sec * kTargetFillSeconds;
-  if (target <= rt.min_batch_bytes) return rt.min_batch_bytes;
-  if (target >= rt.max_batch_bytes) return rt.max_batch_bytes;
-  return static_cast<std::uint32_t>(target);
-}
-
-sim::PollResult DhlRuntime::tx_poll(int socket) {
-  SocketState& state = sockets_[static_cast<std::size_t>(socket)];
-  const auto& rt = config_.timing.runtime;
-  const auto& cpu = config_.timing.cpu;
-  double cycles = 0;
-  PendingSubmits pending;
-
-  std::vector<Mbuf*> pkts(config_.ibq_burst);
-  const std::size_t n = state.ibq->dequeue_burst({pkts.data(), pkts.size()});
-  state.ibq_depth->set(static_cast<double>(state.ibq->count()));
-  if (n > 0) {
-    cycles += cpu.ring_op_fixed_cycles +
-              cpu.ring_op_per_pkt_cycles * static_cast<double>(n);
-  }
-
-  if (rt.adaptive_batching) {
-    // Update the arrival-rate estimate once per iteration.
-    const Picos now = sim_.now();
-    if (state.last_tx_poll != 0 && now > state.last_tx_poll) {
-      std::uint64_t bytes = 0;
-      for (std::size_t i = 0; i < n; ++i) bytes += pkts[i]->data_len();
-      const double inst = static_cast<double>(bytes) /
-                          to_seconds(now - state.last_tx_poll);
-      state.ewma_bytes_per_sec =
-          rt.adaptive_ewma_alpha * inst +
-          (1 - rt.adaptive_ewma_alpha) * state.ewma_bytes_per_sec;
-    }
-    state.last_tx_poll = now;
-  }
-  const std::uint32_t cap = batch_cap(state);
-
-  for (std::size_t i = 0; i < n; ++i) {
-    Mbuf* m = pkts[i];
-    const AccId acc_id = m->acc_id();
-    const HwFunctionEntry* e = entry_for(acc_id);
-    if (e == nullptr || !e->ready) {
-      // Paper never sends before search/configure; treat as caller error.
-      DHL_WARN("dhl", "packet tagged with unknown/unready acc_id "
-                          << static_cast<int>(acc_id) << "; dropping");
-      unready_drops_->add(1);
-      m->release();
-      continue;
-    }
-    auto [it, inserted] = state.open_batches.try_emplace(acc_id);
-    OpenBatch& open = it->second;
-    if (inserted || open.batch == nullptr) {
-      open.batch = std::make_unique<fpga::DmaBatch>(
-          acc_id, rt.max_batch_bytes + fpga::kRecordHeaderBytes);
-      open.batch->created_at = sim_.now();
-      open.opened_at = sim_.now();
-    }
-    // Flush-before-append if this record would overflow the batch cap.
-    const std::size_t record_bytes = fpga::kRecordHeaderBytes + m->data_len();
-    if (open.batch->size_bytes() + record_bytes > cap &&
-        !open.batch->empty()) {
-      cycles += flush_batch(socket, acc_id, std::move(open), pending,
-                            FlushReason::kFull);
-      open.batch = std::make_unique<fpga::DmaBatch>(
-          acc_id, rt.max_batch_bytes + fpga::kRecordHeaderBytes);
-      open.batch->created_at = sim_.now();
-      open.opened_at = sim_.now();
-    }
-    if (open.batch->empty()) open.batch->first_pkt_enqueued_at = sim_.now();
-    open.batch->append(m->nf_id(), m->payload(), m);
-    NfAccCounters& c = nf_acc_counters(m->nf_id(), acc_id);
-    c.pkts->add(1);
-    c.bytes->add(m->data_len());
-    ++in_flight_;
-    cycles += rt.packer_per_pkt_cycles;
-  }
-
-  // Flush policy: a batch goes out when full (handled above) or when it
-  // ages past the timeout.  The paper's Packer aggregates aggressively to
-  // the 6 KB batching size -- that is why 64 B packets see a higher latency
-  // than 1500 B ones (V-C) -- and the timeout bounds latency at low load
-  // (the adaptive version is the paper's future work, see the batching
-  // ablation bench).
-  for (auto it = state.open_batches.begin(); it != state.open_batches.end();) {
-    OpenBatch& open = it->second;
-    const bool have = open.batch != nullptr && !open.batch->empty();
-    const bool aged = have && sim_.now() - open.opened_at >= rt.batch_timeout;
-    if (aged) {
-      cycles += flush_batch(socket, it->first, std::move(open), pending,
-                            FlushReason::kTimeout);
-      it = state.open_batches.erase(it);
-    } else {
-      ++it;
-    }
-  }
-
-  // DMA doorbells ring once this iteration's packing cycles have elapsed --
-  // submitting at iteration start would hide the Packer's cost from the
-  // measured packet latency.
-  if (!pending.empty()) {
-    auto shared = std::make_shared<PendingSubmits>(std::move(pending));
-    sim_.schedule_after(cpu.core_clock.cycles(cycles), [shared] {
-      for (auto& [dev, batch] : *shared) {
-        dev->dma().submit_tx(std::move(batch));
-      }
-    });
-  }
-  return {cycles, false};
-}
-
-sim::PollResult DhlRuntime::rx_poll(int socket) {
-  SocketState& state = sockets_[static_cast<std::size_t>(socket)];
-  const auto& rt = config_.timing.runtime;
-  const Frequency clock = config_.timing.cpu.core_clock;
-  const Picos t0 = sim_.now();
-  const bool tracing = telemetry_->trace.enabled();
-  double cycles = 0;
-  // Deliveries carry the NF index (not the ring pointer) so the deferred
-  // lambda can also bump that NF's drop counter and depth gauge.
-  struct Delivery {
-    std::size_t nf;
-    Mbuf* m;
-  };
-  std::vector<Delivery> deliveries;
-
-  for (std::uint32_t b = 0; b < config_.rx_burst && !state.completions.empty();
-       ++b) {
-    fpga::DmaBatchPtr batch = std::move(state.completions.front());
-    state.completions.pop_front();
-    batches_from_fpga_->add(1);
-    const double batch_start_cycles = cycles;
-    cycles += rt.distributor_per_batch_cycles;
-
-    const auto views = batch->parse();
-    DHL_CHECK_MSG(views.size() == batch->pkts().size(),
-                  "batch record/mbuf count mismatch");
-    for (std::size_t i = 0; i < views.size(); ++i) {
-      const fpga::RecordView& v = views[i];
-      Mbuf* m = batch->pkts()[i];
-      --in_flight_;
-      pkts_from_fpga_->add(1);
-      cycles += rt.distributor_per_pkt_cycles;
-      NfAccCounters& c = nf_acc_counters(v.header.nf_id, v.header.acc_id);
-      c.returned->add(1);
-      if (v.header.flags & 0x1) {
-        error_records_->add(1);
-        c.errors->add(1);
-      }
-
-      // Restore post-processed bytes and the module result into the mbuf.
-      m->replace_data({batch->buffer().data() + v.data_offset,
-                       v.header.data_len});
-      m->set_accel_result(v.header.result);
-
-      // Isolation: route on the wire-format nf_id (paper IV-B1).
-      const NfId nf = v.header.nf_id;
-      if (nf >= nfs_.size()) {
-        obq_drops_->add(1);
-        m->release();
-        continue;
-      }
-      deliveries.push_back({nf, m});
-    }
-
-    if (tracing) {
-      // Span endpoints use the cumulative distributor cycles within this
-      // iteration, so back-to-back batches tile the RX lane without overlap.
-      const Picos d0 = t0 + clock.cycles(batch_start_cycles);
-      const Picos d1 = t0 + clock.cycles(cycles);
-      telemetry_->trace.complete_span(
-          state.rx_track, "batch.distribute", "runtime", d0, d1,
-          {{"batch", std::to_string(batch->batch_id)},
-           {"records", std::to_string(views.size())}});
-      // Whole life of the batch: opened by the Packer, DMA'd, processed,
-      // DMA'd back, distributed.
-      telemetry_->trace.complete_span(
-          "dhl.batch", "batch.lifecycle", "runtime", batch->created_at, d1,
-          {{"batch", std::to_string(batch->batch_id)},
-           {"records", std::to_string(views.size())}});
-    }
-  }
-  state.completions_depth->set(static_cast<double>(state.completions.size()));
-
-  // Packets land in their private OBQs after the Distributor cycles spent
-  // on them (same reasoning as the Packer's deferred doorbell).
-  if (!deliveries.empty()) {
-    sim_.schedule_after(
-        clock.cycles(cycles), [this, deliveries = std::move(deliveries)] {
-          for (const auto& d : deliveries) {
-            NfInfo& info = nfs_[d.nf];
-            if (!info.obq->enqueue(d.m)) {
-              obq_drops_->add(1);
-              info.obq_drops->add(1);
-              d.m->release();
-            }
-            info.obq_depth->set(static_cast<double>(info.obq->count()));
-          }
-        });
-  }
-  return {cycles, false};
 }
 
 }  // namespace dhl::runtime

@@ -1,0 +1,38 @@
+#include "dhl/runtime/runtime_metrics.hpp"
+
+namespace dhl::runtime {
+
+RuntimeMetrics::RuntimeMetrics(telemetry::Telemetry& telemetry)
+    : registry{telemetry.metrics} {
+  pkts_to_fpga = registry.counter("dhl.runtime.pkts_to_fpga");
+  batches_to_fpga = registry.counter("dhl.runtime.batches_to_fpga");
+  bytes_to_fpga = registry.counter("dhl.runtime.bytes_to_fpga");
+  pkts_from_fpga = registry.counter("dhl.runtime.pkts_from_fpga");
+  batches_from_fpga = registry.counter("dhl.runtime.batches_from_fpga");
+  obq_drops = registry.counter("dhl.runtime.obq_drops");
+  error_records = registry.counter("dhl.runtime.error_records");
+  flush_full = registry.counter("dhl.runtime.flush_full_batches");
+  flush_timeout = registry.counter("dhl.runtime.flush_timeout_batches");
+  unready_drops = registry.counter("dhl.runtime.unready_drops");
+  batch_fill_ppm = registry.histogram("dhl.runtime.batch_fill_ppm");
+}
+
+RuntimeMetrics::NfAccCounters& RuntimeMetrics::nf_acc(netio::NfId nf_id,
+                                                      netio::AccId acc_id) {
+  const std::uint32_t key =
+      (static_cast<std::uint32_t>(nf_id) << 16) | acc_id;
+  const auto it = nf_acc_.find(key);
+  if (it != nf_acc_.end()) return it->second;
+  const std::string name = nf_name ? nf_name(nf_id)
+                                   : "nf" + std::to_string(nf_id);
+  const telemetry::Labels labels{
+      {"nf", name}, {"acc", std::to_string(static_cast<int>(acc_id))}};
+  NfAccCounters c;
+  c.pkts = registry.counter("dhl.runtime.nf_pkts", labels);
+  c.bytes = registry.counter("dhl.runtime.nf_bytes", labels);
+  c.returned = registry.counter("dhl.runtime.nf_returned_pkts", labels);
+  c.errors = registry.counter("dhl.runtime.nf_error_records", labels);
+  return nf_acc_.emplace(key, c).first->second;
+}
+
+}  // namespace dhl::runtime

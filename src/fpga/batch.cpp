@@ -84,6 +84,16 @@ std::vector<RecordView> DmaBatch::parse() const {
   return out;
 }
 
+void DmaBatch::retag_acc(netio::AccId acc_id) {
+  std::size_t off = 0;
+  while (off + kRecordHeaderBytes <= buffer_.size()) {
+    std::uint8_t* p = buffer_.data() + off;
+    p[1] = acc_id;
+    off += kRecordHeaderBytes + load_u32(p + 4);
+  }
+  acc_id_ = acc_id;
+}
+
 void DmaBatch::store_header(const RecordView& view) {
   DHL_CHECK(view.header_offset + kRecordHeaderBytes <= buffer_.size());
   serialize_header(buffer_.data() + view.header_offset, view.header);

@@ -157,6 +157,11 @@ Picos FpgaDevice::region_busy_time(int region) const {
 
 void FpgaDevice::dispatch_batch(DmaBatchPtr batch) {
   const Picos arrival = sim_.now();
+  // Fabric residency: counted from dispatch until the return DMA is
+  // submitted (the batch may shrink in flight, so remember the entry size).
+  const std::uint64_t resident_bytes = batch->size_bytes();
+  fabric_outstanding_bytes_ += resident_bytes;
+  fabric_batches_ += 1;
   auto views = batch->parse();
 
   // Dispatcher fabric cost for routing + re-packing this batch.
@@ -216,8 +221,11 @@ void FpgaDevice::dispatch_batch(DmaBatchPtr batch) {
 
   // Return the re-packed batch once every record has drained.
   auto shared = std::make_shared<DmaBatchPtr>(std::move(batch));
-  sim_.schedule_at(batch_done,
-                   [this, shared] { dma_.submit_rx(std::move(*shared)); });
+  sim_.schedule_at(batch_done, [this, resident_bytes, shared] {
+    fabric_outstanding_bytes_ -= resident_bytes;
+    fabric_batches_ -= 1;
+    dma_.submit_rx(std::move(*shared));
+  });
 }
 
 }  // namespace dhl::fpga

@@ -86,6 +86,12 @@ class DmaBatch {
   void resize_record(RecordView& view, std::uint32_t new_len,
                      std::vector<RecordView>& all, std::size_t index);
 
+  /// Rewrite every record's acc_id tag (one byte per header) and the
+  /// batch's own acc_id.  The runtime uses this when its dispatch policy
+  /// redirects a batch to another replica of the same hardware function,
+  /// whose device maps a different acc_id.
+  void retag_acc(netio::AccId acc_id);
+
   /// Host-side: mbufs parked while their bytes are on the FPGA.
   std::vector<netio::Mbuf*>& pkts() { return pkts_; }
   const std::vector<netio::Mbuf*>& pkts() const { return pkts_; }
@@ -98,6 +104,10 @@ class DmaBatch {
   /// Correlates a batch's telemetry spans (pack / dma / fpga / distribute)
   /// across components.  0 = unassigned (batches built outside the runtime).
   std::uint64_t batch_id = 0;
+  /// Size at flush time, stamped by the Packer; the Distributor retires
+  /// this amount against the replica's outstanding-bytes account (the
+  /// buffer itself may shrink in flight, e.g. the compression module).
+  std::uint64_t submitted_bytes = 0;
 
  private:
   netio::AccId acc_id_;

@@ -115,6 +115,19 @@ class FpgaDevice {
   /// Records dropped because their acc_id mapped to no ready region.
   std::uint64_t dispatch_drops() const { return dispatch_drops_; }
 
+  /// Bytes currently committed to this board: queued/in-flight on either
+  /// DMA channel plus batches resident in the fabric (dispatched, not yet
+  /// returned).  The runtime's least-loaded dispatch policy and the
+  /// replication pressure valve read this.
+  std::uint64_t outstanding_bytes() const {
+    return dma_.tx_outstanding_bytes() + dma_.rx_outstanding_bytes() +
+           fabric_outstanding_bytes_;
+  }
+  /// Batches committed to this board (DMA queues + fabric-resident).
+  std::uint32_t queue_depth() const {
+    return dma_.tx_queue_depth() + dma_.rx_queue_depth() + fabric_batches_;
+  }
+
   /// Per-region accounting for the Table VI bench.
   std::uint64_t region_records(int region) const;
   std::uint64_t region_bytes(int region) const;
@@ -143,6 +156,9 @@ class FpgaDevice {
   std::vector<int> acc_map_;  // acc_id -> region (-1 = unmapped)
   Picos icap_busy_until_ = 0;
   std::uint64_t dispatch_drops_ = 0;
+  /// Batches dispatched into the fabric and not yet handed to the RX DMA.
+  std::uint64_t fabric_outstanding_bytes_ = 0;
+  std::uint32_t fabric_batches_ = 0;
 
   // Registered instruments (dhl.fpga.* with {fpga=name}).
   telemetry::Counter* pr_loads_ = nullptr;

@@ -98,11 +98,20 @@ class DmaEngine {
   std::uint64_t rx_transfers() const { return rx_.transfers; }
   std::uint64_t rx_bytes() const { return rx_.bytes; }
 
+  /// Bytes / transfers submitted but not yet delivered, per direction --
+  /// the load signal behind the runtime's least-outstanding-bytes policy.
+  std::uint64_t tx_outstanding_bytes() const { return tx_.outstanding_bytes; }
+  std::uint64_t rx_outstanding_bytes() const { return rx_.outstanding_bytes; }
+  std::uint32_t tx_queue_depth() const { return tx_.outstanding_transfers; }
+  std::uint32_t rx_queue_depth() const { return rx_.outstanding_transfers; }
+
  private:
   struct Channel {
     Picos busy_until = 0;
     std::uint64_t transfers = 0;
     std::uint64_t bytes = 0;
+    std::uint64_t outstanding_bytes = 0;
+    std::uint32_t outstanding_transfers = 0;
     DeliverFn* deliver = nullptr;  // set in submit()
   };
 
@@ -113,6 +122,8 @@ class DmaEngine {
     ch.busy_until = start + occupancy(bytes);
     ch.transfers += 1;
     ch.bytes += bytes;
+    ch.outstanding_bytes += bytes;
+    ch.outstanding_transfers += 1;
     const Picos deliver_at = start + one_way_latency(bytes, batch->remote_numa);
     // Submit->complete latency as the host observes it: queueing behind the
     // channel plus the one-way delivery (decided now -- virtual time).
@@ -130,8 +141,11 @@ class DmaEngine {
     DHL_CHECK_MSG(static_cast<bool>(fn), "DMA channel has no deliver hook");
     // The shared_ptr shim lets the move-only batch ride a std::function.
     auto shared = std::make_shared<DmaBatchPtr>(std::move(batch));
-    sim_.schedule_at(deliver_at,
-                     [&fn, shared] { fn(std::move(*shared)); });
+    sim_.schedule_at(deliver_at, [&fn, &ch, bytes, shared] {
+      ch.outstanding_bytes -= bytes;
+      ch.outstanding_transfers -= 1;
+      fn(std::move(*shared));
+    });
   }
 
   sim::Simulator& sim_;

@@ -1,0 +1,127 @@
+// DispatchPolicy unit tests: the replica-selection strategies in isolation,
+// driven with hand-built HwFunctionEntry rows (no devices, no simulator).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "dhl/runtime/dispatch_policy.hpp"
+
+namespace dhl::runtime {
+namespace {
+
+// Build `n` replica rows with given sockets; outstanding bytes default to 0.
+struct PolicyFixture {
+  std::vector<HwFunctionEntry> rows;
+  std::vector<HwFunctionEntry*> replicas;
+  std::string hf_name = "hf";
+  std::uint32_t cursor = 0;
+
+  explicit PolicyFixture(std::vector<int> sockets) {
+    rows.reserve(sockets.size());
+    for (std::size_t i = 0; i < sockets.size(); ++i) {
+      HwFunctionEntry e;
+      e.hf_name = hf_name;
+      e.socket_id = sockets[i];
+      e.acc_id = static_cast<netio::AccId>(i);
+      e.fpga_id = static_cast<int>(i);
+      e.ready = true;
+      rows.push_back(e);
+    }
+    for (auto& e : rows) replicas.push_back(&e);
+  }
+
+  DispatchContext ctx(int socket) {
+    DispatchContext c;
+    c.socket = socket;
+    c.hf_name = &hf_name;
+    c.cursor = &cursor;
+    return c;
+  }
+};
+
+TEST(DispatchPolicy, FactoryNamesMatchKinds) {
+  for (auto kind : {DispatchPolicyKind::kNumaLocal,
+                    DispatchPolicyKind::kRoundRobin,
+                    DispatchPolicyKind::kLeastOutstandingBytes}) {
+    auto p = make_dispatch_policy(kind);
+    ASSERT_NE(p, nullptr);
+    EXPECT_STREQ(p->name(), to_string(kind));
+  }
+}
+
+TEST(DispatchPolicy, RoundRobinCyclesThroughAllReplicas) {
+  PolicyFixture f{{0, 0, 1}};
+  auto p = make_dispatch_policy(DispatchPolicyKind::kRoundRobin);
+  std::array<int, 3> hits{};
+  for (int i = 0; i < 9; ++i) {
+    HwFunctionEntry* e = p->pick(f.replicas, f.ctx(0));
+    ASSERT_NE(e, nullptr);
+    ++hits[static_cast<std::size_t>(e->fpga_id)];
+  }
+  EXPECT_EQ(hits[0], 3);
+  EXPECT_EQ(hits[1], 3);
+  EXPECT_EQ(hits[2], 3);
+}
+
+TEST(DispatchPolicy, RoundRobinCursorPersistsAcrossCalls) {
+  PolicyFixture f{{0, 0}};
+  auto p = make_dispatch_policy(DispatchPolicyKind::kRoundRobin);
+  HwFunctionEntry* first = p->pick(f.replicas, f.ctx(0));
+  HwFunctionEntry* second = p->pick(f.replicas, f.ctx(0));
+  EXPECT_NE(first, second);
+  EXPECT_EQ(first, p->pick(f.replicas, f.ctx(0)));
+}
+
+TEST(DispatchPolicy, LeastOutstandingBytesPicksIdlestReplica) {
+  PolicyFixture f{{0, 0, 1}};
+  f.rows[0].outstanding_bytes = 9000;
+  f.rows[1].outstanding_bytes = 100;
+  f.rows[2].outstanding_bytes = 4000;
+  auto p = make_dispatch_policy(DispatchPolicyKind::kLeastOutstandingBytes);
+  EXPECT_EQ(p->pick(f.replicas, f.ctx(0)), &f.rows[1]);
+
+  // Load shifts, so does the pick.
+  f.rows[1].outstanding_bytes = 20000;
+  EXPECT_EQ(p->pick(f.replicas, f.ctx(0)), &f.rows[2]);
+}
+
+TEST(DispatchPolicy, LeastOutstandingBytesTiesBreakToFirst) {
+  PolicyFixture f{{0, 1}};
+  auto p = make_dispatch_policy(DispatchPolicyKind::kLeastOutstandingBytes);
+  EXPECT_EQ(p->pick(f.replicas, f.ctx(0)), &f.rows[0]);
+}
+
+TEST(DispatchPolicy, NumaLocalPrefersFlushingSocket) {
+  PolicyFixture f{{0, 1, 1}};
+  auto p = make_dispatch_policy(DispatchPolicyKind::kNumaLocal);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(p->pick(f.replicas, f.ctx(0)), &f.rows[0]);
+  }
+  // Socket 1 round-robins among its two local replicas.
+  std::array<int, 3> hits{};
+  for (int i = 0; i < 6; ++i) {
+    HwFunctionEntry* e = p->pick(f.replicas, f.ctx(1));
+    ++hits[static_cast<std::size_t>(e->fpga_id)];
+  }
+  EXPECT_EQ(hits[0], 0);
+  EXPECT_EQ(hits[1], 3);
+  EXPECT_EQ(hits[2], 3);
+}
+
+TEST(DispatchPolicy, NumaLocalFallsBackWhenNoLocalReplica) {
+  PolicyFixture f{{1, 1}};
+  auto p = make_dispatch_policy(DispatchPolicyKind::kNumaLocal);
+  // Socket 0 has no local replica: all remote replicas stay in rotation.
+  std::array<int, 2> hits{};
+  for (int i = 0; i < 6; ++i) {
+    HwFunctionEntry* e = p->pick(f.replicas, f.ctx(0));
+    ++hits[static_cast<std::size_t>(e->fpga_id)];
+  }
+  EXPECT_EQ(hits[0], 3);
+  EXPECT_EQ(hits[1], 3);
+}
+
+}  // namespace
+}  // namespace dhl::runtime

@@ -1,0 +1,196 @@
+// HwFunctionTable (control plane) tests: dense acc_id lookup, acc_id slot
+// recycling under PR churn, replica placement, configuration replay, and the
+// unload-vs-in-flight-ICAP race.
+
+#include <gtest/gtest.h>
+
+#include "dhl/accel/catalog.hpp"
+#include "dhl/accel/ipsec_common.hpp"
+#include "dhl/accel/ipsec_crypto.hpp"
+#include "dhl/runtime/hw_function_table.hpp"
+#include "dhl/sim/simulator.hpp"
+#include "dhl/telemetry/telemetry.hpp"
+
+namespace dhl::runtime {
+namespace {
+
+using fpga::FpgaDevice;
+
+struct TableHarness {
+  sim::Simulator sim;
+  telemetry::TelemetryPtr telemetry = telemetry::ensure(nullptr);
+  std::vector<std::unique_ptr<FpgaDevice>> fpgas;
+  std::unique_ptr<HwFunctionTable> table;
+
+  explicit TableHarness(int num_fpgas = 1, int num_sockets = 2) {
+    std::vector<FpgaDevice*> ptrs;
+    for (int i = 0; i < num_fpgas; ++i) {
+      fpga::FpgaDeviceConfig fc;
+      fc.fpga_id = i;
+      fc.name = "fpga" + std::to_string(i);
+      fc.socket = i % num_sockets;
+      fc.telemetry = telemetry;
+      fpgas.push_back(std::make_unique<FpgaDevice>(sim, fc));
+      ptrs.push_back(fpgas.back().get());
+    }
+    table = std::make_unique<HwFunctionTable>(
+        sim, accel::standard_module_database(nullptr), std::move(ptrs),
+        *telemetry);
+  }
+
+  void settle(Picos dt = milliseconds(50)) { sim.run_until(sim.now() + dt); }
+};
+
+TEST(HwFunctionTable, EntryForIsDenseAndExact) {
+  TableHarness h;
+  const AccHandle a = h.table->search_by_name("loopback", 0);
+  const AccHandle b = h.table->search_by_name("md5-auth", 0);
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  ASSERT_NE(a.acc_id, b.acc_id);
+
+  const HwFunctionEntry* ea = h.table->entry_for(a.acc_id);
+  const HwFunctionEntry* eb = h.table->entry_for(b.acc_id);
+  ASSERT_NE(ea, nullptr);
+  ASSERT_NE(eb, nullptr);
+  EXPECT_EQ(ea->hf_name, "loopback");
+  EXPECT_EQ(eb->hf_name, "md5-auth");
+  EXPECT_EQ(ea->device, h.fpgas[0].get());
+
+  // Never-allocated ids resolve to nothing, including the invalid sentinel.
+  EXPECT_EQ(h.table->entry_for(200), nullptr);
+  EXPECT_EQ(h.table->entry_for(netio::kInvalidAccId), nullptr);
+}
+
+TEST(HwFunctionTable, SearchSharesExistingReplicaPerSocket) {
+  TableHarness h;
+  const AccHandle first = h.table->search_by_name("loopback", 0);
+  const AccHandle again = h.table->search_by_name("loopback", 0);
+  EXPECT_EQ(first.acc_id, again.acc_id);
+  EXPECT_EQ(h.table->size(), 1u);
+}
+
+TEST(HwFunctionTable, AccIdSlotsRecycleUnderPrChurn) {
+  // 300 load/unload rounds overflow the monotonic 8-bit id space; the table
+  // must recycle freed slots instead of crashing.
+  TableHarness h;
+  for (int i = 0; i < 300; ++i) {
+    const AccHandle a = h.table->search_by_name("loopback", 0);
+    ASSERT_TRUE(a.valid()) << "round " << i;
+    h.settle(milliseconds(5));
+    ASSERT_TRUE(h.table->acc_ready(a.acc_id)) << "round " << i;
+    ASSERT_EQ(h.table->unload_function("loopback"), 1u);
+  }
+  EXPECT_TRUE(h.table->empty());
+}
+
+TEST(HwFunctionTable, ReplicateSpreadsAcrossDevices) {
+  TableHarness h{2};
+  ASSERT_TRUE(h.table->search_by_name("loopback", 0).valid());
+  EXPECT_EQ(h.table->replicate("loopback", 4), 4u);
+  h.settle();
+
+  int on_fpga0 = 0, on_fpga1 = 0;
+  for (const HwFunctionEntry& e : h.table->snapshot()) {
+    ASSERT_EQ(e.hf_name, "loopback");
+    EXPECT_TRUE(e.ready);
+    (e.fpga_id == 0 ? on_fpga0 : on_fpga1) += 1;
+  }
+  EXPECT_EQ(on_fpga0, 2);
+  EXPECT_EQ(on_fpga1, 2);
+
+  const ReplicaSet* set = h.table->replica_set("loopback");
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->replicas.size(), 4u);
+}
+
+TEST(HwFunctionTable, ReplicateReportsAchievableCountWhenFull) {
+  TableHarness h;  // one device, 7 reconfigurable parts
+  ASSERT_TRUE(h.table->search_by_name("loopback", 0).valid());
+  EXPECT_EQ(h.table->replicate("loopback", 10), 7u);
+  EXPECT_EQ(h.table->replicate("not-in-database", 2), 0u);
+}
+
+TEST(HwFunctionTable, ReplicateIsIdempotentAtOrBelowCurrentCount) {
+  TableHarness h{2};
+  ASSERT_TRUE(h.table->search_by_name("loopback", 0).valid());
+  EXPECT_EQ(h.table->replicate("loopback", 2), 2u);
+  EXPECT_EQ(h.table->replicate("loopback", 2), 2u);
+  EXPECT_EQ(h.table->replicate("loopback", 1), 2u);  // never shrinks
+  EXPECT_EQ(h.table->size(), 2u);
+}
+
+TEST(HwFunctionTable, ConfigureReplaysOntoLaterReplicas) {
+  TableHarness h{2};
+  const AccHandle a = h.table->search_by_name("ipsec-crypto", 0);
+  h.settle();
+  ASSERT_TRUE(h.table->acc_ready(a.acc_id));
+
+  accel::SecurityAssociation sa;
+  sa.key.fill(0x11);
+  sa.salt.fill(0x22);
+  sa.auth_key.fill(0x33);
+  const auto blob = accel::ipsec_module_config(false, sa);
+  h.table->configure(a.acc_id, blob);
+
+  // A replica loaded *after* acc_configure must inherit the retained blob.
+  ASSERT_EQ(h.table->replicate("ipsec-crypto", 2), 2u);
+  h.settle();
+  const ReplicaSet* set = h.table->replica_set("ipsec-crypto");
+  ASSERT_NE(set, nullptr);
+  ASSERT_EQ(set->replicas.size(), 2u);
+  for (const HwFunctionEntry* e : set->replicas) {
+    ASSERT_TRUE(e->ready);
+    auto* module = dynamic_cast<accel::IpsecCryptoModule*>(
+        e->device->region_module(e->region));
+    ASSERT_NE(module, nullptr);
+    EXPECT_TRUE(module->configured())
+        << "replica on fpga " << e->fpga_id << " region " << e->region;
+  }
+}
+
+TEST(HwFunctionTable, UnloadMidIcapFreesRegionAndKeepsNewLoadsIntact) {
+  // Satellite race: unload_function() erases the entry while ICAP is still
+  // programming its region.  The PR-done callback must free the part instead
+  // of resurrecting the dead replica -- and must not disturb a load started
+  // in the meantime.
+  TableHarness h;
+  const AccHandle dead = h.table->search_by_name("ipsec-crypto", 0);
+  ASSERT_TRUE(dead.valid());
+  ASSERT_FALSE(h.table->acc_ready(dead.acc_id));  // still mid-ICAP
+  ASSERT_EQ(h.table->unload_function("ipsec-crypto"), 1u);
+  EXPECT_EQ(h.table->entry_for(dead.acc_id), nullptr);
+
+  // Start a different load immediately; it must land in a different region
+  // (the dead one is still reconfiguring and not yet reusable).
+  const AccHandle live = h.table->search_by_name("md5-auth", 0);
+  ASSERT_TRUE(live.valid());
+  h.settle();
+
+  // The dead replica's ICAP completed into freed fabric; only md5-auth and
+  // the static region remain occupied.
+  EXPECT_TRUE(h.table->acc_ready(live.acc_id));
+  EXPECT_FALSE(h.fpgas[0]->region_of("ipsec-crypto").has_value());
+  const auto& fc = h.fpgas[0]->config();
+  const fpga::PartialBitstream* md5 = h.table->database().find("md5-auth");
+  ASSERT_NE(md5, nullptr);
+  EXPECT_EQ(h.fpgas[0]->used_resources().luts,
+            fc.static_region.luts + md5->resources.luts);
+  // The stale acc_id routes nowhere on the device.
+  EXPECT_EQ(h.table->entry_for(dead.acc_id), nullptr);
+}
+
+TEST(HwFunctionTable, UnloadReleasesAllReplicas) {
+  TableHarness h{2};
+  ASSERT_TRUE(h.table->search_by_name("loopback", 0).valid());
+  ASSERT_EQ(h.table->replicate("loopback", 3), 3u);
+  h.settle();
+  EXPECT_EQ(h.table->unload_function("loopback"), 3u);
+  EXPECT_TRUE(h.table->empty());
+  EXPECT_EQ(h.table->replica_set("loopback"), nullptr);
+  EXPECT_FALSE(h.fpgas[0]->region_of("loopback").has_value());
+  EXPECT_FALSE(h.fpgas[1]->region_of("loopback").has_value());
+}
+
+}  // namespace
+}  // namespace dhl::runtime
