@@ -3,11 +3,18 @@
 // rings, LPM, mempool.  These check that the *functional* implementations
 // are fast enough to feed the virtual-time experiments, and they document
 // the raw software costs that motivate offloading in the first place.
+//
+// With `--micro-out=<path>` the binary instead runs the transfer-layer
+// micro-bench (zero-copy vs legacy batch path, see bench_common.hpp) and
+// writes a machine-readable JSON -- the artifact behind BENCH_micro.json
+// and the CI perf smoke.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
 #include <vector>
+
+#include "bench_common.hpp"
 
 #include "dhl/accel/lz77.hpp"
 #include "dhl/common/rng.hpp"
@@ -141,4 +148,14 @@ BENCHMARK(BM_MempoolAllocFree);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string micro_out = dhl::bench::micro_out_arg(argc, argv);
+  if (!micro_out.empty()) {
+    return dhl::bench::run_transfer_micro_suite(micro_out) ? 0 : 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,7 +25,8 @@ fpga::ProcessResult Md5Module::process(std::span<std::uint8_t> data) {
     result |= static_cast<std::uint64_t>(digest[static_cast<std::size_t>(i)])
               << (8 * i);
   }
-  return {result, static_cast<std::uint32_t>(data.size())};
+  return {result, static_cast<std::uint32_t>(data.size()),
+          /*data_unmodified=*/true};
 }
 
 void CompressionModule::configure(std::span<const std::uint8_t> config) {
@@ -37,7 +38,9 @@ void CompressionModule::configure(std::span<const std::uint8_t> config) {
 fpga::ProcessResult CompressionModule::process(std::span<std::uint8_t> data) {
   const std::vector<std::uint8_t> packed = lz77_compress(data);
   if (packed.size() >= data.size()) {
-    return {kIncompressible, static_cast<std::uint32_t>(data.size())};
+    // Incompressible input is left untouched -- no write-back needed.
+    return {kIncompressible, static_cast<std::uint32_t>(data.size()),
+            /*data_unmodified=*/true};
   }
   std::memcpy(data.data(), packed.data(), packed.size());
   return {static_cast<std::uint64_t>(data.size()),

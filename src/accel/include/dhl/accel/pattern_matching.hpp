@@ -19,6 +19,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "dhl/fpga/accelerator.hpp"
 #include "dhl/fpga/bitstream.hpp"
@@ -58,6 +59,11 @@ class PatternMatchingModule final : public fpga::AcceleratorModule {
 
  private:
   std::shared_ptr<const match::AhoCorasick> automaton_;
+  /// Per-pattern "already counted" scratch, reused across records so the
+  /// hot path stays allocation-free (the hardware DFA has this as a fixed
+  /// match-vector register anyway).  `touched_` lists the entries to clear.
+  std::vector<std::uint8_t> seen_;
+  std::vector<std::uint32_t> touched_;
 };
 
 /// Bitstream descriptor (Table V: 6.8 MB).

@@ -35,22 +35,27 @@ fpga::ProcessResult PatternMatchingModule::process(
 
   std::uint64_t bitmap = 0;
   std::uint32_t distinct = 0;
-  std::vector<bool> seen(automaton_->pattern_count(), false);
+  if (seen_.size() < automaton_->pattern_count()) {
+    seen_.resize(automaton_->pattern_count(), 0);
+  }
   std::uint32_t state = 0;
   for (const std::uint8_t b : haystack) {
     state = automaton_->step(state, b);
     for (const std::uint32_t p : automaton_->outputs(state)) {
-      if (!seen[p]) {
-        seen[p] = true;
+      if (!seen_[p]) {
+        seen_[p] = 1;
+        touched_.push_back(p);
         ++distinct;
         if (p < 48) bitmap |= 1ULL << p;
       }
     }
   }
+  for (const std::uint32_t p : touched_) seen_[p] = 0;
+  touched_.clear();
   if (distinct > 0xffff) distinct = 0xffff;
   const std::uint64_t result =
       bitmap | (static_cast<std::uint64_t>(distinct) << 48);
-  return {result, len};
+  return {result, len, /*data_unmodified=*/true};
 }
 
 fpga::PartialBitstream pattern_matching_bitstream(

@@ -32,7 +32,8 @@ fpga::ProcessResult RegexClassifierModule::process(
   std::uint64_t count = 0;
   for (std::uint64_t m = matches; m != 0; m &= m - 1) ++count;
   if (count > 0xffff) count = 0xffff;
-  return {bitmap | (count << 48), len};
+  // Result-only: the classifier never rewrites payload bytes.
+  return {bitmap | (count << 48), len, /*data_unmodified=*/true};
 }
 
 fpga::PartialBitstream regex_classifier_bitstream(

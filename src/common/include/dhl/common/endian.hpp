@@ -1,0 +1,68 @@
+#pragma once
+
+// Little-endian load/store helpers for wire formats.
+//
+// All DHL wire structures (DMA batch record headers, config blobs) are
+// little-endian regardless of host byte order.  These helpers use
+// std::memcpy so the compiler can lower them to single unaligned
+// loads/stores on LE hosts (the byte-loop versions they replace defeated
+// that), and byte-swap explicitly on BE hosts.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace dhl::common {
+
+namespace detail {
+
+template <typename T>
+constexpr T byteswap(T v) {
+  T out = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out = static_cast<T>(out << 8) | static_cast<T>((v >> (8 * i)) & 0xff);
+  }
+  return out;
+}
+
+template <typename T>
+T to_le(T v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    return byteswap(v);
+  } else {
+    return v;
+  }
+}
+
+}  // namespace detail
+
+inline void store_le16(std::uint8_t* p, std::uint16_t v) {
+  v = detail::to_le(v);
+  std::memcpy(p, &v, sizeof(v));
+}
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  v = detail::to_le(v);
+  std::memcpy(p, &v, sizeof(v));
+}
+inline void store_le64(std::uint8_t* p, std::uint64_t v) {
+  v = detail::to_le(v);
+  std::memcpy(p, &v, sizeof(v));
+}
+
+inline std::uint16_t load_le16(const std::uint8_t* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return detail::to_le(v);
+}
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return detail::to_le(v);
+}
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return detail::to_le(v);
+}
+
+}  // namespace dhl::common

@@ -1,0 +1,69 @@
+#include "dhl/runtime/batch_pool.hpp"
+
+#include <string>
+#include <utility>
+
+namespace dhl::runtime {
+
+BatchPool::BatchPool(int socket, std::uint32_t capacity,
+                     std::size_t reserve_bytes,
+                     telemetry::Telemetry& telemetry)
+    : socket_{socket}, capacity_{capacity}, reserve_bytes_{reserve_bytes} {
+  const telemetry::Labels labels{{"socket", std::to_string(socket)}};
+  hits_ = telemetry.metrics.counter("dhl.pool.hits", labels);
+  misses_ = telemetry.metrics.counter("dhl.pool.misses", labels);
+  drops_ = telemetry.metrics.counter("dhl.pool.drops", labels);
+  available_ = telemetry.metrics.gauge("dhl.pool.available", labels);
+  free_.reserve(capacity_);
+}
+
+fpga::DmaBatchPtr BatchPool::acquire(netio::AccId acc_id) {
+  if (!free_.empty()) {
+    fpga::DmaBatchPtr batch = std::move(free_.back());
+    free_.pop_back();
+    hits_->add(1);
+    available_->set(static_cast<double>(free_.size()));
+    batch->reset(acc_id);
+    return batch;
+  }
+  // Cold start or exhaustion (more batches in flight than the pool holds):
+  // fall back to the allocator.  The batch is still tagged with its home
+  // socket, so once it drains the free list grows toward capacity.
+  misses_->add(1);
+  auto batch = std::make_unique<fpga::DmaBatch>(acc_id, reserve_bytes_);
+  batch->set_pool_socket(socket_);
+  return batch;
+}
+
+void BatchPool::recycle(fpga::DmaBatchPtr batch) {
+  if (free_.size() >= capacity_) {
+    drops_->add(1);
+    return;  // unique_ptr frees the batch: the pool bounds memory
+  }
+  batch->reset(netio::kInvalidAccId);
+  free_.push_back(std::move(batch));
+  available_->set(static_cast<double>(free_.size()));
+}
+
+BatchPoolSet::BatchPoolSet(int num_sockets, std::uint32_t capacity_per_socket,
+                           std::size_t reserve_bytes,
+                           telemetry::Telemetry& telemetry) {
+  pools_.reserve(static_cast<std::size_t>(num_sockets));
+  for (int s = 0; s < num_sockets; ++s) {
+    pools_.emplace_back(s, capacity_per_socket, reserve_bytes, telemetry);
+  }
+}
+
+fpga::DmaBatchPtr BatchPoolSet::acquire(int socket, netio::AccId acc_id) {
+  return pools_[static_cast<std::size_t>(socket)].acquire(acc_id);
+}
+
+void BatchPoolSet::recycle(fpga::DmaBatchPtr batch) {
+  const int home = batch->pool_socket();
+  if (home < 0 || home >= static_cast<int>(pools_.size())) {
+    return;  // not pool-managed: plain delete
+  }
+  pools_[static_cast<std::size_t>(home)].recycle(std::move(batch));
+}
+
+}  // namespace dhl::runtime

@@ -1,5 +1,7 @@
 #include "dhl/runtime/distributor.hpp"
 
+#include <bit>
+
 #include "dhl/common/check.hpp"
 
 namespace dhl::runtime {
@@ -11,16 +13,21 @@ Distributor::Distributor(sim::Simulator& simulator,
                          const RuntimeConfig& config,
                          telemetry::Telemetry& telemetry,
                          RuntimeMetrics& metrics, HwFunctionTable& table,
-                         std::vector<NfInfo>& nfs)
+                         std::vector<NfInfo>& nfs, BatchPoolSet& pools)
     : sim_{simulator},
       config_{config},
       telemetry_{telemetry},
       metrics_{metrics},
       table_{table},
       nfs_{nfs},
+      pools_{pools},
       sockets_(static_cast<std::size_t>(config.num_sockets)) {
+  const std::size_t ring_size = std::bit_ceil(
+      std::max<std::size_t>(config_.completion_ring_size, 2));
+  ring_mask_ = ring_size - 1;
   for (int s = 0; s < config_.num_sockets; ++s) {
     SocketState& state = sockets_[static_cast<std::size_t>(s)];
+    state.ring.resize(ring_size);
     state.completions_depth = telemetry_.metrics.gauge(
         "dhl.runtime.completions_depth",
         telemetry::Labels{{"socket", std::to_string(s)}});
@@ -29,8 +36,17 @@ Distributor::Distributor(sim::Simulator& simulator,
 }
 
 void Distributor::enqueue_completion(int socket, fpga::DmaBatchPtr batch) {
-  sockets_[static_cast<std::size_t>(socket)].completions.push_back(
-      std::move(batch));
+  SocketState& state = sockets_[static_cast<std::size_t>(socket)];
+  if (state.overflow_head < state.overflow.size() ||
+      state.ring_count() == state.ring.size()) {
+    // Ring full (or an earlier delivery already spilled and the poll loop
+    // has not refilled yet): never drop a completion, take the slow path.
+    metrics_.completion_overflow->add(1);
+    state.overflow.push_back(std::move(batch));
+    return;
+  }
+  state.ring[state.tail & ring_mask_] = std::move(batch);
+  ++state.tail;
 }
 
 std::unique_ptr<Distributor::DeliveryVec> Distributor::take_buffer(
@@ -52,10 +68,25 @@ sim::PollResult Distributor::poll(int socket) {
   double cycles = 0;
   std::unique_ptr<DeliveryVec> deliveries;
 
-  for (std::uint32_t b = 0; b < config_.rx_burst && !state.completions.empty();
+  // Refill the ring from the overflow slow path (FIFO preserved: spilled
+  // batches re-enter in arrival order, ahead of any new deliveries).
+  if (state.overflow_head < state.overflow.size()) {
+    while (state.overflow_head < state.overflow.size() &&
+           state.ring_count() < state.ring.size()) {
+      state.ring[state.tail & ring_mask_] =
+          std::move(state.overflow[state.overflow_head++]);
+      ++state.tail;
+    }
+    if (state.overflow_head == state.overflow.size()) {
+      state.overflow.clear();
+      state.overflow_head = 0;
+    }
+  }
+
+  for (std::uint32_t b = 0; b < config_.rx_burst && state.ring_count() > 0;
        ++b) {
-    fpga::DmaBatchPtr batch = std::move(state.completions.front());
-    state.completions.pop_front();
+    fpga::DmaBatchPtr batch = std::move(state.ring[state.head & ring_mask_]);
+    ++state.head;
     metrics_.batches_from_fpga->add(1);
     const double batch_start_cycles = cycles;
     cycles += rt.distributor_per_batch_cycles;
@@ -68,26 +99,41 @@ sim::PollResult Distributor::poll(int socket) {
           e->outstanding_bytes, batch->submitted_bytes);
     }
 
-    const auto views = batch->parse();
-    DHL_CHECK_MSG(views.size() == batch->pkts().size(),
-                  "batch record/mbuf count mismatch");
-    for (std::size_t i = 0; i < views.size(); ++i) {
-      const fpga::RecordView& v = views[i];
-      Mbuf* m = batch->pkts()[i];
+    // Zero-alloc decapsulation: walk the wire records with a cursor
+    // instead of materializing parse()'s per-batch view vector.
+    const auto& pkts = batch->pkts();
+    fpga::RecordCursor cursor{*batch};
+    fpga::RecordView v;
+    std::size_t records = 0;
+    while (cursor.next(v)) {
+      DHL_CHECK_MSG(records < pkts.size(),
+                    "batch record/mbuf count mismatch");
+      Mbuf* m = pkts[records++];
       --metrics_.in_flight;
       metrics_.pkts_from_fpga->add(1);
       cycles += rt.distributor_per_pkt_cycles;
       RuntimeMetrics::NfAccCounters& c =
           metrics_.nf_acc(v.header.nf_id, v.header.acc_id);
       c.returned->add(1);
-      if (v.header.flags & 0x1) {
+      if (v.header.flags & fpga::kRecordFlagError) {
         metrics_.error_records->add(1);
         c.errors->add(1);
       }
 
       // Restore post-processed bytes and the module result into the mbuf.
-      m->replace_data({batch->buffer().data() + v.data_offset,
-                       v.header.data_len});
+      // Result-only modules stamp kRecordFlagDataUnmodified: the mbuf
+      // already holds exactly these bytes, so the write-back memcpy is
+      // skipped (the length check keeps a corrupted wire flag from ever
+      // desynchronizing mbuf and record lengths).
+      if (config_.zero_copy &&
+          (v.header.flags & fpga::kRecordFlagDataUnmodified) != 0 &&
+          v.header.data_len == m->data_len()) {
+        metrics_.zero_copy_bytes->add(v.header.data_len);
+      } else {
+        m->replace_data({batch->buffer().data() + v.data_offset,
+                         v.header.data_len});
+        metrics_.copy_bytes->add(v.header.data_len);
+      }
       m->set_accel_result(v.header.result);
 
       // Isolation: route on the wire-format nf_id (paper IV-B1).
@@ -100,6 +146,8 @@ sim::PollResult Distributor::poll(int socket) {
       if (deliveries == nullptr) deliveries = take_buffer(state);
       deliveries->push_back({nf, m});
     }
+    DHL_CHECK_MSG(records == pkts.size(),
+                  "batch record/mbuf count mismatch");
 
     if (tracing) {
       // Span endpoints use the cumulative distributor cycles within this
@@ -109,16 +157,19 @@ sim::PollResult Distributor::poll(int socket) {
       telemetry_.trace.complete_span(
           state.rx_track, "batch.distribute", "runtime", d0, d1,
           {{"batch", std::to_string(batch->batch_id)},
-           {"records", std::to_string(views.size())}});
+           {"records", std::to_string(records)}});
       // Whole life of the batch: opened by the Packer, DMA'd, processed,
       // DMA'd back, distributed.
       telemetry_.trace.complete_span(
           "dhl.batch", "batch.lifecycle", "runtime", batch->created_at, d1,
           {{"batch", std::to_string(batch->batch_id)},
-           {"records", std::to_string(views.size())}});
+           {"records", std::to_string(records)}});
     }
+    // Drained: hand the batch (and its buffer capacity) back to its home
+    // pool for the Packer to reuse.
+    pools_.recycle(std::move(batch));
   }
-  state.completions_depth->set(static_cast<double>(state.completions.size()));
+  state.completions_depth->set(static_cast<double>(state.pending()));
 
   // Packets land in their private OBQs after the Distributor cycles spent
   // on them (same reasoning as the Packer's deferred doorbell).

@@ -8,12 +8,12 @@
 // wire-format nf_id -- never host-side state, so a corrupted tag is caught
 // by the isolation machinery instead of leaking across NFs.
 
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "dhl/fpga/batch.hpp"
+#include "dhl/runtime/batch_pool.hpp"
 #include "dhl/runtime/hw_function_table.hpp"
 #include "dhl/runtime/runtime_metrics.hpp"
 #include "dhl/runtime/types.hpp"
@@ -26,7 +26,8 @@ class Distributor {
  public:
   Distributor(sim::Simulator& simulator, const RuntimeConfig& config,
               telemetry::Telemetry& telemetry, RuntimeMetrics& metrics,
-              HwFunctionTable& table, std::vector<NfInfo>& nfs);
+              HwFunctionTable& table, std::vector<NfInfo>& nfs,
+              BatchPoolSet& pools);
 
   Distributor(const Distributor&) = delete;
   Distributor& operator=(const Distributor&) = delete;
@@ -39,7 +40,7 @@ class Distributor {
   sim::PollResult poll(int socket);
 
   std::size_t completions_pending(int socket) const {
-    return sockets_[static_cast<std::size_t>(socket)].completions.size();
+    return sockets_[static_cast<std::size_t>(socket)].pending();
   }
 
  private:
@@ -52,12 +53,29 @@ class Distributor {
   using DeliveryVec = std::vector<Delivery>;
 
   struct SocketState {
-    std::deque<fpga::DmaBatchPtr> completions;
+    /// Fixed-capacity completion ring (power-of-two slots, monotonic
+    /// head/tail indices masked on access): the DMA delivery hook and the
+    /// RX poll loop touch preallocated slots only -- the former std::deque
+    /// chunk churn is gone.  `overflow` is the never-drop slow path: once a
+    /// delivery spills there, later deliveries follow it (FIFO preserved)
+    /// until the poll loop refills the ring from it.
+    std::vector<fpga::DmaBatchPtr> ring;
+    std::uint64_t head = 0;
+    std::uint64_t tail = 0;
+    std::vector<fpga::DmaBatchPtr> overflow;
+    std::size_t overflow_head = 0;
     /// Recycled delivery buffers: the deferred-enqueue closures hand their
     /// vector back here, so steady-state polling never heap-allocates.
     std::vector<std::unique_ptr<DeliveryVec>> free_buffers;
     telemetry::Gauge* completions_depth = nullptr;
     std::string rx_track;
+
+    std::size_t ring_count() const {
+      return static_cast<std::size_t>(tail - head);
+    }
+    std::size_t pending() const {
+      return ring_count() + (overflow.size() - overflow_head);
+    }
   };
 
   std::unique_ptr<DeliveryVec> take_buffer(SocketState& state);
@@ -68,7 +86,10 @@ class Distributor {
   RuntimeMetrics& metrics_;
   HwFunctionTable& table_;
   std::vector<NfInfo>& nfs_;
+  BatchPoolSet& pools_;
   std::vector<SocketState> sockets_;
+  /// ring.size() - 1; rings are num_sockets copies of the same size.
+  std::uint64_t ring_mask_ = 0;
 };
 
 }  // namespace dhl::runtime

@@ -8,12 +8,13 @@
 // receives each flushed batch.  Also owns the adaptive-batching EWMA of
 // the per-socket arrival rate (paper VI-2's proposed policy).
 
-#include <map>
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "dhl/fpga/batch.hpp"
+#include "dhl/runtime/batch_pool.hpp"
 #include "dhl/runtime/dispatch_policy.hpp"
 #include "dhl/runtime/hw_function_table.hpp"
 #include "dhl/runtime/runtime_metrics.hpp"
@@ -27,7 +28,7 @@ class Packer {
  public:
   Packer(sim::Simulator& simulator, const RuntimeConfig& config,
          telemetry::Telemetry& telemetry, RuntimeMetrics& metrics,
-         HwFunctionTable& table);
+         HwFunctionTable& table, BatchPoolSet& pools);
 
   Packer(const Packer&) = delete;
   Packer& operator=(const Packer&) = delete;
@@ -53,7 +54,13 @@ class Packer {
 
   struct SocketState {
     std::unique_ptr<netio::MbufRing> ibq;
-    std::map<netio::AccId, OpenBatch> open_batches;
+    /// Dense acc_id -> open-batch slot array, mirroring the control plane's
+    /// O(1) `entry_for` (PR 2): the per-packet std::map lookup/rebalance is
+    /// gone from the hot loop.
+    std::array<OpenBatch, 256> open;
+    /// acc_ids whose slot holds a non-empty open batch; the timeout sweep
+    /// walks this instead of all 256 slots.
+    std::vector<netio::AccId> active;
     /// Reusable dequeue buffer -- sized once to ibq_burst so the hot loop
     /// never heap-allocates.
     std::vector<netio::Mbuf*> scratch;
@@ -79,12 +86,16 @@ class Packer {
   /// Drop a flushed batch whose hardware function vanished mid-open
   /// (unload raced the timeout flush): release the parked mbufs.
   void drop_batch(fpga::DmaBatchPtr batch);
+  /// New open batch for `acc_id`: pooled on the zero-copy path, heap
+  /// allocated on the legacy path.
+  fpga::DmaBatchPtr acquire_batch(int socket, netio::AccId acc_id);
 
   sim::Simulator& sim_;
   const RuntimeConfig& config_;
   telemetry::Telemetry& telemetry_;
   RuntimeMetrics& metrics_;
   HwFunctionTable& table_;
+  BatchPoolSet& pools_;
   DispatchPolicy* policy_ = nullptr;
   std::vector<SocketState> sockets_;
   /// Flush-time candidate list, reused across flushes (no hot-path alloc).

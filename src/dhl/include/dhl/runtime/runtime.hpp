@@ -37,6 +37,7 @@
 #include "dhl/fpga/device.hpp"
 #include "dhl/netio/mbuf.hpp"
 #include "dhl/netio/ring.hpp"
+#include "dhl/runtime/batch_pool.hpp"
 #include "dhl/runtime/dispatch_policy.hpp"
 #include "dhl/runtime/distributor.hpp"
 #include "dhl/runtime/hw_function_table.hpp"
@@ -155,6 +156,13 @@ class DhlRuntime {
   DispatchPolicy& dispatch_policy() { return *policy_; }
   void set_dispatch_policy(std::unique_ptr<DispatchPolicy> policy);
 
+  /// Per-socket DmaBatch recycling pools (zero-copy path introspection).
+  BatchPoolSet& batch_pools() { return pools_; }
+  /// Transfer-layer components, exposed for benches/tests that drive the
+  /// poll loops directly instead of through start()'s lcores.
+  Packer& packer() { return packer_; }
+  Distributor& distributor() { return distributor_; }
+
  private:
   struct CorePair {
     std::unique_ptr<sim::Lcore> tx;
@@ -168,6 +176,9 @@ class DhlRuntime {
   HwFunctionTable table_;
   std::unique_ptr<DispatchPolicy> policy_;
   std::vector<NfInfo> nfs_;
+  /// Declared before the Packer/Distributor that borrow it, destroyed
+  /// after them: in-flight batches recycled at teardown find a live pool.
+  BatchPoolSet pools_;
   Packer packer_;
   Distributor distributor_;
   std::vector<CorePair> cores_;

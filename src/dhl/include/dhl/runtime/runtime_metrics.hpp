@@ -46,9 +46,19 @@ struct RuntimeMetrics {
   telemetry::Counter* flush_full = nullptr;
   telemetry::Counter* flush_timeout = nullptr;
   telemetry::Counter* unready_drops = nullptr;
-  /// Batch fill at flush in parts-per-million of max_batch_bytes (the
-  /// log-binned histogram needs integer samples >= 1000 for resolution).
+  /// Batch fill at flush in parts-per-million of the *effective* cap at
+  /// flush time -- batch_cap(), i.e. the adaptive cap when adaptive
+  /// batching has shrunk it, max_batch_bytes otherwise.  (The log-binned
+  /// histogram needs integer samples >= 1000 for resolution.)
   telemetry::Histogram* batch_fill_ppm = nullptr;
+  // Zero-copy data-plane accounting: payload bytes that were memcpy'd on
+  // the host path (TX copy-append + RX write-back) vs. bytes that moved by
+  // SG descriptor / skipped write-back.
+  telemetry::Counter* copy_bytes = nullptr;       // dhl.copy_bytes
+  telemetry::Counter* zero_copy_bytes = nullptr;  // dhl.zero_copy_bytes
+  /// Completions that missed the fixed ring and took the overflow
+  /// slow path (never dropped, just slower).
+  telemetry::Counter* completion_overflow = nullptr;
 
   /// Packets currently parked inside batches / the FPGA / completion
   /// queues.  ++ by the Packer on append, -- by the Distributor on return.

@@ -12,12 +12,13 @@ using netio::MbufRing;
 
 Packer::Packer(sim::Simulator& simulator, const RuntimeConfig& config,
                telemetry::Telemetry& telemetry, RuntimeMetrics& metrics,
-               HwFunctionTable& table)
+               HwFunctionTable& table, BatchPoolSet& pools)
     : sim_{simulator},
       config_{config},
       telemetry_{telemetry},
       metrics_{metrics},
       table_{table},
+      pools_{pools},
       sockets_(static_cast<std::size_t>(config.num_sockets)) {
   for (int s = 0; s < config_.num_sockets; ++s) {
     SocketState& state = sockets_[static_cast<std::size_t>(s)];
@@ -70,6 +71,18 @@ void Packer::drop_batch(fpga::DmaBatchPtr batch) {
     metrics_.unready_drops->add(1);
     m->release();
   }
+  pools_.recycle(std::move(batch));
+}
+
+fpga::DmaBatchPtr Packer::acquire_batch(int socket, AccId acc_id) {
+  const auto& rt = config_.timing.runtime;
+  fpga::DmaBatchPtr batch =
+      config_.zero_copy
+          ? pools_.acquire(socket, acc_id)
+          : std::make_unique<fpga::DmaBatch>(
+                acc_id, rt.max_batch_bytes + fpga::kRecordHeaderBytes);
+  batch->created_at = sim_.now();
+  return batch;
 }
 
 double Packer::flush_batch(int socket, AccId acc_id, OpenBatch&& open,
@@ -108,8 +121,12 @@ double Packer::flush_batch(int socket, AccId acc_id, OpenBatch&& open,
   (reason == FlushReason::kFull ? metrics_.flush_full
                                 : metrics_.flush_timeout)
       ->add(1);
-  metrics_.batch_fill_ppm->record(batch->size_bytes() * 1'000'000ull /
-                                  rt.max_batch_bytes);
+  // Fill relative to the cap actually in effect at flush time: under
+  // adaptive batching the effective cap shrinks with the arrival rate, and
+  // recording against max_batch_bytes would under-report fill.
+  metrics_.batch_fill_ppm->record(
+      batch->size_bytes() * 1'000'000ull /
+      batch_cap(sockets_[static_cast<std::size_t>(socket)]));
   if (telemetry_.trace.enabled()) {
     telemetry_.trace.complete_span(
         sockets_[static_cast<std::size_t>(socket)].tx_track, "batch.pack",
@@ -180,13 +197,11 @@ sim::PollResult Packer::poll(int socket) {
       m->release();
       continue;
     }
-    auto [it, inserted] = state.open_batches.try_emplace(acc_id);
-    OpenBatch& open = it->second;
-    if (inserted || open.batch == nullptr) {
-      open.batch = std::make_unique<fpga::DmaBatch>(
-          acc_id, rt.max_batch_bytes + fpga::kRecordHeaderBytes);
-      open.batch->created_at = sim_.now();
+    OpenBatch& open = state.open[acc_id];
+    if (open.batch == nullptr) {
+      open.batch = acquire_batch(socket, acc_id);
       open.opened_at = sim_.now();
+      state.active.push_back(acc_id);
     }
     // Flush-before-append if this record would overflow the batch cap.
     const std::size_t record_bytes = fpga::kRecordHeaderBytes + m->data_len();
@@ -194,13 +209,19 @@ sim::PollResult Packer::poll(int socket) {
         !open.batch->empty()) {
       cycles += flush_batch(socket, acc_id, std::move(open), pending,
                             FlushReason::kFull);
-      open.batch = std::make_unique<fpga::DmaBatch>(
-          acc_id, rt.max_batch_bytes + fpga::kRecordHeaderBytes);
-      open.batch->created_at = sim_.now();
+      open.batch = acquire_batch(socket, acc_id);
       open.opened_at = sim_.now();
     }
     if (open.batch->empty()) open.batch->first_pkt_enqueued_at = sim_.now();
-    open.batch->append(m->nf_id(), m->payload(), m);
+    if (config_.zero_copy) {
+      // Scatter-gather append: stage a descriptor, no payload copy until
+      // the DMA engine gathers at the submit boundary.
+      open.batch->append_sg(m->nf_id(), m);
+      metrics_.zero_copy_bytes->add(m->data_len());
+    } else {
+      open.batch->append(m->nf_id(), m->payload(), m);
+      metrics_.copy_bytes->add(m->data_len());
+    }
     RuntimeMetrics::NfAccCounters& c = metrics_.nf_acc(m->nf_id(), acc_id);
     c.pkts->add(1);
     c.bytes->add(m->data_len());
@@ -214,16 +235,19 @@ sim::PollResult Packer::poll(int socket) {
   // than 1500 B ones (V-C) -- and the timeout bounds latency at low load
   // (the adaptive version is the paper's future work, see the batching
   // ablation bench).
-  for (auto it = state.open_batches.begin(); it != state.open_batches.end();) {
-    OpenBatch& open = it->second;
+  for (std::size_t i = 0; i < state.active.size();) {
+    const AccId acc_id = state.active[i];
+    OpenBatch& open = state.open[acc_id];
     const bool have = open.batch != nullptr && !open.batch->empty();
     const bool aged = have && sim_.now() - open.opened_at >= rt.batch_timeout;
     if (aged) {
-      cycles += flush_batch(socket, it->first, std::move(open), pending,
+      cycles += flush_batch(socket, acc_id, std::move(open), pending,
                             FlushReason::kTimeout);
-      it = state.open_batches.erase(it);
+      open.batch = nullptr;
+      state.active[i] = state.active.back();
+      state.active.pop_back();
     } else {
-      ++it;
+      ++i;
     }
   }
 

@@ -17,8 +17,12 @@ DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
       metrics_{*telemetry_},
       table_{simulator, std::move(database), std::move(fpgas), *telemetry_},
       policy_{make_dispatch_policy(config_.dispatch_policy)},
-      packer_{simulator, config_, *telemetry_, metrics_, table_},
-      distributor_{simulator, config_, *telemetry_, metrics_, table_, nfs_} {
+      pools_{config_.num_sockets, config_.batch_pool_capacity,
+             config_.timing.runtime.max_batch_bytes + fpga::kRecordHeaderBytes,
+             *telemetry_},
+      packer_{simulator, config_, *telemetry_, metrics_, table_, pools_},
+      distributor_{simulator, config_, *telemetry_,
+                   metrics_,  table_,  nfs_,        pools_} {
   DHL_CHECK(config_.num_sockets > 0);
   packer_.set_dispatch_policy(policy_.get());
   metrics_.nf_name = [this](NfId nf_id) {

@@ -15,6 +15,9 @@ RuntimeMetrics::RuntimeMetrics(telemetry::Telemetry& telemetry)
   flush_timeout = registry.counter("dhl.runtime.flush_timeout_batches");
   unready_drops = registry.counter("dhl.runtime.unready_drops");
   batch_fill_ppm = registry.histogram("dhl.runtime.batch_fill_ppm");
+  copy_bytes = registry.counter("dhl.copy_bytes");
+  zero_copy_bytes = registry.counter("dhl.zero_copy_bytes");
+  completion_overflow = registry.counter("dhl.runtime.completion_overflow");
 }
 
 RuntimeMetrics::NfAccCounters& RuntimeMetrics::nf_acc(netio::NfId nf_id,

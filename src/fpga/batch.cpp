@@ -3,40 +3,47 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "dhl/common/endian.hpp"
+
 namespace dhl::fpga {
 
 namespace {
 
-void store_u16(std::uint8_t* p, std::uint16_t v) {
-  p[0] = static_cast<std::uint8_t>(v);
-  p[1] = static_cast<std::uint8_t>(v >> 8);
-}
-void store_u32(std::uint8_t* p, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-void store_u64(std::uint8_t* p, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-std::uint16_t load_u16(const std::uint8_t* p) {
-  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
-}
-std::uint32_t load_u32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-  return v;
-}
-std::uint64_t load_u64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-  return v;
-}
+using common::load_le16;
+using common::load_le32;
+using common::load_le64;
+using common::store_le16;
+using common::store_le32;
+using common::store_le64;
 
 void serialize_header(std::uint8_t* p, const RecordHeader& h) {
   p[0] = h.nf_id;
   p[1] = h.acc_id;
-  store_u16(p + 2, h.flags);
-  store_u32(p + 4, h.data_len);
-  store_u64(p + 8, h.result);
+  store_le16(p + 2, h.flags);
+  store_le32(p + 4, h.data_len);
+  store_le64(p + 8, h.result);
+}
+
+/// Decode the record at `off`; returns the offset one past its data.
+/// Shared by parse(), RecordCursor and the hardened retag walk so all
+/// three reject the same malformed shapes.
+std::size_t parse_record_at(const std::vector<std::uint8_t>& buffer,
+                            std::size_t off, RecordView& v) {
+  if (off + kRecordHeaderBytes > buffer.size()) {
+    throw std::runtime_error("DmaBatch: truncated record header");
+  }
+  v.header_offset = off;
+  const std::uint8_t* p = buffer.data() + off;
+  v.header.nf_id = p[0];
+  v.header.acc_id = p[1];
+  v.header.flags = load_le16(p + 2);
+  v.header.data_len = load_le32(p + 4);
+  v.header.result = load_le64(p + 8);
+  v.data_offset = off + kRecordHeaderBytes;
+  if (v.data_offset + v.header.data_len > buffer.size()) {
+    throw std::runtime_error("DmaBatch: record data overruns buffer");
+  }
+  return v.data_offset + v.header.data_len;
 }
 
 }  // namespace
@@ -45,6 +52,9 @@ void DmaBatch::append(netio::NfId nf_id, std::span<const std::uint8_t> data,
                       netio::Mbuf* origin) {
   DHL_CHECK_MSG(data.size() <= netio::kMbufMaxDataLen,
                 "record larger than the 64 KB mbuf cap");
+  // Mixing a copy-append behind staged SG records would serialize out of
+  // append order (staged records always linearize after the linear region).
+  DHL_CHECK_MSG(sg_.empty(), "DmaBatch: copy-append after SG records");
   RecordHeader h;
   h.nf_id = nf_id;
   h.acc_id = acc_id_;
@@ -58,40 +68,94 @@ void DmaBatch::append(netio::NfId nf_id, std::span<const std::uint8_t> data,
   ++record_count_;
 }
 
+void DmaBatch::append_sg(netio::NfId nf_id, netio::Mbuf* origin) {
+  DHL_CHECK(origin != nullptr);
+  const std::size_t len = origin->data_len();
+  DHL_CHECK_MSG(len <= netio::kMbufMaxDataLen,
+                "record larger than the 64 KB mbuf cap");
+  SgDescriptor d;
+  d.mbuf = origin;
+  d.offset = 0;
+  d.len = static_cast<std::uint32_t>(len);
+  d.header.nf_id = nf_id;
+  d.header.acc_id = acc_id_;
+  d.header.data_len = d.len;
+  sg_.push_back(d);
+  staged_bytes_ += kRecordHeaderBytes + len;
+  pkts_.push_back(origin);
+  ++record_count_;
+}
+
+void DmaBatch::linearize() {
+  if (sg_.empty()) return;
+  std::size_t off = buffer_.size();
+  buffer_.resize(off + staged_bytes_);
+  for (const SgDescriptor& d : sg_) {
+    serialize_header(buffer_.data() + off, d.header);
+    off += kRecordHeaderBytes;
+    if (d.len != 0) {
+      std::memcpy(buffer_.data() + off, d.mbuf->payload().data() + d.offset,
+                  d.len);
+    }
+    off += d.len;
+  }
+  sg_.clear();
+  staged_bytes_ = 0;
+}
+
 std::vector<RecordView> DmaBatch::parse() const {
+  DHL_CHECK_MSG(sg_.empty(), "DmaBatch: parse before linearize");
   std::vector<RecordView> out;
   out.reserve(record_count_);
   std::size_t off = 0;
   while (off < buffer_.size()) {
-    if (off + kRecordHeaderBytes > buffer_.size()) {
-      throw std::runtime_error("DmaBatch: truncated record header");
-    }
     RecordView v;
-    v.header_offset = off;
-    const std::uint8_t* p = buffer_.data() + off;
-    v.header.nf_id = p[0];
-    v.header.acc_id = p[1];
-    v.header.flags = load_u16(p + 2);
-    v.header.data_len = load_u32(p + 4);
-    v.header.result = load_u64(p + 8);
-    v.data_offset = off + kRecordHeaderBytes;
-    if (v.data_offset + v.header.data_len > buffer_.size()) {
-      throw std::runtime_error("DmaBatch: record data overruns buffer");
-    }
-    off = v.data_offset + v.header.data_len;
+    off = parse_record_at(buffer_, off, v);
     out.push_back(v);
   }
   return out;
 }
 
+bool RecordCursor::next(RecordView& out) {
+  DHL_CHECK_MSG(batch_.linearized(), "DmaBatch: cursor before linearize");
+  const auto& buffer = batch_.buffer();
+  if (off_ >= buffer.size()) return false;
+  off_ = parse_record_at(buffer, off_, out);
+  return true;
+}
+
 void DmaBatch::retag_acc(netio::AccId acc_id) {
   std::size_t off = 0;
-  while (off + kRecordHeaderBytes <= buffer_.size()) {
+  while (off < buffer_.size()) {
+    // Hardened walk: a truncated trailing header or overrunning record is
+    // an error, not something to silently walk past.
+    if (off + kRecordHeaderBytes > buffer_.size()) {
+      throw std::runtime_error("DmaBatch: truncated record header");
+    }
     std::uint8_t* p = buffer_.data() + off;
+    const std::uint32_t len = common::load_le32(p + 4);
+    if (off + kRecordHeaderBytes + len > buffer_.size()) {
+      throw std::runtime_error("DmaBatch: record data overruns buffer");
+    }
     p[1] = acc_id;
-    off += kRecordHeaderBytes + load_u32(p + 4);
+    off += kRecordHeaderBytes + len;
   }
+  for (SgDescriptor& d : sg_) d.header.acc_id = acc_id;
   acc_id_ = acc_id;
+}
+
+void DmaBatch::reset(netio::AccId acc_id) {
+  acc_id_ = acc_id;
+  buffer_.clear();
+  record_count_ = 0;
+  pkts_.clear();
+  sg_.clear();
+  staged_bytes_ = 0;
+  created_at = 0;
+  first_pkt_enqueued_at = 0;
+  remote_numa = false;
+  batch_id = 0;
+  submitted_bytes = 0;
 }
 
 void DmaBatch::store_header(const RecordView& view) {

@@ -178,7 +178,7 @@ void FpgaDevice::dispatch_batch(DmaBatchPtr batch) {
             RegionState::kReady) {
       // No ready module: the record returns unprocessed with an error flag,
       // mirroring how the real dispatcher cannot drop data silently.
-      v.header.flags |= 0x1;
+      v.header.flags |= kRecordFlagError;
       batch->store_header(v);
       ++dispatch_drops_;
       dispatch_error_records_->add(1);
@@ -192,6 +192,11 @@ void FpgaDevice::dispatch_batch(DmaBatchPtr batch) {
     DHL_CHECK_MSG(res.new_len <= v.header.data_len,
                   "module grew a record in place");
     v.header.result = res.result;
+    if (res.data_unmodified && res.new_len == v.header.data_len) {
+      // Result-only module: tell the Distributor the payload bytes are
+      // exactly what the host sent, so it can skip the write-back copy.
+      v.header.flags |= kRecordFlagDataUnmodified;
+    }
     if (res.new_len != v.header.data_len) {
       batch->resize_record(v, res.new_len, views, i);
     } else {

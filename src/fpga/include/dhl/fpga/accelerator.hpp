@@ -43,6 +43,12 @@ struct ProcessResult {
   /// New data length; == input length unless the module grows/shrinks the
   /// payload (e.g. compression).
   std::uint32_t new_len = 0;
+  /// True when the module only read the payload (result-only modules:
+  /// pattern matching, regex classifier, MD5).  The device stamps
+  /// kRecordFlagDataUnmodified on the return record so the Distributor can
+  /// skip the write-back memcpy into the mbuf.  Mutating modules (AES,
+  /// LZ77) leave this false and pay the copy.
+  bool data_unmodified = false;
 };
 
 class AcceleratorModule {

@@ -20,6 +20,12 @@
 // pointers -- which is what makes the data-isolation property (section IV-B)
 // testable.  The host-side `pkts` vector parks the in-flight mbufs so the
 // Distributor can restore results into them.
+//
+// TX is scatter-gather (paper IV-A2): `append_sg` stages a descriptor
+// {mbuf, offset, len} without touching payload bytes; `linearize()` --
+// called at the DMA-submit boundary, i.e. where the real SG engine gathers
+// -- serializes the staged records into the wire buffer.  The FPGA side
+// still only ever sees the linear bytes.
 
 #include <cstdint>
 #include <memory>
@@ -32,6 +38,15 @@
 namespace dhl::fpga {
 
 inline constexpr std::size_t kRecordHeaderBytes = 16;
+
+/// Record flag bits (u16 `flags` field of the wire header).
+/// Set by the device when the record could not be dispatched to a mapped
+/// accelerator module (the Distributor drops the packet).
+inline constexpr std::uint16_t kRecordFlagError = 0x1;
+/// Set by the device when the module consumed the payload but did not
+/// rewrite it (result-only modules: pattern matching, regex classifier,
+/// MD5).  Lets the Distributor skip the write-back memcpy into the mbuf.
+inline constexpr std::uint16_t kRecordFlagDataUnmodified = 0x2;
 
 struct RecordHeader {
   netio::NfId nf_id = netio::kInvalidNfId;
@@ -48,6 +63,15 @@ struct RecordView {
   std::size_t data_offset = 0;    // offset of the record data in the buffer
 };
 
+/// TX scatter-gather descriptor: one staged record whose payload still
+/// lives in the originating mbuf.  `linearize()` gathers it.
+struct SgDescriptor {
+  netio::Mbuf* mbuf = nullptr;
+  std::uint32_t offset = 0;  // payload offset inside the mbuf data
+  std::uint32_t len = 0;
+  RecordHeader header;
+};
+
 class DmaBatch {
  public:
   explicit DmaBatch(netio::AccId acc_id, std::size_t reserve_bytes = 0)
@@ -56,20 +80,37 @@ class DmaBatch {
   }
 
   netio::AccId acc_id() const { return acc_id_; }
-  std::size_t size_bytes() const { return buffer_.size(); }
+  /// Wire size: linearized bytes plus staged (not yet gathered) records.
+  std::size_t size_bytes() const { return buffer_.size() + staged_bytes_; }
   std::size_t record_count() const { return record_count_; }
   bool empty() const { return record_count_ == 0; }
 
   std::vector<std::uint8_t>& buffer() { return buffer_; }
   const std::vector<std::uint8_t>& buffer() const { return buffer_; }
 
-  /// Append one record; copies `data` into the batch buffer.
+  /// Append one record; copies `data` into the batch buffer immediately
+  /// (legacy copy path; also used by tests that build raw batches).
   void append(netio::NfId nf_id, std::span<const std::uint8_t> data,
               netio::Mbuf* origin);
 
+  /// Append one record by descriptor only -- no payload bytes move until
+  /// `linearize()`.  The mbuf must stay parked (it is: the Packer holds it
+  /// in `pkts()` until the Distributor releases it).
+  void append_sg(netio::NfId nf_id, netio::Mbuf* origin);
+
+  /// True when no records are staged as SG descriptors.
+  bool linearized() const { return sg_.empty(); }
+  std::size_t staged_records() const { return sg_.size(); }
+
+  /// Gather staged SG records into the wire buffer.  Called by the DMA
+  /// engine at submit time (modelling the hardware SG gather pass); no-op
+  /// on an already-linear batch.  Wire bytes are byte-identical to what
+  /// `append` would have produced.
+  void linearize();
+
   /// Re-parse the records from the raw buffer (done on the FPGA side after
   /// the "transfer": the device trusts only the bytes).
-  /// Throws on malformed buffers.
+  /// Throws on malformed buffers.  Requires a linearized batch.
   std::vector<RecordView> parse() const;
 
   /// Write back a record's header (the FPGA mutates result/data_len).
@@ -86,11 +127,21 @@ class DmaBatch {
   void resize_record(RecordView& view, std::uint32_t new_len,
                      std::vector<RecordView>& all, std::size_t index);
 
-  /// Rewrite every record's acc_id tag (one byte per header) and the
-  /// batch's own acc_id.  The runtime uses this when its dispatch policy
-  /// redirects a batch to another replica of the same hardware function,
-  /// whose device maps a different acc_id.
+  /// Rewrite every record's acc_id tag (one byte per header, plus staged
+  /// SG descriptors) and the batch's own acc_id.  The runtime uses this
+  /// when its dispatch policy redirects a batch to another replica of the
+  /// same hardware function, whose device maps a different acc_id.
+  /// Throws on a malformed linear region (truncated trailing header or
+  /// record data overrunning the buffer).
   void retag_acc(netio::AccId acc_id);
+
+  /// Clear all records/bookkeeping for reuse, keeping buffer/vector
+  /// capacity (the whole point of pooling).
+  void reset(netio::AccId acc_id);
+
+  /// Home pool socket for recycling (-1: not pool-managed).
+  int pool_socket() const { return pool_socket_; }
+  void set_pool_socket(int socket) { pool_socket_ = socket; }
 
   /// Host-side: mbufs parked while their bytes are on the FPGA.
   std::vector<netio::Mbuf*>& pkts() { return pkts_; }
@@ -114,8 +165,27 @@ class DmaBatch {
   std::vector<std::uint8_t> buffer_;
   std::size_t record_count_ = 0;
   std::vector<netio::Mbuf*> pkts_;
+  std::vector<SgDescriptor> sg_;
+  std::size_t staged_bytes_ = 0;
+  int pool_socket_ = -1;
 };
 
 using DmaBatchPtr = std::unique_ptr<DmaBatch>;
+
+/// Zero-allocation forward iterator over a linearized batch's records.
+/// Replaces `parse()` on the RX hot path: no vector, no reserve, just a
+/// walking offset.  Throws the same errors as `parse()` on malformed
+/// buffers.
+class RecordCursor {
+ public:
+  explicit RecordCursor(const DmaBatch& batch) : batch_{batch} {}
+
+  /// Fill `out` with the next record; false when the buffer is exhausted.
+  bool next(RecordView& out);
+
+ private:
+  const DmaBatch& batch_;
+  std::size_t off_ = 0;
+};
 
 }  // namespace dhl::fpga

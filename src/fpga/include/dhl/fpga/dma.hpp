@@ -117,6 +117,10 @@ class DmaEngine {
 
   void submit(DmaBatchPtr batch, Channel& ch) {
     const bool is_tx = &ch == &tx_;
+    // The submit boundary is where the hardware SG engine gathers the
+    // descriptor list into one wire transfer; staged records become bytes
+    // here.  No-op for batches built with the copy path.
+    batch->linearize();
     const std::uint64_t bytes = batch->size_bytes();
     const Picos start = ch.busy_until > sim_.now() ? ch.busy_until : sim_.now();
     ch.busy_until = start + occupancy(bytes);

@@ -111,5 +111,123 @@ TEST(DmaBatch, RejectsOversizedRecord) {
       std::logic_error);
 }
 
+TEST(DmaBatch, SgAppendLinearizesToLegacyWireFormat) {
+  netio::MbufPool pool{"p", 2, 2048, 0};
+  const auto data1 = payload(33, 0xa1);
+  const auto data2 = payload(70, 0xb2);
+  netio::Mbuf* m1 = pool.alloc();
+  netio::Mbuf* m2 = pool.alloc();
+  m1->assign(data1);
+  m2->assign(data2);
+
+  DmaBatch legacy{7};
+  legacy.append(1, data1, m1);
+  legacy.append(9, data2, m2);
+
+  DmaBatch sg{7};
+  sg.append_sg(1, m1);
+  sg.append_sg(9, m2);
+  // Before linearization: descriptors only, same accounted wire size.
+  EXPECT_FALSE(sg.linearized());
+  EXPECT_EQ(sg.staged_records(), 2u);
+  EXPECT_EQ(sg.record_count(), 2u);
+  EXPECT_EQ(sg.size_bytes(), legacy.size_bytes());
+  EXPECT_TRUE(sg.buffer().empty());  // no payload bytes moved yet
+
+  // After the DMA-submit gather: byte-for-byte identical wire format.
+  sg.linearize();
+  EXPECT_TRUE(sg.linearized());
+  EXPECT_EQ(sg.buffer(), legacy.buffer());
+  sg.linearize();  // idempotent
+  EXPECT_EQ(sg.buffer(), legacy.buffer());
+  m1->release();
+  m2->release();
+}
+
+TEST(DmaBatch, CursorMatchesParse) {
+  DmaBatch batch{4};
+  batch.append(1, payload(10, 0xaa), nullptr);
+  batch.append(2, payload(0, 0), nullptr);  // zero-length record
+  batch.append(3, payload(25, 0xcc), nullptr);
+
+  const auto views = batch.parse();
+  RecordCursor cursor{batch};
+  RecordView v;
+  std::size_t i = 0;
+  while (cursor.next(v)) {
+    ASSERT_LT(i, views.size());
+    EXPECT_EQ(v.header.nf_id, views[i].header.nf_id);
+    EXPECT_EQ(v.header.acc_id, views[i].header.acc_id);
+    EXPECT_EQ(v.header.data_len, views[i].header.data_len);
+    EXPECT_EQ(v.header_offset, views[i].header_offset);
+    EXPECT_EQ(v.data_offset, views[i].data_offset);
+    ++i;
+  }
+  EXPECT_EQ(i, views.size());
+}
+
+TEST(DmaBatch, CursorRejectsCorruptBuffers) {
+  DmaBatch batch{1};
+  batch.append(0, payload(10, 0), nullptr);
+  batch.buffer()[4] = 0xff;
+  batch.buffer()[5] = 0xff;
+  RecordCursor cursor{batch};
+  RecordView v;
+  EXPECT_THROW(cursor.next(v), std::runtime_error);
+}
+
+TEST(DmaBatch, RetagCoversStagedSgRecords) {
+  netio::MbufPool pool{"p", 1, 2048, 0};
+  netio::Mbuf* m = pool.alloc();
+  m->assign(payload(12, 0x3c));
+
+  DmaBatch batch{5};
+  batch.append(1, payload(8, 0x11), nullptr);  // linear record
+  batch.append_sg(2, m);                       // staged record
+  batch.retag_acc(9);
+  EXPECT_EQ(batch.acc_id(), 9);
+
+  batch.linearize();
+  const auto views = batch.parse();
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(views[0].header.acc_id, 9);
+  EXPECT_EQ(views[1].header.acc_id, 9);
+  m->release();
+}
+
+TEST(DmaBatch, RetagRejectsTruncatedTrailingHeader) {
+  DmaBatch batch{1};
+  batch.append(0, payload(8, 0x5a), nullptr);
+  // A partial trailing header used to be silently walked past; now it is
+  // a hard error.
+  batch.buffer().resize(batch.buffer().size() + kRecordHeaderBytes - 1);
+  EXPECT_THROW(batch.retag_acc(2), std::runtime_error);
+}
+
+TEST(DmaBatch, RetagRejectsOverrunningRecord) {
+  DmaBatch batch{1};
+  batch.append(0, payload(8, 0x5a), nullptr);
+  batch.buffer()[4] = 0xff;  // data_len now overruns the buffer
+  batch.buffer()[5] = 0xff;
+  EXPECT_THROW(batch.retag_acc(2), std::runtime_error);
+}
+
+TEST(DmaBatch, ResetClearsRecordsKeepsBufferCapacity) {
+  DmaBatch batch{3, 6160};
+  batch.append(1, payload(100, 0xee), nullptr);
+  batch.batch_id = 17;
+  batch.submitted_bytes = 116;
+  const std::size_t cap = batch.buffer().capacity();
+
+  batch.reset(8);
+  EXPECT_EQ(batch.acc_id(), 8);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.size_bytes(), 0u);
+  EXPECT_EQ(batch.pkts().size(), 0u);
+  EXPECT_EQ(batch.batch_id, 0u);
+  EXPECT_EQ(batch.submitted_bytes, 0u);
+  EXPECT_EQ(batch.buffer().capacity(), cap);
+}
+
 }  // namespace
 }  // namespace dhl::fpga
