@@ -8,6 +8,7 @@
 // offered load to find capacity, then re-run at 90% of capacity to measure
 // latency with finite queues (the paper's "under different load factors").
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -283,6 +284,9 @@ inline std::string micro_out_arg(int argc, char** argv) {
 
 struct TransferMicroOptions {
   bool zero_copy = true;
+  /// Distributor-side CRC32C integrity gate (RuntimeConfig::crc_check).
+  /// Off only for the `--crc-ab` overhead measurement.
+  bool crc_check = true;
   /// 240 B of payload makes a 256 B wire record (16 B header), so 24
   /// records fill the 6 KB batch budget exactly: each burst below packs
   /// into two full batches with no ragged tail.
@@ -322,6 +326,7 @@ inline TransferMicroResult run_transfer_micro(const TransferMicroOptions& opt) {
   cfg.telemetry = tel;
   cfg.num_sockets = 1;
   cfg.zero_copy = opt.zero_copy;
+  cfg.crc_check = opt.crc_check;
   cfg.ibq_burst = opt.burst;
   const std::vector<std::string> patterns{"attack", "overflow"};
   auto automaton = std::make_shared<const match::AhoCorasick>(
@@ -494,6 +499,42 @@ inline bool run_transfer_micro_suite(const std::string& out_path) {
     return false;
   }
   std::printf("micro-bench JSON written to %s\n", out_path.c_str());
+  return true;
+}
+
+/// Paired A/B of the Distributor's CRC32C integrity gate on the zero-copy
+/// path: alternate crc_check on/off within one process and compare the
+/// median ns/pkt of the two arms.  Run by `bench_micro --crc-ab`.  The
+/// interleaving makes each arm see the same thermal/load conditions, so the
+/// difference of medians isolates the verify cost even on machines whose
+/// run-to-run ns/pkt noise dwarfs it.
+inline bool run_crc_ab_suite(int pairs = 15) {
+  print_title("CRC32C integrity gate: zero-copy ns/pkt, verify on vs off");
+  TransferMicroOptions opt;
+  opt.zero_copy = true;
+  // Back-to-back on/off runs form one pair; the per-pair delta cancels the
+  // slow drift (thermal, background load) that dominates raw ns/pkt, so
+  // the median *delta* is the robust statistic -- not the difference of
+  // the two arms' medians, which drift re-inflates.
+  std::vector<double> deltas, off_ns;
+  for (int i = 0; i < pairs; ++i) {
+    opt.crc_check = true;
+    const double on = run_transfer_micro(opt).ns_per_pkt;
+    opt.crc_check = false;
+    const double off = run_transfer_micro(opt).ns_per_pkt;
+    deltas.push_back(on - off);
+    off_ns.push_back(off);
+  }
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double delta = median(deltas);
+  const double off = median(off_ns);
+  std::printf("baseline (crc off): %7.2f ns/pkt\n", off);
+  std::printf("verify overhead:    %+7.2f ns/pkt (%+.1f%%), median delta of "
+              "%d paired runs\n",
+              delta, off > 0 ? 100.0 * delta / off : 0.0, pairs);
   return true;
 }
 

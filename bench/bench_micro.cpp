@@ -7,7 +7,8 @@
 // With `--micro-out=<path>` the binary instead runs the transfer-layer
 // micro-bench (zero-copy vs legacy batch path, see bench_common.hpp) and
 // writes a machine-readable JSON -- the artifact behind BENCH_micro.json
-// and the CI perf smoke.
+// and the CI perf smoke.  `--crc-ab` runs the interleaved on/off pairing
+// that isolates the Distributor CRC gate's cost on the zero-copy path.
 
 #include <benchmark/benchmark.h>
 
@@ -152,6 +153,11 @@ int main(int argc, char** argv) {
   const std::string micro_out = dhl::bench::micro_out_arg(argc, argv);
   if (!micro_out.empty()) {
     return dhl::bench::run_transfer_micro_suite(micro_out) ? 0 : 1;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--crc-ab") == 0) {
+      return dhl::bench::run_crc_ab_suite() ? 0 : 1;
+    }
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

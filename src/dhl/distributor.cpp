@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "dhl/common/check.hpp"
+#include "dhl/common/log.hpp"
 
 namespace dhl::runtime {
 
@@ -35,7 +36,54 @@ Distributor::Distributor(sim::Simulator& simulator,
   }
 }
 
+bool Distributor::batch_intact(const fpga::DmaBatch& batch) const {
+  if (batch.wire_corrupt) return false;
+  if (config_.crc_check && !batch.verify_crc()) return false;
+  // Structural pre-pass: the hot loop in poll() must never see a batch it
+  // cannot walk end-to-end, or records and parked mbufs desynchronize.
+  const auto& pkts = batch.pkts();
+  fpga::RecordCursor cursor{batch};
+  fpga::RecordView v;
+  std::size_t records = 0;
+  try {
+    while (cursor.next(v)) {
+      if (records >= pkts.size()) return false;
+      // replace_data() hard-aborts on overflow; a corrupt length must be
+      // caught here, where it is a counted drop instead of a crash.
+      if (v.header.data_len > pkts[records]->capacity()) return false;
+      ++records;
+    }
+  } catch (const std::runtime_error&) {
+    return false;  // truncated header or data overrunning the buffer
+  }
+  return records == pkts.size();
+}
+
+void Distributor::drop_corrupt_batch(fpga::DmaBatchPtr batch) {
+  if (HwFunctionEntry* e = table_.entry_for(batch->acc_id())) {
+    e->outstanding_bytes -= std::min<std::uint64_t>(e->outstanding_bytes,
+                                                    batch->submitted_bytes);
+    table_.note_replica_failure(e);
+  }
+  auto& pkts = batch->pkts();
+  for (Mbuf* m : pkts) {
+    --metrics_.in_flight;
+    m->release();
+  }
+  metrics_.crc_drop_batches->add(1);
+  metrics_.crc_drop_pkts->add(pkts.size());
+  DHL_WARN("dhl", "dropping corrupt batch " << batch->batch_id << " ("
+                                            << pkts.size() << " pkts)");
+  pools_.recycle(std::move(batch));
+}
+
 void Distributor::enqueue_completion(int socket, fpga::DmaBatchPtr batch) {
+  // Integrity gate at the DMA boundary (untimed: this hook runs inside the
+  // delivery event, not the RX core's timed poll loop).
+  if (!batch_intact(*batch)) {
+    drop_corrupt_batch(std::move(batch));
+    return;
+  }
   SocketState& state = sockets_[static_cast<std::size_t>(socket)];
   if (state.overflow_head < state.overflow.size() ||
       state.ring_count() == state.ring.size()) {
@@ -97,6 +145,9 @@ sim::PollResult Distributor::poll(int socket) {
     if (HwFunctionEntry* e = table_.entry_for(batch->acc_id())) {
       e->outstanding_bytes -= std::min<std::uint64_t>(
           e->outstanding_bytes, batch->submitted_bytes);
+      // The batch survived the integrity gate: the replica round-tripped it
+      // intact, which resets its failure streak (and ends a probation).
+      table_.note_replica_success(e);
     }
 
     // Zero-alloc decapsulation: walk the wire records with a cursor

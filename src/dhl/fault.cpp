@@ -1,0 +1,111 @@
+#include "dhl/runtime/fault.hpp"
+
+#include "dhl/common/check.hpp"
+#include "dhl/common/log.hpp"
+
+namespace dhl::runtime {
+
+FaultInjector::FaultInjector(sim::Simulator& simulator,
+                             telemetry::Telemetry& telemetry,
+                             std::uint64_t seed)
+    : sim_{simulator}, telemetry_{telemetry}, rng_{seed} {}
+
+void FaultInjector::add_rule(FaultRule rule) {
+  DHL_CHECK_MSG(rule.probability >= 0.0 && rule.probability <= 1.0,
+                "FaultRule probability must be in [0, 1]");
+  rules_.push_back(rule);
+  fired_.push_back(0);
+}
+
+void FaultInjector::clear_rules() {
+  rules_.clear();
+  fired_.clear();
+}
+
+std::optional<fpga::FaultOutcome> FaultInjector::sample(fpga::FaultSite site,
+                                                        int fpga_id) {
+  const Picos now = sim_.now();
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.site != site) continue;
+    if (rule.fpga_id >= 0 && rule.fpga_id != fpga_id) continue;
+    if (now < rule.active_from || now >= rule.active_until) continue;
+    if (fired_[i] >= rule.max_count) continue;
+    // The roll consumes RNG state even on a miss, so the schedule depends
+    // only on the sequence of sampling opportunities -- deterministic for a
+    // fixed seed and workload.
+    if (rule.probability < 1.0 && rng_.uniform() >= rule.probability) {
+      continue;
+    }
+    ++fired_[i];
+    ++injected_total_;
+    ++injected_by_site_[static_cast<std::size_t>(site)];
+
+    const auto key = std::make_pair(static_cast<int>(site),
+                                    static_cast<int>(rule.kind));
+    auto it = counters_.find(key);
+    if (it == counters_.end()) {
+      it = counters_
+               .emplace(key, telemetry_.metrics.counter(
+                                 "dhl.fault.injected",
+                                 {{"site", fpga::to_string(site)},
+                                  {"kind", fpga::to_string(rule.kind)}}))
+               .first;
+    }
+    it->second->add(1);
+    if (telemetry_.trace.enabled()) {
+      telemetry_.trace.instant("fault", "fault.injected", "fault", now,
+                               {{"site", fpga::to_string(site)},
+                                {"kind", fpga::to_string(rule.kind)},
+                                {"fpga", std::to_string(fpga_id)}});
+    }
+    DHL_INFO("fault", fpga::to_string(rule.kind) << " at "
+                                                 << fpga::to_string(site)
+                                                 << " on fpga " << fpga_id);
+    return fpga::FaultOutcome{rule.kind, rule.delay};
+  }
+  return std::nullopt;
+}
+
+std::uint64_t FaultInjector::injected(fpga::FaultSite site) const {
+  return injected_by_site_[static_cast<std::size_t>(site)];
+}
+
+FallbackRouter::FallbackRouter(std::vector<NfInfo>& nfs,
+                               RuntimeMetrics& metrics)
+    : nfs_{nfs}, metrics_{metrics} {}
+
+void FallbackRouter::register_fallback(netio::NfId nf_id,
+                                       const std::string& hf_name,
+                                       FallbackFn fn) {
+  DHL_CHECK_MSG(fn != nullptr, "register_fallback: null callback");
+  fns_[{nf_id, hf_name}] = std::move(fn);
+}
+
+bool FallbackRouter::has(netio::NfId nf_id, const std::string& hf_name) const {
+  return fns_.count({nf_id, hf_name}) != 0;
+}
+
+bool FallbackRouter::process(netio::NfId nf_id, const std::string& hf_name,
+                             netio::Mbuf* m) {
+  const auto it = fns_.find({nf_id, hf_name});
+  if (it == fns_.end()) return false;
+  it->second(*m);
+  metrics_.fallback_pkts->add(1);
+  if (nf_id >= nfs_.size()) {
+    metrics_.obq_drops->add(1);
+    m->release();
+    return true;
+  }
+  NfInfo& nf = nfs_[nf_id];
+  if (!nf.obq->enqueue(m)) {
+    metrics_.obq_drops->add(1);
+    nf.obq_drops->add(1);
+    m->release();
+  } else {
+    nf.obq_depth->set(static_cast<double>(nf.obq->count()));
+  }
+  return true;
+}
+
+}  // namespace dhl::runtime

@@ -9,6 +9,20 @@ namespace dhl::runtime {
 
 using netio::AccId;
 
+const char* to_string(ReplicaHealth health) {
+  switch (health) {
+    case ReplicaHealth::kHealthy:
+      return "healthy";
+    case ReplicaHealth::kDegraded:
+      return "degraded";
+    case ReplicaHealth::kQuarantined:
+      return "quarantined";
+    case ReplicaHealth::kProbation:
+      return "probation";
+  }
+  return "unknown";
+}
+
 HwFunctionTable::HwFunctionTable(sim::Simulator& simulator,
                                  fpga::BitstreamDatabase database,
                                  std::vector<fpga::FpgaDevice*> fpgas,
@@ -40,7 +54,8 @@ AccHandle HwFunctionTable::start_load(const fpga::PartialBitstream& bitstream,
   // Look the entry up by acc_id when ICAP finishes: unload_function() may
   // have erased entries meanwhile, so the dense slot is the ground truth.
   const auto region = dev.load_module(
-      bitstream, [this, acc_id, &dev](int r) {
+      bitstream,
+      [this, acc_id, &dev](int r) {
         HwFunctionEntry* e = by_acc_[acc_id];
         if (e != nullptr && e->fpga_id == dev.fpga_id() && e->region == r) {
           e->ready = true;
@@ -49,6 +64,19 @@ AccHandle HwFunctionTable::start_load(const fpga::PartialBitstream& bitstream,
         }
         // Entry was unloaded mid-PR: free the part right away.
         dev.unload_region(r);
+      },
+      [this, acc_id, &dev](int r) {
+        // ICAP programming failed (injected pr.load fault).  The device has
+        // already reverted the part to empty; roll the table back so the
+        // acc_id never becomes dispatchable and the slot recycles cleanly.
+        HwFunctionEntry* e = by_acc_[acc_id];
+        if (e != nullptr && e->fpga_id == dev.fpga_id() && e->region == r) {
+          DHL_WARN("dhl", "PR load of '" << e->hf_name << "' on fpga "
+                                         << dev.fpga_id() << " region " << r
+                                         << " failed; rolling back acc_id "
+                                         << static_cast<int>(acc_id));
+          erase_entry(e);
+        }
       });
   if (!region.has_value()) return {};
 
@@ -67,6 +95,9 @@ AccHandle HwFunctionTable::start_load(const fpga::PartialBitstream& bitstream,
       telemetry_.metrics.counter("dhl.runtime.replica_batches", labels);
   entry->dispatch_bytes =
       telemetry_.metrics.counter("dhl.runtime.replica_bytes", labels);
+  entry->health_gauge =
+      telemetry_.metrics.gauge("dhl.replica.state", labels);
+  entry->health_gauge->set(static_cast<double>(entry->health));
 
   // A replica loaded after acc_configure() ran inherits the retained blob,
   // so the dispatch policy can treat all replicas as interchangeable.
@@ -239,6 +270,67 @@ void HwFunctionTable::erase_entry(HwFunctionEntry* entry) {
                        return p.get() == entry;
                      }),
       entries_.end());
+}
+
+void HwFunctionTable::set_health(HwFunctionEntry* e, ReplicaHealth h) {
+  if (e->health == h) return;
+  DHL_INFO("dhl", "replica '" << e->hf_name << "' fpga " << e->fpga_id
+                              << " region " << e->region << ": "
+                              << to_string(e->health) << " -> "
+                              << to_string(h));
+  e->health = h;
+  if (e->health_gauge != nullptr) {
+    e->health_gauge->set(static_cast<double>(h));
+  }
+}
+
+void HwFunctionTable::note_replica_success(HwFunctionEntry* e) {
+  DHL_CHECK(e != nullptr);
+  e->consecutive_failures = 0;
+  if (e->health == ReplicaHealth::kDegraded ||
+      e->health == ReplicaHealth::kProbation) {
+    set_health(e, ReplicaHealth::kHealthy);
+  }
+}
+
+void HwFunctionTable::note_replica_failure(HwFunctionEntry* e) {
+  DHL_CHECK(e != nullptr);
+  ++e->consecutive_failures;
+  // A probation batch failing proves the replica has not recovered: it goes
+  // straight back to quarantine rather than re-climbing the failure streak.
+  if (e->health == ReplicaHealth::kProbation ||
+      e->consecutive_failures >= quarantine_failures_) {
+    quarantine_replica(e);
+    return;
+  }
+  set_health(e, ReplicaHealth::kDegraded);
+}
+
+void HwFunctionTable::quarantine_replica(HwFunctionEntry* e) {
+  DHL_CHECK(e != nullptr);
+  e->quarantined_at = sim_.now();
+  set_health(e, ReplicaHealth::kQuarantined);
+}
+
+bool HwFunctionTable::dispatchable(HwFunctionEntry* e) {
+  if (e == nullptr || !e->ready) return false;
+  if (e->health == ReplicaHealth::kQuarantined) {
+    if (sim_.now() - e->quarantined_at < quarantine_period_) return false;
+    // Quarantine served: re-admit tentatively.  No timer event needed --
+    // promotion happens the first time the Packer looks after the period.
+    e->consecutive_failures = 0;
+    set_health(e, ReplicaHealth::kProbation);
+  }
+  return true;
+}
+
+bool HwFunctionTable::any_dispatchable(const std::string& hf_name) {
+  ReplicaSet* set = replica_set(hf_name);
+  if (set == nullptr) return false;
+  for (HwFunctionEntry* e : set->replicas) {
+    if (dispatchable(e)) return true;
+  }
+  return false;
 }
 
 ReplicaSet* HwFunctionTable::replica_set(const std::string& hf_name) {

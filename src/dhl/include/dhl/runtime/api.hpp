@@ -77,4 +77,16 @@ inline std::size_t DHL_receive_packets(netio::MbufRing& obq,
   return runtime::DhlRuntime::receive_packets(obq, pkts, n);
 }
 
+/// Register a software implementation of `hf_name` for this NF, used by
+/// the runtime when every replica of the hardware function is quarantined
+/// (DESIGN.md section 3.3).  The callback receives each tagged packet and
+/// must leave payload bytes and accel_result exactly as the accelerator
+/// path would have; served packets arrive on the NF's private OBQ as usual
+/// and are counted under dhl.fallback.pkts.
+inline void DHL_register_fallback(runtime::DhlRuntime& rt, netio::NfId nf_id,
+                                  const std::string& hf_name,
+                                  runtime::FallbackFn fn) {
+  rt.register_fallback(nf_id, hf_name, std::move(fn));
+}
+
 }  // namespace dhl

@@ -6,6 +6,13 @@
 // FPGAs -- hXDP-style schedulable execution slots), the Packer asks the
 // policy once per flush.  Candidates are always ready replicas of the same
 // hf_name; the policy never sees empty input.
+//
+// Health contract (DESIGN.md section 3.3): the Packer filters the candidate
+// list by the degradation ladder *before* the policy runs -- quarantined
+// replicas are never offered, and degraded ones only when no healthy or
+// probation replica is dispatchable.  Policies therefore stay purely about
+// placement (locality, fairness, load) and need no health logic of their
+// own.
 
 #include <memory>
 #include <span>

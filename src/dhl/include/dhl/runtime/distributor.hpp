@@ -33,7 +33,11 @@ class Distributor {
   Distributor& operator=(const Distributor&) = delete;
 
   /// DMA RX delivery hook: park a returned batch on `socket`'s completion
-  /// queue until that socket's RX core drains it.
+  /// queue until that socket's RX core drains it.  Batches that fail the
+  /// integrity gate (wire_corrupt, CRC mismatch, or structurally invalid
+  /// wire bytes) are dropped here as a unit -- parked mbufs released,
+  /// dhl.batch.crc_drops counted, replica failure noted -- so a corrupted
+  /// transfer can never desynchronize records and mbufs downstream.
   void enqueue_completion(int socket, fpga::DmaBatchPtr batch);
 
   /// One RX poll iteration for `socket` (runs on that socket's RX lcore).
@@ -79,6 +83,15 @@ class Distributor {
   };
 
   std::unique_ptr<DeliveryVec> take_buffer(SocketState& state);
+
+  /// Integrity gate: true when the batch's wire bytes are trustworthy --
+  /// not flagged corrupt in flight, checksum matches (when crc_check is
+  /// on), every record parses, the record count equals the parked-mbuf
+  /// count, and no record claims more payload than its mbuf can hold.
+  bool batch_intact(const fpga::DmaBatch& batch) const;
+  /// Drop a batch that failed the gate: retire its outstanding bytes, note
+  /// the replica failure, release the parked mbufs, count, recycle.
+  void drop_corrupt_batch(fpga::DmaBatchPtr batch);
 
   sim::Simulator& sim_;
   const RuntimeConfig& config_;

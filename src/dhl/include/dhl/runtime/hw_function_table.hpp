@@ -81,6 +81,32 @@ class HwFunctionTable {
   ReplicaSet* replica_set(const std::string& hf_name);
   const ReplicaSet* replica_set(const std::string& hf_name) const;
 
+  // --- replica health (degradation ladder, DESIGN.md section 3.3) -----------
+
+  /// Thresholds from RuntimeParams; the runtime calls this once at startup.
+  void set_health_params(std::uint32_t quarantine_failures,
+                         Picos quarantine_period) {
+    quarantine_failures_ = quarantine_failures;
+    quarantine_period_ = quarantine_period;
+  }
+
+  /// A batch came back intact: reset the failure streak and re-heal.
+  void note_replica_success(HwFunctionEntry* e);
+  /// A retry budget was exhausted or a probation batch failed: degrade, or
+  /// quarantine when the streak crosses the threshold (probation failures
+  /// re-quarantine immediately).
+  void note_replica_failure(HwFunctionEntry* e);
+  /// Hard failure (device fault): straight to quarantine.
+  void quarantine_replica(HwFunctionEntry* e);
+
+  /// May the Packer send to this replica right now?  Promotes a replica
+  /// whose quarantine period has elapsed to probation as a side effect
+  /// (lazy: checked at dispatch time, no timer events needed).
+  bool dispatchable(HwFunctionEntry* e);
+  /// Any replica of `hf_name` dispatchable?  False means the function is
+  /// fully quarantined and only the software fallback can serve it.
+  bool any_dispatchable(const std::string& hf_name);
+
   fpga::FpgaDevice* device(int fpga_id) const;
   const std::vector<fpga::FpgaDevice*>& devices() const { return fpgas_; }
   const fpga::BitstreamDatabase& database() const { return database_; }
@@ -94,6 +120,8 @@ class HwFunctionTable {
  private:
   AccHandle start_load(const fpga::PartialBitstream& bitstream,
                        fpga::FpgaDevice& dev, int socket_for_entry);
+  /// Move `e` to `h`, keeping the dhl.replica.state gauge in sync.
+  void set_health(HwFunctionEntry* e, ReplicaHealth h);
   /// Next free acc_id slot (slots recycle after unload -- long-running PR
   /// churn must not exhaust the 8-bit space).
   netio::AccId alloc_acc_id() const;
@@ -112,6 +140,9 @@ class HwFunctionTable {
   /// loaded after acc_configure() ran.
   std::map<std::string, std::vector<std::uint8_t>> configs_;
   mutable netio::AccId next_acc_id_ = 0;
+  // Degradation-ladder thresholds (defaults match sim::RuntimeParams).
+  std::uint32_t quarantine_failures_ = 3;
+  Picos quarantine_period_ = microseconds(500);
 };
 
 }  // namespace dhl::runtime

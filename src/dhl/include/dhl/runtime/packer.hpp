@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "dhl/fpga/batch.hpp"
+#include "dhl/fpga/fault_hook.hpp"
 #include "dhl/runtime/batch_pool.hpp"
 #include "dhl/runtime/dispatch_policy.hpp"
+#include "dhl/runtime/fault.hpp"
 #include "dhl/runtime/hw_function_table.hpp"
 #include "dhl/runtime/runtime_metrics.hpp"
 #include "dhl/runtime/types.hpp"
@@ -37,6 +39,13 @@ class Packer {
   /// must outlive the Packer's poll loops.
   void set_dispatch_policy(DispatchPolicy* policy) { policy_ = policy; }
   DispatchPolicy* dispatch_policy() const { return policy_; }
+
+  /// Fault hook sampled at the fpga.device site when a flush picks a
+  /// replica (null = perfect devices).  Owned by the facade.
+  void set_fault_hook(fpga::FaultHook* hook) { fault_ = hook; }
+  /// Software-fallback registry consulted when no replica of a hardware
+  /// function is dispatchable.  Owned by the facade.
+  void set_fallback_router(FallbackRouter* router) { fallback_ = router; }
 
   /// The shared per-NUMA-node input buffer queue (paper IV-A4).
   netio::MbufRing& ibq(int socket) {
@@ -80,12 +89,24 @@ class Packer {
   std::uint32_t batch_cap(const SocketState& state) const;
   double flush_batch(int socket, netio::AccId acc_id, OpenBatch&& open,
                      PendingSubmits& pending, FlushReason reason);
-  /// Replica receiving this flush: the policy's pick among the ready
-  /// replicas of the tagged entry's hardware function.
+  /// Replica receiving this flush: the policy's pick among the
+  /// *dispatchable* replicas of the tagged entry's hardware function
+  /// (healthy/probation first, degraded as a last resort, quarantined
+  /// never).  Null when the whole function is quarantined.
   HwFunctionEntry* choose_replica(HwFunctionEntry* primary, int socket);
   /// Drop a flushed batch whose hardware function vanished mid-open
   /// (unload raced the timeout flush): release the parked mbufs.
   void drop_batch(fpga::DmaBatchPtr batch);
+  /// Ring the doorbell, retrying with bounded exponential backoff on the
+  /// virtual clock when the submit times out (dma.submit faults).  After
+  /// the retry budget: note the replica failure, try one redirect to
+  /// another dispatchable replica, else fall back / drop per packet.
+  void submit_with_retry(fpga::FpgaDevice* dev, fpga::DmaBatchPtr batch,
+                         std::uint32_t attempt);
+  /// Bottom of the ladder for a batch with no dispatchable replica: each
+  /// parked packet goes through the registered software fallback, or is
+  /// dropped (dhl.runtime.submit_drop_pkts) when none is registered.
+  void fallback_or_drop(fpga::DmaBatchPtr batch, const std::string& hf_name);
   /// New open batch for `acc_id`: pooled on the zero-copy path, heap
   /// allocated on the legacy path.
   fpga::DmaBatchPtr acquire_batch(int socket, netio::AccId acc_id);
@@ -97,6 +118,8 @@ class Packer {
   HwFunctionTable& table_;
   BatchPoolSet& pools_;
   DispatchPolicy* policy_ = nullptr;
+  fpga::FaultHook* fault_ = nullptr;
+  FallbackRouter* fallback_ = nullptr;
   std::vector<SocketState> sockets_;
   /// Flush-time candidate list, reused across flushes (no hot-path alloc).
   std::vector<HwFunctionEntry*> candidates_;

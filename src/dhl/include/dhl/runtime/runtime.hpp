@@ -40,6 +40,7 @@
 #include "dhl/runtime/batch_pool.hpp"
 #include "dhl/runtime/dispatch_policy.hpp"
 #include "dhl/runtime/distributor.hpp"
+#include "dhl/runtime/fault.hpp"
 #include "dhl/runtime/hw_function_table.hpp"
 #include "dhl/runtime/packer.hpp"
 #include "dhl/runtime/runtime_metrics.hpp"
@@ -156,6 +157,22 @@ class DhlRuntime {
   DispatchPolicy& dispatch_policy() { return *policy_; }
   void set_dispatch_policy(std::unique_ptr<DispatchPolicy> policy);
 
+  // --- failure model (DESIGN.md section 3.3) ---------------------------------
+
+  /// Wire `injector` into every device's DMA engine / ICAP path and the
+  /// Packer's dispatch site.  Null restores perfect hardware.  The injector
+  /// is owned by the caller and must outlive the runtime (tests construct
+  /// it next to the simulator).
+  void set_fault_injector(FaultInjector* injector);
+
+  /// DHL_register_fallback(): software implementation of `hf_name` for
+  /// `nf_id`, used when every replica of the function is quarantined.  The
+  /// callback must leave payload and accel_result exactly as the
+  /// accelerator would have.
+  void register_fallback(netio::NfId nf_id, const std::string& hf_name,
+                         FallbackFn fn);
+  FallbackRouter& fallback_router() { return fallback_; }
+
   /// Per-socket DmaBatch recycling pools (zero-copy path introspection).
   BatchPoolSet& batch_pools() { return pools_; }
   /// Transfer-layer components, exposed for benches/tests that drive the
@@ -176,6 +193,9 @@ class DhlRuntime {
   HwFunctionTable table_;
   std::unique_ptr<DispatchPolicy> policy_;
   std::vector<NfInfo> nfs_;
+  /// Declared after nfs_/metrics_ (it borrows both), before the Packer
+  /// that consults it.
+  FallbackRouter fallback_;
   /// Declared before the Packer/Distributor that borrow it, destroyed
   /// after them: in-flight batches recycled at teardown find a live pool.
   BatchPoolSet pools_;

@@ -59,6 +59,18 @@ struct RuntimeMetrics {
   /// Completions that missed the fixed ring and took the overflow
   /// slow path (never dropped, just slower).
   telemetry::Counter* completion_overflow = nullptr;
+  // Failure model (DESIGN.md section 3.3).
+  /// DMA TX submits retried after an injected/observed submit failure.
+  telemetry::Counter* dma_retries = nullptr;  // dhl.dma.retries
+  /// Packets dropped after the submit retry budget, redirect attempt and
+  /// software fallback were all exhausted.
+  telemetry::Counter* submit_drop_pkts = nullptr;
+  /// Whole batches dropped by the Distributor's integrity gate (CRC
+  /// mismatch or unparseable wire bytes), and the packets inside them.
+  telemetry::Counter* crc_drop_batches = nullptr;  // dhl.batch.crc_drops
+  telemetry::Counter* crc_drop_pkts = nullptr;     // dhl.batch.crc_drop_pkts
+  /// Packets served by a registered software fallback (dhl.fallback.pkts).
+  telemetry::Counter* fallback_pkts = nullptr;
 
   /// Packets currently parked inside batches / the FPGA / completion
   /// queues.  ++ by the Packer on append, -- by the Distributor on return.

@@ -38,6 +38,24 @@ struct AccHandle {
   bool valid() const { return acc_id != netio::kInvalidAccId; }
 };
 
+/// Degradation ladder of one replica (DESIGN.md section 3.3).  The Packer
+/// prefers healthy/probation replicas, uses degraded ones only when
+/// nothing better is dispatchable, and never sends to a quarantined one.
+enum class ReplicaHealth : std::uint8_t {
+  kHealthy = 0,
+  /// Recent failures, below the quarantine threshold: dispatchable, but
+  /// only as a last resort.  One success re-heals.
+  kDegraded = 1,
+  /// Too many consecutive failures: no traffic until the quarantine
+  /// period elapses on the virtual clock.
+  kQuarantined = 2,
+  /// Quarantine served; re-admitted tentatively.  Success re-heals,
+  /// failure re-quarantines immediately.
+  kProbation = 3,
+};
+
+const char* to_string(ReplicaHealth health);
+
 /// One row of the hardware function table (paper Figure 2).  With
 /// replication, each row is one *replica*: one PR region on one FPGA.
 /// Replicas of the same hardware function keep distinct acc_ids; the
@@ -58,6 +76,14 @@ struct HwFunctionEntry {
   // {hf, fpga, region} labels.
   telemetry::Counter* dispatch_batches = nullptr;
   telemetry::Counter* dispatch_bytes = nullptr;
+  /// Degradation-ladder state, owned by HwFunctionTable (note_replica_*).
+  ReplicaHealth health = ReplicaHealth::kHealthy;
+  std::uint32_t consecutive_failures = 0;
+  /// Virtual time the replica entered quarantine (valid in kQuarantined).
+  Picos quarantined_at = 0;
+  /// dhl.replica.state with {hf, fpga, region}: current ladder rung as a
+  /// gauge (0 healthy, 1 degraded, 2 quarantined, 3 probation).
+  telemetry::Gauge* health_gauge = nullptr;
 };
 
 /// Replica-selection policies (see dispatch_policy.hpp).
@@ -104,6 +130,12 @@ struct RuntimeConfig {
   /// How the Packer picks a replica when a hardware function is loaded on
   /// several PR regions / FPGAs.
   DispatchPolicyKind dispatch_policy = DispatchPolicyKind::kNumaLocal;
+  /// Verify the per-transfer CRC32C the DMA engine stamps over each
+  /// batch's wire bytes before the Distributor decapsulates it.  A failed
+  /// check drops the whole batch (counted: dhl.batch.crc_drops) instead of
+  /// desynchronizing records and mbufs.  Off = trust the wire, keep only
+  /// the structural parse checks (the pre-PR-4 behaviour).
+  bool crc_check = true;
   /// When true, a replica whose outstanding bytes exceed the threshold at
   /// flush time triggers loading one more replica of its hardware function
   /// (up to max_auto_replicas), so a hot function spreads across regions.

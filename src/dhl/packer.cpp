@@ -1,5 +1,7 @@
 #include "dhl/runtime/packer.hpp"
 
+#include <algorithm>
+
 #include "dhl/common/check.hpp"
 #include "dhl/common/log.hpp"
 #include "dhl/fpga/device.hpp"
@@ -48,21 +50,38 @@ std::uint32_t Packer::batch_cap(const SocketState& state) const {
 
 HwFunctionEntry* Packer::choose_replica(HwFunctionEntry* primary, int socket) {
   ReplicaSet* set = table_.replica_set(primary->hf_name);
-  if (set == nullptr || set->replicas.size() <= 1 || policy_ == nullptr) {
-    return primary;
+  if (set == nullptr) {
+    return table_.dispatchable(primary) ? primary : nullptr;
   }
+  // Health-filtered candidate list: healthy and probation replicas first;
+  // degraded ones only when nothing better is dispatchable; quarantined
+  // replicas never (dispatchable() also promotes a replica whose
+  // quarantine period has elapsed to probation).
   candidates_.clear();
+  bool any_degraded = false;
   for (HwFunctionEntry* e : set->replicas) {
-    if (e->ready) candidates_.push_back(e);
+    if (!table_.dispatchable(e)) continue;
+    if (e->health == ReplicaHealth::kDegraded) {
+      any_degraded = true;
+      continue;
+    }
+    candidates_.push_back(e);
   }
-  if (candidates_.empty()) return primary;
-  if (candidates_.size() == 1) return candidates_.front();
+  if (candidates_.empty() && any_degraded) {
+    for (HwFunctionEntry* e : set->replicas) {
+      if (table_.dispatchable(e)) candidates_.push_back(e);
+    }
+  }
+  if (candidates_.empty()) return nullptr;
+  if (candidates_.size() == 1 || policy_ == nullptr) {
+    return candidates_.front();
+  }
   DispatchContext ctx;
   ctx.socket = socket;
   ctx.hf_name = &set->hf_name;
   ctx.cursor = &set->cursor;
   HwFunctionEntry* picked = policy_->pick(candidates_, ctx);
-  return picked != nullptr ? picked : primary;
+  return picked != nullptr ? picked : candidates_.front();
 }
 
 void Packer::drop_batch(fpga::DmaBatchPtr batch) {
@@ -72,6 +91,62 @@ void Packer::drop_batch(fpga::DmaBatchPtr batch) {
     m->release();
   }
   pools_.recycle(std::move(batch));
+}
+
+void Packer::fallback_or_drop(fpga::DmaBatchPtr batch,
+                              const std::string& hf_name) {
+  for (Mbuf* m : batch->pkts()) {
+    --metrics_.in_flight;
+    if (fallback_ != nullptr && fallback_->process(m->nf_id(), hf_name, m)) {
+      continue;  // served in software, delivered to the NF's OBQ
+    }
+    metrics_.submit_drop_pkts->add(1);
+    m->release();
+  }
+  pools_.recycle(std::move(batch));
+}
+
+void Packer::submit_with_retry(fpga::FpgaDevice* dev, fpga::DmaBatchPtr batch,
+                               std::uint32_t attempt) {
+  if (dev->dma().try_submit_tx(batch)) return;
+  const auto& rt = config_.timing.runtime;
+  if (attempt < rt.dma_submit_max_retries) {
+    // Lost doorbell: retry after a bounded exponential backoff, all on the
+    // virtual clock (attempt n waits backoff << n).
+    metrics_.dma_retries->add(1);
+    auto shared = std::make_shared<fpga::DmaBatchPtr>(std::move(batch));
+    sim_.schedule_after(rt.dma_retry_backoff << attempt,
+                        [this, dev, shared, attempt] {
+                          submit_with_retry(dev, std::move(*shared),
+                                            attempt + 1);
+                        });
+    return;
+  }
+  // Retry budget exhausted: this replica is misbehaving.
+  HwFunctionEntry* failed = table_.entry_for(batch->acc_id());
+  if (failed == nullptr) {
+    // Unloaded while we were backing off: nothing to blame, just release.
+    drop_batch(std::move(batch));
+    return;
+  }
+  table_.note_replica_failure(failed);
+  failed->outstanding_bytes -= std::min<std::uint64_t>(
+      failed->outstanding_bytes, batch->submitted_bytes);
+  // One redirect attempt: another dispatchable replica gets the batch (and
+  // its outstanding-bytes accounting) with a fresh retry budget.  Sending
+  // the same batch back to the replica that just exhausted its budget is
+  // pointless -- later flushes will still probe it while it is degraded.
+  HwFunctionEntry* alt = choose_replica(failed, dev->socket());
+  if (alt != nullptr && alt != failed) {
+    DHL_WARN("dhl", "redirecting batch " << batch->batch_id << " to fpga "
+                                         << alt->fpga_id << " region "
+                                         << alt->region);
+    batch->retag_acc(alt->acc_id);
+    alt->outstanding_bytes += batch->submitted_bytes;
+    submit_with_retry(alt->device, std::move(batch), 0);
+    return;
+  }
+  fallback_or_drop(std::move(batch), failed->hf_name);
 }
 
 fpga::DmaBatchPtr Packer::acquire_batch(int socket, AccId acc_id) {
@@ -99,6 +174,19 @@ double Packer::flush_batch(int socket, AccId acc_id, OpenBatch&& open,
     return rt.packer_per_batch_cycles;
   }
   HwFunctionEntry* target = choose_replica(primary, socket);
+  // fpga.device faults: the chosen replica's board goes unhealthy at the
+  // moment of dispatch.  Quarantine it and re-pick; the loop is bounded
+  // because every fired sample removes one replica from the candidates.
+  while (fault_ != nullptr && target != nullptr &&
+         fault_->sample(fpga::FaultSite::kDevice, target->fpga_id)) {
+    table_.quarantine_replica(target);
+    target = choose_replica(primary, socket);
+  }
+  if (target == nullptr) {
+    // Whole function quarantined: bottom of the degradation ladder.
+    fallback_or_drop(std::move(batch), primary->hf_name);
+    return rt.packer_per_batch_cycles;
+  }
   fpga::FpgaDevice* dev = target->device;
   DHL_CHECK(dev != nullptr);
   if (target->acc_id != acc_id) {
@@ -197,6 +285,20 @@ sim::PollResult Packer::poll(int socket) {
       m->release();
       continue;
     }
+    // Health fast path: one enum compare per packet.  Anything but a
+    // healthy primary takes the slow path, which may route the packet
+    // through the software fallback when the whole function is down.
+    if (e->health != ReplicaHealth::kHealthy &&
+        !table_.any_dispatchable(e->hf_name)) {
+      cycles += rt.packer_per_pkt_cycles;
+      if (fallback_ != nullptr &&
+          fallback_->process(m->nf_id(), e->hf_name, m)) {
+        continue;  // served in software; never entered a batch
+      }
+      metrics_.submit_drop_pkts->add(1);
+      m->release();
+      continue;
+    }
     OpenBatch& open = state.open[acc_id];
     if (open.batch == nullptr) {
       open.batch = acquire_batch(socket, acc_id);
@@ -256,9 +358,9 @@ sim::PollResult Packer::poll(int socket) {
   // measured packet latency.
   if (!pending.empty()) {
     auto shared = std::make_shared<PendingSubmits>(std::move(pending));
-    sim_.schedule_after(cpu.core_clock.cycles(cycles), [shared] {
+    sim_.schedule_after(cpu.core_clock.cycles(cycles), [this, shared] {
       for (auto& [dev, batch] : *shared) {
-        dev->dma().submit_tx(std::move(batch));
+        submit_with_retry(dev, std::move(batch), 0);
       }
     });
   }

@@ -17,6 +17,7 @@ DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
       metrics_{*telemetry_},
       table_{simulator, std::move(database), std::move(fpgas), *telemetry_},
       policy_{make_dispatch_policy(config_.dispatch_policy)},
+      fallback_{nfs_, metrics_},
       pools_{config_.num_sockets, config_.batch_pool_capacity,
              config_.timing.runtime.max_batch_bytes + fpga::kRecordHeaderBytes,
              *telemetry_},
@@ -25,6 +26,9 @@ DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
                    metrics_,  table_,  nfs_,        pools_} {
   DHL_CHECK(config_.num_sockets > 0);
   packer_.set_dispatch_policy(policy_.get());
+  packer_.set_fallback_router(&fallback_);
+  table_.set_health_params(config_.timing.runtime.replica_quarantine_failures,
+                           config_.timing.runtime.replica_quarantine_period);
   metrics_.nf_name = [this](NfId nf_id) {
     return nf_id < nfs_.size() ? nfs_[nf_id].name
                                : "nf" + std::to_string(nf_id);
@@ -141,6 +145,20 @@ std::vector<sim::Lcore*> DhlRuntime::transfer_cores() {
     if (pair.rx) out.push_back(pair.rx.get());
   }
   return out;
+}
+
+void DhlRuntime::set_fault_injector(FaultInjector* injector) {
+  for (fpga::FpgaDevice* dev : table_.devices()) {
+    dev->set_fault_hook(injector);
+  }
+  packer_.set_fault_hook(injector);
+}
+
+void DhlRuntime::register_fallback(netio::NfId nf_id,
+                                   const std::string& hf_name,
+                                   FallbackFn fn) {
+  DHL_CHECK_MSG(nf_id < nfs_.size(), "register_fallback: unregistered nf_id");
+  fallback_.register_fallback(nf_id, hf_name, std::move(fn));
 }
 
 void DhlRuntime::set_dispatch_policy(std::unique_ptr<DispatchPolicy> policy) {

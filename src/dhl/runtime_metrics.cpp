@@ -18,6 +18,11 @@ RuntimeMetrics::RuntimeMetrics(telemetry::Telemetry& telemetry)
   copy_bytes = registry.counter("dhl.copy_bytes");
   zero_copy_bytes = registry.counter("dhl.zero_copy_bytes");
   completion_overflow = registry.counter("dhl.runtime.completion_overflow");
+  dma_retries = registry.counter("dhl.dma.retries");
+  submit_drop_pkts = registry.counter("dhl.runtime.submit_drop_pkts");
+  crc_drop_batches = registry.counter("dhl.batch.crc_drops");
+  crc_drop_pkts = registry.counter("dhl.batch.crc_drop_pkts");
+  fallback_pkts = registry.counter("dhl.fallback.pkts");
 }
 
 RuntimeMetrics::NfAccCounters& RuntimeMetrics::nf_acc(netio::NfId nf_id,

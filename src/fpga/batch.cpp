@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "dhl/common/crc32.hpp"
 #include "dhl/common/endian.hpp"
 
 namespace dhl::fpga {
@@ -156,6 +157,20 @@ void DmaBatch::reset(netio::AccId acc_id) {
   remote_numa = false;
   batch_id = 0;
   submitted_bytes = 0;
+  wire_corrupt = false;
+  wire_crc_ = 0;
+  has_crc_ = false;
+}
+
+void DmaBatch::stamp_crc() {
+  DHL_CHECK_MSG(sg_.empty(), "DmaBatch: stamp_crc before linearize");
+  wire_crc_ = common::crc32c(buffer_);
+  has_crc_ = true;
+}
+
+bool DmaBatch::verify_crc() const {
+  if (!has_crc_) return true;
+  return common::crc32c(buffer_) == wire_crc_;
 }
 
 void DmaBatch::store_header(const RecordView& view) {

@@ -1,6 +1,7 @@
 #include "dhl/fpga/device.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "dhl/common/check.hpp"
 #include "dhl/common/log.hpp"
@@ -32,8 +33,14 @@ FpgaDevice::FpgaDevice(sim::Simulator& simulator, FpgaDeviceConfig config)
                      &telemetry_->trace, "fpga." + config_.name + ".dma");
 }
 
+void FpgaDevice::set_fault_hook(FaultHook* hook) {
+  fault_hook_ = hook;
+  dma_.set_fault_hook(hook, config_.fpga_id);
+}
+
 std::optional<int> FpgaDevice::load_module(const PartialBitstream& bitstream,
-                                           std::function<void(int)> on_ready) {
+                                           std::function<void(int)> on_ready,
+                                           std::function<void(int)> on_failed) {
   // The module must fit one reconfigurable part...
   if (bitstream.resources.luts > config_.region_capacity.luts ||
       bitstream.resources.brams > config_.region_capacity.brams) {
@@ -64,9 +71,21 @@ std::optional<int> FpgaDevice::load_module(const PartialBitstream& bitstream,
   r.module = bitstream.factory();
   DHL_CHECK(r.module != nullptr);
 
+  // Injected ICAP faults: a failed programming still occupies the port and
+  // the part for the full window; a slow one stretches the window.
+  bool pr_fails = false;
+  Picos pr_extra = 0;
+  if (fault_hook_ != nullptr) {
+    if (const auto fault =
+            fault_hook_->sample(FaultSite::kPrLoad, config_.fpga_id)) {
+      if (fault->kind == FaultKind::kPrFail) pr_fails = true;
+      if (fault->kind == FaultKind::kPrSlow) pr_extra = fault->delay;
+    }
+  }
+
   // ICAP is a single port: back-to-back programmings serialize.
   const Picos start = std::max(icap_busy_until_, sim_.now());
-  const Picos done = start + reconfiguration_time(bitstream);
+  const Picos done = start + reconfiguration_time(bitstream) + pr_extra;
   icap_busy_until_ = done;
   pr_loads_->add(1);
   // Request->ready, including time queued behind the single ICAP port.
@@ -75,6 +94,18 @@ std::optional<int> FpgaDevice::load_module(const PartialBitstream& bitstream,
     telemetry_->trace.complete_span(
         "fpga." + config_.name + ".icap", "pr.load", "pr", sim_.now(), done,
         {{"hf", bitstream.hf_name}, {"region", std::to_string(region)}});
+  }
+  if (pr_fails) {
+    sim_.schedule_at(done, [this, region, cb = std::move(on_failed)] {
+      ++pr_failures_;
+      DHL_WARN("fpga", config_.name << " region " << region
+                                    << " PR programming failed: "
+                                    << regions_[static_cast<std::size_t>(region)].hf_name);
+      // The part holds no usable configuration; free it for the next PR.
+      regions_[static_cast<std::size_t>(region)] = Region{};
+      if (cb) cb(region);
+    });
+    return region;
   }
   sim_.schedule_at(done, [this, region, cb = std::move(on_ready)] {
     regions_[static_cast<std::size_t>(region)].state = RegionState::kReady;
@@ -157,12 +188,34 @@ Picos FpgaDevice::region_busy_time(int region) const {
 
 void FpgaDevice::dispatch_batch(DmaBatchPtr batch) {
   const Picos arrival = sim_.now();
+  // Integrity gate: a transfer that arrived truncated or bit-flipped (the
+  // checksum stamped at the TX submit no longer matches) is never parsed or
+  // dispatched -- it bounces back unprocessed with wire_corrupt set, which
+  // survives the RX DMA's restamp so the Distributor drops it as a unit.
+  bool intact = !batch->wire_corrupt && batch->verify_crc();
+  std::vector<RecordView> views;
+  if (intact) {
+    try {
+      views = batch->parse();
+    } catch (const std::runtime_error&) {
+      // Structurally invalid records behind a stale (or absent) checksum:
+      // same bounce path.
+      intact = false;
+    }
+  }
+  if (!intact) {
+    batch->wire_corrupt = true;
+    ++wire_corrupt_batches_;
+    DHL_WARN("fpga", config_.name << " bouncing corrupt batch "
+                                  << batch->batch_id);
+    dma_.submit_rx(std::move(batch));
+    return;
+  }
   // Fabric residency: counted from dispatch until the return DMA is
   // submitted (the batch may shrink in flight, so remember the entry size).
   const std::uint64_t resident_bytes = batch->size_bytes();
   fabric_outstanding_bytes_ += resident_bytes;
   fabric_batches_ += 1;
-  auto views = batch->parse();
 
   // Dispatcher fabric cost for routing + re-packing this batch.
   const Picos dispatch_cost = config_.timing.fabric_clock.cycles(

@@ -159,6 +159,22 @@ class DmaBatch {
   /// this amount against the replica's outstanding-bytes account (the
   /// buffer itself may shrink in flight, e.g. the compression module).
   std::uint64_t submitted_bytes = 0;
+  /// Set by the device Dispatcher when the TX-side checksum failed: the
+  /// batch bounces back unprocessed, and the flag survives the RX DMA's
+  /// restamp so the Distributor still drops it (a fresh checksum over
+  /// truncated bytes would otherwise mask the corruption).
+  bool wire_corrupt = false;
+
+  /// Checksum the current wire bytes (CRC32C over `buffer()`).  Called by
+  /// the DMA engine after the SG gather at each submit boundary, mirroring
+  /// the per-transfer CRC real PCIe DMA descriptors carry.
+  void stamp_crc();
+  /// True when the wire bytes still match the stamped checksum -- or when
+  /// no checksum was ever stamped (batches built by tests / benches that
+  /// bypass the DMA engine).
+  bool verify_crc() const;
+  bool has_crc() const { return has_crc_; }
+  std::uint32_t wire_crc() const { return wire_crc_; }
 
  private:
   netio::AccId acc_id_;
@@ -168,6 +184,8 @@ class DmaBatch {
   std::vector<SgDescriptor> sg_;
   std::size_t staged_bytes_ = 0;
   int pool_socket_ = -1;
+  std::uint32_t wire_crc_ = 0;
+  bool has_crc_ = false;
 };
 
 using DmaBatchPtr = std::unique_ptr<DmaBatch>;

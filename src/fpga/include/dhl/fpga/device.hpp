@@ -82,8 +82,16 @@ class FpgaDevice {
   /// the region index, or nullopt when no part is free or resources do not
   /// fit.  `on_ready(region)` fires in virtual time when ICAP completes.
   /// Programming one part never perturbs traffic through the others.
+  /// An injected pr.load failure (fault hook) reverts the part to empty
+  /// when the programming window elapses and fires `on_failed(region)`
+  /// instead -- on_ready only ever reports a usable part.
   std::optional<int> load_module(const PartialBitstream& bitstream,
-                                 std::function<void(int)> on_ready);
+                                 std::function<void(int)> on_ready,
+                                 std::function<void(int)> on_failed = nullptr);
+
+  /// Fault-injection seam: wires this device and its DMA engine to the
+  /// hook (null restores the perfect device).
+  void set_fault_hook(FaultHook* hook);
 
   /// Time ICAP will take for `bitstream` (size / ICAP bandwidth).
   Picos reconfiguration_time(const PartialBitstream& bitstream) const {
@@ -114,6 +122,13 @@ class FpgaDevice {
 
   /// Records dropped because their acc_id mapped to no ready region.
   std::uint64_t dispatch_drops() const { return dispatch_drops_; }
+
+  /// Batches that arrived with corrupt wire bytes (checksum mismatch or
+  /// unparseable records): bounced back unprocessed, never dispatched.
+  std::uint64_t wire_corrupt_batches() const { return wire_corrupt_batches_; }
+
+  /// PR programmings that failed (injected ICAP faults).
+  std::uint64_t pr_failures() const { return pr_failures_; }
 
   /// Bytes currently committed to this board: queued/in-flight on either
   /// DMA channel plus batches resident in the fabric (dispatched, not yet
@@ -156,6 +171,9 @@ class FpgaDevice {
   std::vector<int> acc_map_;  // acc_id -> region (-1 = unmapped)
   Picos icap_busy_until_ = 0;
   std::uint64_t dispatch_drops_ = 0;
+  std::uint64_t wire_corrupt_batches_ = 0;
+  std::uint64_t pr_failures_ = 0;
+  FaultHook* fault_hook_ = nullptr;
   /// Batches dispatched into the fabric and not yet handed to the RX DMA.
   std::uint64_t fabric_outstanding_bytes_ = 0;
   std::uint32_t fabric_batches_ = 0;

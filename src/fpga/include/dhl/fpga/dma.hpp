@@ -19,12 +19,14 @@
 // TX (host->FPGA) and RX (FPGA->host) are independent full-duplex channels,
 // each with its own serialization queue.
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <utility>
 
 #include "dhl/common/units.hpp"
 #include "dhl/fpga/batch.hpp"
+#include "dhl/fpga/fault_hook.hpp"
 #include "dhl/sim/simulator.hpp"
 #include "dhl/sim/timing_params.hpp"
 #include "dhl/telemetry/metrics.hpp"
@@ -68,10 +70,37 @@ class DmaEngine {
     track_ = std::move(track);
   }
 
+  /// Fault-injection seam (DESIGN.md section 3.3).  A null hook -- the
+  /// default -- is a perfect engine.  `fpga_id` labels this engine's
+  /// samples so rules can target one board.
+  void set_fault_hook(FaultHook* hook, int fpga_id) {
+    fault_hook_ = hook;
+    fault_fpga_id_ = fpga_id;
+  }
+
   /// Submit a batch for host->FPGA transfer.
   void submit_tx(DmaBatchPtr batch) { submit(std::move(batch), tx_); }
   /// Submit a batch for FPGA->host transfer.
   void submit_rx(DmaBatchPtr batch) { submit(std::move(batch), rx_); }
+
+  /// Fault-aware TX submit: samples the dma.submit site first.  On a
+  /// submit-timeout fault the doorbell is lost -- returns false and leaves
+  /// `batch` with the caller so it can retry with backoff.  A
+  /// partial-transfer fault lets the submit proceed but truncates the wire
+  /// bytes after the checksum stamp (the receiver's CRC check catches it).
+  bool try_submit_tx(DmaBatchPtr& batch) {
+    if (fault_hook_ != nullptr) {
+      if (const auto fault =
+              fault_hook_->sample(FaultSite::kDmaSubmit, fault_fpga_id_)) {
+        if (fault->kind == FaultKind::kSubmitTimeout) return false;
+        if (fault->kind == FaultKind::kPartialTransfer) {
+          truncate_next_tx_ = true;
+        }
+      }
+    }
+    submit_tx(std::move(batch));
+    return true;
+  }
 
   /// One-way delivery latency for a transfer of `bytes` (exposed for tests
   /// and the Fig 4 bench).
@@ -115,12 +144,63 @@ class DmaEngine {
     DeliverFn* deliver = nullptr;  // set in submit()
   };
 
+  /// Apply a fired completion-corruption fault to the wire bytes.  Runs
+  /// after stamp_crc(), so every kind is a checksum mismatch downstream.
+  void corrupt_wire(DmaBatch& batch, FaultKind kind) {
+    auto& buf = batch.buffer();
+    if (buf.size() < kRecordHeaderBytes) return;
+    switch (kind) {
+      case FaultKind::kCorruptHeader: {
+        // Flip one bit somewhere in the first record's header.
+        const std::uint64_t r = fault_hook_->rand();
+        buf[r % kRecordHeaderBytes] ^=
+            static_cast<std::uint8_t>(1u << ((r >> 8) % 8));
+        break;
+      }
+      case FaultKind::kFlipUnmodifiedFlag:
+        // Low byte of the little-endian u16 flags field.
+        buf[2] ^= static_cast<std::uint8_t>(kRecordFlagDataUnmodified);
+        break;
+      case FaultKind::kTruncateTail: {
+        const std::uint64_t cut =
+            1 + fault_hook_->rand() % std::min<std::size_t>(buf.size() - 1,
+                                                            kRecordHeaderBytes);
+        buf.resize(buf.size() - cut);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
   void submit(DmaBatchPtr batch, Channel& ch) {
     const bool is_tx = &ch == &tx_;
     // The submit boundary is where the hardware SG engine gathers the
     // descriptor list into one wire transfer; staged records become bytes
     // here.  No-op for batches built with the copy path.
     batch->linearize();
+    // Stamp the per-transfer checksum over the final wire bytes; whatever
+    // corrupts them downstream (injected or real) fails verification at
+    // the receiving end instead of desynchronizing the record walk.
+    batch->stamp_crc();
+    if (fault_hook_ != nullptr) {
+      if (is_tx && truncate_next_tx_) {
+        truncate_next_tx_ = false;
+        auto& buf = batch->buffer();
+        if (buf.size() > 1) {
+          const std::uint64_t cut =
+              1 + fault_hook_->rand() %
+                      std::min<std::size_t>(buf.size() - 1, kRecordHeaderBytes);
+          buf.resize(buf.size() - cut);
+        }
+      }
+      if (!is_tx) {
+        if (const auto fault = fault_hook_->sample(FaultSite::kDmaCompletion,
+                                                   fault_fpga_id_)) {
+          corrupt_wire(*batch, fault->kind);
+        }
+      }
+    }
     const std::uint64_t bytes = batch->size_bytes();
     const Picos start = ch.busy_until > sim_.now() ? ch.busy_until : sim_.now();
     ch.busy_until = start + occupancy(bytes);
@@ -163,6 +243,11 @@ class DmaEngine {
   telemetry::Histogram* rx_latency_ = nullptr;
   telemetry::TraceSession* trace_ = nullptr;
   std::string track_;
+  FaultHook* fault_hook_ = nullptr;
+  int fault_fpga_id_ = -1;
+  /// One-shot: try_submit_tx sampled a partial-transfer fault; the next
+  /// TX submit truncates its wire bytes after the checksum stamp.
+  bool truncate_next_tx_ = false;
 };
 
 }  // namespace dhl::fpga

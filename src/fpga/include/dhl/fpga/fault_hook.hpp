@@ -1,0 +1,90 @@
+#pragma once
+
+// Fault-injection hook seam for the FPGA layer (DESIGN.md section 3.3).
+//
+// The concrete injector lives in the runtime layer (dhl/runtime/fault.hpp);
+// this abstract interface lets the DmaEngine and FpgaDevice -- which sit
+// below the runtime in the library layering -- ask "does a fault fire here,
+// now?" without a dependency cycle.  A null hook (the default everywhere)
+// means a perfect device, so the data plane pays nothing when fault
+// injection is off.
+
+#include <cstdint>
+#include <optional>
+
+#include "dhl/common/units.hpp"
+
+namespace dhl::fpga {
+
+/// Named fault sites, one per place the stack can be told to misbehave.
+enum class FaultSite : std::uint8_t {
+  kDmaSubmit,      // host->FPGA submit: timeout / partial transfer
+  kDmaCompletion,  // FPGA->host completion: wire-byte corruption
+  kPrLoad,         // ICAP programming: failure / slow load
+  kDevice,         // a replica's device goes unhealthy
+};
+
+/// What goes wrong when a fault fires.  Each kind belongs to one site.
+enum class FaultKind : std::uint8_t {
+  // kDmaSubmit
+  kSubmitTimeout,    // the doorbell is lost; the submit never happens
+  kPartialTransfer,  // the transfer lands truncated (checksum catches it)
+  // kDmaCompletion
+  kCorruptHeader,       // a record-header bit flips in flight
+  kFlipUnmodifiedFlag,  // kRecordFlagDataUnmodified flips in flight
+  kTruncateTail,        // the trailing record arrives truncated
+  // kPrLoad
+  kPrFail,  // ICAP programming fails; the part reverts to empty
+  kPrSlow,  // programming completes late by the rule's delay
+  // kDevice
+  kDeviceUnhealthy,  // the replica must be pulled from dispatch
+};
+
+/// A fired fault: the kind plus any extra virtual-time delay the site
+/// should model (kPrSlow; zero for the others).
+struct FaultOutcome {
+  FaultKind kind = FaultKind::kSubmitTimeout;
+  Picos delay = 0;
+};
+
+/// Deterministic fault oracle.  Sampled in event order on the virtual
+/// clock, so a fixed seed reproduces the exact same fault schedule.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Does a fault fire at `site` on device `fpga_id` right now?  Sampling
+  /// consumes RNG state, so every call must correspond to one real
+  /// injection opportunity.
+  virtual std::optional<FaultOutcome> sample(FaultSite site, int fpga_id) = 0;
+
+  /// Deterministic random word for corruption payloads (which byte/bit a
+  /// fired fault flips).
+  virtual std::uint64_t rand() = 0;
+};
+
+inline const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kDmaSubmit: return "dma.submit";
+    case FaultSite::kDmaCompletion: return "dma.completion";
+    case FaultSite::kPrLoad: return "pr.load";
+    case FaultSite::kDevice: return "fpga.device";
+  }
+  return "unknown";
+}
+
+inline const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSubmitTimeout: return "submit_timeout";
+    case FaultKind::kPartialTransfer: return "partial_transfer";
+    case FaultKind::kCorruptHeader: return "corrupt_header";
+    case FaultKind::kFlipUnmodifiedFlag: return "flip_unmodified";
+    case FaultKind::kTruncateTail: return "truncate_tail";
+    case FaultKind::kPrFail: return "pr_fail";
+    case FaultKind::kPrSlow: return "pr_slow";
+    case FaultKind::kDeviceUnhealthy: return "device_unhealthy";
+  }
+  return "unknown";
+}
+
+}  // namespace dhl::fpga

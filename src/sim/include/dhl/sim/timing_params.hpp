@@ -129,6 +129,21 @@ struct RuntimeParams {
   std::uint32_t min_batch_bytes = 512;
   /// EWMA weight for the arrival-rate estimate (per packer iteration).
   double adaptive_ewma_alpha = 0.05;
+
+  // --- failure model and degradation ladder (DESIGN.md section 3.3) ---
+
+  /// Retries after a failed DMA TX submit before the runtime gives up on
+  /// the replica (retry n waits dma_retry_backoff << n on the virtual
+  /// clock -- bounded exponential backoff).
+  std::uint32_t dma_submit_max_retries = 3;
+  /// Base backoff before the first DMA submit retry.
+  Picos dma_retry_backoff = microseconds(2);
+  /// Consecutive failures that move a replica from degraded to
+  /// quarantined (no traffic at all).
+  std::uint32_t replica_quarantine_failures = 3;
+  /// Time a quarantined replica sits out before it is re-admitted on
+  /// probation (one batch; success re-heals it, failure re-quarantines).
+  Picos replica_quarantine_period = microseconds(500);
 };
 
 struct TimingParams {

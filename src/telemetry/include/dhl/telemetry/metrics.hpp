@@ -100,6 +100,11 @@ struct MetricsSnapshot {
   const MetricSample* find(std::string_view name,
                            const Labels& labels = {}) const;
 
+  /// Sum of `value` over every series of `name` matching `labels` (same
+  /// subset semantics as find()).  Zero when no series matches -- use for
+  /// label-fanned counters like dhl.fault.injected{site, kind}.
+  double sum(std::string_view name, const Labels& labels = {}) const;
+
   /// Prometheus text exposition format ('.' in names becomes '_').
   std::string to_prometheus() const;
   /// JSON object: {"at_ps": ..., "metrics": [{...}, ...]}.

@@ -100,6 +100,23 @@ const MetricSample* MetricsSnapshot::find(std::string_view name,
   return nullptr;
 }
 
+double MetricsSnapshot::sum(std::string_view name, const Labels& labels) const {
+  double total = 0;
+  for (const MetricSample& s : samples) {
+    if (s.name != name) continue;
+    bool match = true;
+    for (const auto& want : labels) {
+      if (std::find(s.labels.begin(), s.labels.end(), want) ==
+          s.labels.end()) {
+        match = false;
+        break;
+      }
+    }
+    if (match) total += s.value;
+  }
+  return total;
+}
+
 std::string MetricsSnapshot::to_prometheus() const {
   std::ostringstream os;
   for (const MetricSample& s : samples) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dhl/common/check.hpp"
+#include "dhl/common/crc32.hpp"
 #include "dhl/common/hexdump.hpp"
 #include "dhl/common/log.hpp"
 #include "dhl/common/rng.hpp"
@@ -133,6 +134,48 @@ TEST(Logger, LevelNames) {
   EXPECT_EQ(log_level_name(LogLevel::kTrace), "TRACE");
   EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
   EXPECT_EQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+using common::crc32c;
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 appendix B.4 test vectors.
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32c(digits), 0xe3069283u);
+  const std::vector<std::uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(crc32c(zeros), 0x8a9136aau);
+  const std::vector<std::uint8_t> ones(32, 0xff);
+  EXPECT_EQ(crc32c(ones), 0x62a8ab43u);
+  EXPECT_EQ(crc32c({}), 0u);
+}
+
+TEST(Crc32c, SeedChainsAcrossPieces) {
+  Xoshiro256 rng{11};
+  // Every split of a buffer must give the same checksum as one pass, at
+  // every length that exercises the 8/4/1-byte strides of both the
+  // hardware and slice-by-8 paths.
+  for (const std::size_t len : {1u, 7u, 8u, 9u, 63u, 256u, 1000u}) {
+    std::vector<std::uint8_t> buf(len);
+    rng.fill(buf.data(), buf.size());
+    const std::uint32_t whole = crc32c(buf);
+    for (const std::size_t cut : {std::size_t{0}, len / 3, len / 2, len}) {
+      const std::uint32_t part = crc32c(
+          std::span{buf}.subspan(cut), crc32c(std::span{buf}.first(cut)));
+      EXPECT_EQ(part, whole) << "len=" << len << " cut=" << cut;
+    }
+  }
+}
+
+TEST(Crc32c, SoftwarePathMatchesDispatchedPath) {
+  // crc32c() may dispatch to the SSE4.2 instruction; the portable
+  // slice-by-8/byte path must produce identical checksums.
+  Xoshiro256 rng{13};
+  for (const std::size_t len : {1u, 5u, 64u, 255u, 4096u}) {
+    std::vector<std::uint8_t> buf(len);
+    rng.fill(buf.data(), buf.size());
+    EXPECT_EQ(~common::detail::crc32c_update_sw(buf, ~0u), crc32c(buf))
+        << "len=" << len;
+  }
 }
 
 TEST(Check, ThrowsLogicErrorWithContext) {
