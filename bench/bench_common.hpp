@@ -465,7 +465,11 @@ inline bool write_transfer_micro_json(const std::string& path,
   // run on one machine, so it is stable across hardware where raw ns/pkt
   // is not.
   f << "  \"ns_per_pkt_ratio\": " << ratio << ",\n"
-    << "  \"reduction_percent\": " << 100.0 * (1.0 - ratio) << "\n"
+    << "  \"reduction_percent\": " << 100.0 * (1.0 - ratio) << ",\n"
+    // CI's Release perf gate asserts this is false: the lifecycle ledger
+    // must be compiled out of the build whose ns/pkt numbers are gated.
+    << "  \"ledger_compiled\": "
+    << (runtime::kLedgerCompiled ? "true" : "false") << "\n"
     << "}\n";
   return f.good();
 }

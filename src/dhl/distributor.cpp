@@ -60,14 +60,21 @@ bool Distributor::batch_intact(const fpga::DmaBatch& batch) const {
 }
 
 void Distributor::drop_corrupt_batch(fpga::DmaBatchPtr batch) {
-  if (HwFunctionEntry* e = table_.entry_for(batch->acc_id())) {
+  // Generation-checked blame: the acc_id slot may have been recycled by an
+  // unload/reload during the round trip, in which case the slot's current
+  // owner neither corrupted this batch nor owes its outstanding bytes.
+  if (HwFunctionEntry* e =
+          table_.entry_for(batch->acc_id(), batch->acc_gen)) {
     e->outstanding_bytes -= std::min<std::uint64_t>(e->outstanding_bytes,
                                                     batch->submitted_bytes);
     table_.note_replica_failure(e);
+  } else if (batch->acc_gen != 0) {
+    metrics_.stale_acc_batches->add(1);
   }
   auto& pkts = batch->pkts();
   for (Mbuf* m : pkts) {
     --metrics_.in_flight;
+    if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kCrc);
     m->release();
   }
   metrics_.crc_drop_batches->add(1);
@@ -78,6 +85,9 @@ void Distributor::drop_corrupt_batch(fpga::DmaBatchPtr batch) {
 }
 
 void Distributor::enqueue_completion(int socket, fpga::DmaBatchPtr batch) {
+  if (ledger_ != nullptr) {
+    ledger_->on_batch_stage(*batch, LedgerStage::kDmaRx);
+  }
   // Integrity gate at the DMA boundary (untimed: this hook runs inside the
   // delivery event, not the RX core's timed poll loop).
   if (!batch_intact(*batch)) {
@@ -139,15 +149,20 @@ sim::PollResult Distributor::poll(int socket) {
     const double batch_start_cycles = cycles;
     cycles += rt.distributor_per_batch_cycles;
 
-    // Retire the batch against its replica's outstanding-bytes account
-    // (acc_id reflects the replica that actually processed it; the entry
-    // may be gone when an unload raced the round trip).
-    if (HwFunctionEntry* e = table_.entry_for(batch->acc_id())) {
+    // Retire the batch against its replica's outstanding-bytes account.
+    // Generation-checked: the entry may be gone when an unload raced the
+    // round trip, and the slot may even belong to a *different* replica
+    // after a reload -- whose account must not be debited (that replica
+    // never carried these bytes) nor its failure streak reset.
+    if (HwFunctionEntry* e =
+            table_.entry_for(batch->acc_id(), batch->acc_gen)) {
       e->outstanding_bytes -= std::min<std::uint64_t>(
           e->outstanding_bytes, batch->submitted_bytes);
       // The batch survived the integrity gate: the replica round-tripped it
       // intact, which resets its failure streak (and ends a probation).
       table_.note_replica_success(e);
+    } else if (batch->acc_gen != 0) {
+      metrics_.stale_acc_batches->add(1);
     }
 
     // Zero-alloc decapsulation: walk the wire records with a cursor
@@ -161,6 +176,7 @@ sim::PollResult Distributor::poll(int socket) {
                     "batch record/mbuf count mismatch");
       Mbuf* m = pkts[records++];
       --metrics_.in_flight;
+      if (ledger_ != nullptr) ledger_->on_stage(m, LedgerStage::kDistributor);
       metrics_.pkts_from_fpga->add(1);
       cycles += rt.distributor_per_pkt_cycles;
       RuntimeMetrics::NfAccCounters& c =
@@ -191,6 +207,7 @@ sim::PollResult Distributor::poll(int socket) {
       const NfId nf = v.header.nf_id;
       if (nf >= nfs_.size()) {
         metrics_.obq_drops->add(1);
+        if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kObq);
         m->release();
         continue;
       }
@@ -209,10 +226,15 @@ sim::PollResult Distributor::poll(int socket) {
           state.rx_track, "batch.distribute", "runtime", d0, d1,
           {{"batch", std::to_string(batch->batch_id)},
            {"records", std::to_string(records)}});
-      // Whole life of the batch: opened by the Packer, DMA'd, processed,
-      // DMA'd back, distributed.
+      // Whole life of the batch: first packet enqueued by the Packer,
+      // DMA'd, processed, DMA'd back, distributed.  The span starts at the
+      // first packet's enqueue, not the (possibly earlier) slot-open time
+      // -- it bounds packet latency, and no packet existed before then.
+      const Picos lifecycle_start = batch->first_pkt_enqueued_at != 0
+                                        ? batch->first_pkt_enqueued_at
+                                        : batch->created_at;
       telemetry_.trace.complete_span(
-          "dhl.batch", "batch.lifecycle", "runtime", batch->created_at, d1,
+          "dhl.batch", "batch.lifecycle", "runtime", lifecycle_start, d1,
           {{"batch", std::to_string(batch->batch_id)},
            {"records", std::to_string(records)}});
     }
@@ -225,22 +247,31 @@ sim::PollResult Distributor::poll(int socket) {
   // Packets land in their private OBQs after the Distributor cycles spent
   // on them (same reasoning as the Packer's deferred doorbell).
   if (deliveries != nullptr && !deliveries->empty()) {
-    auto shared = std::shared_ptr<DeliveryVec>(std::move(deliveries));
+    // The unique_ptr rides a shared_ptr shim so the move-only buffer fits
+    // the std::function event; the *same* heap vector goes back on the
+    // free list afterwards.  (The previous code allocated a brand-new
+    // DeliveryVec per event here, so take_buffer() never actually hit its
+    // pool -- one heap allocation per poll with traffic, forever.)
+    auto shared =
+        std::make_shared<std::unique_ptr<DeliveryVec>>(std::move(deliveries));
     sim_.schedule_after(
         clock.cycles(cycles), [this, socket, shared] {
-          for (const Delivery& d : *shared) {
+          for (const Delivery& d : **shared) {
             NfInfo& info = nfs_[d.nf];
             if (!info.obq->enqueue(d.m)) {
               metrics_.obq_drops->add(1);
               info.obq_drops->add(1);
+              if (ledger_ != nullptr) ledger_->on_drop(d.m, LedgerDrop::kObq);
               d.m->release();
+            } else if (ledger_ != nullptr) {
+              ledger_->on_delivered(d.m);
             }
             info.obq_depth->set(static_cast<double>(info.obq->count()));
           }
           // Recycle the buffer for a later iteration on this socket.
-          shared->clear();
+          (*shared)->clear();
           sockets_[static_cast<std::size_t>(socket)].free_buffers.push_back(
-              std::make_unique<DeliveryVec>(std::move(*shared)));
+              std::move(*shared));
         });
   }
   return {cycles, false};

@@ -92,8 +92,10 @@ bool FallbackRouter::process(netio::NfId nf_id, const std::string& hf_name,
   if (it == fns_.end()) return false;
   it->second(*m);
   metrics_.fallback_pkts->add(1);
+  if (ledger_ != nullptr) ledger_->on_stage(m, LedgerStage::kFallback);
   if (nf_id >= nfs_.size()) {
     metrics_.obq_drops->add(1);
+    if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kObq);
     m->release();
     return true;
   }
@@ -101,9 +103,11 @@ bool FallbackRouter::process(netio::NfId nf_id, const std::string& hf_name,
   if (!nf.obq->enqueue(m)) {
     metrics_.obq_drops->add(1);
     nf.obq_drops->add(1);
+    if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kObq);
     m->release();
   } else {
     nf.obq_depth->set(static_cast<double>(nf.obq->count()));
+    if (ledger_ != nullptr) ledger_->on_delivered(m);
   }
   return true;
 }

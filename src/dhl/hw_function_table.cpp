@@ -84,6 +84,10 @@ AccHandle HwFunctionTable::start_load(const fpga::PartialBitstream& bitstream,
   entry->hf_name = bitstream.hf_name;
   entry->socket_id = socket_for_entry;
   entry->acc_id = acc_id;
+  // Bump the slot generation (first occupant gets gen 1): batches stamped
+  // with an earlier generation -- or hand-built ones carrying gen 0 --
+  // can never blame or credit this entry through entry_for(acc, gen).
+  entry->acc_gen = ++acc_gen_[acc_id];
   entry->fpga_id = dev.fpga_id();
   entry->region = *region;
   entry->ready = false;

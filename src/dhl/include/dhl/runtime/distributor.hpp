@@ -15,6 +15,7 @@
 #include "dhl/fpga/batch.hpp"
 #include "dhl/runtime/batch_pool.hpp"
 #include "dhl/runtime/hw_function_table.hpp"
+#include "dhl/runtime/ledger.hpp"
 #include "dhl/runtime/runtime_metrics.hpp"
 #include "dhl/runtime/types.hpp"
 #include "dhl/sim/lcore.hpp"
@@ -45,6 +46,21 @@ class Distributor {
 
   std::size_t completions_pending(int socket) const {
     return sockets_[static_cast<std::size_t>(socket)].pending();
+  }
+
+  /// Packet-lifecycle ledger (null = not auditing).  Owned by the facade.
+  void set_ledger(LifecycleLedger* ledger) { ledger_ = ledger; }
+
+  /// Test hook: identities of the pooled delivery buffers currently parked
+  /// on `socket`'s free list.  Pins the recycling behaviour -- steady-state
+  /// polling must hand the *same* heap vector back, not allocate per event.
+  std::vector<const void*> delivery_buffer_ids(int socket) const {
+    std::vector<const void*> out;
+    for (const auto& b :
+         sockets_[static_cast<std::size_t>(socket)].free_buffers) {
+      out.push_back(b.get());
+    }
+    return out;
   }
 
  private:
@@ -100,6 +116,7 @@ class Distributor {
   HwFunctionTable& table_;
   std::vector<NfInfo>& nfs_;
   BatchPoolSet& pools_;
+  LifecycleLedger* ledger_ = nullptr;
   std::vector<SocketState> sockets_;
   /// ring.size() - 1; rings are num_sockets copies of the same size.
   std::uint64_t ring_mask_ = 0;

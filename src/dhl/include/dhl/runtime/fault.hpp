@@ -34,6 +34,7 @@
 
 #include "dhl/common/rng.hpp"
 #include "dhl/fpga/fault_hook.hpp"
+#include "dhl/runtime/ledger.hpp"
 #include "dhl/runtime/runtime_metrics.hpp"
 #include "dhl/runtime/types.hpp"
 #include "dhl/sim/simulator.hpp"
@@ -112,9 +113,13 @@ class FallbackRouter {
   /// callback is registered -- the packet stays with the caller.
   bool process(netio::NfId nf_id, const std::string& hf_name, netio::Mbuf* m);
 
+  /// Packet-lifecycle ledger (null = not auditing).  Owned by the facade.
+  void set_ledger(LifecycleLedger* ledger) { ledger_ = ledger; }
+
  private:
   std::vector<NfInfo>& nfs_;
   RuntimeMetrics& metrics_;
+  LifecycleLedger* ledger_ = nullptr;
   std::map<std::pair<netio::NfId, std::string>, FallbackFn> fns_;
 };
 

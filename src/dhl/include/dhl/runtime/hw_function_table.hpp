@@ -72,6 +72,25 @@ class HwFunctionTable {
     return by_acc_[acc_id];
   }
 
+  /// Generation-checked lookup: the replica behind `acc_id` only if it is
+  /// still the generation `gen` (stamped into the DmaBatch at flush time).
+  /// Null when the slot was recycled by an unload/reload while the batch
+  /// was in flight -- the caller must not blame or credit the new owner.
+  HwFunctionEntry* entry_for(netio::AccId acc_id, std::uint32_t gen) {
+    HwFunctionEntry* e = by_acc_[acc_id];
+    return e != nullptr && e->acc_gen == gen ? e : nullptr;
+  }
+  const HwFunctionEntry* entry_for(netio::AccId acc_id,
+                                   std::uint32_t gen) const {
+    const HwFunctionEntry* e = by_acc_[acc_id];
+    return e != nullptr && e->acc_gen == gen ? e : nullptr;
+  }
+
+  /// Current generation of an acc_id slot (0 = never allocated).
+  std::uint32_t acc_generation(netio::AccId acc_id) const {
+    return acc_gen_[acc_id];
+  }
+
   bool acc_ready(netio::AccId acc_id) const {
     const HwFunctionEntry* e = entry_for(acc_id);
     return e != nullptr && e->ready;
@@ -135,6 +154,8 @@ class HwFunctionTable {
   std::vector<std::unique_ptr<HwFunctionEntry>> entries_;
   /// Dense acc_id -> replica index used by the per-packet hot path.
   std::array<HwFunctionEntry*, 256> by_acc_{};
+  /// Per-slot generation counter, bumped on every load into the slot.
+  std::array<std::uint32_t, 256> acc_gen_{};
   std::map<std::string, ReplicaSet> sets_;
   /// Last configuration blob per hardware function, replayed on replicas
   /// loaded after acc_configure() ran.

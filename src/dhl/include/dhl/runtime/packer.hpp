@@ -19,6 +19,7 @@
 #include "dhl/runtime/dispatch_policy.hpp"
 #include "dhl/runtime/fault.hpp"
 #include "dhl/runtime/hw_function_table.hpp"
+#include "dhl/runtime/ledger.hpp"
 #include "dhl/runtime/runtime_metrics.hpp"
 #include "dhl/runtime/types.hpp"
 #include "dhl/sim/lcore.hpp"
@@ -46,6 +47,15 @@ class Packer {
   /// Software-fallback registry consulted when no replica of a hardware
   /// function is dispatchable.  Owned by the facade.
   void set_fallback_router(FallbackRouter* router) { fallback_ = router; }
+  /// Packet-lifecycle ledger (null = not auditing).  Owned by the facade.
+  void set_ledger(LifecycleLedger* ledger) { ledger_ = ledger; }
+
+  /// The batch-size cap currently in effect for `socket` -- max_batch_bytes,
+  /// or the adaptive EWMA-driven cap when adaptive batching is on.  Exposed
+  /// for tests of the adaptive policy.
+  std::uint32_t effective_batch_cap(int socket) const {
+    return batch_cap(sockets_[static_cast<std::size_t>(socket)]);
+  }
 
   /// The shared per-NUMA-node input buffer queue (paper IV-A4).
   netio::MbufRing& ibq(int socket) {
@@ -120,6 +130,7 @@ class Packer {
   DispatchPolicy* policy_ = nullptr;
   fpga::FaultHook* fault_ = nullptr;
   FallbackRouter* fallback_ = nullptr;
+  LifecycleLedger* ledger_ = nullptr;
   std::vector<SocketState> sockets_;
   /// Flush-time candidate list, reused across flushes (no hot-path alloc).
   std::vector<HwFunctionEntry*> candidates_;

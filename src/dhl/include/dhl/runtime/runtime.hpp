@@ -42,6 +42,7 @@
 #include "dhl/runtime/distributor.hpp"
 #include "dhl/runtime/fault.hpp"
 #include "dhl/runtime/hw_function_table.hpp"
+#include "dhl/runtime/ledger.hpp"
 #include "dhl/runtime/packer.hpp"
 #include "dhl/runtime/runtime_metrics.hpp"
 #include "dhl/runtime/types.hpp"
@@ -173,6 +174,13 @@ class DhlRuntime {
                          FallbackFn fn);
   FallbackRouter& fallback_router() { return fallback_; }
 
+  /// Packet-lifecycle conservation ledger (DESIGN.md section 3.4).  A
+  /// no-op stub in DHL_LEDGER=0 builds; gated by RuntimeConfig::ledger
+  /// otherwise.  Tests call ledger().audit() at teardown and assert
+  /// clean().
+  LifecycleLedger& ledger() { return ledger_; }
+  const LifecycleLedger& ledger() const { return ledger_; }
+
   /// Per-socket DmaBatch recycling pools (zero-copy path introspection).
   BatchPoolSet& batch_pools() { return pools_; }
   /// Transfer-layer components, exposed for benches/tests that drive the
@@ -191,6 +199,9 @@ class DhlRuntime {
   telemetry::TelemetryPtr telemetry_;
   RuntimeMetrics metrics_;
   HwFunctionTable table_;
+  /// Declared before (destroyed after) the components whose teardown can
+  /// still release tracked mbufs through the observer seam.
+  LifecycleLedger ledger_;
   std::unique_ptr<DispatchPolicy> policy_;
   std::vector<NfInfo> nfs_;
   /// Declared after nfs_/metrics_ (it borrows both), before the Packer

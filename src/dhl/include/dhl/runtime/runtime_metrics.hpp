@@ -46,6 +46,14 @@ struct RuntimeMetrics {
   telemetry::Counter* flush_full = nullptr;
   telemetry::Counter* flush_timeout = nullptr;
   telemetry::Counter* unready_drops = nullptr;
+  /// Packets whose single record could never fit a batch (record header +
+  /// payload > max_batch_bytes); routed to the software fallback when one
+  /// is registered, dropped otherwise -- never silently wedged in an open
+  /// batch that can't flush.
+  telemetry::Counter* oversize_drops = nullptr;
+  /// Batches whose acc_id slot was recycled (unload + reload) while they
+  /// were in flight; detected by the generation tag, routed by hf_name.
+  telemetry::Counter* stale_acc_batches = nullptr;
   /// Batch fill at flush in parts-per-million of the *effective* cap at
   /// flush time -- batch_cap(), i.e. the adaptive cap when adaptive
   /// batching has shrunk it, max_batch_bytes otherwise.  (The log-binned

@@ -64,6 +64,13 @@ struct HwFunctionEntry {
   std::string hf_name;
   int socket_id = 0;
   netio::AccId acc_id = netio::kInvalidAccId;
+  /// Generation of the acc_id slot (1-based; 0 never occurs on a live
+  /// entry).  acc_ids recycle after unload, so a batch in flight across an
+  /// unload/reload can carry an acc_id that now names a *different*
+  /// hardware function.  The Packer stamps the generation into each
+  /// DmaBatch; entry_for(acc_id, gen) refuses the stale lookup instead of
+  /// blaming or crediting the wrong replica.
+  std::uint32_t acc_gen = 0;
   int fpga_id = -1;
   int region = -1;
   bool ready = false;  // PR completed
@@ -142,6 +149,11 @@ struct RuntimeConfig {
   bool auto_replicate = false;
   std::uint64_t auto_replicate_threshold_bytes = 64 * 1024;
   std::uint32_t max_auto_replicas = 2;
+  /// Packet-lifecycle conservation ledger (DESIGN.md section 3.4): track
+  /// every mbuf through the pipeline stages and audit conservation at
+  /// teardown.  Only effective in ledger-compiled builds (DHL_LEDGER=1,
+  /// i.e. every build type except Release); compiled to no-ops otherwise.
+  bool ledger = true;
   /// Shared telemetry context; when null the runtime creates a private one.
   telemetry::TelemetryPtr telemetry;
 };

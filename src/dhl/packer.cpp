@@ -88,6 +88,7 @@ void Packer::drop_batch(fpga::DmaBatchPtr batch) {
   for (Mbuf* m : batch->pkts()) {
     --metrics_.in_flight;
     metrics_.unready_drops->add(1);
+    if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kUnready);
     m->release();
   }
   pools_.recycle(std::move(batch));
@@ -101,6 +102,7 @@ void Packer::fallback_or_drop(fpga::DmaBatchPtr batch,
       continue;  // served in software, delivered to the NF's OBQ
     }
     metrics_.submit_drop_pkts->add(1);
+    if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kSubmit);
     m->release();
   }
   pools_.recycle(std::move(batch));
@@ -108,6 +110,10 @@ void Packer::fallback_or_drop(fpga::DmaBatchPtr batch,
 
 void Packer::submit_with_retry(fpga::FpgaDevice* dev, fpga::DmaBatchPtr batch,
                                std::uint32_t attempt) {
+  // Idempotent: retries and redirects re-mark the same stage, a no-op.
+  if (ledger_ != nullptr) {
+    ledger_->on_batch_stage(*batch, LedgerStage::kDmaTx);
+  }
   if (dev->dma().try_submit_tx(batch)) return;
   const auto& rt = config_.timing.runtime;
   if (attempt < rt.dma_submit_max_retries) {
@@ -122,11 +128,28 @@ void Packer::submit_with_retry(fpga::FpgaDevice* dev, fpga::DmaBatchPtr batch,
                         });
     return;
   }
-  // Retry budget exhausted: this replica is misbehaving.
-  HwFunctionEntry* failed = table_.entry_for(batch->acc_id());
+  // Retry budget exhausted: this replica is misbehaving.  Resolve the
+  // entry through the generation stamped at flush time -- the acc_id slot
+  // may have been recycled by an unload/reload while we were backing off,
+  // and blaming (or redirecting through) the slot's *new* owner would
+  // degrade an innocent replica.
+  HwFunctionEntry* failed = table_.entry_for(batch->acc_id(), batch->acc_gen);
+  if (failed != nullptr && failed->hf_name != batch->hf_name) {
+    // Belt and braces: generation matched but the name didn't.  Treat the
+    // binding as stale rather than trust a half-matching entry.
+    failed = nullptr;
+  }
   if (failed == nullptr) {
-    // Unloaded while we were backing off: nothing to blame, just release.
-    drop_batch(std::move(batch));
+    metrics_.stale_acc_batches->add(1);
+    if (!batch->hf_name.empty()) {
+      // We still know which function the batch was packed for: give its
+      // packets to that function's software fallback instead of dropping.
+      const std::string hf = batch->hf_name;
+      fallback_or_drop(std::move(batch), hf);
+    } else {
+      // Hand-built batch with no stamp: nothing to blame, just release.
+      drop_batch(std::move(batch));
+    }
     return;
   }
   table_.note_replica_failure(failed);
@@ -142,6 +165,7 @@ void Packer::submit_with_retry(fpga::FpgaDevice* dev, fpga::DmaBatchPtr batch,
                                          << alt->fpga_id << " region "
                                          << alt->region);
     batch->retag_acc(alt->acc_id);
+    batch->acc_gen = alt->acc_gen;
     alt->outstanding_bytes += batch->submitted_bytes;
     submit_with_retry(alt->device, std::move(batch), 0);
     return;
@@ -194,6 +218,12 @@ double Packer::flush_batch(int socket, AccId acc_id, OpenBatch&& open,
     // target device's Dispatcher has mapped.
     batch->retag_acc(target->acc_id);
   }
+  // Stamp the batch's identity: the generation pins the acc_id slot's
+  // current owner (slots recycle across unload/reload), the name lets the
+  // retry-exhaustion path route to the right software fallback even after
+  // the entry vanishes.
+  batch->acc_gen = target->acc_gen;
+  batch->hf_name = target->hf_name;
 
   // NUMA-aware allocation keeps the buffers on the FPGA's node; otherwise
   // they live on socket 0 and FPGAs elsewhere pay the remote penalty.
@@ -275,6 +305,7 @@ sim::PollResult Packer::poll(int socket) {
 
   for (std::size_t i = 0; i < n; ++i) {
     Mbuf* m = pkts[i];
+    if (ledger_ != nullptr) ledger_->on_ingress(m);
     const AccId acc_id = m->acc_id();
     const HwFunctionEntry* e = table_.entry_for(acc_id);  // O(1)
     if (e == nullptr || !e->ready) {
@@ -282,6 +313,7 @@ sim::PollResult Packer::poll(int socket) {
       DHL_WARN("dhl", "packet tagged with unknown/unready acc_id "
                           << static_cast<int>(acc_id) << "; dropping");
       metrics_.unready_drops->add(1);
+      if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kUnready);
       m->release();
       continue;
     }
@@ -296,6 +328,25 @@ sim::PollResult Packer::poll(int socket) {
         continue;  // served in software; never entered a batch
       }
       metrics_.submit_drop_pkts->add(1);
+      if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kSubmit);
+      m->release();
+      continue;
+    }
+    const std::size_t record_bytes = fpga::kRecordHeaderBytes + m->data_len();
+    if (record_bytes > rt.max_batch_bytes) {
+      // A record that can't fit even an empty batch at the hard cap has no
+      // legal encapsulation: flush-before-append only fires on non-empty
+      // batches, so the record used to be appended anyway and ship a batch
+      // violating the 6 KB DMA contract.  Judged against max_batch_bytes,
+      // not the adaptive cap -- adaptive batching shrinks the target, not
+      // the wire-format ceiling.
+      metrics_.oversize_drops->add(1);
+      cycles += rt.packer_per_pkt_cycles;
+      if (fallback_ != nullptr &&
+          fallback_->process(m->nf_id(), e->hf_name, m)) {
+        continue;  // served in software, unbatched
+      }
+      if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kOversize);
       m->release();
       continue;
     }
@@ -306,7 +357,6 @@ sim::PollResult Packer::poll(int socket) {
       state.active.push_back(acc_id);
     }
     // Flush-before-append if this record would overflow the batch cap.
-    const std::size_t record_bytes = fpga::kRecordHeaderBytes + m->data_len();
     if (open.batch->size_bytes() + record_bytes > cap &&
         !open.batch->empty()) {
       cycles += flush_batch(socket, acc_id, std::move(open), pending,
@@ -324,6 +374,7 @@ sim::PollResult Packer::poll(int socket) {
       open.batch->append(m->nf_id(), m->payload(), m);
       metrics_.copy_bytes->add(m->data_len());
     }
+    if (ledger_ != nullptr) ledger_->on_stage(m, LedgerStage::kPackerAppend);
     RuntimeMetrics::NfAccCounters& c = metrics_.nf_acc(m->nf_id(), acc_id);
     c.pkts->add(1);
     c.bytes->add(m->data_len());
@@ -341,7 +392,13 @@ sim::PollResult Packer::poll(int socket) {
     const AccId acc_id = state.active[i];
     OpenBatch& open = state.open[acc_id];
     const bool have = open.batch != nullptr && !open.batch->empty();
-    const bool aged = have && sim_.now() - open.opened_at >= rt.batch_timeout;
+    // Age from the first packet actually enqueued, not from when the slot
+    // was opened: an open-but-empty batch holds no packet whose latency
+    // the timeout is bounding.  (A non-empty batch always has the stamp --
+    // it is set on the empty->non-empty transition.)
+    const bool aged =
+        have &&
+        sim_.now() - open.batch->first_pkt_enqueued_at >= rt.batch_timeout;
     if (aged) {
       cycles += flush_batch(socket, acc_id, std::move(open), pending,
                             FlushReason::kTimeout);

@@ -16,6 +16,7 @@ DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
       telemetry_{telemetry::ensure(config_.telemetry)},
       metrics_{*telemetry_},
       table_{simulator, std::move(database), std::move(fpgas), *telemetry_},
+      ledger_{config_.ledger, *telemetry_},
       policy_{make_dispatch_policy(config_.dispatch_policy)},
       fallback_{nfs_, metrics_},
       pools_{config_.num_sockets, config_.batch_pool_capacity,
@@ -27,6 +28,9 @@ DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
   DHL_CHECK(config_.num_sockets > 0);
   packer_.set_dispatch_policy(policy_.get());
   packer_.set_fallback_router(&fallback_);
+  packer_.set_ledger(&ledger_);
+  distributor_.set_ledger(&ledger_);
+  fallback_.set_ledger(&ledger_);
   table_.set_health_params(config_.timing.runtime.replica_quarantine_failures,
                            config_.timing.runtime.replica_quarantine_period);
   metrics_.nf_name = [this](NfId nf_id) {
@@ -48,6 +52,15 @@ DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
     dev->dma().set_rx_deliver([this, target](fpga::DmaBatchPtr batch) {
       distributor_.enqueue_completion(target, std::move(batch));
     });
+    if (kLedgerCompiled && config_.ledger) {
+      // TX completion = the bytes reached the FPGA; the ledger marks every
+      // parked packet.  Not wired at all when auditing is off, so the
+      // DMA delivery path keeps its null-observer fast path.
+      dev->dma().set_transfer_observer(
+          [this](const fpga::DmaBatch& batch, bool is_tx) {
+            if (is_tx) ledger_.on_batch_stage(batch, LedgerStage::kFpga);
+          });
+    }
   }
 }
 

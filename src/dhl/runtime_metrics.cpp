@@ -14,6 +14,8 @@ RuntimeMetrics::RuntimeMetrics(telemetry::Telemetry& telemetry)
   flush_full = registry.counter("dhl.runtime.flush_full_batches");
   flush_timeout = registry.counter("dhl.runtime.flush_timeout_batches");
   unready_drops = registry.counter("dhl.runtime.unready_drops");
+  oversize_drops = registry.counter("dhl.runtime.oversize_drops");
+  stale_acc_batches = registry.counter("dhl.runtime.stale_acc_batches");
   batch_fill_ppm = registry.histogram("dhl.runtime.batch_fill_ppm");
   copy_bytes = registry.counter("dhl.copy_bytes");
   zero_copy_bytes = registry.counter("dhl.zero_copy_bytes");

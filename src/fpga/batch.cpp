@@ -156,6 +156,8 @@ void DmaBatch::reset(netio::AccId acc_id) {
   first_pkt_enqueued_at = 0;
   remote_numa = false;
   batch_id = 0;
+  acc_gen = 0;
+  hf_name.clear();  // keeps capacity, like the buffers
   submitted_bytes = 0;
   wire_corrupt = false;
   wire_crc_ = 0;

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dhl/common/check.hpp"
@@ -155,6 +156,16 @@ class DmaBatch {
   /// Correlates a batch's telemetry spans (pack / dma / fpga / distribute)
   /// across components.  0 = unassigned (batches built outside the runtime).
   std::uint64_t batch_id = 0;
+  /// Generation of the acc_id slot this batch was packed for, stamped by
+  /// the Packer at flush time (0 = unstamped, e.g. batches built by
+  /// tests).  acc_id slots recycle across unload/reload, so the runtime's
+  /// blame/credit paths validate the generation before touching the entry
+  /// behind acc_id().
+  std::uint32_t acc_gen = 0;
+  /// Hardware function the batch was packed for (stamped with acc_gen).
+  /// Lets the retry-exhaustion path route the batch to the *right*
+  /// function's software fallback even after the entry vanished.
+  std::string hf_name;
   /// Size at flush time, stamped by the Packer; the Distributor retires
   /// this amount against the replica's outstanding-bytes account (the
   /// buffer itself may shrink in flight, e.g. the compression module).

@@ -58,6 +58,15 @@ class DmaEngine {
   /// (the runtime's transfer layer hooks this).
   void set_rx_deliver(DeliverFn fn) { rx_deliver_ = std::move(fn); }
 
+  /// Observation-only tap fired at each transfer completion, just before
+  /// the deliver hook (`is_tx` = host->FPGA direction).  The runtime's
+  /// lifecycle ledger uses this to mark batches as having reached the
+  /// FPGA; null (the default) costs nothing.
+  using TransferObserver = std::function<void(const DmaBatch&, bool is_tx)>;
+  void set_transfer_observer(TransferObserver observer) {
+    transfer_observer_ = std::move(observer);
+  }
+
   /// Attach telemetry: per-direction submit->complete latency histograms
   /// and (when tracing) one `dma.tx`/`dma.rx` span per transfer on `track`.
   /// All pointers may be null; the owning FpgaDevice wires this up.
@@ -225,9 +234,10 @@ class DmaEngine {
     DHL_CHECK_MSG(static_cast<bool>(fn), "DMA channel has no deliver hook");
     // The shared_ptr shim lets the move-only batch ride a std::function.
     auto shared = std::make_shared<DmaBatchPtr>(std::move(batch));
-    sim_.schedule_at(deliver_at, [&fn, &ch, bytes, shared] {
+    sim_.schedule_at(deliver_at, [this, &fn, &ch, bytes, is_tx, shared] {
       ch.outstanding_bytes -= bytes;
       ch.outstanding_transfers -= 1;
+      if (transfer_observer_) transfer_observer_(**shared, is_tx);
       fn(std::move(*shared));
     });
   }
@@ -237,6 +247,7 @@ class DmaEngine {
   DmaDriver driver_;
   DeliverFn tx_deliver_;
   DeliverFn rx_deliver_;
+  TransferObserver transfer_observer_;
   Channel tx_;
   Channel rx_;
   telemetry::Histogram* tx_latency_ = nullptr;

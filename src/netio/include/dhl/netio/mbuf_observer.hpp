@@ -1,0 +1,36 @@
+#pragma once
+
+// Process-wide mbuf release observer (the netio half of the packet-lifecycle
+// ledger seam, DESIGN.md section 3.4).
+//
+// Mbuf::release() is the single choke point every packet passes through at
+// the end of its life, regardless of which subsystem drops or delivers it.
+// The ledger installs itself here so it can catch *premature* releases --
+// a packet freed while the ledger still believes it is in flight -- which
+// no per-component drop counter can see.
+//
+// The hook is compiled out entirely in ledger-off builds (DHL_LEDGER=0,
+// the Release default): release() stays a decrement and a pool push.
+
+#ifndef DHL_LEDGER
+#define DHL_LEDGER 1
+#endif
+
+namespace dhl::netio {
+
+class Mbuf;
+
+/// Observer interface for mbuf release events.  `last_ref` is true when
+/// this release drops the final reference (the mbuf returns to its pool).
+class MbufLifecycleObserver {
+ public:
+  virtual ~MbufLifecycleObserver() = default;
+  virtual void on_mbuf_release(Mbuf& mbuf, bool last_ref) = 0;
+};
+
+/// Install `observer` as the process-wide release hook (null uninstalls).
+/// Single slot: the runtime's ledger owns it for the duration of a run.
+void set_mbuf_observer(MbufLifecycleObserver* observer);
+MbufLifecycleObserver* mbuf_observer();
+
+}  // namespace dhl::netio

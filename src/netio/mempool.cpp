@@ -1,6 +1,23 @@
 #include "dhl/netio/mempool.hpp"
 
+#include "dhl/netio/mbuf_observer.hpp"
+
 namespace dhl::netio {
+
+#if DHL_LEDGER
+namespace {
+MbufLifecycleObserver* g_mbuf_observer = nullptr;
+}  // namespace
+
+void set_mbuf_observer(MbufLifecycleObserver* observer) {
+  g_mbuf_observer = observer;
+}
+
+MbufLifecycleObserver* mbuf_observer() { return g_mbuf_observer; }
+#else
+void set_mbuf_observer(MbufLifecycleObserver*) {}
+MbufLifecycleObserver* mbuf_observer() { return nullptr; }
+#endif
 
 MbufPool::MbufPool(std::string name, std::uint32_t count,
                    std::uint32_t data_room, int socket)
@@ -82,6 +99,11 @@ void Mbuf::replace_data(std::span<const std::uint8_t> bytes) {
 
 void Mbuf::release() {
   DHL_CHECK_MSG(refcnt_ > 0, "double free of mbuf");
+#if DHL_LEDGER
+  if (MbufLifecycleObserver* obs = mbuf_observer()) {
+    obs->on_mbuf_release(*this, refcnt_ == 1);
+  }
+#endif
   if (--refcnt_ == 0) {
     DHL_CHECK_MSG(pool_ != nullptr, "mbuf has no owning pool");
     pool_->put(this);

@@ -87,6 +87,18 @@ class Testbed {
     run_for(window);
   }
 
+  /// End-of-test conservation protocol: stop the offered traffic on every
+  /// port, run `settle` so the pipeline drains (retries complete, NFs
+  /// consume their OBQs), and return the runtime ledger's audit.  Tests
+  /// assert clean() on the result; trivially clean without a runtime or in
+  /// DHL_LEDGER=0 builds.
+  runtime::LedgerAudit quiesce_ledger(Picos settle = milliseconds(5)) {
+    for (auto& port : ports_) port->stop_traffic();
+    run_for(settle);
+    return runtime_ != nullptr ? runtime_->ledger().audit()
+                               : runtime::LedgerAudit{};
+  }
+
  private:
   TestbedConfig config_;
   sim::Simulator sim_;

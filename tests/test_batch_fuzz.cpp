@@ -225,6 +225,10 @@ TEST(BatchFuzz, RuntimeIngestParsesCleanlyOrCountsDrop) {
   EXPECT_GT(received, 0u);
   EXPECT_EQ(rt.in_flight(), 0u);
   EXPECT_EQ(pool.in_use(), 0u);
+  if (kLedgerCompiled) {
+    const LedgerAudit audit = rt.ledger().audit();
+    EXPECT_TRUE(audit.clean()) << audit.to_string();
+  }
 }
 
 }  // namespace

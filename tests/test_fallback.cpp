@@ -46,6 +46,13 @@ struct Harness {
         std::vector<FpgaDevice*>{fpgas.back().get()});
   }
 
+  ~Harness() {
+    if (kLedgerCompiled && rt != nullptr) {
+      const LedgerAudit audit = rt->ledger().audit();
+      EXPECT_TRUE(audit.clean()) << audit.to_string();
+    }
+  }
+
   Mbuf* make_pkt(netio::NfId nf, netio::AccId acc,
                  const std::vector<std::uint8_t>& payload) {
     Mbuf* m = pool.alloc();

@@ -48,6 +48,15 @@ struct Harness {
         sim, cfg, accel::standard_module_database(nullptr), std::move(ptrs));
   }
 
+  ~Harness() {
+    // Every fault scenario must still conserve packets: delivered or
+    // counted at a drop site, never leaked.
+    if (kLedgerCompiled && rt != nullptr) {
+      const LedgerAudit audit = rt->ledger().audit();
+      EXPECT_TRUE(audit.clean()) << audit.to_string();
+    }
+  }
+
   Mbuf* make_pkt(netio::NfId nf, netio::AccId acc, std::uint32_t len) {
     Mbuf* m = pool.alloc();
     m->assign(std::vector<std::uint8_t>(len, 0x42));

@@ -74,6 +74,8 @@ TEST(Integration, DhlIpsecGatewayEncryptsAtHighRateWithLowLatency) {
   EXPECT_EQ(rt.stats().error_records, 0u);
   EXPECT_GT(proc->stats().encapsulated, 50'000u);
   EXPECT_EQ(proc->stats().auth_failures, 0u);
+  const auto audit = tb.quiesce_ledger();
+  EXPECT_TRUE(audit.clean()) << audit.to_string();
 }
 
 TEST(Integration, CpuOnlyIpsecIsMuchSlowerThanDhl) {
@@ -126,7 +128,10 @@ TEST(Integration, CpuOnlyIpsecIsMuchSlowerThanDhl) {
     traffic.frame_len = 64;
     port->start_traffic(traffic, 1.0);
     tb.measure(milliseconds(2), milliseconds(4));
-    return forwarded_wire_gbps(*port, 64, milliseconds(4));
+    const double gbps = forwarded_wire_gbps(*port, 64, milliseconds(4));
+    const auto audit = tb.quiesce_ledger();
+    EXPECT_TRUE(audit.clean()) << audit.to_string();
+    return gbps;
   };
 
   const double cpu = run_cpu();
@@ -181,6 +186,8 @@ TEST(Integration, NidsDetectsAttacksEndToEnd) {
   EXPECT_GT(truth, 100u);
   EXPECT_GE(proc->stats().alerts, truth * 95 / 100);
   EXPECT_GT(proc->stats().scanned, 20'000u);
+  const auto audit = tb.quiesce_ledger();
+  EXPECT_TRUE(audit.clean()) << audit.to_string();
 }
 
 TEST(Integration, TwoNfsShareOneModuleWithoutCrosstalk) {
@@ -235,6 +242,8 @@ TEST(Integration, TwoNfsShareOneModuleWithoutCrosstalk) {
   EXPECT_EQ(rt.stats().error_records, 0u);
   EXPECT_EQ(proc_a->stats().auth_failures, 0u);
   EXPECT_EQ(proc_b->stats().auth_failures, 0u);
+  const auto audit = tb.quiesce_ledger();
+  EXPECT_TRUE(audit.clean()) << audit.to_string();
 }
 
 TEST(Integration, PartialReconfigurationDoesNotDisturbRunningNf) {
@@ -286,6 +295,8 @@ TEST(Integration, PartialReconfigurationDoesNotDisturbRunningNf) {
   EXPECT_EQ(rt.stats().error_records, 0u);
   tb.run_for(milliseconds(40));
   EXPECT_TRUE(rt.acc_ready(handle));
+  const auto audit = tb.quiesce_ledger();
+  EXPECT_TRUE(audit.clean()) << audit.to_string();
 }
 
 }  // namespace

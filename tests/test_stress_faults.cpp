@@ -160,6 +160,12 @@ RunOutcome run_stress(std::uint64_t seed) {
   out.injected_total = inj.injected_total();
   out.in_flight = rt.in_flight();
   out.pool_in_use = pool.in_use();
+  if (kLedgerCompiled) {
+    // Per-packet conservation, not just the counter arithmetic below: the
+    // ledger saw every packet terminate exactly once.
+    const LedgerAudit audit = rt.ledger().audit();
+    EXPECT_TRUE(audit.clean()) << audit.to_string();
+  }
   return out;
 }
 

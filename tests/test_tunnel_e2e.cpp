@@ -84,6 +84,8 @@ TEST(TunnelE2E, EncryptThenDecryptRestoresPayloads) {
   EXPECT_GT(restored, 1000u);
   EXPECT_EQ(mismatches, 0u);
   EXPECT_EQ(rt.stats().error_records, 0u);
+  const auto audit = tb.quiesce_ledger();
+  EXPECT_TRUE(audit.clean()) << audit.to_string();
 }
 
 TEST(TunnelE2E, WrongKeyDecryptDropsEverything) {
@@ -131,6 +133,8 @@ TEST(TunnelE2E, WrongKeyDecryptDropsEverything) {
   // Every frame fails authentication under the wrong key.
   EXPECT_GT(auth_failures, 500u);
   EXPECT_EQ(gw.stats().tx_pkts, 0u);
+  const auto audit = tb.quiesce_ledger();
+  EXPECT_TRUE(audit.clean()) << audit.to_string();
 }
 
 }  // namespace
