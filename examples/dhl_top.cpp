@@ -1,0 +1,230 @@
+// dhl-top: live terminal view of a DHL pipeline's introspection stream
+// (DESIGN.md section 7).
+//
+// Connects to the unix socket served by TelemetryStreamServer (see
+// introspection_demo.cpp / Testbed::start_introspection) and renders each
+// NDJSON snapshot: per-stage latency decomposition (count, p50/p99/p999),
+// SLO verdicts, replica health, and the headline counters.
+//
+// Usage:
+//   ./examples/dhl_top [--socket=/tmp/dhl-top.sock]
+//                      [--once]          read ONE snapshot, validate that it
+//                                        carries stage histograms, print it,
+//                                        exit 0/1 -- the CI smoke mode
+//                      [--retry-ms=10000] connect retry budget
+//
+// The parser is deliberately minimal: it scans the known shape emitted by
+// make_stream_snapshot() (flat keys, one level of nesting) rather than
+// pulling in a JSON library.
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+std::string arg_value(int argc, char** argv, const char* prefix,
+                      const std::string& fallback) {
+  const std::size_t n = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, n) == 0) return argv[i] + n;
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+int connect_with_retry(const std::string& path, int budget_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+  while (true) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0) {
+        return fd;
+      }
+      ::close(fd);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+/// Read one newline-terminated snapshot line.
+bool read_line(int fd, std::string& line, int timeout_ms) {
+  line.clear();
+  char c = 0;
+  pollfd p{fd, POLLIN, 0};
+  while (true) {
+    if (::poll(&p, 1, timeout_ms) <= 0) return false;
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n <= 0) return false;
+    if (c == '\n') return true;
+    line.push_back(c);
+  }
+}
+
+/// Value of `"key": <number>` after position `from`; -1 when absent.
+double find_number(const std::string& s, const std::string& key,
+                   std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = s.find(needle, from);
+  if (at == std::string::npos) return -1;
+  return std::atof(s.c_str() + at + needle.size());
+}
+
+/// Start of the object following `"name": {`; npos when absent.
+std::size_t find_object(const std::string& s, const std::string& name,
+                        std::size_t from = 0) {
+  const std::string needle = "\"" + name + "\": {";
+  const std::size_t at = s.find(needle, from);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+constexpr const char* kStages[] = {"ibq_wait",    "pack",     "dma_tx",
+                                   "fpga",        "dma_rx",   "distributor",
+                                   "fallback",    "retry_backoff",
+                                   "end_to_end"};
+
+double us(double picos) { return picos / 1e6; }
+
+/// Human rendering of one snapshot.
+void render(const std::string& line) {
+  std::printf("\x1b[2J\x1b[H");  // clear + home (top-style refresh)
+  std::printf("dhl-top -- virtual time %.3f ms\n\n",
+              find_number(line, "at_ps") / 1e9);
+
+  std::printf("%-14s %12s %12s %12s %12s\n", "stage", "count", "p50(us)",
+              "p99(us)", "p999(us)");
+  for (const char* stage : kStages) {
+    const std::size_t obj = find_object(line, stage);
+    if (obj == std::string::npos) continue;
+    const double count = find_number(line, "count", obj);
+    if (count <= 0) continue;
+    std::printf("%-14s %12.0f %12.3f %12.3f %12.3f\n", stage, count,
+                us(find_number(line, "p50", obj)),
+                us(find_number(line, "p99", obj)),
+                us(find_number(line, "p999", obj)));
+  }
+
+  const std::size_t slo = line.find("\"slo\": [");
+  if (slo != std::string::npos && line.find("\"nf\":", slo) != std::string::npos) {
+    std::printf("\nSLOs:\n");
+    std::size_t at = slo;
+    while ((at = line.find("{\"nf\": \"", at)) != std::string::npos) {
+      const std::size_t name_at = at + std::strlen("{\"nf\": \"");
+      const std::size_t name_end = line.find('"', name_at);
+      const std::string nf = line.substr(name_at, name_end - name_at);
+      const bool breached =
+          line.compare(line.find("\"breached\": ", at) + 12, 4, "true") == 0;
+      std::printf("  %-12s %s  window p99 %.3f us, drop rate %.4f\n",
+                  nf.c_str(), breached ? "[BREACHED]" : "[ok]",
+                  us(find_number(line, "window_p99_ps", at)),
+                  find_number(line, "window_drop_rate", at));
+      at = name_end;
+    }
+  }
+
+  // Labeled counters serialize as "name{label=value}": N -- sum the series.
+  double delivered = 0;
+  std::size_t at2 = 0;
+  while ((at2 = line.find("\"dhl.runtime.nf_pkts", at2)) != std::string::npos) {
+    const std::size_t colon = line.find("\": ", at2);
+    if (colon == std::string::npos) break;
+    delivered += std::atof(line.c_str() + colon + 3);
+    at2 = colon;
+  }
+  std::printf("\ndelivered: %.0f pkts\n", delivered);
+}
+
+/// --once validation: the snapshot must be a plausible NDJSON object that
+/// carries at least one populated stage histogram.
+bool validate(const std::string& line) {
+  if (line.empty() || line.front() != '{' || line.back() != '}') {
+    std::fprintf(stderr, "FAIL: not a JSON object: %.80s\n", line.c_str());
+    return false;
+  }
+  if (find_number(line, "at_ps") < 0) {
+    std::fprintf(stderr, "FAIL: no at_ps\n");
+    return false;
+  }
+  const std::size_t stages = find_object(line, "stage_latency");
+  if (stages == std::string::npos) {
+    std::fprintf(stderr, "FAIL: no stage_latency\n");
+    return false;
+  }
+  for (const char* stage : kStages) {
+    const std::size_t obj = find_object(line, stage, stages);
+    if (obj == std::string::npos) continue;
+    if (find_number(line, "count", obj) > 0 &&
+        find_number(line, "p99", obj) >= 0) {
+      std::printf("OK: stage '%s' populated (count=%.0f, p99=%.3f us)\n",
+                  stage, find_number(line, "count", obj),
+                  us(find_number(line, "p99", obj)));
+      return true;
+    }
+  }
+  std::fprintf(stderr, "FAIL: no stage histogram carries samples\n");
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path =
+      arg_value(argc, argv, "--socket=", "/tmp/dhl-top.sock");
+  const int retry_ms =
+      std::atoi(arg_value(argc, argv, "--retry-ms=", "10000").c_str());
+  const bool once = has_flag(argc, argv, "--once");
+
+  const int fd = connect_with_retry(path, retry_ms);
+  if (fd < 0) {
+    std::fprintf(stderr, "dhl-top: cannot connect to %s\n", path.c_str());
+    return 1;
+  }
+
+  std::string line;
+  if (once) {
+    // CI smoke: keep reading until a snapshot with populated stage
+    // histograms arrives (early snapshots may predate any traffic).
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(retry_ms);
+    while (read_line(fd, line, retry_ms)) {
+      if (validate(line)) {
+        std::printf("%s\n", line.c_str());
+        ::close(fd);
+        return 0;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) break;
+    }
+    std::fprintf(stderr, "dhl-top: no valid snapshot within budget\n");
+    ::close(fd);
+    return 1;
+  }
+
+  while (read_line(fd, line, 30'000)) {
+    render(line);
+    std::fflush(stdout);  // keep piped output live, not block-buffered
+  }
+  std::fprintf(stderr, "dhl-top: stream closed\n");
+  ::close(fd);
+  return 0;
+}

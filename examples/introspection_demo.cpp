@@ -1,0 +1,176 @@
+// Introspection demo (DESIGN.md section 7): a live pipeline that serves the
+// dhl-top streaming endpoint while it runs.
+//
+// Builds the NIDS offload pipeline from nids_app, activates the testbed's
+// introspection layer -- per-stage latency histograms, SLO watchdog, flight
+// recorder, unix-socket NDJSON stream -- and then paces the simulation in
+// small virtual-time slices against the wall clock so a human (or the CI
+// smoke job) can attach `dhl_top` to the socket mid-run.
+//
+// Usage:
+//   ./examples/introspection_demo [--socket=/tmp/dhl-top.sock]
+//                                 [--wall-ms=5000]   total wall-clock runtime
+//                                 [--faults]         seed a fault storm so the
+//                                                    flight recorder dumps
+//                                 [--dump=PATH]      flight-dump artifact path
+//
+// In another terminal:  ./examples/dhl_top --socket=/tmp/dhl-top.sock
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "dhl/nf/dhl_nf.hpp"
+#include "dhl/nf/nids.hpp"
+#include "dhl/nf/testbed.hpp"
+#include "dhl/runtime/fault.hpp"
+#include "dhl/telemetry/slo.hpp"
+
+namespace {
+
+std::string arg_value(int argc, char** argv, const char* prefix,
+                      const std::string& fallback) {
+  const std::size_t n = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, n) == 0) return argv[i] + n;
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dhl;
+
+  const std::string socket_path =
+      arg_value(argc, argv, "--socket=", "/tmp/dhl-top.sock");
+  const int wall_ms = std::atoi(
+      arg_value(argc, argv, "--wall-ms=", "5000").c_str());
+  const bool faults = has_flag(argc, argv, "--faults");
+  const std::string dump_path =
+      arg_value(argc, argv, "--dump=", "dhl_flight_dump.json");
+
+  nf::TestbedConfig tb_cfg;
+  tb_cfg.introspection.stream_socket = socket_path;
+  tb_cfg.introspection.sample_period = microseconds(100);
+  tb_cfg.introspection.flight_dump_path = dump_path;
+  tb_cfg.introspection.storm_threshold = faults ? 8 : 0;
+  tb_cfg.introspection.storm_window = milliseconds(1);
+  // Budgets loose enough to stay green on the healthy path; the fault storm
+  // is what pushes the tail over.
+  telemetry::SloSpec slo;
+  slo.nf = "*";
+  slo.p99_ceiling = milliseconds(2);
+  slo.p999_ceiling = milliseconds(5);
+  slo.drop_rate_budget = 0.05;
+  tb_cfg.introspection.slos.push_back(slo);
+  // Long streaming runs do not need the in-memory sample series.
+  tb_cfg.introspection.keep_series = false;
+
+  nf::Testbed tb{tb_cfg};
+  auto* port = tb.add_port("xl710", Bandwidth::gbps(40));
+
+  auto rules = std::make_shared<match::RuleSet>(
+      match::RuleSet::builtin_snort_sample());
+  auto automaton = nf::NidsProcessor::build_automaton(*rules);
+  auto proc = std::make_shared<nf::NidsProcessor>(rules, automaton);
+
+  auto& rt = tb.init_runtime(automaton);
+  nf::DhlNfConfig cfg;
+  cfg.name = "nids-dhl";
+  cfg.timing = tb.timing();
+  cfg.hf_name = "pattern-matching";
+  nf::DhlOffloadNf app{tb.sim(),
+                       cfg,
+                       {port},
+                       rt,
+                       [proc](netio::Mbuf& m) { return proc->dhl_prep(m); },
+                       nf::nids_dhl_prep_cost(tb.timing()),
+                       [proc](netio::Mbuf& m) { return proc->dhl_post(m); },
+                       nf::nids_dhl_post_cost(tb.timing())};
+  tb.run_for(milliseconds(40));  // PR load
+  if (!app.ready()) {
+    std::fprintf(stderr, "pattern-matching failed to load\n");
+    return 1;
+  }
+  rt.start();
+  app.start();
+
+  // Streaming endpoint + sampler + watchdog; also honour SIGUSR1 dumps.
+  telemetry::FlightRecorder::install_signal_handler();
+  tb.start_introspection();
+  std::printf("streaming introspection snapshots on %s (pid %d)\n",
+              socket_path.c_str(), static_cast<int>(getpid()));
+  std::printf("attach with:  ./examples/dhl_top --socket=%s\n",
+              socket_path.c_str());
+
+  runtime::FaultInjector inj{tb.sim(), tb.telemetry(), /*seed=*/7};
+  if (faults) {
+    rt.set_fault_injector(&inj);
+    // A dense submit-timeout window two virtual ms in: enough injections
+    // inside one storm window to trip the recorder's threshold.
+    inj.add_rule({.site = fpga::FaultSite::kDmaSubmit,
+                  .kind = fpga::FaultKind::kSubmitTimeout,
+                  .probability = 0.35,
+                  .active_from = milliseconds(42),
+                  .active_until = milliseconds(46)});
+    std::printf("fault storm armed: dma.submit timeouts in t=[42ms,46ms)\n");
+  }
+
+  netio::TrafficConfig traffic;
+  traffic.frame_len = 512;
+  traffic.payload = netio::PayloadKind::kTextAttacks;
+  traffic.attack_probability = 0.02;
+  traffic.attack_strings = {"/bin/sh"};
+  port->start_traffic(traffic, 0.5);
+
+  // Pace virtual time against the wall clock: one virtual millisecond per
+  // ~50 wall milliseconds keeps the stream humane for a terminal viewer and
+  // leaves the smoke test plenty of time to connect.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(wall_ms > 0 ? wall_ms : 5000);
+  while (std::chrono::steady_clock::now() < deadline) {
+    tb.run_for(milliseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  port->stop_traffic();
+  tb.run_for(milliseconds(2));  // drain
+  rt.stop();
+
+  const auto* watchdog = tb.slo_watchdog();
+  std::printf("\n--- final state ---\n");
+  std::printf("snapshots published: %llu\n",
+              static_cast<unsigned long long>(
+                  tb.stream_server()->lines_published()));
+  std::printf("slo verdicts: %s\n", watchdog->verdicts_json().c_str());
+  std::printf("stage latency: %s\n",
+              tb.telemetry().stages.to_json().c_str());
+  if (faults) {
+    std::printf("faults injected: %llu, storm tripped: %s, dumps: %llu\n",
+                static_cast<unsigned long long>(inj.injected_total()),
+                tb.telemetry().recorder.storm_tripped() ? "yes" : "no",
+                static_cast<unsigned long long>(
+                    tb.telemetry().recorder.dumps_written()));
+    if (tb.telemetry().recorder.dumps_written() == 0) {
+      std::fprintf(stderr, "expected the storm to dump the flight recorder\n");
+      return 1;
+    }
+    std::printf("flight dump: %s\n", dump_path.c_str());
+  }
+  tb.stop_introspection();
+  return 0;
+}

@@ -79,6 +79,11 @@ void Distributor::drop_corrupt_batch(fpga::DmaBatchPtr batch) {
   }
   metrics_.crc_drop_batches->add(1);
   metrics_.crc_drop_pkts->add(pkts.size());
+  telemetry_.recorder.log(telemetry::FlightComponent::kDistributor, sim_.now(),
+                          telemetry::FlightEventKind::kCrcDrop, batch->hf_name,
+                          static_cast<std::int16_t>(batch->acc_id()),
+                          static_cast<std::int32_t>(pkts.size()),
+                          batch->batch_id);
   DHL_WARN("dhl", "dropping corrupt batch " << batch->batch_id << " ("
                                             << pkts.size() << " pkts)");
   pools_.recycle(std::move(batch));
@@ -148,6 +153,14 @@ sim::PollResult Distributor::poll(int socket) {
     metrics_.batches_from_fpga->add(1);
     const double batch_start_cycles = cycles;
     cycles += rt.distributor_per_batch_cycles;
+
+    // Stage seam, once per batch: RX delivery (DMA engine's stamp) ->
+    // this pickup, i.e. completion-ring wait plus poll scheduling.
+    if (batch->stage_ts != 0 && telemetry_.stages.enabled()) {
+      telemetry_.stages.record_n(telemetry::Stage::kDistributor,
+                                 t0 - batch->stage_ts,
+                                 batch->pkts().size());
+    }
 
     // Retire the batch against its replica's outstanding-bytes account.
     // Generation-checked: the entry may be gone when an unload raced the
@@ -256,15 +269,36 @@ sim::PollResult Distributor::poll(int socket) {
         std::make_shared<std::unique_ptr<DeliveryVec>>(std::move(deliveries));
     sim_.schedule_after(
         clock.cycles(cycles), [this, socket, shared] {
+          // Untimed event context: per-packet ibq-wait and end-to-end
+          // records cost no modeled cycles and stay out of the benches'
+          // timed poll sections.
+          const bool stages_on = telemetry_.stages.enabled();
+          const Picos now = sim_.now();
           for (const Delivery& d : **shared) {
             NfInfo& info = nfs_[d.nf];
             if (!info.obq->enqueue(d.m)) {
               metrics_.obq_drops->add(1);
               info.obq_drops->add(1);
               if (ledger_ != nullptr) ledger_->on_drop(d.m, LedgerDrop::kObq);
+              telemetry_.recorder.log(telemetry::FlightComponent::kDistributor,
+                                      now, telemetry::FlightEventKind::kDrop,
+                                      "obq", static_cast<std::int16_t>(d.nf));
               d.m->release();
-            } else if (ledger_ != nullptr) {
-              ledger_->on_delivered(d.m);
+            } else {
+              if (ledger_ != nullptr) ledger_->on_delivered(d.m);
+              if (stages_on &&
+                  d.m->rx_timestamp() != netio::kNoRxTimestamp) {
+                if (d.m->stage_ts() != netio::kNoRxTimestamp &&
+                    d.m->stage_ts() >= d.m->rx_timestamp()) {
+                  telemetry_.stages.record(
+                      telemetry::Stage::kIbqWait,
+                      d.m->stage_ts() - d.m->rx_timestamp());
+                }
+                if (now >= d.m->rx_timestamp()) {
+                  telemetry_.stages.record_e2e(d.nf,
+                                               now - d.m->rx_timestamp());
+                }
+              }
             }
             info.obq_depth->set(static_cast<double>(info.obq->count()));
           }

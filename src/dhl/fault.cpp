@@ -62,6 +62,15 @@ std::optional<fpga::FaultOutcome> FaultInjector::sample(fpga::FaultSite site,
     DHL_INFO("fault", fpga::to_string(rule.kind) << " at "
                                                  << fpga::to_string(site)
                                                  << " on fpga " << fpga_id);
+    // Flight-recorder entry feeds the fault-storm trip wire too (tag keeps
+    // "site/kind" so dumps are readable without decoding the enums).
+    telemetry_.recorder.log(
+        telemetry::FlightComponent::kFault, now,
+        telemetry::FlightEventKind::kFaultInjected,
+        std::string(fpga::to_string(site)) + "/" +
+            fpga::to_string(rule.kind),
+        static_cast<std::int16_t>(fpga_id),
+        static_cast<std::int32_t>(rule.kind), injected_total_);
     return fpga::FaultOutcome{rule.kind, rule.delay};
   }
   return std::nullopt;
@@ -108,6 +117,17 @@ bool FallbackRouter::process(netio::NfId nf_id, const std::string& hf_name,
   } else {
     nf.obq_depth->set(static_cast<double>(nf.obq->count()));
     if (ledger_ != nullptr) ledger_->on_delivered(m);
+    if (sim_ != nullptr && telemetry_ != nullptr &&
+        telemetry_->stages.enabled() &&
+        m->rx_timestamp() != netio::kNoRxTimestamp) {
+      const Picos now = sim_->now();
+      if (now >= m->rx_timestamp()) {
+        // The fallback side path is the packet's whole post-ingress life.
+        telemetry_->stages.record(telemetry::Stage::kFallback,
+                                  now - m->rx_timestamp());
+        telemetry_->stages.record_e2e(nf_id, now - m->rx_timestamp());
+      }
+    }
   }
   return true;
 }

@@ -282,6 +282,15 @@ void HwFunctionTable::set_health(HwFunctionEntry* e, ReplicaHealth h) {
                               << " region " << e->region << ": "
                               << to_string(e->health) << " -> "
                               << to_string(h));
+  // Single chokepoint for health-ladder transitions: every move lands in
+  // the flight recorder (a = fpga, b = region, c = old<<8 | new state).
+  telemetry_.recorder.log(
+      telemetry::FlightComponent::kControl, sim_.now(),
+      telemetry::FlightEventKind::kHealthTransition, e->hf_name,
+      static_cast<std::int16_t>(e->fpga_id),
+      static_cast<std::int32_t>(e->region),
+      (static_cast<std::uint64_t>(e->health) << 8) |
+          static_cast<std::uint64_t>(h));
   e->health = h;
   if (e->health_gauge != nullptr) {
     e->health_gauge->set(static_cast<double>(h));

@@ -116,10 +116,20 @@ class FallbackRouter {
   /// Packet-lifecycle ledger (null = not auditing).  Owned by the facade.
   void set_ledger(LifecycleLedger* ledger) { ledger_ = ledger; }
 
+  /// Introspection wiring (both null = not recording): fallback deliveries
+  /// record the kFallback stage and the packet's end-to-end latency.
+  void set_introspection(sim::Simulator* simulator,
+                         telemetry::Telemetry* telemetry) {
+    sim_ = simulator;
+    telemetry_ = telemetry;
+  }
+
  private:
   std::vector<NfInfo>& nfs_;
   RuntimeMetrics& metrics_;
   LifecycleLedger* ledger_ = nullptr;
+  sim::Simulator* sim_ = nullptr;
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::map<std::pair<netio::NfId, std::string>, FallbackFn> fns_;
 };
 

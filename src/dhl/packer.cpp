@@ -85,6 +85,10 @@ HwFunctionEntry* Packer::choose_replica(HwFunctionEntry* primary, int socket) {
 }
 
 void Packer::drop_batch(fpga::DmaBatchPtr batch) {
+  telemetry_.recorder.log(telemetry::FlightComponent::kPacker, sim_.now(),
+                          telemetry::FlightEventKind::kDrop, "unready",
+                          static_cast<std::int16_t>(batch->acc_id()),
+                          static_cast<std::int32_t>(batch->pkts().size()));
   for (Mbuf* m : batch->pkts()) {
     --metrics_.in_flight;
     metrics_.unready_drops->add(1);
@@ -96,6 +100,10 @@ void Packer::drop_batch(fpga::DmaBatchPtr batch) {
 
 void Packer::fallback_or_drop(fpga::DmaBatchPtr batch,
                               const std::string& hf_name) {
+  telemetry_.recorder.log(telemetry::FlightComponent::kPacker, sim_.now(),
+                          telemetry::FlightEventKind::kDrop, hf_name,
+                          static_cast<std::int16_t>(batch->acc_id()),
+                          static_cast<std::int32_t>(batch->pkts().size()));
   for (Mbuf* m : batch->pkts()) {
     --metrics_.in_flight;
     if (fallback_ != nullptr && fallback_->process(m->nf_id(), hf_name, m)) {
@@ -120,8 +128,16 @@ void Packer::submit_with_retry(fpga::FpgaDevice* dev, fpga::DmaBatchPtr batch,
     // Lost doorbell: retry after a bounded exponential backoff, all on the
     // virtual clock (attempt n waits backoff << n).
     metrics_.dma_retries->add(1);
+    const Picos backoff = rt.dma_retry_backoff << attempt;
+    telemetry_.stages.record(telemetry::Stage::kRetryBackoff, backoff);
+    telemetry_.recorder.log(telemetry::FlightComponent::kDma, sim_.now(),
+                            telemetry::FlightEventKind::kDmaRetry,
+                            batch->hf_name,
+                            static_cast<std::int16_t>(attempt + 1),
+                            static_cast<std::int32_t>(dev->fpga_id()),
+                            batch->batch_id);
     auto shared = std::make_shared<fpga::DmaBatchPtr>(std::move(batch));
-    sim_.schedule_after(rt.dma_retry_backoff << attempt,
+    sim_.schedule_after(backoff,
                         [this, dev, shared, attempt] {
                           submit_with_retry(dev, std::move(*shared),
                                             attempt + 1);
@@ -164,6 +180,12 @@ void Packer::submit_with_retry(fpga::FpgaDevice* dev, fpga::DmaBatchPtr batch,
     DHL_WARN("dhl", "redirecting batch " << batch->batch_id << " to fpga "
                                          << alt->fpga_id << " region "
                                          << alt->region);
+    telemetry_.recorder.log(telemetry::FlightComponent::kDma, sim_.now(),
+                            telemetry::FlightEventKind::kRedirect,
+                            batch->hf_name,
+                            static_cast<std::int16_t>(alt->fpga_id),
+                            static_cast<std::int32_t>(alt->region),
+                            batch->batch_id);
     batch->retag_acc(alt->acc_id);
     batch->acc_gen = alt->acc_gen;
     alt->outstanding_bytes += batch->submitted_bytes;
@@ -256,6 +278,11 @@ double Packer::flush_batch(int socket, AccId acc_id, OpenBatch&& open,
          {"records", std::to_string(batch->record_count())},
          {"reason", reason == FlushReason::kFull ? "full" : "timeout"}});
   }
+  // Stage seam: stamp the flush time only -- one store in the timed poll.
+  // The pack-seam histogram record and the flush flight-event are deferred
+  // to the doorbell event (untimed context); the stamp also starts the
+  // dma.tx seam, which the DMA engine closes at TX delivery.
+  if (telemetry_.stages.enabled()) batch->stage_ts = sim_.now();
   pending.emplace_back(dev, std::move(batch));
 
   // Replication pressure valve: a backed-up replica asks the control plane
@@ -303,8 +330,15 @@ sim::PollResult Packer::poll(int socket) {
   }
   const std::uint32_t cap = batch_cap(state);
 
+  // Hoisted: one branch + one store per packet is the whole per-packet cost
+  // of the introspection layer inside this timed loop (the bench_micro A/B
+  // gate holds it under 2% of host ns/pkt).
+  const bool stages_on = telemetry_.stages.enabled();
+  const Picos ingress_now = sim_.now();
+
   for (std::size_t i = 0; i < n; ++i) {
     Mbuf* m = pkts[i];
+    if (stages_on) m->set_stage_ts(ingress_now);
     if (ledger_ != nullptr) ledger_->on_ingress(m);
     const AccId acc_id = m->acc_id();
     const HwFunctionEntry* e = table_.entry_for(acc_id);  // O(1)
@@ -416,7 +450,24 @@ sim::PollResult Packer::poll(int socket) {
   if (!pending.empty()) {
     auto shared = std::make_shared<PendingSubmits>(std::move(pending));
     sim_.schedule_after(cpu.core_clock.cycles(cycles), [this, shared] {
+      const bool stages_on = telemetry_.stages.enabled();
       for (auto& [dev, batch] : *shared) {
+        // Deferred pack-seam accounting (untimed event context): one
+        // record covers every packet in the batch (they all waited from
+        // first_pkt_enqueued_at to the flush stamp); stage_ts still holds
+        // that stamp until TX delivery restamps it.
+        if (stages_on && batch->stage_ts != 0) {
+          telemetry_.stages.record_n(
+              telemetry::Stage::kPack,
+              batch->stage_ts - batch->first_pkt_enqueued_at,
+              static_cast<std::uint64_t>(batch->record_count()));
+          telemetry_.recorder.log(
+              telemetry::FlightComponent::kPacker, batch->stage_ts,
+              telemetry::FlightEventKind::kBatchFlush, batch->hf_name,
+              static_cast<std::int16_t>(batch->record_count()),
+              static_cast<std::int32_t>(batch->size_bytes()),
+              batch->batch_id);
+        }
         submit_with_retry(dev, std::move(batch), 0);
       }
     });

@@ -31,6 +31,12 @@ DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
   packer_.set_ledger(&ledger_);
   distributor_.set_ledger(&ledger_);
   fallback_.set_ledger(&ledger_);
+  // Introspection layer (DESIGN.md section 7): one master switch covers the
+  // stage recorder and the flight recorder; the A/B bench flips it to
+  // measure the layer's hot-path overhead.
+  telemetry_->stages.set_enabled(config_.introspection);
+  telemetry_->recorder.set_enabled(config_.introspection);
+  fallback_.set_introspection(&sim_, telemetry_.get());
   table_.set_health_params(config_.timing.runtime.replica_quarantine_failures,
                            config_.timing.runtime.replica_quarantine_period);
   metrics_.nf_name = [this](NfId nf_id) {
@@ -52,6 +58,7 @@ DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
     dev->dma().set_rx_deliver([this, target](fpga::DmaBatchPtr batch) {
       distributor_.enqueue_completion(target, std::move(batch));
     });
+    dev->dma().set_stage_recorder(&telemetry_->stages);
     if (kLedgerCompiled && config_.ledger) {
       // TX completion = the bytes reached the FPGA; the ledger marks every
       // parked packet.  Not wired at all when auditing is off, so the
@@ -79,6 +86,7 @@ NfId DhlRuntime::register_nf(const std::string& name, int socket) {
   const telemetry::Labels nf_label{{"nf", name}};
   info.obq_depth = telemetry_->metrics.gauge("dhl.nf.obq_depth", nf_label);
   info.obq_drops = telemetry_->metrics.counter("dhl.nf.obq_drops", nf_label);
+  telemetry_->stages.set_nf_name(id, name);
   nfs_.push_back(std::move(info));
   DHL_INFO("dhl", "registered NF '" << name << "' as nf_id "
                                     << static_cast<int>(id) << " on socket "

@@ -116,6 +116,11 @@ class Mbuf {
   Picos rx_timestamp() const { return rx_timestamp_; }
   void set_rx_timestamp(Picos t) { rx_timestamp_ = t; }
 
+  /// Virtual time at which the packet crossed the last pipeline stage seam
+  /// (set at Packer ingress; see telemetry::StageLatencyRecorder).
+  Picos stage_ts() const { return stage_ts_; }
+  void set_stage_ts(Picos t) { stage_ts_ = t; }
+
   /// Monotonically increasing per-generator sequence number; lets tests and
   /// NFs verify ordering and match request/response pairs.
   std::uint64_t seq() const { return seq_; }
@@ -162,6 +167,7 @@ class Mbuf {
   NfId nf_id_ = kInvalidNfId;
   AccId acc_id_ = kInvalidAccId;
   Picos rx_timestamp_ = kNoRxTimestamp;
+  Picos stage_ts_ = kNoRxTimestamp;
   std::uint16_t user_tag_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t accel_result_ = 0;

@@ -82,6 +82,7 @@ void Mbuf::reset() {
   nf_id_ = kInvalidNfId;
   acc_id_ = kInvalidAccId;
   rx_timestamp_ = kNoRxTimestamp;
+  stage_ts_ = kNoRxTimestamp;
   user_tag_ = 0;
   seq_ = 0;
   accel_result_ = 0;

@@ -17,8 +17,33 @@
 #include "dhl/runtime/runtime.hpp"
 #include "dhl/sim/simulator.hpp"
 #include "dhl/sim/timing_params.hpp"
+#include "dhl/telemetry/sampler.hpp"
+#include "dhl/telemetry/slo.hpp"
+#include "dhl/telemetry/stream.hpp"
 
 namespace dhl::nf {
+
+/// Live-introspection wiring for a testbed (DESIGN.md section 7).  All off
+/// by default; benches and the demo opt in via start_introspection().
+struct IntrospectionConfig {
+  /// Virtual-time period of the sampler tick that drives the SLO watchdog
+  /// and the streaming snapshots.
+  Picos sample_period = microseconds(100);
+  /// Declarative per-NF budgets evaluated every tick.
+  std::vector<telemetry::SloSpec> slos;
+  /// Unix-socket path for the dhl-top NDJSON stream; empty = no endpoint.
+  std::string stream_socket;
+  /// Flight-recorder auto-dump target (audit failure, fault storm, SLO
+  /// breach, SIGUSR1); empty = dumps disabled.
+  std::string flight_dump_path;
+  /// Fault-storm trip wire: `storm_threshold` injected faults inside
+  /// `storm_window` of virtual time force a dump.  0 = disabled.
+  std::uint32_t storm_threshold = 0;
+  Picos storm_window = milliseconds(1);
+  /// Keep the full per-tick metric series in memory (export_session wants
+  /// it; long streaming runs may prefer to shed it).
+  bool keep_series = true;
+};
 
 struct TestbedConfig {
   sim::TimingParams timing;
@@ -30,6 +55,8 @@ struct TestbedConfig {
   /// builds (runtime, FPGAs, NIC ports).  Created when left null, so
   /// `testbed.telemetry()` always has the whole picture.
   telemetry::TelemetryPtr telemetry;
+  /// Live-introspection settings, activated by start_introspection().
+  IntrospectionConfig introspection;
 
   TestbedConfig() {
     fpga.timing = timing.fpga;
@@ -91,13 +118,23 @@ class Testbed {
   /// port, run `settle` so the pipeline drains (retries complete, NFs
   /// consume their OBQs), and return the runtime ledger's audit.  Tests
   /// assert clean() on the result; trivially clean without a runtime or in
-  /// DHL_LEDGER=0 builds.
-  runtime::LedgerAudit quiesce_ledger(Picos settle = milliseconds(5)) {
-    for (auto& port : ports_) port->stop_traffic();
-    run_for(settle);
-    return runtime_ != nullptr ? runtime_->ledger().audit()
-                               : runtime::LedgerAudit{};
-  }
+  /// DHL_LEDGER=0 builds.  A non-clean audit auto-dumps the flight recorder
+  /// (when a dump path is configured) so the recent-event context that led
+  /// to the imbalance survives the test failure.
+  runtime::LedgerAudit quiesce_ledger(Picos settle = milliseconds(5));
+
+  /// Activate the live introspection layer per config().introspection:
+  /// starts a PeriodicSampler whose tick evaluates the SLO watchdog, polls
+  /// the flight-recorder triggers (SIGUSR1 / fault storm), and -- when a
+  /// stream socket is configured -- publishes one NDJSON snapshot per tick
+  /// to connected dhl-top clients.  Idempotent.
+  void start_introspection();
+  /// Stop the stream server (if running) and detach the sampler hook.
+  void stop_introspection();
+
+  telemetry::SloWatchdog* slo_watchdog() { return slo_.get(); }
+  telemetry::PeriodicSampler* sampler() { return sampler_.get(); }
+  telemetry::TelemetryStreamServer* stream_server() { return stream_.get(); }
 
  private:
   TestbedConfig config_;
@@ -106,6 +143,9 @@ class Testbed {
   std::vector<std::unique_ptr<netio::NicPort>> ports_;
   std::vector<std::unique_ptr<fpga::FpgaDevice>> fpgas_;
   std::unique_ptr<runtime::DhlRuntime> runtime_;
+  std::unique_ptr<telemetry::PeriodicSampler> sampler_;
+  std::unique_ptr<telemetry::SloWatchdog> slo_;
+  std::unique_ptr<telemetry::TelemetryStreamServer> stream_;
   std::uint16_t next_port_id_ = 0;
 };
 

@@ -65,4 +65,64 @@ void Testbed::reset_port_stats() {
   for (auto& p : ports_) p->reset_stats();
 }
 
+runtime::LedgerAudit Testbed::quiesce_ledger(Picos settle) {
+  for (auto& port : ports_) port->stop_traffic();
+  run_for(settle);
+  runtime::LedgerAudit audit =
+      runtime_ != nullptr ? runtime_->ledger().audit() : runtime::LedgerAudit{};
+  if (!audit.clean() && config_.telemetry != nullptr) {
+    telemetry::FlightRecorder& rec = config_.telemetry->recorder;
+    rec.log(telemetry::FlightComponent::kLedger, sim_.now(),
+            telemetry::FlightEventKind::kAuditFail, "ledger_audit",
+            /*a=*/0, /*b=*/static_cast<std::int32_t>(audit.live),
+            /*c=*/audit.tracked);
+    rec.dump_auto("ledger_audit_failure");
+  }
+  return audit;
+}
+
+void Testbed::start_introspection() {
+  const IntrospectionConfig& ic = config_.introspection;
+  telemetry::Telemetry& tel = telemetry();
+  if (!ic.flight_dump_path.empty()) {
+    tel.recorder.set_auto_dump_path(ic.flight_dump_path);
+  }
+  if (ic.storm_threshold > 0) {
+    tel.recorder.set_fault_storm_threshold(ic.storm_threshold,
+                                           ic.storm_window);
+  }
+  if (slo_ == nullptr) {
+    slo_ = std::make_unique<telemetry::SloWatchdog>(tel.stages, &tel.recorder);
+    for (const telemetry::SloSpec& spec : ic.slos) slo_->add_slo(spec);
+  }
+  if (stream_ == nullptr && !ic.stream_socket.empty()) {
+    stream_ = std::make_unique<telemetry::TelemetryStreamServer>();
+    DHL_CHECK_MSG(stream_->start(ic.stream_socket),
+                  "introspection stream socket failed to start");
+  }
+  if (sampler_ == nullptr) {
+    sampler_ = std::make_unique<telemetry::PeriodicSampler>(
+        sim_, tel.metrics, ic.sample_period);
+    sampler_->set_keep_series(ic.keep_series);
+    sampler_->set_tick_hook([this](const telemetry::MetricsSnapshot& snap) {
+      telemetry::Telemetry& t = telemetry();
+      slo_->evaluate(sim_.now(), snap);
+      t.recorder.poll_triggers(sim_.now());
+      if (stream_ != nullptr) {
+        stream_->publish(telemetry::make_stream_snapshot(
+            sim_.now(), snap, &t.stages, slo_.get()));
+      }
+    });
+    sampler_->start();
+  }
+}
+
+void Testbed::stop_introspection() {
+  if (sampler_ != nullptr) sampler_->set_tick_hook(nullptr);
+  if (stream_ != nullptr) {
+    stream_->stop();
+    stream_.reset();
+  }
+}
+
 }  // namespace dhl::nf

@@ -1,0 +1,77 @@
+#include "dhl/telemetry/hdr_histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dhl::telemetry {
+
+std::uint64_t HdrHistogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Nearest-rank: the ceil(q * count)-th sample in sorted order (1-based).
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_) + 0.9999999);
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBinCount; ++i) {
+    seen += bins_[i];
+    if (seen >= rank) {
+      // Clamp to the observed max so p100 is exact and sparse top bins do
+      // not over-report.
+      return std::min(bin_upper(i), max_);
+    }
+  }
+  return max_;
+}
+
+void HdrHistogram::merge(const HdrHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBinCount; ++i) bins_[i] += other.bins_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+HdrHistogram HdrHistogram::diff_since(const HdrHistogram& baseline) const {
+  HdrHistogram out;
+  for (std::size_t i = 0; i < kBinCount; ++i) {
+    const std::uint64_t cur = bins_[i];
+    const std::uint64_t base = baseline.bins_[i];
+    // A shrinking bin means `baseline` is not an earlier snapshot of this
+    // series; clamp rather than wrap.
+    out.bins_[i] = cur > base ? cur - base : 0;
+    out.count_ += out.bins_[i];
+    if (out.bins_[i] > 0) {
+      if (bin_lower(i) < out.min_) out.min_ = bin_lower(i);
+      out.max_ = std::min(bin_upper(i), max_);
+    }
+  }
+  out.sum_ = sum_ > baseline.sum_ ? sum_ - baseline.sum_ : 0;
+  return out;
+}
+
+void HdrHistogram::reset() {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+void HdrHistogram::write_json(std::ostream& os) const {
+  os << "{\"count\": " << count_ << ", \"min\": " << min()
+     << ", \"max\": " << max_ << ", \"mean\": " << mean()
+     << ", \"p50\": " << percentile(0.5) << ", \"p99\": " << percentile(0.99)
+     << ", \"p999\": " << percentile(0.999) << "}";
+}
+
+std::string HdrHistogram::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace dhl::telemetry

@@ -1,0 +1,156 @@
+#pragma once
+
+// FlightRecorder: always-on black box of recent runtime events (DESIGN.md
+// section 7).
+//
+// Fixed-capacity per-component ring buffers of small POD events -- batch
+// flushes, DMA retries and redirects, health-ladder transitions, fault
+// injections, and drops tagged with their ledger stage.  Writers pay one
+// ring-slot store per event and never allocate, so the recorder stays on in
+// Release builds where the lifecycle ledger is compiled out.  (On the
+// single simulation thread the rings are single-producer and lock-free by
+// construction; dumps run on the same thread and copy.)
+//
+// The buffer is dumped to a JSON artifact when:
+//   - a ledger audit fails (testbed quiesce / stress-test teardown),
+//   - a fault storm trips the configured threshold (N faults in a window),
+//   - an SLO breach fires (wired by SloWatchdog),
+//   - a SIGUSR1-equivalent dump request arrives (request_dump() -- the
+//     installable signal handler just calls it; poll_triggers() consumes).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dhl/common/units.hpp"
+
+namespace dhl::telemetry {
+
+enum class FlightComponent : std::uint8_t {
+  kPacker = 0,
+  kDistributor,
+  kDma,
+  kControl,  // HwFunctionTable / health ladder
+  kFault,
+  kSlo,
+  kLedger,
+  kCount,
+};
+
+enum class FlightEventKind : std::uint8_t {
+  kBatchFlush = 0,
+  kDmaRetry,
+  kRedirect,
+  kHealthTransition,
+  kFaultInjected,
+  kDrop,
+  kCrcDrop,
+  kAuditFail,
+  kSloBreach,
+  kSloRecover,
+  kDumpRequested,
+};
+
+const char* to_string(FlightComponent comp);
+const char* to_string(FlightEventKind kind);
+
+/// One recorded event.  `a`/`b`/`c` are kind-specific small arguments
+/// (documented per call site; typically ids, counts and byte sizes) and
+/// `tag` a short truncated label (hf name, drop bucket, NF name).
+struct FlightEvent {
+  Picos at = 0;
+  std::uint64_t seq = 0;  // global order stamp across all rings
+  FlightEventKind kind = FlightEventKind::kBatchFlush;
+  FlightComponent comp = FlightComponent::kPacker;
+  std::int16_t a = 0;
+  std::int32_t b = 0;
+  std::uint64_t c = 0;
+  char tag[24] = {};
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t per_component_capacity = 1024);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  void log(FlightComponent comp, Picos at, FlightEventKind kind,
+           std::string_view tag = {}, std::int16_t a = 0, std::int32_t b = 0,
+           std::uint64_t c = 0);
+
+  /// Events still held in the rings, oldest first, globally time/seq
+  /// ordered.  `max_events` > 0 keeps only the newest that many.
+  std::vector<FlightEvent> recent(std::size_t max_events = 0) const;
+
+  std::uint64_t total_logged() const { return seq_; }
+  std::uint64_t dumps_written() const { return dumps_written_; }
+
+  // --- dump triggers --------------------------------------------------------
+
+  /// Artifact path for automatic dumps (fault storm, SLO breach, signal,
+  /// audit failure via dump_auto()).  Empty (default) disables auto dumps.
+  void set_auto_dump_path(std::string path) { auto_dump_path_ = std::move(path); }
+  const std::string& auto_dump_path() const { return auto_dump_path_; }
+
+  /// Trip an automatic dump when `threshold` fault events land within
+  /// `window` of virtual time.  threshold == 0 disables storm detection.
+  void set_fault_storm_threshold(std::uint32_t threshold, Picos window);
+  bool storm_tripped() const { return storm_tripped_; }
+
+  /// SIGUSR1-equivalent: set the dump-request flag (async-signal-safe).
+  static void request_dump() { dump_requested_.store(true); }
+  /// Install a SIGUSR1 handler that calls request_dump().
+  static void install_signal_handler();
+  /// Consume a pending dump request (returns true at most once per request).
+  static bool consume_dump_request() { return dump_requested_.exchange(false); }
+
+  /// Called periodically (sampler tick): honours a pending dump request.
+  /// Returns the path written, empty when nothing fired.
+  std::string poll_triggers(Picos now);
+
+  /// Dump to the configured auto path with `reason`; returns the path
+  /// written or empty (no path configured / write failed).
+  std::string dump_auto(std::string_view reason);
+
+  // --- serialization --------------------------------------------------------
+
+  void write_json(std::ostream& os, std::string_view reason, Picos at) const;
+  bool dump_to_file(const std::string& path, std::string_view reason,
+                    Picos at) const;
+
+ private:
+  void note_fault(Picos at);
+
+  struct Ring {
+    std::vector<FlightEvent> buf;  // capacity rounded up to a power of two
+    std::uint64_t mask = 0;        // buf.size() - 1, for cheap slot indexing
+    std::uint64_t written = 0;  // total events ever logged to this ring
+  };
+
+  bool enabled_ = true;
+  std::array<Ring, static_cast<std::size_t>(FlightComponent::kCount)> rings_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dumps_written_ = 0;
+
+  /// Sentinel for "no timestamp yet" (Picos is unsigned).
+  static constexpr Picos kNever = ~Picos{0};
+
+  std::string auto_dump_path_;
+  std::uint32_t storm_threshold_ = 0;
+  Picos storm_window_ = 0;
+  std::vector<Picos> recent_faults_;  // ring of the last `threshold` times
+  std::size_t fault_cursor_ = 0;
+  bool storm_tripped_ = false;
+  Picos last_auto_dump_ = kNever;
+
+  static std::atomic<bool> dump_requested_;
+};
+
+}  // namespace dhl::telemetry

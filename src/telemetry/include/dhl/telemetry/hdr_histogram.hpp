@@ -1,0 +1,122 @@
+#pragma once
+
+// HdrHistogram: fixed-bucket log-linear histogram for live tail-latency
+// decomposition (DESIGN.md section 7).
+//
+// Layout is the classic HDR scheme: values below 2^kSubBits land in exact
+// unit-width bins; above that, every power-of-two range splits into
+// 2^kSubBits linear sub-bins, so the relative quantization error is bounded
+// by 2^-kSubBits (~1.6% at kSubBits = 6) across the whole 64-bit range.
+// Bin edges are exact integers (bin_lower/bin_upper), which is what makes
+// the bucket-boundary tests in test_hdr_histogram.cpp possible.
+//
+// Differences from sim::LatencyHistogram (the offline metrics histogram):
+// integer power-of-two bucket math instead of log(), an explicit error
+// bound, bin-wise merge() for per-thread shards, and diff_since() -- the
+// windowed view the SLO watchdog evaluates each sampler period.
+//
+// Not thread-safe: single-writer (the simulation thread).  Exporters copy.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dhl::telemetry {
+
+class HdrHistogram {
+ public:
+  /// Linear sub-bins per power-of-two bucket (as a power of two).
+  static constexpr unsigned kSubBits = 6;
+  static constexpr std::uint64_t kSubCount = 1ull << kSubBits;
+  /// Relative quantization error bound: percentile(q) is never more than
+  /// value * kMaxRelativeError above the true sample (plus < 1 for the
+  /// integer edge).
+  static constexpr double kMaxRelativeError = 1.0 / static_cast<double>(kSubCount);
+  /// Bins covering the full uint64 range: 2*kSubCount exact/near-exact low
+  /// bins plus kSubCount per remaining power-of-two bucket.
+  static constexpr std::size_t kBinCount =
+      ((64 - kSubBits - 1) << kSubBits) + (kSubCount << 1);
+
+  HdrHistogram() : bins_(kBinCount, 0) {}
+
+  /// Bin holding value `v`.  Contiguous: bin_index(v)+1 == bin_index of the
+  /// first value past bin_upper(bin_index(v)).
+  static std::size_t bin_index(std::uint64_t v) {
+    if (v < kSubCount) return static_cast<std::size_t>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(__builtin_clzll(v));
+    const unsigned shift = msb - kSubBits;
+    return (static_cast<std::size_t>(msb - kSubBits) << kSubBits) +
+           static_cast<std::size_t>(v >> shift);
+  }
+
+  /// Smallest value mapping to bin `i`.
+  static std::uint64_t bin_lower(std::size_t i) {
+    if (i < (kSubCount << 1)) return i;
+    const std::size_t bucket = i >> kSubBits;  // >= 2
+    const std::uint64_t sub = i & (kSubCount - 1);
+    const unsigned shift = static_cast<unsigned>(bucket - 1);
+    return (kSubCount + sub) << shift;
+  }
+
+  /// Largest value mapping to bin `i` (inclusive).
+  static std::uint64_t bin_upper(std::size_t i) {
+    if (i < (kSubCount << 1)) return i;
+    const std::size_t bucket = i >> kSubBits;
+    const unsigned shift = static_cast<unsigned>(bucket - 1);
+    return bin_lower(i) + ((1ull << shift) - 1);
+  }
+
+  void record(std::uint64_t v) { record_n(v, 1); }
+
+  /// Record `n` identical samples with one bin touch -- the batched stages
+  /// (dma.tx / fpga / dma.rx / distributor) move whole batches between the
+  /// same two timestamps, so one record covers every packet in the batch.
+  void record_n(std::uint64_t v, std::uint64_t n) {
+    if (n == 0) return;
+    count_ += n;
+    sum_ += v * n;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+    bins_[bin_index(v)] += n;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+  std::uint64_t bin_count_at(std::size_t i) const { return bins_[i]; }
+
+  /// Nearest-rank percentile, reported as the upper edge of the bin holding
+  /// the ranked sample: the returned value is >= the true sample and at
+  /// most kMaxRelativeError above it.
+  std::uint64_t percentile(double q) const;
+
+  /// Bin-wise addition of another histogram (per-thread shard merge).
+  void merge(const HdrHistogram& other);
+
+  /// Windowed view: the samples recorded since `baseline`, where `baseline`
+  /// is an earlier copy of this (cumulative) histogram.  This is how the
+  /// SLO watchdog turns a cumulative series into per-window percentiles.
+  HdrHistogram diff_since(const HdrHistogram& baseline) const;
+
+  void reset();
+
+  /// {"count":N,"min":..,"max":..,"mean":..,"p50":..,"p99":..,"p999":..}
+  /// (same unit as the recorded samples -- picoseconds for latencies).
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace dhl::telemetry

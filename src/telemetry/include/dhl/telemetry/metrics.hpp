@@ -14,10 +14,23 @@
 // Snapshots are value copies: exporters (Prometheus text, JSON, the periodic
 // sampler) serialize a snapshot, never the live registry, so a snapshot taken
 // at virtual time T stays consistent even while the simulation keeps running.
+//
+// Concurrency contract (introspection layer): the simulation thread is the
+// only *writer* of instrument values and the only thread that registers new
+// series, but snapshot() may be called while it runs (tests, ad-hoc
+// exporters).  Counter/Gauge therefore use relaxed atomics -- a plain
+// load/op/store, NOT fetch_add: under the single-writer discipline the RMW
+// never races with another writer, and avoiding the locked instruction
+// keeps Counter::add at ordinary-store cost on the hot path.  The series
+// map itself is mutex-guarded so a snapshot never observes a half-inserted
+// entry (torn label sets).  Histograms stay unsynchronized and must only be
+// touched from the simulation thread.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -34,27 +47,34 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 
 enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 
-/// Monotonic event count.
+/// Monotonic event count.  Single-writer; see the concurrency contract in
+/// the header comment for why this is load/store rather than fetch_add.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  void add(std::uint64_t n = 1) {
+    value_.store(value_.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Point-in-time level (queue depth, utilization, EWMA rate).
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double d) { value_ += d; }
-  double value() const { return value_; }
-  void reset() { value_ = 0; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    value_.store(value_.load(std::memory_order_relaxed) + d,
+                 std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Log-binned distribution over integer samples (picoseconds for latencies;
@@ -127,7 +147,7 @@ class MetricsRegistry {
   MetricsSnapshot snapshot(Picos at = 0) const;
   /// Zero every instrument (used to discard warm-up).
   void reset();
-  std::size_t series_count() const { return entries_.size(); }
+  std::size_t series_count() const;
 
  private:
   struct Entry {
@@ -141,6 +161,10 @@ class MetricsRegistry {
 
   Entry& entry(const std::string& name, Labels&& labels, MetricKind kind);
 
+  // Guards the map structure (registration vs snapshot), not the instrument
+  // values -- those are atomics.  Registration is rare (construction time),
+  // so the lock never contends on the hot path.
+  mutable std::mutex mu_;
   // Keyed by name + canonical label serialization; std::map keeps exports
   // deterministically ordered.
   std::map<std::string, Entry> entries_;

@@ -10,7 +10,14 @@
 //
 // The bench harness starts one per run and emits the series as the
 // "samples" section of the --telemetry-out sidecar.
+//
+// The tick hook is the introspection layer's heartbeat: the Testbed hangs
+// SLO evaluation, flight-recorder trigger polling and stream publication off
+// it, so one snapshot per period feeds every consumer.  Long streaming runs
+// set keep_series(false) to stop the in-memory series from growing without
+// bound.
 
+#include <functional>
 #include <vector>
 
 #include "dhl/sim/simulator.hpp"
@@ -35,6 +42,16 @@ class PeriodicSampler {
   const std::vector<MetricsSnapshot>& series() const { return series_; }
   void clear() { series_.clear(); }
 
+  /// Called with every snapshot, after it is (optionally) appended to the
+  /// series.  One hook; compose in the caller if several consumers need it.
+  void set_tick_hook(std::function<void(const MetricsSnapshot&)> hook) {
+    tick_hook_ = std::move(hook);
+  }
+  /// When false, snapshots feed the tick hook only and the series stays
+  /// empty (unbounded-run mode).  Default true.
+  void set_keep_series(bool keep) { keep_series_ = keep; }
+  std::uint64_t ticks() const { return ticks_; }
+
   /// JSON array of {"at_ps", "metrics"} snapshot objects.
   std::string to_json() const;
 
@@ -45,6 +62,9 @@ class PeriodicSampler {
   const MetricsRegistry& registry_;
   Picos period_;
   std::vector<MetricsSnapshot> series_;
+  std::function<void(const MetricsSnapshot&)> tick_hook_;
+  bool keep_series_ = true;
+  std::uint64_t ticks_ = 0;
   bool running_ = false;
   // Stale scheduled ticks from before a stop()/start() cycle are ignored.
   std::uint64_t epoch_ = 0;

@@ -1,0 +1,108 @@
+#pragma once
+
+// TelemetryStreamServer: `dhl-top` streaming endpoint (DESIGN.md section 7).
+//
+// A unix-domain SOCK_STREAM listener driven by an epoll loop on a background
+// thread.  The simulation thread never blocks on a client: it serializes one
+// NDJSON snapshot per sampler tick (make_stream_snapshot) and hands the
+// string to publish(), which appends to a mutex-guarded pending queue and
+// pokes an eventfd.  The server thread owns the sockets: it accepts
+// clients, fans each published line out to every connected client's output
+// buffer, and flushes as EPOLLOUT allows.  A client that falls more than
+// kMaxClientBuffer behind is disconnected rather than allowed to apply
+// backpressure to the pipeline.
+//
+// The thread split keeps the registry single-threaded: only strings cross
+// the boundary, so the server needs no locks on telemetry state.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dhl/common/units.hpp"
+#include "dhl/telemetry/metrics.hpp"
+
+namespace dhl::telemetry {
+
+class StageLatencyRecorder;
+class SloWatchdog;
+
+/// One NDJSON line: {"at_ps": ..., "stage_latency": {...}, "slo": [...],
+/// "replicas": [...], "counters": {...}, "gauges": {...}}.  `stages` / `slo`
+/// may be null (keys omitted).  No trailing newline -- publish() adds it.
+std::string make_stream_snapshot(Picos at, const MetricsSnapshot& snap,
+                                 const StageLatencyRecorder* stages,
+                                 const SloWatchdog* slo);
+
+class TelemetryStreamServer {
+ public:
+  /// Disconnect clients that fall this many buffered bytes behind.
+  static constexpr std::size_t kMaxClientBuffer = 4u << 20;
+
+  TelemetryStreamServer() = default;
+  ~TelemetryStreamServer() { stop(); }
+  TelemetryStreamServer(const TelemetryStreamServer&) = delete;
+  TelemetryStreamServer& operator=(const TelemetryStreamServer&) = delete;
+
+  /// Bind `socket_path` (an existing stale socket file is unlinked), start
+  /// the epoll thread.  Returns false on any syscall failure (path too long
+  /// for sockaddr_un, bind/listen error, ...).
+  bool start(const std::string& socket_path);
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& socket_path() const { return socket_path_; }
+
+  /// Queue one snapshot line for every connected client (a '\n' is
+  /// appended).  Cheap no-op when the server is not running.
+  void publish(std::string line);
+
+  /// Stop the thread, close all sockets, unlink the socket file.
+  void stop();
+
+  /// Currently connected clients (approximate; updated by the loop thread).
+  std::size_t client_count() const {
+    return clients_connected_.load(std::memory_order_acquire);
+  }
+  std::uint64_t lines_published() const {
+    return lines_published_.load(std::memory_order_acquire);
+  }
+  /// Clients dropped for exceeding kMaxClientBuffer.
+  std::uint64_t slow_disconnects() const {
+    return slow_disconnects_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Client {
+    int fd = -1;
+    std::string out;          // bytes not yet written
+    std::size_t sent = 0;     // prefix of `out` already written
+    bool want_writable = false;
+  };
+
+  void loop();
+  void accept_clients();
+  bool flush_client(Client& c);
+  void drop_client(std::size_t idx);
+  void update_client_events(Client& c);
+
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: publish() / stop() -> loop thread
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+
+  std::mutex pending_mu_;
+  std::vector<std::string> pending_;
+
+  // Loop-thread-owned.
+  std::vector<Client> clients_;
+
+  std::atomic<std::size_t> clients_connected_{0};
+  std::atomic<std::uint64_t> lines_published_{0};
+  std::atomic<std::uint64_t> slow_disconnects_{0};
+};
+
+}  // namespace dhl::telemetry

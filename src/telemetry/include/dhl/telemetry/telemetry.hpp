@@ -12,15 +12,23 @@
 #include <memory>
 #include <string>
 
+#include "dhl/telemetry/flight_recorder.hpp"
 #include "dhl/telemetry/metrics.hpp"
 #include "dhl/telemetry/sampler.hpp"
+#include "dhl/telemetry/stage_stats.hpp"
 #include "dhl/telemetry/trace.hpp"
 
 namespace dhl::telemetry {
 
+class SloWatchdog;
+
 struct Telemetry {
   MetricsRegistry metrics;
   TraceSession trace;
+  /// Per-stage tail-latency decomposition (DESIGN.md section 7).
+  StageLatencyRecorder stages;
+  /// Always-on black box of recent runtime events.
+  FlightRecorder recorder;
 };
 
 using TelemetryPtr = std::shared_ptr<Telemetry>;
@@ -36,13 +44,18 @@ inline TelemetryPtr ensure(TelemetryPtr t) {
 /// Write the combined sidecar: a Chrome trace-event object (loads directly in
 /// chrome://tracing and Perfetto) whose extra top-level keys carry the
 /// metrics snapshot and, when a sampler ran, the sampled time series.
+/// Non-null `stages` / `slo` add "stage_latency" / "slo_verdicts" keys.
 void export_session(std::ostream& os, const TraceSession& trace,
                     const MetricsSnapshot& snapshot,
-                    const PeriodicSampler* sampler = nullptr);
+                    const PeriodicSampler* sampler = nullptr,
+                    const StageLatencyRecorder* stages = nullptr,
+                    const SloWatchdog* slo = nullptr);
 
 /// Same, to a file.  Returns false when the file cannot be opened.
 bool export_session_file(const std::string& path, const TraceSession& trace,
                          const MetricsSnapshot& snapshot,
-                         const PeriodicSampler* sampler = nullptr);
+                         const PeriodicSampler* sampler = nullptr,
+                         const StageLatencyRecorder* stages = nullptr,
+                         const SloWatchdog* slo = nullptr);
 
 }  // namespace dhl::telemetry

@@ -196,6 +196,7 @@ MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
                                                MetricKind kind) {
   Labels canon = canonical(std::move(labels));
   const std::string key = series_key(name, canon);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     Entry e;
@@ -232,6 +233,7 @@ Histogram* MetricsRegistry::histogram(const std::string& name, Labels labels) {
 MetricsSnapshot MetricsRegistry::snapshot(Picos at) const {
   MetricsSnapshot snap;
   snap.at = at;
+  std::lock_guard<std::mutex> lock(mu_);
   snap.samples.reserve(entries_.size());
   for (const auto& [key, e] : entries_) {
     MetricSample s;
@@ -265,6 +267,7 @@ MetricsSnapshot MetricsRegistry::snapshot(Picos at) const {
 }
 
 void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, e] : entries_) {
     switch (e.kind) {
       case MetricKind::kCounter: e.counter->reset(); break;
@@ -272,6 +275,11 @@ void MetricsRegistry::reset() {
       case MetricKind::kHistogram: e.histogram->reset(); break;
     }
   }
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
 }
 
 }  // namespace dhl::telemetry

@@ -26,7 +26,14 @@ void PeriodicSampler::stop() {
 }
 
 void PeriodicSampler::tick() {
-  series_.push_back(registry_.snapshot(sim_.now()));
+  MetricsSnapshot snap = registry_.snapshot(sim_.now());
+  ticks_++;
+  if (keep_series_) {
+    series_.push_back(snap);
+  }
+  if (tick_hook_) {
+    tick_hook_(snap);
+  }
   const std::uint64_t epoch = epoch_;
   sim_.schedule_after(period_, [this, epoch] {
     if (running_ && epoch == epoch_) tick();

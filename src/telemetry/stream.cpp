@@ -1,0 +1,319 @@
+#include "dhl/telemetry/stream.hpp"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "dhl/telemetry/slo.hpp"
+#include "dhl/telemetry/stage_stats.hpp"
+
+namespace dhl::telemetry {
+
+namespace {
+
+const char* replica_state_name(int state) {
+  switch (state) {
+    case 0: return "healthy";
+    case 1: return "degraded";
+    case 2: return "quarantined";
+    case 3: return "probation";
+    default: return "?";
+  }
+}
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+void write_series_key(std::ostream& os, const MetricSample& s) {
+  os << '"';
+  write_escaped(os, s.name);
+  if (!s.labels.empty()) {
+    os << '{';
+    bool first = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!first) os << ',';
+      first = false;
+      write_escaped(os, k);
+      os << '=';
+      write_escaped(os, v);
+    }
+    os << '}';
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string make_stream_snapshot(Picos at, const MetricsSnapshot& snap,
+                                 const StageLatencyRecorder* stages,
+                                 const SloWatchdog* slo) {
+  std::ostringstream os;
+  os << "{\"at_ps\": " << at;
+
+  if (stages != nullptr) {
+    os << ", \"stage_latency\": ";
+    stages->write_json(os);
+  }
+  if (slo != nullptr) {
+    os << ", \"slo\": ";
+    slo->write_verdicts_json(os);
+  }
+
+  os << ", \"replicas\": [";
+  bool first = true;
+  for (const MetricSample& s : snap.samples) {
+    if (s.name != "dhl.replica.state") continue;
+    if (!first) os << ", ";
+    first = false;
+    std::string hf, fpga, region;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "hf") hf = v;
+      else if (k == "fpga") fpga = v;
+      else if (k == "region") region = v;
+    }
+    const int state = static_cast<int>(s.value);
+    os << "{\"hf\": \"";
+    write_escaped(os, hf);
+    os << "\", \"fpga\": \"";
+    write_escaped(os, fpga);
+    os << "\", \"region\": " << (region.empty() ? "-1" : region)
+       << ", \"state\": " << state << ", \"health\": \""
+       << replica_state_name(state) << "\"}";
+  }
+  os << "]";
+
+  os << ", \"counters\": {";
+  first = true;
+  for (const MetricSample& s : snap.samples) {
+    if (s.kind != MetricKind::kCounter) continue;
+    if (!first) os << ", ";
+    first = false;
+    write_series_key(os, s);
+    os << ": " << static_cast<std::uint64_t>(s.value);
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const MetricSample& s : snap.samples) {
+    if (s.kind != MetricKind::kGauge) continue;
+    if (!first) os << ", ";
+    first = false;
+    write_series_key(os, s);
+    os << ": " << s.value;
+  }
+  os << "}}";
+  return os.str();
+}
+
+bool TelemetryStreamServer::start(const std::string& socket_path) {
+  if (running()) return false;
+
+  sockaddr_un addr = {};
+  if (socket_path.size() >= sizeof(addr.sun_path)) return false;
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return false;
+
+  ::unlink(socket_path.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    ::unlink(socket_path.c_str());
+    return false;
+  }
+
+  epoll_event ev = {};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  socket_path_ = socket_path;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void TelemetryStreamServer::publish(std::string line) {
+  if (!running()) return;
+  line.push_back('\n');
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.push_back(std::move(line));
+  }
+  lines_published_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void TelemetryStreamServer::stop() {
+  if (!running_.exchange(false)) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+
+  for (Client& c : clients_) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  clients_.clear();
+  clients_connected_.store(0, std::memory_order_release);
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+  ::close(listen_fd_);
+  wake_fd_ = epoll_fd_ = listen_fd_ = -1;
+  ::unlink(socket_path_.c_str());
+}
+
+void TelemetryStreamServer::accept_clients() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) break;  // EAGAIN or error: either way, done for now
+    Client c;
+    c.fd = fd;
+    epoll_event ev = {};
+    ev.events = EPOLLIN | EPOLLRDHUP;  // EPOLLIN: detect close/reset
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    clients_.push_back(std::move(c));
+    clients_connected_.store(clients_.size(), std::memory_order_release);
+  }
+}
+
+bool TelemetryStreamServer::flush_client(Client& c) {
+  while (c.sent < c.out.size()) {
+    const ssize_t n =
+        ::send(c.fd, c.out.data() + c.sent, c.out.size() - c.sent,
+               MSG_NOSIGNAL);
+    if (n > 0) {
+      c.sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;  // kernel buffer full; wait for EPOLLOUT
+    }
+    return false;  // peer gone
+  }
+  if (c.sent == c.out.size()) {
+    c.out.clear();
+    c.sent = 0;
+  } else if (c.sent > (1u << 16)) {
+    c.out.erase(0, c.sent);
+    c.sent = 0;
+  }
+  update_client_events(c);
+  return true;
+}
+
+void TelemetryStreamServer::update_client_events(Client& c) {
+  const bool want = c.sent < c.out.size();
+  if (want == c.want_writable) return;
+  c.want_writable = want;
+  epoll_event ev = {};
+  ev.events = EPOLLIN | EPOLLRDHUP | (want ? EPOLLOUT : 0u);
+  ev.data.fd = c.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void TelemetryStreamServer::drop_client(std::size_t idx) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, clients_[idx].fd, nullptr);
+  ::close(clients_[idx].fd);
+  clients_.erase(clients_.begin() + static_cast<std::ptrdiff_t>(idx));
+  clients_connected_.store(clients_.size(), std::memory_order_release);
+}
+
+void TelemetryStreamServer::loop() {
+  constexpr int kMaxEvents = 16;
+  epoll_event events[kMaxEvents];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 200);
+    if (n < 0 && errno != EINTR) break;
+
+    bool have_pending = false;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drain = 0;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        have_pending = true;
+      } else if (fd == listen_fd_) {
+        accept_clients();
+      } else {
+        // Client event: hangup, readable garbage (we ignore input), or
+        // writable again.
+        for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+          if (clients_[ci].fd != fd) continue;
+          if (events[i].events & (EPOLLHUP | EPOLLERR | EPOLLRDHUP)) {
+            drop_client(ci);
+          } else {
+            if (events[i].events & EPOLLIN) {
+              char sink[256];
+              while (::read(fd, sink, sizeof(sink)) > 0) {
+              }
+            }
+            if (!flush_client(clients_[ci])) drop_client(ci);
+          }
+          break;
+        }
+      }
+    }
+
+    if (have_pending) {
+      std::vector<std::string> lines;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        lines.swap(pending_);
+      }
+      for (std::size_t ci = 0; ci < clients_.size();) {
+        Client& c = clients_[ci];
+        for (const std::string& line : lines) c.out += line;
+        if (c.out.size() - c.sent > kMaxClientBuffer) {
+          slow_disconnects_.fetch_add(1, std::memory_order_acq_rel);
+          drop_client(ci);
+          continue;
+        }
+        if (!flush_client(c)) {
+          drop_client(ci);
+          continue;
+        }
+        ++ci;
+      }
+    }
+  }
+}
+
+}  // namespace dhl::telemetry

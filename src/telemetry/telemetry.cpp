@@ -4,30 +4,42 @@
 #include <ostream>
 
 #include "dhl/common/log.hpp"
+#include "dhl/telemetry/slo.hpp"
 
 namespace dhl::telemetry {
 
 void export_session(std::ostream& os, const TraceSession& trace,
                     const MetricsSnapshot& snapshot,
-                    const PeriodicSampler* sampler) {
+                    const PeriodicSampler* sampler,
+                    const StageLatencyRecorder* stages, const SloWatchdog* slo) {
   os << "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": ";
   trace.write_events_array(os);
   os << ",\n\"metrics\": " << snapshot.to_json();
   if (sampler != nullptr) {
     os << ",\n\"samples\": " << sampler->to_json();
   }
+  if (stages != nullptr) {
+    os << ",\n\"stage_latency\": ";
+    stages->write_json(os);
+  }
+  if (slo != nullptr) {
+    os << ",\n\"slo_verdicts\": ";
+    slo->write_verdicts_json(os);
+  }
   os << "\n}\n";
 }
 
 bool export_session_file(const std::string& path, const TraceSession& trace,
                          const MetricsSnapshot& snapshot,
-                         const PeriodicSampler* sampler) {
+                         const PeriodicSampler* sampler,
+                         const StageLatencyRecorder* stages,
+                         const SloWatchdog* slo) {
   std::ofstream os(path);
   if (!os) {
     DHL_ERROR("telemetry", "cannot open '" << path << "' for writing");
     return false;
   }
-  export_session(os, trace, snapshot, sampler);
+  export_session(os, trace, snapshot, sampler, stages, slo);
   DHL_INFO("telemetry", "wrote " << trace.size() << " trace events and "
                                  << snapshot.samples.size()
                                  << " metric series to " << path);

@@ -227,7 +227,23 @@ TEST(BatchFuzz, RuntimeIngestParsesCleanlyOrCountsDrop) {
   EXPECT_EQ(pool.in_use(), 0u);
   if (kLedgerCompiled) {
     const LedgerAudit audit = rt.ledger().audit();
-    EXPECT_TRUE(audit.clean()) << audit.to_string();
+    if (!audit.clean()) {
+      // Same teardown contract as test_stress_faults: dump the flight
+      // recorder so the CI artifact shows the event context of the leak.
+      telemetry::FlightRecorder& rec = rt.telemetry().recorder;
+      const char* override_path = std::getenv("DHL_FLIGHT_DUMP");
+      rec.set_auto_dump_path(override_path != nullptr && *override_path != '\0'
+                                 ? override_path
+                                 : "flight_dump_batch_fuzz.json");
+      rec.log(telemetry::FlightComponent::kLedger, sim.now(),
+              telemetry::FlightEventKind::kAuditFail, "batch_fuzz",
+              /*a=*/0, /*b=*/static_cast<std::int32_t>(audit.live),
+              /*c=*/audit.tracked);
+      const std::string dumped = rec.dump_auto("ledger_audit_failure");
+      ADD_FAILURE() << "ledger audit failed (flight recorder dumped to '"
+                    << dumped << "'):\n"
+                    << audit.to_string();
+    }
   }
 }
 

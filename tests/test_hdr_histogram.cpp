@@ -1,0 +1,162 @@
+// HdrHistogram: bucket-boundary exactness, percentile error bound against a
+// sorted-sample oracle, shard merge, and windowed diff (DESIGN.md section 7).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dhl/common/rng.hpp"
+#include "dhl/telemetry/hdr_histogram.hpp"
+
+namespace dhl::telemetry {
+namespace {
+
+using H = HdrHistogram;
+
+TEST(HdrHistogram, LowValuesLandInExactUnitBins) {
+  // Everything below 2 * kSubCount maps to a unit-width bin: the bin IS the
+  // value, so small latencies are exact, not quantized.
+  for (std::uint64_t v = 0; v < (H::kSubCount << 1); ++v) {
+    const std::size_t i = H::bin_index(v);
+    EXPECT_EQ(i, static_cast<std::size_t>(v));
+    EXPECT_EQ(H::bin_lower(i), v);
+    EXPECT_EQ(H::bin_upper(i), v);
+  }
+}
+
+TEST(HdrHistogram, BucketEdgesAreExactAndContiguous) {
+  // Exhaustive over the first power-of-two buckets, then spot checks across
+  // the 64-bit range: every value sits inside its bin's [lower, upper], and
+  // upper(i) + 1 is exactly lower(i + 1).
+  for (std::uint64_t v = 0; v < 1u << 16; ++v) {
+    const std::size_t i = H::bin_index(v);
+    EXPECT_LE(H::bin_lower(i), v);
+    EXPECT_GE(H::bin_upper(i), v);
+  }
+  const std::uint64_t spots[] = {1ull << 20,        (1ull << 33) + 12345,
+                                 1ull << 40,        (1ull << 52) - 1,
+                                 (1ull << 62) + 99, ~0ull};
+  for (std::uint64_t v : spots) {
+    const std::size_t i = H::bin_index(v);
+    EXPECT_LE(H::bin_lower(i), v);
+    EXPECT_GE(H::bin_upper(i), v);
+  }
+  for (std::size_t i = 0; i + 1 < H::kBinCount; ++i) {
+    ASSERT_EQ(H::bin_upper(i) + 1, H::bin_lower(i + 1)) << "bin " << i;
+    if (H::bin_upper(i) != ~0ull) {
+      ASSERT_EQ(H::bin_index(H::bin_upper(i) + 1), i + 1) << "bin " << i;
+    }
+    ASSERT_EQ(H::bin_index(H::bin_lower(i)), i) << "bin " << i;
+    ASSERT_EQ(H::bin_index(H::bin_upper(i)), i) << "bin " << i;
+  }
+}
+
+TEST(HdrHistogram, RelativeBinWidthIsBounded) {
+  // The quantization guarantee: a bin is never wider than lower * 2^-kSubBits
+  // (the log-linear layout's whole point).
+  for (std::size_t i = H::kSubCount << 1; i < H::kBinCount; i += 37) {
+    const double lower = static_cast<double>(H::bin_lower(i));
+    const double width =
+        static_cast<double>(H::bin_upper(i) - H::bin_lower(i) + 1);
+    EXPECT_LE(width, lower * H::kMaxRelativeError + 1.0) << "bin " << i;
+  }
+}
+
+TEST(HdrHistogram, PercentileMatchesSortedOracleWithinBound) {
+  // 1e6 deterministic samples spanning six decades; the reported percentile
+  // must be >= the nearest-rank oracle and within the relative error bound.
+  constexpr std::size_t kN = 1'000'000;
+  Xoshiro256 rng{0x5eed5eedULL};
+  H h;
+  std::vector<std::uint64_t> samples;
+  samples.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    // Log-uniform-ish: scale by a random number of bits so every decade of
+    // the distribution carries mass (tails included).
+    const unsigned bits = static_cast<unsigned>(rng() % 40);
+    const std::uint64_t v = rng() & ((1ull << bits) | ((1ull << bits) - 1));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::vector<std::uint64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+
+  ASSERT_EQ(h.count(), kN);
+  EXPECT_EQ(h.min(), sorted.front());
+  EXPECT_EQ(h.max(), sorted.back());
+  for (double q : {0.01, 0.10, 0.25, 0.50, 0.90, 0.99, 0.999, 0.9999}) {
+    const std::size_t rank = std::min(
+        kN - 1, static_cast<std::size_t>(std::ceil(q * kN)) - 1);
+    const std::uint64_t oracle = sorted[rank];
+    const std::uint64_t got = h.percentile(q);
+    EXPECT_GE(got, oracle) << "q=" << q;
+    EXPECT_LE(static_cast<double>(got),
+              static_cast<double>(oracle) * (1.0 + H::kMaxRelativeError) + 1.0)
+        << "q=" << q;
+  }
+  // The extremes clamp to observed samples exactly.
+  EXPECT_EQ(h.percentile(1.0), sorted.back());
+  EXPECT_LE(h.percentile(0.0), sorted.front() + sorted.front() / H::kSubCount);
+}
+
+TEST(HdrHistogram, RecordNEquivalentToRepeatedRecord) {
+  H a, b;
+  a.record_n(777, 1000);
+  for (int i = 0; i < 1000; ++i) b.record(777);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.percentile(0.5), b.percentile(0.5));
+  EXPECT_EQ(a.percentile(0.999), b.percentile(0.999));
+}
+
+TEST(HdrHistogram, ShardMergeEqualsSingleHistogram) {
+  // Per-thread shards merged bin-wise must be indistinguishable from one
+  // histogram that saw every sample.
+  Xoshiro256 rng{42};
+  H shard_a, shard_b, combined;
+  for (std::size_t i = 0; i < 100'000; ++i) {
+    const std::uint64_t v = rng() % 5'000'000;
+    combined.record(v);
+    (i % 2 == 0 ? shard_a : shard_b).record(v);
+  }
+  shard_a.merge(shard_b);
+  EXPECT_EQ(shard_a.count(), combined.count());
+  EXPECT_EQ(shard_a.sum(), combined.sum());
+  EXPECT_EQ(shard_a.min(), combined.min());
+  EXPECT_EQ(shard_a.max(), combined.max());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(shard_a.percentile(q), combined.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(HdrHistogram, DiffSinceIsolatesTheWindow) {
+  // Cumulative-histogram subtraction: the diff sees only the samples
+  // recorded after the baseline copy -- the SLO watchdog's windowed view.
+  H cum;
+  for (int i = 0; i < 1000; ++i) cum.record(10);  // old regime: fast
+  const H baseline = cum;
+  for (int i = 0; i < 500; ++i) cum.record(4000);  // new regime: slow
+  const H window = cum.diff_since(baseline);
+  EXPECT_EQ(window.count(), 500u);
+  EXPECT_GE(window.percentile(0.5), 4000u);
+  EXPECT_GE(window.min(), 4000u - 4000u / H::kSubCount);
+  // An empty window diff is empty, not negative.
+  const H empty = cum.diff_since(cum);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.percentile(0.99), 0u);
+}
+
+TEST(HdrHistogram, ResetClearsEverything) {
+  H h;
+  h.record(123456);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+}  // namespace
+}  // namespace dhl::telemetry

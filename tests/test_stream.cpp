@@ -1,0 +1,142 @@
+// Telemetry streaming endpoint: NDJSON snapshot serialization and the
+// unix-socket server that dhl-top connects to (DESIGN.md section 7).
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dhl/telemetry/metrics.hpp"
+#include "dhl/telemetry/slo.hpp"
+#include "dhl/telemetry/stage_stats.hpp"
+#include "dhl/telemetry/stream.hpp"
+
+namespace dhl::telemetry {
+namespace {
+
+std::string test_socket_path(const char* name) {
+  // Unix-socket paths are length-limited (~108 bytes); keep it short.
+  return "/tmp/dhl_" + std::to_string(::getpid()) + "_" + name + ".sock";
+}
+
+int connect_client(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Read one newline-terminated NDJSON line (with a wall-clock timeout).
+std::string read_line(int fd, int timeout_ms = 5000) {
+  std::string line;
+  char c = 0;
+  pollfd p{fd, POLLIN, 0};
+  while (true) {
+    if (::poll(&p, 1, timeout_ms) <= 0) return {};
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n <= 0) return {};
+    if (c == '\n') return line;
+    line.push_back(c);
+  }
+}
+
+TEST(StreamSnapshot, CarriesStagesSlosAndCounters) {
+  MetricsRegistry reg;
+  reg.counter("dhl.runtime.nf_pkts")->add(42);
+  StageLatencyRecorder stages;
+  stages.record(Stage::kPack, 123);
+  stages.record_e2e(0, 4567);
+  SloWatchdog dog{stages};
+  SloSpec spec;
+  spec.p99_ceiling = 1;
+  dog.add_slo(spec);
+
+  const std::string line =
+      make_stream_snapshot(999, reg.snapshot(999), &stages, &dog);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.find('\n'), std::string::npos)
+      << "one NDJSON record must be newline-free";
+  EXPECT_NE(line.find("\"at_ps\": 999"), std::string::npos);
+  EXPECT_NE(line.find("\"stage_latency\""), std::string::npos);
+  EXPECT_NE(line.find("\"pack\""), std::string::npos);
+  EXPECT_NE(line.find("\"end_to_end\""), std::string::npos);
+  EXPECT_NE(line.find("\"slo\""), std::string::npos);
+  EXPECT_NE(line.find("dhl.runtime.nf_pkts"), std::string::npos);
+}
+
+TEST(StreamServer, ClientReceivesPublishedSnapshots) {
+  const std::string path = test_socket_path("pub");
+  TelemetryStreamServer server;
+  ASSERT_TRUE(server.start(path));
+
+  const int fd = connect_client(path);
+  ASSERT_GE(fd, 0) << "client connect failed: " << std::strerror(errno);
+
+  // Build a realistic snapshot line and publish it a few times; delivery is
+  // asynchronous (epoll thread), so read with a timeout.
+  MetricsRegistry reg;
+  StageLatencyRecorder stages;
+  stages.record_n(Stage::kDmaTx, 1000, 64);
+  const std::string line =
+      make_stream_snapshot(1, reg.snapshot(1), &stages, nullptr);
+  server.publish(line);
+  const std::string got = read_line(fd);
+  EXPECT_EQ(got, line);
+  EXPECT_NE(got.find("\"dma_tx\""), std::string::npos);
+
+  server.publish("{\"at_ps\": 2}");
+  EXPECT_EQ(read_line(fd), "{\"at_ps\": 2}");
+  EXPECT_GE(server.lines_published(), 2u);
+
+  ::close(fd);
+  server.stop();
+}
+
+TEST(StreamServer, SupportsMultipleClientsAndDisconnects) {
+  const std::string path = test_socket_path("multi");
+  TelemetryStreamServer server;
+  ASSERT_TRUE(server.start(path));
+
+  const int a = connect_client(path);
+  const int b = connect_client(path);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  server.publish("{\"n\": 1}");
+  EXPECT_EQ(read_line(a), "{\"n\": 1}");
+  EXPECT_EQ(read_line(b), "{\"n\": 1}");
+
+  ::close(a);
+  server.publish("{\"n\": 2}");
+  EXPECT_EQ(read_line(b), "{\"n\": 2}");
+  ::close(b);
+  server.stop();
+  // Restart on the same path works (stale socket unlinked).
+  TelemetryStreamServer again;
+  EXPECT_TRUE(again.start(path));
+  again.stop();
+  ::unlink(path.c_str());
+}
+
+TEST(StreamServer, PublishWithoutClientsIsCheap) {
+  const std::string path = test_socket_path("idle");
+  TelemetryStreamServer server;
+  ASSERT_TRUE(server.start(path));
+  for (int i = 0; i < 1000; ++i) server.publish("{}");
+  EXPECT_EQ(server.client_count(), 0u);
+  server.stop();
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace dhl::telemetry

@@ -164,7 +164,25 @@ RunOutcome run_stress(std::uint64_t seed) {
     // Per-packet conservation, not just the counter arithmetic below: the
     // ledger saw every packet terminate exactly once.
     const LedgerAudit audit = rt.ledger().audit();
-    EXPECT_TRUE(audit.clean()) << audit.to_string();
+    if (!audit.clean()) {
+      // Dump the flight recorder next to the failure: the last few thousand
+      // batch flushes / retries / faults / drops explain *how* the ledger
+      // went out of balance.  CI uploads the artifact on job failure;
+      // DHL_FLIGHT_DUMP overrides the path.
+      telemetry::FlightRecorder& rec = rt.telemetry().recorder;
+      const char* override_path = std::getenv("DHL_FLIGHT_DUMP");
+      rec.set_auto_dump_path(override_path != nullptr && *override_path != '\0'
+                                 ? override_path
+                                 : "flight_dump_stress_faults.json");
+      rec.log(telemetry::FlightComponent::kLedger, sim.now(),
+              telemetry::FlightEventKind::kAuditFail, "stress_faults",
+              /*a=*/0, /*b=*/static_cast<std::int32_t>(audit.live),
+              /*c=*/audit.tracked);
+      const std::string dumped = rec.dump_auto("ledger_audit_failure");
+      ADD_FAILURE() << "ledger audit failed (flight recorder dumped to '"
+                    << dumped << "'):\n"
+                    << audit.to_string();
+    }
   }
   return out;
 }
