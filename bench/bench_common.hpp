@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "dhl/accel/catalog.hpp"
+#include "dhl/common/config_file.hpp"
 #include "dhl/fpga/device.hpp"
+#include "dhl/runtime/config_load.hpp"
 #include "dhl/match/aho_corasick.hpp"
 #include "dhl/netio/mempool.hpp"
 #include "dhl/nf/dhl_nf.hpp"
@@ -95,10 +97,29 @@ inline std::string telemetry_out_arg(int argc, char** argv) {
   return {};
 }
 
+/// Overlay a config file's [runtime] section onto `config` when the
+/// DHL_CONFIG environment variable names one (DESIGN.md section 8) -- the
+/// same file format dhl-daemon reads, so one committed .conf can pin a
+/// bench's runtime shape without recompiling.  No-op when unset.
+inline void apply_env_config(runtime::RuntimeConfig& config) {
+  const char* path = std::getenv("DHL_CONFIG");
+  if (path == nullptr || *path == '\0') return;
+  common::ConfigFile file;
+  if (!file.load_file(path)) {
+    std::fprintf(stderr, "bench: cannot read DHL_CONFIG=%s\n", path);
+    return;
+  }
+  runtime::apply_runtime_config(file, config);
+  for (const std::string& err : file.errors()) {
+    std::fprintf(stderr, "bench: config: %s\n", err.c_str());
+  }
+}
+
 inline PointResult run_single_nf(const SingleNfOptions& opt) {
   nf::TestbedConfig tb_cfg;
   tb_cfg.timing = opt.timing;
   tb_cfg.runtime.timing = opt.timing;
+  apply_env_config(tb_cfg.runtime);
   tb_cfg.runtime.numa_aware = opt.numa_aware;
   tb_cfg.fpga.dma = opt.timing.dma;
   tb_cfg.fpga.timing = opt.timing.fpga;

@@ -143,6 +143,31 @@ void render(const std::string& line) {
     }
   }
 
+  // Per-tenant accounting (multi-tenant runs only; the runtime omits the
+  // key when just the default tenant exists).
+  const std::size_t tenants = line.find("\"tenants\": [");
+  if (tenants != std::string::npos &&
+      line.find("{\"tenant\": \"", tenants) != std::string::npos) {
+    std::printf("\n%-12s %14s %10s %10s %10s %10s %10s\n", "tenant",
+                "outstanding", "in-flight", "admitted", "rejected",
+                "delivered", "dropped");
+    std::size_t at3 = tenants;
+    while ((at3 = line.find("{\"tenant\": \"", at3)) != std::string::npos) {
+      const std::size_t name_at = at3 + std::strlen("{\"tenant\": \"");
+      const std::size_t name_end = line.find('"', name_at);
+      if (name_end == std::string::npos) break;
+      const std::string name = line.substr(name_at, name_end - name_at);
+      std::printf("%-12s %14.0f %10.0f %10.0f %10.0f %10.0f %10.0f\n",
+                  name.c_str(), find_number(line, "outstanding_bytes", at3),
+                  find_number(line, "batches_in_flight", at3),
+                  find_number(line, "admitted", at3),
+                  find_number(line, "rejected", at3),
+                  find_number(line, "delivered", at3),
+                  find_number(line, "dropped", at3));
+      at3 = name_end;
+    }
+  }
+
   // Labeled counters serialize as "name{label=value}": N -- sum the series.
   double delivered = 0;
   std::size_t at2 = 0;

@@ -4,17 +4,21 @@
 // function (triggering its partial-reconfiguration load), push tagged
 // packets through the shared IBQ, and collect them from the private OBQ.
 //
-// Build & run:  ./examples/quickstart
+// Build & run:  ./examples/quickstart [--config=examples/dhl-daemon.conf]
+// (--config overlays the file's [runtime] section onto the defaults.)
 
 #include <cstdio>
+#include <cstring>
 
+#include "dhl/common/config_file.hpp"
 #include "dhl/fpga/device.hpp"
 #include "dhl/netio/mempool.hpp"
 #include "dhl/runtime/api.hpp"
+#include "dhl/runtime/config_load.hpp"
 #include "dhl/sim/simulator.hpp"
 #include "dhl/accel/catalog.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dhl;
 
   // --- substrate: one simulated server with one FPGA ---
@@ -24,6 +28,16 @@ int main() {
   netio::MbufPool pool{"quickstart", 1024, 2048, /*socket=*/0};
 
   runtime::RuntimeConfig rt_cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--config=", 9) == 0) {
+      common::ConfigFile file;
+      if (!file.load_file(argv[i] + 9)) {
+        std::fprintf(stderr, "cannot read %s\n", argv[i] + 9);
+        return 1;
+      }
+      runtime::apply_runtime_config(file, rt_cfg);
+    }
+  }
   runtime::DhlRuntime rt{sim, rt_cfg, accel::standard_module_database(nullptr),
                          {&fpga}};
 

@@ -1,0 +1,228 @@
+#include "dhl/common/config_file.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dhl::common {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// Strip a trailing comment that starts outside any value-relevant text.
+/// We keep it simple (no quoting): '#' or ';' preceded by whitespace or at
+/// column 0 starts a comment.
+std::string strip_comment(const std::string& line) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if ((line[i] == '#' || line[i] == ';') &&
+        (i == 0 || std::isspace(static_cast<unsigned char>(line[i - 1])) != 0)) {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Split "name arg" scoping into (name, arg); arg empty when absent.
+std::pair<std::string, std::string> split_scope(const std::string& scope) {
+  const std::size_t sp = scope.find(' ');
+  if (sp == std::string::npos) return {scope, ""};
+  return {scope.substr(0, sp), trim(scope.substr(sp + 1))};
+}
+
+}  // namespace
+
+const std::string* ConfigFile::Section::find(const std::string& key) const {
+  for (const auto& kv : values) {
+    if (kv.first == key) return &kv.second;
+  }
+  return nullptr;
+}
+
+bool ConfigFile::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  load_string(buf.str(), path);
+  return true;
+}
+
+void ConfigFile::load_string(const std::string& text,
+                             const std::string& origin) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  Section* current = nullptr;
+  const std::string where = origin.empty() ? "<string>" : origin;
+  while (std::getline(in, line)) {
+    ++lineno;
+    line = trim(strip_comment(line));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        errors_.push_back(where + ":" + std::to_string(lineno) +
+                          ": unterminated section header: " + line);
+        current = nullptr;
+        continue;
+      }
+      const auto [name, arg] = split_scope(trim(line.substr(1, line.size() - 2)));
+      if (name.empty()) {
+        errors_.push_back(where + ":" + std::to_string(lineno) +
+                          ": empty section name");
+        current = nullptr;
+        continue;
+      }
+      sections_.push_back(Section{lower(name), arg, {}});
+      current = &sections_.back();
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      errors_.push_back(where + ":" + std::to_string(lineno) +
+                        ": expected key = value: " + line);
+      continue;
+    }
+    const std::string key = lower(trim(line.substr(0, eq)));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      errors_.push_back(where + ":" + std::to_string(lineno) + ": empty key");
+      continue;
+    }
+    if (current == nullptr) {
+      errors_.push_back(where + ":" + std::to_string(lineno) +
+                        ": key outside any [section]: " + key);
+      continue;
+    }
+    current->values.emplace_back(key, value);
+  }
+}
+
+const ConfigFile::Section* ConfigFile::section(const std::string& name,
+                                               const std::string& arg) const {
+  for (const auto& s : sections_) {
+    if (s.name == lower(name) && (arg.empty() ? s.arg.empty() : s.arg == arg)) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const ConfigFile::Section*> ConfigFile::sections_named(
+    const std::string& name) const {
+  std::vector<const Section*> out;
+  for (const auto& s : sections_) {
+    if (s.name == lower(name)) out.push_back(&s);
+  }
+  return out;
+}
+
+std::string ConfigFile::env_name(const std::string& section,
+                                 const std::string& key) {
+  std::string out = "DHL";
+  const auto append = [&out](const std::string& part) {
+    out.push_back('_');
+    for (char c : part) {
+      if (c == '-' || c == '.' || c == ' ') {
+        out.push_back('_');
+      } else {
+        out.push_back(
+            static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+      }
+    }
+  };
+  const auto [name, arg] = split_scope(section);
+  append(name);
+  if (!arg.empty()) append(arg);
+  append(key);
+  return out;
+}
+
+std::optional<std::string> ConfigFile::raw(const std::string& scope,
+                                           const std::string& key) const {
+  const char* env = std::getenv(env_name(scope, key).c_str());
+  if (env != nullptr) return std::string(env);
+  const auto [name, arg] = split_scope(scope);
+  const Section* s = section(name, arg);
+  if (s == nullptr) return std::nullopt;
+  const std::string* v = s->find(lower(key));
+  if (v == nullptr) return std::nullopt;
+  return *v;
+}
+
+std::string ConfigFile::get_string(const std::string& section,
+                                   const std::string& key,
+                                   const std::string& fallback) const {
+  return raw(section, key).value_or(fallback);
+}
+
+std::int64_t ConfigFile::get_int(const std::string& section,
+                                 const std::string& key,
+                                 std::int64_t fallback) const {
+  const auto v = raw(section, key);
+  if (!v) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 0);
+  if (errno != 0 || end == v->c_str() || *end != '\0') {
+    errors_.push_back("[" + section + "] " + key + ": not an integer: " + *v);
+    return fallback;
+  }
+  return parsed;
+}
+
+std::uint64_t ConfigFile::get_uint(const std::string& section,
+                                   const std::string& key,
+                                   std::uint64_t fallback) const {
+  const auto v = raw(section, key);
+  if (!v) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v->c_str(), &end, 0);
+  if (errno != 0 || end == v->c_str() || *end != '\0' || v->front() == '-') {
+    errors_.push_back("[" + section + "] " + key +
+                      ": not an unsigned integer: " + *v);
+    return fallback;
+  }
+  return parsed;
+}
+
+double ConfigFile::get_double(const std::string& section,
+                              const std::string& key, double fallback) const {
+  const auto v = raw(section, key);
+  if (!v) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (errno != 0 || end == v->c_str() || *end != '\0') {
+    errors_.push_back("[" + section + "] " + key + ": not a number: " + *v);
+    return fallback;
+  }
+  return parsed;
+}
+
+bool ConfigFile::get_bool(const std::string& section, const std::string& key,
+                          bool fallback) const {
+  const auto v = raw(section, key);
+  if (!v) return fallback;
+  const std::string s = lower(*v);
+  if (s == "true" || s == "yes" || s == "on" || s == "1") return true;
+  if (s == "false" || s == "no" || s == "off" || s == "0") return false;
+  errors_.push_back("[" + section + "] " + key + ": not a boolean: " + *v);
+  return fallback;
+}
+
+}  // namespace dhl::common

@@ -1,0 +1,80 @@
+#pragma once
+
+// ConfigFile: a small INI-subset loader shared by benches, examples and the
+// daemon (DESIGN.md section 8).
+//
+// Grammar:
+//   [section]            plain section
+//   [section arg]        parameterized section, e.g. [tenant alpha]
+//   key = value          within the current section
+//   # comment, ; comment (full-line or trailing)
+//
+// Values are stored as strings; typed getters parse on demand.  Environment
+// overrides: DHL_<SECTION>_<KEY> beats the file ('-' and '.' map to '_',
+// upper-cased); parameterized sections use DHL_<SECTION>_<ARG>_<KEY>.
+// Parse problems are collected into errors() rather than thrown, so a caller
+// can report all of them at once.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dhl::common {
+
+class ConfigFile {
+ public:
+  struct Section {
+    std::string name;  ///< e.g. "tenant"
+    std::string arg;   ///< e.g. "alpha"; empty for plain sections
+    std::vector<std::pair<std::string, std::string>> values;
+
+    const std::string* find(const std::string& key) const;
+  };
+
+  /// Parse file contents; returns false when the file cannot be read.
+  /// Syntax problems do not fail the load -- see errors().
+  bool load_file(const std::string& path);
+  /// Parse from a string (tests, inline configs).
+  void load_string(const std::string& text, const std::string& origin = "");
+
+  const std::vector<Section>& sections() const { return sections_; }
+  const std::vector<std::string>& errors() const { return errors_; }
+
+  /// First section with this name (and arg, when given); null when absent.
+  const Section* section(const std::string& name,
+                         const std::string& arg = "") const;
+  /// Every section with this name (e.g. all [tenant X] stanzas).
+  std::vector<const Section*> sections_named(const std::string& name) const;
+
+  // Typed lookups: "<section>" or "<section> <arg>" scoping, env override
+  // applied first.  The fallback is returned when the key is absent or
+  // unparseable (unparseable values are also recorded in errors()).
+  std::string get_string(const std::string& section, const std::string& key,
+                         const std::string& fallback = "") const;
+  std::int64_t get_int(const std::string& section, const std::string& key,
+                       std::int64_t fallback = 0) const;
+  std::uint64_t get_uint(const std::string& section, const std::string& key,
+                         std::uint64_t fallback = 0) const;
+  double get_double(const std::string& section, const std::string& key,
+                    double fallback = 0) const;
+  /// true/false, yes/no, on/off, 1/0 (case-insensitive).
+  bool get_bool(const std::string& section, const std::string& key,
+                bool fallback = false) const;
+
+  /// The raw value for section/key after env override; nullopt when absent.
+  /// `section` may be "name" or "name arg".
+  std::optional<std::string> raw(const std::string& section,
+                                 const std::string& key) const;
+
+  /// The environment variable name an override would use (exposed so docs
+  /// and error messages can print it): DHL_<SECTION>[_<ARG>]_<KEY>.
+  static std::string env_name(const std::string& section,
+                              const std::string& key);
+
+ private:
+  std::vector<Section> sections_;
+  mutable std::vector<std::string> errors_;
+};
+
+}  // namespace dhl::common

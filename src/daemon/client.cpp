@@ -1,0 +1,207 @@
+#include "dhl/daemon/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace dhl::daemon {
+
+bool DaemonClient::connect(const std::string& socket_path, int timeout_ms) {
+  close();
+  sockaddr_un addr = {};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    error_ = "socket path too long";
+    return false;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0) {
+        fd_ = fd;
+        error_.clear();
+        return true;
+      }
+      ::close(fd);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      error_ = "connect timeout: " + socket_path;
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+void DaemonClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  parser_ = FrameParser{};
+}
+
+bool DaemonClient::request(MsgType type, const std::string& payload,
+                           Frame& reply) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  const std::string frame = encode_frame(type, payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::write(fd_, frame.data() + sent, frame.size() - sent);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      error_ = "write failed";
+      close();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  char buf[4096];
+  while (!parser_.next(reply)) {
+    if (parser_.error()) {
+      error_ = "protocol error (bad frame length)";
+      close();
+      return false;
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      error_ = "daemon closed the connection";
+      close();
+      return false;
+    }
+    parser_.feed(buf, static_cast<std::size_t>(n));
+  }
+  if (reply.type == MsgType::kError) {
+    error_ = reply.payload;
+    return false;
+  }
+  error_.clear();
+  return true;
+}
+
+bool DaemonClient::hello(const std::string& tenant) {
+  Frame reply;
+  return request(MsgType::kHello, "tenant=" + tenant, reply);
+}
+
+std::optional<int> DaemonClient::register_nf(const std::string& name,
+                                             int socket) {
+  Frame reply;
+  if (!request(MsgType::kRegisterNf,
+               "name=" + name + " socket=" + std::to_string(socket), reply)) {
+    return std::nullopt;
+  }
+  const auto id = kv_get_int(parse_kv(reply.payload), "nf_id");
+  if (!id.has_value()) {
+    error_ = "malformed reply: " + reply.payload;
+    return std::nullopt;
+  }
+  return static_cast<int>(*id);
+}
+
+std::optional<int> DaemonClient::lease(const std::string& hf, int socket) {
+  Frame reply;
+  if (!request(MsgType::kLease,
+               "hf=" + hf + " socket=" + std::to_string(socket), reply)) {
+    return std::nullopt;
+  }
+  const auto acc = kv_get_int(parse_kv(reply.payload), "acc_id");
+  if (!acc.has_value()) {
+    error_ = "malformed reply: " + reply.payload;
+    return std::nullopt;
+  }
+  return static_cast<int>(*acc);
+}
+
+std::optional<int> DaemonClient::replicate(const std::string& hf, int n) {
+  Frame reply;
+  if (!request(MsgType::kReplicate,
+               "hf=" + hf + " n=" + std::to_string(n), reply)) {
+    return std::nullopt;
+  }
+  const auto replicas = kv_get_int(parse_kv(reply.payload), "replicas");
+  return replicas.has_value() ? std::optional<int>(static_cast<int>(*replicas))
+                              : std::nullopt;
+}
+
+std::optional<int> DaemonClient::unload(const std::string& hf) {
+  Frame reply;
+  if (!request(MsgType::kUnload, "hf=" + hf, reply)) return std::nullopt;
+  const auto removed = kv_get_int(parse_kv(reply.payload), "removed");
+  return removed.has_value() ? std::optional<int>(static_cast<int>(*removed))
+                             : std::nullopt;
+}
+
+std::optional<DaemonClient::SendResult> DaemonClient::send(int nf, int acc,
+                                                           int count,
+                                                           int len) {
+  Frame reply;
+  if (!request(MsgType::kSend,
+               "nf=" + std::to_string(nf) + " acc=" + std::to_string(acc) +
+                   " count=" + std::to_string(count) +
+                   " len=" + std::to_string(len),
+               reply)) {
+    return std::nullopt;
+  }
+  const auto kv = parse_kv(reply.payload);
+  SendResult r;
+  r.accepted = kv_get_int(kv, "accepted").value_or(0);
+  r.rejected = kv_get_int(kv, "rejected").value_or(0);
+  return r;
+}
+
+std::optional<long long> DaemonClient::drain(int nf) {
+  Frame reply;
+  if (!request(MsgType::kDrain, "nf=" + std::to_string(nf), reply)) {
+    return std::nullopt;
+  }
+  return kv_get_int(parse_kv(reply.payload), "drained");
+}
+
+std::optional<std::string> DaemonClient::stats() {
+  Frame reply;
+  if (!request(MsgType::kStats, "", reply)) return std::nullopt;
+  return reply.payload;
+}
+
+std::optional<DaemonClient::AuditResult> DaemonClient::audit() {
+  Frame reply;
+  if (!request(MsgType::kAudit, "", reply)) return std::nullopt;
+  const auto kv = parse_kv(reply.payload);
+  AuditResult a;
+  a.clean = kv_get_int(kv, "clean").value_or(0) == 1;
+  a.tracked = kv_get_int(kv, "tracked").value_or(0);
+  a.delivered = kv_get_int(kv, "delivered").value_or(0);
+  a.dropped = kv_get_int(kv, "dropped").value_or(0);
+  a.live = kv_get_int(kv, "live").value_or(0);
+  return a;
+}
+
+std::optional<unsigned long long> DaemonClient::heartbeat() {
+  Frame reply;
+  if (!request(MsgType::kHeartbeat, "", reply)) return std::nullopt;
+  const auto now = kv_get_int(parse_kv(reply.payload), "now_ps");
+  if (!now.has_value()) return std::nullopt;
+  return static_cast<unsigned long long>(*now);
+}
+
+bool DaemonClient::bye() {
+  Frame reply;
+  const bool ok = request(MsgType::kBye, "", reply);
+  close();
+  return ok;
+}
+
+}  // namespace dhl::daemon

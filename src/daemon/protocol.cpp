@@ -1,0 +1,97 @@
+#include "dhl/daemon/protocol.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace dhl::daemon {
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kRegisterNf: return "register_nf";
+    case MsgType::kLease: return "lease";
+    case MsgType::kReplicate: return "replicate";
+    case MsgType::kUnload: return "unload";
+    case MsgType::kSend: return "send";
+    case MsgType::kDrain: return "drain";
+    case MsgType::kStats: return "stats";
+    case MsgType::kAudit: return "audit";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kBye: return "bye";
+    case MsgType::kOk: return "ok";
+    case MsgType::kError: return "error";
+  }
+  return "?";
+}
+
+std::string encode_frame(MsgType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<char>(len & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.push_back(static_cast<char>(type));
+  out.append(payload);
+  return out;
+}
+
+bool FrameParser::next(Frame& out) {
+  if (error_ || buf_.size() < kHeaderBytes) return false;
+  const auto* b = reinterpret_cast<const unsigned char*>(buf_.data());
+  const std::uint32_t len = static_cast<std::uint32_t>(b[0]) |
+                            (static_cast<std::uint32_t>(b[1]) << 8) |
+                            (static_cast<std::uint32_t>(b[2]) << 16) |
+                            (static_cast<std::uint32_t>(b[3]) << 24);
+  if (len > kMaxPayload) {
+    error_ = true;
+    return false;
+  }
+  if (buf_.size() < kHeaderBytes + len) return false;
+  out.type = static_cast<MsgType>(b[4]);
+  out.payload.assign(buf_, kHeaderBytes, len);
+  buf_.erase(0, kHeaderBytes + len);
+  return true;
+}
+
+std::vector<std::pair<std::string, std::string>> parse_kv(
+    const std::string& payload) {
+  std::vector<std::pair<std::string, std::string>> kv;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t end = payload.find(' ', pos);
+    if (end == std::string::npos) end = payload.size();
+    const std::string token = payload.substr(pos, end - pos);
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      kv.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    }
+    pos = end + 1;
+  }
+  return kv;
+}
+
+std::optional<std::string> kv_get(
+    const std::vector<std::pair<std::string, std::string>>& kv,
+    const std::string& key) {
+  for (const auto& [k, v] : kv) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<long long> kv_get_int(
+    const std::vector<std::pair<std::string, std::string>>& kv,
+    const std::string& key) {
+  const auto v = kv_get(kv, key);
+  if (!v.has_value() || v->empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long n = std::strtoll(v->c_str(), &end, 10);
+  if (errno != 0 || end == v->c_str() || *end != '\0') return std::nullopt;
+  return n;
+}
+
+}  // namespace dhl::daemon

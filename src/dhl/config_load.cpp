@@ -1,0 +1,71 @@
+#include "dhl/runtime/config_load.hpp"
+
+namespace dhl::runtime {
+
+namespace {
+
+DispatchPolicyKind parse_policy(const std::string& s,
+                                DispatchPolicyKind fallback) {
+  if (s == "numa_local") return DispatchPolicyKind::kNumaLocal;
+  if (s == "round_robin") return DispatchPolicyKind::kRoundRobin;
+  if (s == "least_outstanding_bytes") {
+    return DispatchPolicyKind::kLeastOutstandingBytes;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+void apply_runtime_config(const common::ConfigFile& file,
+                          RuntimeConfig& config) {
+  const std::string s = "runtime";
+  config.num_sockets = static_cast<int>(
+      file.get_int(s, "num_sockets", config.num_sockets));
+  config.ibq_size = static_cast<std::uint32_t>(
+      file.get_uint(s, "ibq_size", config.ibq_size));
+  config.obq_size = static_cast<std::uint32_t>(
+      file.get_uint(s, "obq_size", config.obq_size));
+  config.ibq_burst = static_cast<std::uint32_t>(
+      file.get_uint(s, "ibq_burst", config.ibq_burst));
+  config.rx_burst = static_cast<std::uint32_t>(
+      file.get_uint(s, "rx_burst", config.rx_burst));
+  config.zero_copy = file.get_bool(s, "zero_copy", config.zero_copy);
+  config.batch_pool_capacity = static_cast<std::uint32_t>(
+      file.get_uint(s, "batch_pool_capacity", config.batch_pool_capacity));
+  config.completion_ring_size = static_cast<std::uint32_t>(
+      file.get_uint(s, "completion_ring_size", config.completion_ring_size));
+  config.numa_aware = file.get_bool(s, "numa_aware", config.numa_aware);
+  config.dispatch_policy = parse_policy(
+      file.get_string(s, "dispatch_policy", ""), config.dispatch_policy);
+  config.crc_check = file.get_bool(s, "crc_check", config.crc_check);
+  config.auto_replicate =
+      file.get_bool(s, "auto_replicate", config.auto_replicate);
+  config.auto_replicate_threshold_bytes = file.get_uint(
+      s, "auto_replicate_threshold_bytes",
+      config.auto_replicate_threshold_bytes);
+  config.max_auto_replicas = static_cast<std::uint32_t>(
+      file.get_uint(s, "max_auto_replicas", config.max_auto_replicas));
+  config.ledger = file.get_bool(s, "ledger", config.ledger);
+  config.introspection =
+      file.get_bool(s, "introspection", config.introspection);
+}
+
+std::vector<TenantStanza> tenant_stanzas(const common::ConfigFile& file) {
+  std::vector<TenantStanza> out;
+  for (const common::ConfigFile::Section* sec : file.sections_named("tenant")) {
+    if (sec->arg.empty()) continue;
+    TenantStanza t;
+    t.name = sec->arg;
+    const std::string scope = "tenant " + sec->arg;
+    t.quota.outstanding_bytes_cap =
+        file.get_uint(scope, "outstanding_bytes_cap", 0);
+    t.quota.max_batches_in_flight = static_cast<std::uint32_t>(
+        file.get_uint(scope, "max_batches_in_flight", 0));
+    t.slo_p99_us = file.get_double(scope, "slo_p99_us", 0);
+    t.slo_drop_rate = file.get_double(scope, "slo_drop_rate", -1.0);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace dhl::runtime

@@ -71,10 +71,12 @@ void Distributor::drop_corrupt_batch(fpga::DmaBatchPtr batch) {
   } else if (batch->acc_gen != 0) {
     metrics_.stale_acc_batches->add(1);
   }
+  if (tenants_ != nullptr) tenants_->retire_batch(*batch);
   auto& pkts = batch->pkts();
   for (Mbuf* m : pkts) {
     --metrics_.in_flight;
     if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kCrc);
+    if (tenants_ != nullptr) tenants_->count_drop(m->nf_id());
     m->release();
   }
   metrics_.crc_drop_batches->add(1);
@@ -177,6 +179,10 @@ sim::PollResult Distributor::poll(int socket) {
     } else if (batch->acc_gen != 0) {
       metrics_.stale_acc_batches->add(1);
     }
+    // Quota retire mirrors the replica retire: the tenant's in-flight
+    // bytes/batch budget frees as soon as the batch completes the round
+    // trip, before per-packet routing decides each packet's fate.
+    if (tenants_ != nullptr) tenants_->retire_batch(*batch);
 
     // Zero-alloc decapsulation: walk the wire records with a cursor
     // instead of materializing parse()'s per-batch view vector.
@@ -221,6 +227,7 @@ sim::PollResult Distributor::poll(int socket) {
       if (nf >= nfs_.size()) {
         metrics_.obq_drops->add(1);
         if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kObq);
+        if (tenants_ != nullptr) tenants_->count_drop(m->nf_id());
         m->release();
         continue;
       }
@@ -280,12 +287,18 @@ sim::PollResult Distributor::poll(int socket) {
               metrics_.obq_drops->add(1);
               info.obq_drops->add(1);
               if (ledger_ != nullptr) ledger_->on_drop(d.m, LedgerDrop::kObq);
+              if (tenants_ != nullptr) {
+                tenants_->count_drop(static_cast<NfId>(d.nf));
+              }
               telemetry_.recorder.log(telemetry::FlightComponent::kDistributor,
                                       now, telemetry::FlightEventKind::kDrop,
                                       "obq", static_cast<std::int16_t>(d.nf));
               d.m->release();
             } else {
               if (ledger_ != nullptr) ledger_->on_delivered(d.m);
+              if (tenants_ != nullptr) {
+                tenants_->count_delivered(static_cast<NfId>(d.nf));
+              }
               if (stages_on &&
                   d.m->rx_timestamp() != netio::kNoRxTimestamp) {
                 if (d.m->stage_ts() != netio::kNoRxTimestamp &&

@@ -105,6 +105,7 @@ bool FallbackRouter::process(netio::NfId nf_id, const std::string& hf_name,
   if (nf_id >= nfs_.size()) {
     metrics_.obq_drops->add(1);
     if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kObq);
+    if (tenants_ != nullptr) tenants_->count_drop(nf_id);
     m->release();
     return true;
   }
@@ -113,10 +114,12 @@ bool FallbackRouter::process(netio::NfId nf_id, const std::string& hf_name,
     metrics_.obq_drops->add(1);
     nf.obq_drops->add(1);
     if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kObq);
+    if (tenants_ != nullptr) tenants_->count_drop(nf_id);
     m->release();
   } else {
     nf.obq_depth->set(static_cast<double>(nf.obq->count()));
     if (ledger_ != nullptr) ledger_->on_delivered(m);
+    if (tenants_ != nullptr) tenants_->count_delivered(nf_id);
     if (sim_ != nullptr && telemetry_ != nullptr &&
         telemetry_->stages.enabled() &&
         m->rx_timestamp() != netio::kNoRxTimestamp) {

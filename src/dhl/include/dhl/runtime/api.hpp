@@ -24,6 +24,21 @@ inline netio::NfId DHL_register(runtime::DhlRuntime& rt,
   return rt.register_nf(name, socket);
 }
 
+/// Register an NF under a tenant created via DHL_register_tenant.
+inline netio::NfId DHL_register(runtime::DhlRuntime& rt,
+                                const std::string& name, int socket,
+                                TenantId tenant) {
+  return rt.register_nf(name, socket, tenant);
+}
+
+/// Create a tenant with per-tenant admission quotas (DESIGN.md section 8).
+/// Returns its id, or kInvalidTenant when the name is taken.
+inline TenantId DHL_register_tenant(runtime::DhlRuntime& rt,
+                                    const std::string& name,
+                                    const TenantQuota& quota) {
+  return rt.register_tenant(name, quota);
+}
+
 /// Query the desired hardware function (loads its PR bitstream on a miss).
 inline runtime::AccHandle DHL_search_by_name(runtime::DhlRuntime& rt,
                                              const std::string& hf_name,
@@ -69,6 +84,15 @@ inline netio::MbufRing* DHL_get_private_OBQ(runtime::DhlRuntime& rt,
 inline std::size_t DHL_send_packets(netio::MbufRing& ibq, netio::Mbuf** pkts,
                                     std::size_t n) {
   return runtime::DhlRuntime::send_packets(ibq, pkts, n);
+}
+
+/// Tenant-aware send: enforces the NF's tenant outstanding-bytes quota at
+/// IBQ ingest with counted rejections (refused packets stay owned by the
+/// caller).  Default-tenant NFs see the legacy unlimited behavior.
+inline std::size_t DHL_send_packets(runtime::DhlRuntime& rt,
+                                    netio::NfId nf_id, netio::Mbuf** pkts,
+                                    std::size_t n) {
+  return rt.send_packets(nf_id, pkts, n);
 }
 
 /// Get processed data back from the FPGA.

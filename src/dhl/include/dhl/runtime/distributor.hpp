@@ -17,6 +17,7 @@
 #include "dhl/runtime/hw_function_table.hpp"
 #include "dhl/runtime/ledger.hpp"
 #include "dhl/runtime/runtime_metrics.hpp"
+#include "dhl/runtime/tenant.hpp"
 #include "dhl/runtime/types.hpp"
 #include "dhl/sim/lcore.hpp"
 #include "dhl/sim/simulator.hpp"
@@ -50,6 +51,9 @@ class Distributor {
 
   /// Packet-lifecycle ledger (null = not auditing).  Owned by the facade.
   void set_ledger(LifecycleLedger* ledger) { ledger_ = ledger; }
+  /// Tenant registry for quota retirement and per-tenant terminal counts
+  /// (null = no tenancy).  Owned by the facade.
+  void set_tenants(TenantRegistry* tenants) { tenants_ = tenants; }
 
   /// Test hook: identities of the pooled delivery buffers currently parked
   /// on `socket`'s free list.  Pins the recycling behaviour -- steady-state
@@ -117,6 +121,7 @@ class Distributor {
   std::vector<NfInfo>& nfs_;
   BatchPoolSet& pools_;
   LifecycleLedger* ledger_ = nullptr;
+  TenantRegistry* tenants_ = nullptr;
   std::vector<SocketState> sockets_;
   /// ring.size() - 1; rings are num_sockets copies of the same size.
   std::uint64_t ring_mask_ = 0;

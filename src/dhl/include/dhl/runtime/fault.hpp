@@ -36,6 +36,7 @@
 #include "dhl/fpga/fault_hook.hpp"
 #include "dhl/runtime/ledger.hpp"
 #include "dhl/runtime/runtime_metrics.hpp"
+#include "dhl/runtime/tenant.hpp"
 #include "dhl/runtime/types.hpp"
 #include "dhl/sim/simulator.hpp"
 
@@ -115,6 +116,8 @@ class FallbackRouter {
 
   /// Packet-lifecycle ledger (null = not auditing).  Owned by the facade.
   void set_ledger(LifecycleLedger* ledger) { ledger_ = ledger; }
+  /// Tenant registry for per-tenant terminal counts (null = no tenancy).
+  void set_tenants(TenantRegistry* tenants) { tenants_ = tenants; }
 
   /// Introspection wiring (both null = not recording): fallback deliveries
   /// record the kFallback stage and the packet's end-to-end latency.
@@ -128,6 +131,7 @@ class FallbackRouter {
   std::vector<NfInfo>& nfs_;
   RuntimeMetrics& metrics_;
   LifecycleLedger* ledger_ = nullptr;
+  TenantRegistry* tenants_ = nullptr;
   sim::Simulator* sim_ = nullptr;
   telemetry::Telemetry* telemetry_ = nullptr;
   std::map<std::pair<netio::NfId, std::string>, FallbackFn> fns_;

@@ -23,6 +23,7 @@
 // RuntimeConfig::ledger gates it at runtime (default on).
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -67,8 +68,13 @@ enum class LedgerDrop : std::uint8_t {
   kCrc,       // batch failed the Distributor's integrity gate
   kObq,       // OBQ full or nf_id out of range
   kOversize,  // record over the DMA hardware cap, no fallback registered
+  kQuota,     // tenant batch budget exhausted at a capacity flush
   kCount,
 };
+
+/// Ceiling on tenant lanes the ledger shards by (mirrors kMaxTenants in
+/// tenant.hpp without coupling the headers).
+inline constexpr std::size_t kLedgerTenantLanes = 16;
 
 const char* to_string(LedgerStage stage);
 const char* to_string(LedgerDrop drop);
@@ -97,11 +103,31 @@ struct LedgerAudit {
   /// Sample of still-open records (capped; `live` is the true count).
   std::vector<Leak> leaks;
 
+  /// Per-tenant conservation shard: every tracked lifecycle is attributed
+  /// to the tenant its NF was bound to at ingress.
+  struct TenantTally {
+    std::string tenant;
+    std::uint64_t tracked = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t live = 0;
+    bool clean() const {
+      return live == 0 && tracked == delivered + dropped;
+    }
+  };
+  std::vector<TenantTally> tenants;
+  const TenantTally* tenant(const std::string& name) const;
+
   std::uint64_t dropped_total() const;
   bool clean() const;
   /// Multi-line human-readable report for test failure messages.
   std::string to_string() const;
 };
+
+/// NF -> tenant-id and tenant-id -> display-name hooks, injected by the
+/// runtime so the ledger can shard without depending on tenant.hpp.
+using LedgerTenantIdFn = std::function<std::uint8_t(netio::NfId)>;
+using LedgerTenantNameFn = std::function<std::string(std::uint8_t)>;
 
 #if DHL_LEDGER
 
@@ -134,6 +160,10 @@ class LifecycleLedger final : public netio::MbufLifecycleObserver {
   /// Terminal: dropped at `site`.
   void on_drop(const netio::Mbuf* m, LedgerDrop site);
 
+  /// Install the tenant attribution hooks (both or neither).  Without
+  /// them every lifecycle lands in lane 0 ("default").
+  void set_tenant_resolver(LedgerTenantIdFn id_of, LedgerTenantNameFn name_of);
+
   /// Snapshot the conservation state.  After a drained run, clean().
   LedgerAudit audit() const;
 
@@ -144,6 +174,7 @@ class LifecycleLedger final : public netio::MbufLifecycleObserver {
   struct Record {
     LedgerStage stage = LedgerStage::kIbq;
     bool closed = false;
+    std::uint8_t tenant = 0;  // attribution lane, resolved at ingress
   };
 
   /// Close the record as a terminal; returns false (and counts) on a
@@ -165,6 +196,12 @@ class LifecycleLedger final : public netio::MbufLifecycleObserver {
   std::uint64_t orphan_terminal_ = 0;
   std::uint64_t stage_entries_[static_cast<std::size_t>(LedgerStage::kCount)] =
       {};
+
+  LedgerTenantIdFn tenant_id_of_;
+  LedgerTenantNameFn tenant_name_of_;
+  std::uint64_t tenant_tracked_[kLedgerTenantLanes] = {};
+  std::uint64_t tenant_delivered_[kLedgerTenantLanes] = {};
+  std::uint64_t tenant_dropped_[kLedgerTenantLanes] = {};
 
   telemetry::Counter* tracked_counter_ = nullptr;
   telemetry::Counter* delivered_counter_ = nullptr;
@@ -191,6 +228,7 @@ class LifecycleLedger {
   void on_batch_stage(const fpga::DmaBatch&, LedgerStage) {}
   void on_delivered(const netio::Mbuf*) {}
   void on_drop(const netio::Mbuf*, LedgerDrop) {}
+  void set_tenant_resolver(LedgerTenantIdFn, LedgerTenantNameFn) {}
   LedgerAudit audit() const { return {}; }
 };
 

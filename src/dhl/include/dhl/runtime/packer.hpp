@@ -21,6 +21,7 @@
 #include "dhl/runtime/hw_function_table.hpp"
 #include "dhl/runtime/ledger.hpp"
 #include "dhl/runtime/runtime_metrics.hpp"
+#include "dhl/runtime/tenant.hpp"
 #include "dhl/runtime/types.hpp"
 #include "dhl/sim/lcore.hpp"
 #include "dhl/sim/simulator.hpp"
@@ -49,6 +50,9 @@ class Packer {
   void set_fallback_router(FallbackRouter* router) { fallback_ = router; }
   /// Packet-lifecycle ledger (null = not auditing).  Owned by the facade.
   void set_ledger(LifecycleLedger* ledger) { ledger_ = ledger; }
+  /// Tenant registry for quota enforcement and attribution (null = no
+  /// tenancy, the pre-daemon behavior).  Owned by the facade.
+  void set_tenants(TenantRegistry* tenants) { tenants_ = tenants; }
 
   /// The batch-size cap currently in effect for `socket` -- max_batch_bytes,
   /// or the adaptive EWMA-driven cap when adaptive batching is on.  Exposed
@@ -71,15 +75,24 @@ class Packer {
     Picos opened_at = 0;
   };
 
+  /// Open-batch slot key: (tenant << 8) | acc_id.  Keying by tenant as
+  /// well as acc_id keeps tenants out of each other's batches, so a batch
+  /// is always chargeable to exactly one tenant's budget.
+  using OpenKey = std::uint16_t;
+  static OpenKey open_key(TenantId tenant, netio::AccId acc) {
+    return static_cast<OpenKey>((static_cast<OpenKey>(tenant) << 8) | acc);
+  }
+
   struct SocketState {
     std::unique_ptr<netio::MbufRing> ibq;
-    /// Dense acc_id -> open-batch slot array, mirroring the control plane's
-    /// O(1) `entry_for` (PR 2): the per-packet std::map lookup/rebalance is
-    /// gone from the hot loop.
-    std::array<OpenBatch, 256> open;
-    /// acc_ids whose slot holds a non-empty open batch; the timeout sweep
-    /// walks this instead of all 256 slots.
-    std::vector<netio::AccId> active;
+    /// Dense (tenant, acc_id) -> open-batch slot array, mirroring the
+    /// control plane's O(1) `entry_for` (PR 2): the per-packet std::map
+    /// lookup/rebalance is gone from the hot loop.  Sized
+    /// kMaxTenants * 256 in the constructor.
+    std::vector<OpenBatch> open;
+    /// Keys whose slot holds a non-empty open batch; the timeout sweep
+    /// walks this instead of all slots.
+    std::vector<OpenKey> active;
     /// Reusable dequeue buffer -- sized once to ibq_burst so the hot loop
     /// never heap-allocates.
     std::vector<netio::Mbuf*> scratch;
@@ -98,7 +111,8 @@ class Packer {
   /// Current batch cap for `state` (fixed, or adaptive per VI-2).
   std::uint32_t batch_cap(const SocketState& state) const;
   double flush_batch(int socket, netio::AccId acc_id, OpenBatch&& open,
-                     PendingSubmits& pending, FlushReason reason);
+                     PendingSubmits& pending, FlushReason reason,
+                     TenantId tenant);
   /// Replica receiving this flush: the policy's pick among the
   /// *dispatchable* replicas of the tagged entry's hardware function
   /// (healthy/probation first, degraded as a last resort, quarantined
@@ -131,6 +145,7 @@ class Packer {
   fpga::FaultHook* fault_ = nullptr;
   FallbackRouter* fallback_ = nullptr;
   LifecycleLedger* ledger_ = nullptr;
+  TenantRegistry* tenants_ = nullptr;
   std::vector<SocketState> sockets_;
   /// Flush-time candidate list, reused across flushes (no hot-path alloc).
   std::vector<HwFunctionEntry*> candidates_;

@@ -45,6 +45,7 @@
 #include "dhl/runtime/ledger.hpp"
 #include "dhl/runtime/packer.hpp"
 #include "dhl/runtime/runtime_metrics.hpp"
+#include "dhl/runtime/tenant.hpp"
 #include "dhl/runtime/types.hpp"
 #include "dhl/sim/lcore.hpp"
 #include "dhl/sim/simulator.hpp"
@@ -66,8 +67,17 @@ class DhlRuntime {
   // --- control plane (paper Table II) ---------------------------------------
 
   /// DHL_register(): register an NF; returns its nf_id and creates its
-  /// private OBQ.
+  /// private OBQ.  The two-argument form binds the NF to the default
+  /// tenant (unlimited quota) -- the pre-daemon behavior.
   netio::NfId register_nf(const std::string& name, int socket);
+  netio::NfId register_nf(const std::string& name, int socket,
+                          TenantId tenant);
+
+  /// Create a tenant with the given quotas; returns its id, or
+  /// kInvalidTenant when the name is taken / the registry is full.
+  TenantId register_tenant(const std::string& name, const TenantQuota& quota);
+  TenantRegistry& tenants() { return tenants_; }
+  const TenantRegistry& tenants() const { return tenants_; }
 
   /// DHL_search_by_name(): look up a hardware function for `socket`.  On a
   /// table miss, searches the accelerator module database and starts a PR
@@ -120,6 +130,16 @@ class DhlRuntime {
                                      std::size_t n) {
     return obq.dequeue_burst({pkts, n});
   }
+
+  /// Tenant-aware send: admit the longest prefix of the burst that fits
+  /// the NF's tenant under its outstanding-bytes cap, then enqueue it onto
+  /// the NF's IBQ.  Rejections (quota or ring-full) are counted against
+  /// the tenant (dhl.tenant.rejected_pkts) and the refused packets stay
+  /// owned by the caller -- never silently dropped.  Returns the number
+  /// accepted.  For default-tenant NFs this degenerates to the static
+  /// overload plus accounting.
+  std::size_t send_packets(netio::NfId nf_id, netio::Mbuf** pkts,
+                           std::size_t n);
 
   // --- lifecycle --------------------------------------------------------------
 
@@ -203,6 +223,9 @@ class DhlRuntime {
   /// still release tracked mbufs through the observer seam.
   LifecycleLedger ledger_;
   std::unique_ptr<DispatchPolicy> policy_;
+  /// Declared before the components that borrow it (Packer, Distributor,
+  /// FallbackRouter), destroyed after them.
+  TenantRegistry tenants_;
   std::vector<NfInfo> nfs_;
   /// Declared after nfs_/metrics_ (it borrows both), before the Packer
   /// that consults it.

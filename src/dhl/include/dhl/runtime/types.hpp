@@ -180,6 +180,8 @@ struct RuntimeStats {
 struct NfInfo {
   std::string name;
   int socket = 0;
+  /// Tenant the NF is bound to (0 = default tenant; see tenant.hpp).
+  std::uint8_t tenant = 0;
   std::unique_ptr<netio::MbufRing> obq;
   // Per-NF instruments (dhl.nf.* with {nf=name}).
   telemetry::Gauge* obq_depth = nullptr;

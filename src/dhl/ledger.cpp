@@ -46,10 +46,20 @@ const char* to_string(LedgerDrop drop) {
       return "obq";
     case LedgerDrop::kOversize:
       return "oversize";
+    case LedgerDrop::kQuota:
+      return "quota";
     case LedgerDrop::kCount:
       break;
   }
   return "unknown";
+}
+
+const LedgerAudit::TenantTally* LedgerAudit::tenant(
+    const std::string& name) const {
+  for (const TenantTally& t : tenants) {
+    if (t.tenant == name) return &t;
+  }
+  return nullptr;
 }
 
 std::uint64_t LedgerAudit::dropped_total() const {
@@ -92,6 +102,11 @@ std::string LedgerAudit::to_string() const {
           << ']';
     }
   }
+  for (const TenantTally& t : tenants) {
+    out << "\n  tenant " << t.tenant << ": tracked=" << t.tracked
+        << " delivered=" << t.delivered << " dropped=" << t.dropped
+        << " live=" << t.live << (t.clean() ? " [clean]" : " [DIRTY]");
+  }
   return out.str();
 }
 
@@ -128,6 +143,12 @@ LifecycleLedger::~LifecycleLedger() {
   }
 }
 
+void LifecycleLedger::set_tenant_resolver(LedgerTenantIdFn id_of,
+                                          LedgerTenantNameFn name_of) {
+  tenant_id_of_ = std::move(id_of);
+  tenant_name_of_ = std::move(name_of);
+}
+
 void LifecycleLedger::on_ingress(const netio::Mbuf* m) {
   if (!enabled_ || m == nullptr) return;
   auto [it, inserted] = records_.try_emplace(m);
@@ -144,6 +165,11 @@ void LifecycleLedger::on_ingress(const netio::Mbuf* m) {
     }
     it->second = Record{};
   }
+  std::uint8_t lane = 0;
+  if (tenant_id_of_) lane = tenant_id_of_(m->nf_id());
+  if (lane >= kLedgerTenantLanes) lane = 0;
+  it->second.tenant = lane;
+  ++tenant_tracked_[lane];
   ++tracked_;
   ++open_;
   tracked_counter_->add(1);
@@ -192,6 +218,7 @@ void LifecycleLedger::on_delivered(const netio::Mbuf* m) {
   r->closed = true;
   r->stage = LedgerStage::kObq;
   ++stage_entries_[static_cast<std::size_t>(LedgerStage::kObq)];
+  ++tenant_delivered_[r->tenant];
   ++delivered_;
   --open_;
   delivered_counter_->add(1);
@@ -202,6 +229,7 @@ void LifecycleLedger::on_drop(const netio::Mbuf* m, LedgerDrop site) {
   if (!enabled_ || m == nullptr) return;
   Record* r = terminal_record(m);
   if (r == nullptr) return;
+  ++tenant_dropped_[r->tenant];
   // Dropped packets return to the pool right away; the record is done.
   records_.erase(m);
   ++dropped_[static_cast<std::size_t>(site)];
@@ -248,13 +276,26 @@ LedgerAudit LifecycleLedger::audit() const {
        ++i) {
     out.stage_entries[i] = stage_entries_[i];
   }
+  std::uint64_t tenant_live[kLedgerTenantLanes] = {};
   constexpr std::size_t kMaxLeakSamples = 16;
   for (const auto& [m, r] : records_) {
     if (r.closed) continue;
     ++out.live;
+    ++tenant_live[r.tenant];
     if (out.leaks.size() < kMaxLeakSamples) {
       out.leaks.push_back({m, r.stage});
     }
+  }
+  for (std::size_t lane = 0; lane < kLedgerTenantLanes; ++lane) {
+    if (tenant_tracked_[lane] == 0 && tenant_live[lane] == 0) continue;
+    LedgerAudit::TenantTally t;
+    t.tenant = tenant_name_of_ ? tenant_name_of_(static_cast<std::uint8_t>(lane))
+                               : "tenant" + std::to_string(lane);
+    t.tracked = tenant_tracked_[lane];
+    t.delivered = tenant_delivered_[lane];
+    t.dropped = tenant_dropped_[lane];
+    t.live = tenant_live[lane];
+    out.tenants.push_back(std::move(t));
   }
   return out;
 }

@@ -28,6 +28,7 @@ Packer::Packer(sim::Simulator& simulator, const RuntimeConfig& config,
         "dhl.ibq.socket" + std::to_string(s), config_.ibq_size,
         netio::SyncMode::kMulti, netio::SyncMode::kSingle);
     state.scratch.resize(config_.ibq_burst);
+    state.open.resize(kMaxTenants * 256);
     state.ibq_depth = telemetry_.metrics.gauge(
         "dhl.runtime.ibq_depth",
         telemetry::Labels{{"socket", std::to_string(s)}});
@@ -89,10 +90,12 @@ void Packer::drop_batch(fpga::DmaBatchPtr batch) {
                           telemetry::FlightEventKind::kDrop, "unready",
                           static_cast<std::int16_t>(batch->acc_id()),
                           static_cast<std::int32_t>(batch->pkts().size()));
+  if (tenants_ != nullptr) tenants_->retire_batch(*batch);
   for (Mbuf* m : batch->pkts()) {
     --metrics_.in_flight;
     metrics_.unready_drops->add(1);
     if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kUnready);
+    if (tenants_ != nullptr) tenants_->count_drop(m->nf_id());
     m->release();
   }
   pools_.recycle(std::move(batch));
@@ -104,6 +107,7 @@ void Packer::fallback_or_drop(fpga::DmaBatchPtr batch,
                           telemetry::FlightEventKind::kDrop, hf_name,
                           static_cast<std::int16_t>(batch->acc_id()),
                           static_cast<std::int32_t>(batch->pkts().size()));
+  if (tenants_ != nullptr) tenants_->retire_batch(*batch);
   for (Mbuf* m : batch->pkts()) {
     --metrics_.in_flight;
     if (fallback_ != nullptr && fallback_->process(m->nf_id(), hf_name, m)) {
@@ -111,6 +115,7 @@ void Packer::fallback_or_drop(fpga::DmaBatchPtr batch,
     }
     metrics_.submit_drop_pkts->add(1);
     if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kSubmit);
+    if (tenants_ != nullptr) tenants_->count_drop(m->nf_id());
     m->release();
   }
   pools_.recycle(std::move(batch));
@@ -207,7 +212,8 @@ fpga::DmaBatchPtr Packer::acquire_batch(int socket, AccId acc_id) {
 }
 
 double Packer::flush_batch(int socket, AccId acc_id, OpenBatch&& open,
-                           PendingSubmits& pending, FlushReason reason) {
+                           PendingSubmits& pending, FlushReason reason,
+                           TenantId tenant) {
   const auto& rt = config_.timing.runtime;
   fpga::DmaBatchPtr batch = std::move(open.batch);
   HwFunctionEntry* primary = table_.entry_for(acc_id);
@@ -252,6 +258,7 @@ double Packer::flush_batch(int socket, AccId acc_id, OpenBatch&& open,
   batch->remote_numa = !config_.numa_aware && dev->socket() != 0;
   batch->batch_id = metrics_.next_batch_id++;
   batch->submitted_bytes = batch->size_bytes();
+  if (tenants_ != nullptr) tenants_->charge_batch(tenant, *batch);
   target->outstanding_bytes += batch->size_bytes();
   target->dispatch_batches->add(1);
   target->dispatch_bytes->add(batch->size_bytes());
@@ -341,6 +348,12 @@ sim::PollResult Packer::poll(int socket) {
     if (stages_on) m->set_stage_ts(ingress_now);
     if (ledger_ != nullptr) ledger_->on_ingress(m);
     const AccId acc_id = m->acc_id();
+    const TenantId tenant =
+        tenants_ != nullptr ? tenants_->tenant_of(m->nf_id()) : kDefaultTenant;
+    // Bytes leave the tenant's queued bucket the moment they leave the IBQ,
+    // whatever their later fate (they re-enter the in-flight bucket only if
+    // a batch carrying them flushes).
+    if (tenants_ != nullptr) tenants_->on_packer_ingest(m->nf_id(), m->data_len());
     const HwFunctionEntry* e = table_.entry_for(acc_id);  // O(1)
     if (e == nullptr || !e->ready) {
       // Paper never sends before search/configure; treat as caller error.
@@ -348,6 +361,7 @@ sim::PollResult Packer::poll(int socket) {
                           << static_cast<int>(acc_id) << "; dropping");
       metrics_.unready_drops->add(1);
       if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kUnready);
+      if (tenants_ != nullptr) tenants_->count_drop(m->nf_id());
       m->release();
       continue;
     }
@@ -363,6 +377,7 @@ sim::PollResult Packer::poll(int socket) {
       }
       metrics_.submit_drop_pkts->add(1);
       if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kSubmit);
+      if (tenants_ != nullptr) tenants_->count_drop(m->nf_id());
       m->release();
       continue;
     }
@@ -381,20 +396,32 @@ sim::PollResult Packer::poll(int socket) {
         continue;  // served in software, unbatched
       }
       if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kOversize);
+      if (tenants_ != nullptr) tenants_->count_drop(m->nf_id());
       m->release();
       continue;
     }
-    OpenBatch& open = state.open[acc_id];
+    const OpenKey key = open_key(tenant, acc_id);
+    OpenBatch& open = state.open[key];
     if (open.batch == nullptr) {
       open.batch = acquire_batch(socket, acc_id);
       open.opened_at = sim_.now();
-      state.active.push_back(acc_id);
+      state.active.push_back(key);
     }
     // Flush-before-append if this record would overflow the batch cap.
     if (open.batch->size_bytes() + record_bytes > cap &&
         !open.batch->empty()) {
+      if (tenants_ != nullptr && !tenants_->can_flush(tenant)) {
+        // Batch budget exhausted and the open batch is full: the incoming
+        // packet has nowhere legal to go.  Counted quota drop -- never a
+        // silent one (dhl.tenant.quota_drops + the ledger's quota site).
+        if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kQuota);
+        tenants_->count_quota_drop(m->nf_id());
+        cycles += rt.packer_per_pkt_cycles;
+        m->release();
+        continue;
+      }
       cycles += flush_batch(socket, acc_id, std::move(open), pending,
-                            FlushReason::kFull);
+                            FlushReason::kFull, tenant);
       open.batch = acquire_batch(socket, acc_id);
       open.opened_at = sim_.now();
     }
@@ -423,8 +450,10 @@ sim::PollResult Packer::poll(int socket) {
   // (the adaptive version is the paper's future work, see the batching
   // ablation bench).
   for (std::size_t i = 0; i < state.active.size();) {
-    const AccId acc_id = state.active[i];
-    OpenBatch& open = state.open[acc_id];
+    const OpenKey key = state.active[i];
+    const AccId acc_id = static_cast<AccId>(key & 0xff);
+    const TenantId tenant = static_cast<TenantId>(key >> 8);
+    OpenBatch& open = state.open[key];
     const bool have = open.batch != nullptr && !open.batch->empty();
     // Age from the first packet actually enqueued, not from when the slot
     // was opened: an open-but-empty batch holds no packet whose latency
@@ -433,9 +462,16 @@ sim::PollResult Packer::poll(int socket) {
     const bool aged =
         have &&
         sim_.now() - open.batch->first_pkt_enqueued_at >= rt.batch_timeout;
+    if (aged && tenants_ != nullptr && !tenants_->can_flush(tenant)) {
+      // Over the batch budget: defer, counted.  The batch stays open and
+      // flushes on a later sweep once an in-flight batch retires.
+      tenants_->note_flush_deferred(tenant);
+      ++i;
+      continue;
+    }
     if (aged) {
       cycles += flush_batch(socket, acc_id, std::move(open), pending,
-                            FlushReason::kTimeout);
+                            FlushReason::kTimeout, tenant);
       open.batch = nullptr;
       state.active[i] = state.active.back();
       state.active.pop_back();

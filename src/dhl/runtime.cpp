@@ -18,6 +18,7 @@ DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
       table_{simulator, std::move(database), std::move(fpgas), *telemetry_},
       ledger_{config_.ledger, *telemetry_},
       policy_{make_dispatch_policy(config_.dispatch_policy)},
+      tenants_{&telemetry_->metrics},
       fallback_{nfs_, metrics_},
       pools_{config_.num_sockets, config_.batch_pool_capacity,
              config_.timing.runtime.max_batch_bytes + fpga::kRecordHeaderBytes,
@@ -29,8 +30,14 @@ DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
   packer_.set_dispatch_policy(policy_.get());
   packer_.set_fallback_router(&fallback_);
   packer_.set_ledger(&ledger_);
+  packer_.set_tenants(&tenants_);
   distributor_.set_ledger(&ledger_);
+  distributor_.set_tenants(&tenants_);
   fallback_.set_ledger(&ledger_);
+  fallback_.set_tenants(&tenants_);
+  ledger_.set_tenant_resolver(
+      [this](NfId nf_id) { return tenants_.tenant_of(nf_id); },
+      [this](std::uint8_t id) { return tenants_.tenant_name(id); });
   // Introspection layer (DESIGN.md section 7): one master switch covers the
   // stage recorder and the flight recorder; the A/B bench flips it to
   // measure the layer's hot-path overhead.
@@ -74,12 +81,20 @@ DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
 DhlRuntime::~DhlRuntime() { stop(); }
 
 NfId DhlRuntime::register_nf(const std::string& name, int socket) {
+  return register_nf(name, socket, kDefaultTenant);
+}
+
+NfId DhlRuntime::register_nf(const std::string& name, int socket,
+                             TenantId tenant) {
   DHL_CHECK(socket >= 0 && socket < config_.num_sockets);
   DHL_CHECK_MSG(nfs_.size() < 250, "too many NFs");
+  DHL_CHECK_MSG(tenants_.context(tenant) != nullptr,
+                "register_nf: unknown tenant");
   const NfId id = static_cast<NfId>(nfs_.size());
   NfInfo info;
   info.name = name;
   info.socket = socket;
+  info.tenant = tenant;
   info.obq = std::make_unique<MbufRing>(
       "dhl.obq." + name, config_.obq_size, netio::SyncMode::kSingle,
       netio::SyncMode::kSingle);
@@ -87,11 +102,45 @@ NfId DhlRuntime::register_nf(const std::string& name, int socket) {
   info.obq_depth = telemetry_->metrics.gauge("dhl.nf.obq_depth", nf_label);
   info.obq_drops = telemetry_->metrics.counter("dhl.nf.obq_drops", nf_label);
   telemetry_->stages.set_nf_name(id, name);
+  telemetry_->stages.set_nf_tenant(id, tenants_.tenant_name(tenant));
+  tenants_.bind_nf(id, tenant);
   nfs_.push_back(std::move(info));
   DHL_INFO("dhl", "registered NF '" << name << "' as nf_id "
                                     << static_cast<int>(id) << " on socket "
-                                    << socket);
+                                    << socket << " (tenant "
+                                    << tenants_.tenant_name(tenant) << ")");
   return id;
+}
+
+TenantId DhlRuntime::register_tenant(const std::string& name,
+                                     const TenantQuota& quota) {
+  return tenants_.create(name, quota);
+}
+
+std::size_t DhlRuntime::send_packets(NfId nf_id, netio::Mbuf** pkts,
+                                     std::size_t n) {
+  DHL_CHECK_MSG(nf_id < nfs_.size(), "send_packets: unregistered nf_id");
+  MbufRing& ibq = get_shared_ibq(nf_id);
+  TenantContext* t = tenants_.context(tenants_.tenant_of(nf_id));
+  if (t == nullptr) return ibq.enqueue_burst({pkts, n});
+  // Admit the longest prefix under the outstanding-bytes cap.  Prefix (not
+  // best-fit) semantics keep packet order; once one packet is refused, the
+  // whole tail is refused and counted.
+  std::size_t admit = 0;
+  while (admit < n) {
+    if (!tenants_.try_admit(*t, pkts[admit]->data_len())) break;
+    ++admit;
+  }
+  if (admit < n && n - admit > 1 && t->rejected_pkts != nullptr) {
+    // try_admit counted the first refusal; count the rest of the tail.
+    t->rejected_pkts->add(n - admit - 1);
+  }
+  const std::size_t accepted = ibq.enqueue_burst({pkts, admit});
+  for (std::size_t i = accepted; i < admit; ++i) {
+    // The ring itself refused these: undo their admission (counted).
+    tenants_.unwind_admit(*t, pkts[i]->data_len());
+  }
+  return accepted;
 }
 
 AccHandle DhlRuntime::search_by_name(const std::string& hf_name, int socket) {

@@ -157,6 +157,8 @@ void DmaBatch::reset(netio::AccId acc_id) {
   remote_numa = false;
   batch_id = 0;
   acc_gen = 0;
+  tenant = 0;
+  tenant_charged = false;
   hf_name.clear();  // keeps capacity, like the buffers
   submitted_bytes = 0;
   wire_corrupt = false;

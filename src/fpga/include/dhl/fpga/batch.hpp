@@ -171,6 +171,12 @@ class DmaBatch {
   /// Lets the retry-exhaustion path route the batch to the *right*
   /// function's software fallback even after the entry vanished.
   std::string hf_name;
+  /// Tenant the batch was charged to (stamped by the Packer at flush time;
+  /// 0 = default tenant).  `tenant_charged` makes the quota retire path
+  /// idempotent: drop paths that run before the charge are no-ops, and a
+  /// batch can only be retired once.
+  std::uint8_t tenant = 0;
+  bool tenant_charged = false;
   /// Size at flush time, stamped by the Packer; the Distributor retires
   /// this amount against the replica's outstanding-bytes account (the
   /// buffer itself may shrink in flight, e.g. the compression module).

@@ -21,7 +21,8 @@ DhlOffloadNf::DhlOffloadNf(sim::Simulator& simulator, DhlNfConfig config,
   DHL_CHECK(!ports_.empty());
 
   // --- the Listing 2 sequence ---
-  nf_id_ = DHL_register(runtime_, config_.name, config_.socket);
+  nf_id_ = DHL_register(runtime_, config_.name, config_.socket,
+                        config_.tenant);
   handle_ = DHL_search_by_name(runtime_, config_.hf_name, config_.socket);
   DHL_CHECK_MSG(handle_.valid(),
                 "hardware function '" << config_.hf_name << "' unavailable");
@@ -135,7 +136,7 @@ sim::PollResult DhlOffloadNf::ingress_poll(std::size_t core_index) {
       sim_.schedule_after(config_.timing.cpu.core_clock.cycles(cycles),
                           [this, batch = std::move(batch)]() mutable {
                             const std::size_t sent = DHL_send_packets(
-                                *ibq_, batch.data(), batch.size());
+                                runtime_, nf_id_, batch.data(), batch.size());
                             stats_.sent_to_fpga += sent;
                             for (std::size_t i = sent; i < batch.size(); ++i) {
                               ++stats_.ibq_drops;

@@ -37,6 +37,10 @@ struct DhlNfConfig {
   std::string hf_name;
   /// Configuration blob for DHL_acc_configure (may be empty).
   std::vector<std::uint8_t> acc_config;
+  /// Tenant to register under (must already exist; 0 = default tenant).
+  /// Non-default tenants get their outstanding-bytes quota enforced at
+  /// DHL_send_packets time -- refused packets count as ibq_drops here.
+  TenantId tenant = kDefaultTenant;
 };
 
 struct DhlNfStats {

@@ -109,8 +109,15 @@ void Testbed::start_introspection() {
       slo_->evaluate(sim_.now(), snap);
       t.recorder.poll_triggers(sim_.now());
       if (stream_ != nullptr) {
+        // Attach per-tenant accounting only once a non-default tenant
+        // exists; single-tenant runs keep the legacy snapshot shape.
+        std::string tenants;
+        if (runtime_ != nullptr && runtime_->tenants().count() > 1) {
+          tenants = runtime_->tenants().to_json();
+        }
         stream_->publish(telemetry::make_stream_snapshot(
-            sim_.now(), snap, &t.stages, slo_.get()));
+            sim_.now(), snap, &t.stages, slo_.get(),
+            tenants.empty() ? nullptr : &tenants));
       }
     });
     sampler_->start();

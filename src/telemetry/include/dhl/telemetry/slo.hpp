@@ -33,6 +33,10 @@ class FlightRecorder;
 /// One declarative budget.  Zero / negative fields are unchecked.
 struct SloSpec {
   std::string nf = "*";           ///< NF name, or "*" for all-NF aggregate
+  /// When non-empty, the spec covers the *tenant* instead of one NF: the
+  /// e2e window merges every NF bound to the tenant and the drop budget
+  /// counts dhl.tenant.dropped_pkts.  `nf` is ignored (conventionally "*").
+  std::string tenant;
   Picos p99_ceiling = 0;          ///< windowed e2e p99 must be <= this
   Picos p999_ceiling = 0;         ///< windowed e2e p999 must be <= this
   double drop_rate_budget = -1.0; ///< drops / (delivered + drops) per window

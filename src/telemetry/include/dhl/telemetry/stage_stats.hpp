@@ -93,6 +93,20 @@ class StageLatencyRecorder {
   /// Resolve a registered NF name back to its id; kMaxNfs when unknown.
   std::size_t nf_id_by_name(const std::string& name) const;
 
+  /// Tenant the NF belongs to (the runtime wires register_nf through
+  /// here); empty when never bound.  Lets the SloWatchdog and exporters
+  /// slice e2e latency per tenant without a dependency on the runtime's
+  /// TenantRegistry.
+  void set_nf_tenant(std::uint8_t nf, std::string tenant) {
+    tenants_[nf] = std::move(tenant);
+  }
+  const std::string& nf_tenant(std::uint8_t nf) const { return tenants_[nf]; }
+  /// Merge-at-read e2e view over the NFs bound to `tenant` -- the
+  /// per-tenant analogue of stage(kEndToEnd), with the same invalidation
+  /// contract: the reference is reused by the next e2e_tenant() /
+  /// stage(kEndToEnd) call, so copy it for a stable baseline.
+  const HdrHistogram& e2e_tenant(const std::string& tenant) const;
+
   void reset();
 
   /// {"stages": {"ibq_wait": {...}, ...}, "e2e_by_nf": {"<name>": {...}}}
@@ -107,7 +121,9 @@ class StageLatencyRecorder {
   // Per-NF e2e series allocated on first delivery (30 KB of bins each).
   std::array<std::unique_ptr<HdrHistogram>, kMaxNfs> e2e_;
   std::array<std::string, kMaxNfs> names_;
+  std::array<std::string, kMaxNfs> tenants_;
   mutable HdrHistogram e2e_agg_;  // scratch for the merge-at-read aggregate
+  mutable HdrHistogram tenant_agg_;  // scratch for e2e_tenant()
 };
 
 }  // namespace dhl::telemetry

@@ -31,11 +31,15 @@ class StageLatencyRecorder;
 class SloWatchdog;
 
 /// One NDJSON line: {"at_ps": ..., "stage_latency": {...}, "slo": [...],
-/// "replicas": [...], "counters": {...}, "gauges": {...}}.  `stages` / `slo`
-/// may be null (keys omitted).  No trailing newline -- publish() adds it.
+/// "tenants": [...], "replicas": [...], "counters": {...}, "gauges": {...}}.
+/// `stages` / `slo` may be null (keys omitted).  `tenants_json` (optional)
+/// is a pre-serialized JSON array -- the runtime's TenantRegistry::to_json()
+/// -- embedded verbatim so telemetry needs no dependency on the runtime.
+/// No trailing newline -- publish() adds it.
 std::string make_stream_snapshot(Picos at, const MetricsSnapshot& snap,
                                  const StageLatencyRecorder* stages,
-                                 const SloWatchdog* slo);
+                                 const SloWatchdog* slo,
+                                 const std::string* tenants_json = nullptr);
 
 class TelemetryStreamServer {
  public:

@@ -21,6 +21,10 @@ void SloWatchdog::set_hysteresis(std::uint32_t enter_after,
 }
 
 const HdrHistogram* SloWatchdog::cumulative_hist(const SloSpec& spec) const {
+  // The aggregate / tenant views are merge-at-read scratch references;
+  // evaluate() copies or diffs them before the next cumulative_hist call,
+  // which is what keeps borrowing them here sound.
+  if (!spec.tenant.empty()) return &stages_.e2e_tenant(spec.tenant);
   if (spec.nf == "*") return &stages_.stage(Stage::kEndToEnd);
   const std::size_t id = stages_.nf_id_by_name(spec.nf);
   if (id >= StageLatencyRecorder::kMaxNfs) return nullptr;
@@ -29,6 +33,11 @@ const HdrHistogram* SloWatchdog::cumulative_hist(const SloSpec& spec) const {
 
 double SloWatchdog::cumulative_drops(const SloSpec& spec,
                                      const MetricsSnapshot& snap) const {
+  if (!spec.tenant.empty()) {
+    // Every terminal drop is counted against its tenant (quota drops
+    // included); admission rejections are back-pressure, not drops.
+    return snap.sum("dhl.tenant.dropped_pkts", {{"tenant", spec.tenant}});
+  }
   if (spec.nf == "*") {
     // Every bucket a packet can die in between NIC RX and OBQ delivery.
     return snap.sum("dhl.runtime.unready_drops") +
@@ -101,12 +110,14 @@ void SloWatchdog::evaluate(Picos now, const MetricsSnapshot& snap) {
         v.breached = true;
         v.breach_episodes++;
         if (recorder_ != nullptr) {
+          const std::string& who =
+              v.spec.tenant.empty() ? v.spec.nf : v.spec.tenant;
           recorder_->log(FlightComponent::kSlo, now,
-                         FlightEventKind::kSloBreach, v.spec.nf,
+                         FlightEventKind::kSloBreach, who,
                          static_cast<std::int16_t>(i),
                          static_cast<std::int32_t>(v.violating_windows),
                          static_cast<std::uint64_t>(v.window_p99));
-          recorder_->dump_auto("slo_breach:" + v.spec.nf);
+          recorder_->dump_auto("slo_breach:" + who);
         }
       }
     } else {
@@ -117,7 +128,8 @@ void SloWatchdog::evaluate(Picos now, const MetricsSnapshot& snap) {
         v.detail.clear();
         if (recorder_ != nullptr) {
           recorder_->log(FlightComponent::kSlo, now,
-                         FlightEventKind::kSloRecover, v.spec.nf,
+                         FlightEventKind::kSloRecover,
+                         v.spec.tenant.empty() ? v.spec.nf : v.spec.tenant,
                          static_cast<std::int16_t>(i), 0,
                          static_cast<std::uint64_t>(v.window_p99));
         }
@@ -139,6 +151,7 @@ void SloWatchdog::write_verdicts_json(std::ostream& os) const {
     const SloVerdict& v = verdicts_[i];
     if (i > 0) os << ", ";
     os << "{\"nf\": \"" << v.spec.nf << "\""
+       << ", \"tenant\": \"" << v.spec.tenant << "\""
        << ", \"breached\": " << (v.breached ? "true" : "false")
        << ", \"window_violation\": " << (v.window_violation ? "true" : "false")
        << ", \"violating_windows\": " << v.violating_windows

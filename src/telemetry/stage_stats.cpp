@@ -42,6 +42,17 @@ const HdrHistogram& StageLatencyRecorder::stage(Stage stage) const {
   return hist_[static_cast<std::size_t>(stage)];
 }
 
+const HdrHistogram& StageLatencyRecorder::e2e_tenant(
+    const std::string& tenant) const {
+  tenant_agg_.reset();
+  for (std::size_t nf = 0; nf < kMaxNfs; ++nf) {
+    if (e2e_[nf] != nullptr && tenants_[nf] == tenant) {
+      tenant_agg_.merge(*e2e_[nf]);
+    }
+  }
+  return tenant_agg_;
+}
+
 std::string StageLatencyRecorder::nf_name(std::uint8_t nf) const {
   if (!names_[nf].empty()) return names_[nf];
   return "nf" + std::to_string(static_cast<int>(nf));

@@ -62,7 +62,8 @@ void write_series_key(std::ostream& os, const MetricSample& s) {
 
 std::string make_stream_snapshot(Picos at, const MetricsSnapshot& snap,
                                  const StageLatencyRecorder* stages,
-                                 const SloWatchdog* slo) {
+                                 const SloWatchdog* slo,
+                                 const std::string* tenants_json) {
   std::ostringstream os;
   os << "{\"at_ps\": " << at;
 
@@ -73,6 +74,9 @@ std::string make_stream_snapshot(Picos at, const MetricsSnapshot& snap,
   if (slo != nullptr) {
     os << ", \"slo\": ";
     slo->write_verdicts_json(os);
+  }
+  if (tenants_json != nullptr && !tenants_json->empty()) {
+    os << ", \"tenants\": " << *tenants_json;
   }
 
   os << ", \"replicas\": [";

@@ -1,0 +1,132 @@
+// dhl-daemon wire protocol: frame encode/decode round-trips, incremental
+// parsing, the oversize-length poison, and key=value payload helpers
+// (DESIGN.md section 8).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dhl/daemon/protocol.hpp"
+
+namespace dhl::daemon {
+namespace {
+
+TEST(Protocol, EncodeDecodeRoundTrip) {
+  const std::string wire = encode_frame(MsgType::kHello, "tenant=alpha");
+  ASSERT_EQ(wire.size(), kHeaderBytes + 12);
+  FrameParser p;
+  p.feed(wire.data(), wire.size());
+  Frame f;
+  ASSERT_TRUE(p.next(f));
+  EXPECT_EQ(f.type, MsgType::kHello);
+  EXPECT_EQ(f.payload, "tenant=alpha");
+  EXPECT_FALSE(p.next(f));  // exactly one frame
+  EXPECT_FALSE(p.error());
+}
+
+TEST(Protocol, EmptyPayload) {
+  const std::string wire = encode_frame(MsgType::kHeartbeat, "");
+  ASSERT_EQ(wire.size(), kHeaderBytes);
+  FrameParser p;
+  p.feed(wire.data(), wire.size());
+  Frame f;
+  ASSERT_TRUE(p.next(f));
+  EXPECT_EQ(f.type, MsgType::kHeartbeat);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(Protocol, ByteAtATimeFeedReassembles) {
+  const std::string wire = encode_frame(MsgType::kSend, "nf=3 count=64");
+  FrameParser p;
+  Frame f;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    p.feed(&wire[i], 1);
+    EXPECT_FALSE(p.next(f)) << "frame completed early at byte " << i;
+  }
+  p.feed(&wire[wire.size() - 1], 1);
+  ASSERT_TRUE(p.next(f));
+  EXPECT_EQ(f.type, MsgType::kSend);
+  EXPECT_EQ(f.payload, "nf=3 count=64");
+}
+
+TEST(Protocol, MultipleFramesInOneFeed) {
+  const std::string wire = encode_frame(MsgType::kHello, "tenant=a") +
+                           encode_frame(MsgType::kBye, "") +
+                           encode_frame(MsgType::kOk, "nf_id=1");
+  FrameParser p;
+  p.feed(wire.data(), wire.size());
+  Frame f;
+  ASSERT_TRUE(p.next(f));
+  EXPECT_EQ(f.type, MsgType::kHello);
+  ASSERT_TRUE(p.next(f));
+  EXPECT_EQ(f.type, MsgType::kBye);
+  ASSERT_TRUE(p.next(f));
+  EXPECT_EQ(f.type, MsgType::kOk);
+  EXPECT_EQ(f.payload, "nf_id=1");
+  EXPECT_FALSE(p.next(f));
+}
+
+TEST(Protocol, OversizeLengthPoisonsParser) {
+  // Advertise a payload bigger than kMaxPayload: the parser must refuse to
+  // allocate and stay in the error state no matter what arrives next.
+  const std::uint32_t bad = kMaxPayload + 1;
+  char hdr[kHeaderBytes];
+  hdr[0] = static_cast<char>(bad & 0xff);
+  hdr[1] = static_cast<char>((bad >> 8) & 0xff);
+  hdr[2] = static_cast<char>((bad >> 16) & 0xff);
+  hdr[3] = static_cast<char>((bad >> 24) & 0xff);
+  hdr[4] = static_cast<char>(MsgType::kHello);
+  FrameParser p;
+  p.feed(hdr, sizeof(hdr));
+  Frame f;
+  EXPECT_FALSE(p.next(f));
+  EXPECT_TRUE(p.error());
+  const std::string good = encode_frame(MsgType::kHeartbeat, "");
+  p.feed(good.data(), good.size());
+  EXPECT_FALSE(p.next(f)) << "poisoned parser must not resynchronize";
+  EXPECT_TRUE(p.error());
+}
+
+TEST(Protocol, MaxPayloadExactlyAccepted) {
+  const std::string payload(kMaxPayload, 'x');
+  const std::string wire = encode_frame(MsgType::kStats, payload);
+  FrameParser p;
+  p.feed(wire.data(), wire.size());
+  Frame f;
+  ASSERT_TRUE(p.next(f));
+  EXPECT_EQ(f.payload.size(), kMaxPayload);
+  EXPECT_FALSE(p.error());
+}
+
+TEST(Protocol, ParseKvSplitsPairs) {
+  const auto kv = parse_kv("nf=3 acc=1 count=64 len=256");
+  ASSERT_EQ(kv.size(), 4u);
+  EXPECT_EQ(kv_get(kv, "nf"), "3");
+  EXPECT_EQ(kv_get(kv, "len"), "256");
+  EXPECT_FALSE(kv_get(kv, "missing").has_value());
+}
+
+TEST(Protocol, ParseKvSkipsMalformedTokens) {
+  const auto kv = parse_kv("good=1 noequals also-bad good2=2");
+  ASSERT_EQ(kv.size(), 2u);
+  EXPECT_EQ(kv_get(kv, "good"), "1");
+  EXPECT_EQ(kv_get(kv, "good2"), "2");
+}
+
+TEST(Protocol, KvGetIntParsesAndRejects) {
+  const auto kv = parse_kv("n=42 neg=-7 bad=12x empty=");
+  EXPECT_EQ(kv_get_int(kv, "n"), 42);
+  EXPECT_EQ(kv_get_int(kv, "neg"), -7);
+  EXPECT_FALSE(kv_get_int(kv, "bad").has_value());
+  EXPECT_FALSE(kv_get_int(kv, "empty").has_value());
+  EXPECT_FALSE(kv_get_int(kv, "absent").has_value());
+}
+
+TEST(Protocol, ToStringCoversRequestTypes) {
+  EXPECT_STREQ(to_string(MsgType::kHello), "hello");
+  EXPECT_STREQ(to_string(MsgType::kOk), "ok");
+  EXPECT_STREQ(to_string(MsgType::kError), "error");
+}
+
+}  // namespace
+}  // namespace dhl::daemon

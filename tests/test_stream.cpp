@@ -73,6 +73,29 @@ TEST(StreamSnapshot, CarriesStagesSlosAndCounters) {
   EXPECT_NE(line.find("\"end_to_end\""), std::string::npos);
   EXPECT_NE(line.find("\"slo\""), std::string::npos);
   EXPECT_NE(line.find("dhl.runtime.nf_pkts"), std::string::npos);
+  EXPECT_EQ(line.find("\"tenants\""), std::string::npos)
+      << "no tenants array unless one is supplied";
+}
+
+TEST(StreamSnapshot, CarriesTenantRowsWhenSupplied) {
+  MetricsRegistry reg;
+  StageLatencyRecorder stages;
+  stages.record(Stage::kPack, 123);
+  const std::string tenants =
+      R"([{"tenant": "alpha", "outstanding_bytes": 0, "batches_in_flight": 0, )"
+      R"("admitted": 7, "rejected": 2, "delivered": 5, "dropped": 0}])";
+  const std::string line =
+      make_stream_snapshot(5, reg.snapshot(5), &stages, nullptr, &tenants);
+  EXPECT_NE(line.find("\"tenants\": [{\"tenant\": \"alpha\""),
+            std::string::npos)
+      << line;
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  // An empty string behaves like "no tenants" rather than emitting junk.
+  const std::string empty;
+  const std::string bare =
+      make_stream_snapshot(6, reg.snapshot(6), &stages, nullptr, &empty);
+  EXPECT_EQ(bare.find("\"tenants\""), std::string::npos);
 }
 
 TEST(StreamServer, ClientReceivesPublishedSnapshots) {
