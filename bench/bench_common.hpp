@@ -23,9 +23,15 @@
 #include <vector>
 
 #include "dhl/accel/catalog.hpp"
+#include "dhl/accel/pattern_matching.hpp"
 #include "dhl/common/config_file.hpp"
+#include "dhl/common/crc32.hpp"
+#include "dhl/common/rng.hpp"
+#include "dhl/common/simd.hpp"
+#include "dhl/crypto/aes.hpp"
 #include "dhl/fpga/device.hpp"
 #include "dhl/runtime/config_load.hpp"
+#include "dhl/runtime/fault.hpp"
 #include "dhl/match/aho_corasick.hpp"
 #include "dhl/netio/mempool.hpp"
 #include "dhl/nf/dhl_nf.hpp"
@@ -420,10 +426,21 @@ class TransferMicroBench {
     using Clock = std::chrono::steady_clock;
     auto& ibq = rt_->get_shared_ibq(nf_);
     auto& obq = rt_->get_private_obq(nf_);
-    // Fresh ingress stamp per round (outside the timed sections): the
+    // Fresh ingress stamps per round (outside the timed sections): the
     // recirculated mbufs would otherwise report ever-growing end-to-end
-    // latency against their original stamp.
-    for (netio::Mbuf* m : pkts_) m->set_rx_timestamp(sim_.now());
+    // latency against their original stamp.  Stamps are staggered backwards
+    // across the burst with a deterministic per-round spacing -- packets
+    // arrive over an interval, not at one instant -- so the e2e histogram
+    // records a real distribution.  (One shared stamp plus fixed virtual
+    // advances collapsed every sample to a single value: the degenerate
+    // p50 == p99 == p999 earlier BENCH_micro.json snapshots showed.)
+    const Picos spacing = (100 + 40 * (round_seq_ % 13)) * kPicosPerNano;
+    ++round_seq_;
+    const Picos base = sim_.now();
+    for (std::size_t i = 0; i < pkts_.size(); ++i) {
+      const Picos age = spacing * (pkts_.size() - 1 - i);
+      pkts_[i]->set_rx_timestamp(base > age ? base - age : 1);
+    }
     if (runtime::DhlRuntime::send_packets(ibq, pkts_.data(), pkts_.size()) !=
         pkts_.size()) {
       throw std::runtime_error("transfer_micro: IBQ rejected burst");
@@ -435,7 +452,16 @@ class TransferMicroBench {
     const auto t2 = Clock::now();
     rt_->packer().poll(0);
     const auto t3 = Clock::now();
-    sim_.run_until(sim_.now() + microseconds(400));
+    // Advance virtual time in small quanta until both batches' completions
+    // have landed, instead of a fixed 400 us jump.  The fixed advance put
+    // every delivery exactly 400 us after submit regardless of when the
+    // simulated FPGA finished, which billed ~394 us of idle wait to the
+    // distributor stage minimum and flattened the e2e distribution.
+    const Picos deadline = sim_.now() + microseconds(2000);
+    while (rt_->distributor().completions_pending(0) < 2 &&
+           sim_.now() < deadline) {
+      sim_.run_until(sim_.now() + microseconds(5));
+    }
     const auto t4 = Clock::now();
     rt_->distributor().poll(0);
     const auto t5 = Clock::now();
@@ -478,6 +504,7 @@ class TransferMicroBench {
   std::vector<netio::Mbuf*> pkts_;
   std::vector<netio::Mbuf*> out_;
   std::uint64_t host_ns_ = 0;
+  std::uint64_t round_seq_ = 0;  ///< varies the per-round arrival spacing
 };
 
 inline TransferMicroResult run_transfer_micro(const TransferMicroOptions& opt) {
@@ -631,11 +658,354 @@ inline IntrospectionAb run_introspection_ab(int blocks = 128,
   return ab;
 }
 
-inline bool write_transfer_micro_json(const std::string& path,
-                                      const TransferMicroOptions& opt,
-                                      const TransferMicroResult& zc,
-                                      const TransferMicroResult& legacy,
-                                      const IntrospectionAb* ab = nullptr) {
+/// Paired A/B of the Distributor's CRC32C integrity gate on the zero-copy
+/// path: alternate crc_check on/off within one process and compare the
+/// median ns/pkt of the two arms.  Run by `bench_micro --crc-ab`.  The
+/// interleaving makes each arm see the same thermal/load conditions, so the
+/// difference of medians isolates the verify cost even on machines whose
+/// run-to-run ns/pkt noise dwarfs it.
+inline bool run_crc_ab_suite(int pairs = 15) {
+  print_title("CRC32C integrity gate: zero-copy ns/pkt, verify on vs off");
+  TransferMicroOptions opt;
+  opt.zero_copy = true;
+  // Back-to-back on/off runs form one pair; the per-pair delta cancels the
+  // slow drift (thermal, background load) that dominates raw ns/pkt, so
+  // the median *delta* is the robust statistic -- not the difference of
+  // the two arms' medians, which drift re-inflates.
+  std::vector<double> deltas, off_ns;
+  for (int i = 0; i < pairs; ++i) {
+    opt.crc_check = true;
+    const double on = run_transfer_micro(opt).ns_per_pkt;
+    opt.crc_check = false;
+    const double off = run_transfer_micro(opt).ns_per_pkt;
+    deltas.push_back(on - off);
+    off_ns.push_back(off);
+  }
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double delta = median(deltas);
+  const double off = median(off_ns);
+  std::printf("baseline (crc off): %7.2f ns/pkt\n", off);
+  std::printf("verify overhead:    %+7.2f ns/pkt (%+.1f%%), median delta of "
+              "%d paired runs\n",
+              delta, off > 0 ? 100.0 * delta / off : 0.0, pairs);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Per-kernel scalar-vs-vector A/B (`bench_micro --kernel-ab`): each row pairs
+// one registered CPU vector kernel (common/simd.hpp registry) against its
+// scalar reference by flipping the process-wide ISA cap between arms, on the
+// same buffers in the same process.  The speedups land in BENCH_micro.json
+// under "kernels" and CI's Release perf smoke gates the AES-CTR and
+// pattern-matching rows.
+
+/// One kernel's paired measurement.  `isa` is the tier the kernel selects on
+/// this host when uncapped (matches the dhl.simd.kernel_isa gauge).
+struct KernelAbRow {
+  std::string kernel;
+  std::string isa;
+  double scalar_ns = 0;     ///< best-block ns per call, cap = scalar
+  double vector_ns = 0;     ///< best-block ns per call, ambient cap
+  double speedup = 0;       ///< scalar_ns / vector_ns
+  std::uint64_t bytes = 0;  ///< payload bytes per call
+};
+
+/// Minimum block-average ns per call of `fn` over `blocks` blocks of `iters`
+/// calls.  Means are useless for this on a shared box: preemption arrives in
+/// multi-millisecond slices and run averages of the same kernel wander by
+/// 50% between invocations.  The per-block minimum converges on the
+/// interference-free floor and repeats to a few percent, which is what a CI
+/// ratio gate needs.
+inline double min_block_ns(int iters, int blocks,
+                           const std::function<void()>& fn) {
+  using Clock = std::chrono::steady_clock;
+  double best = std::numeric_limits<double>::infinity();
+  for (int b = 0; b < blocks; ++b) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const auto t1 = Clock::now();
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        static_cast<double>(iters);
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+/// Measure every registered kernel; restores the ambient ISA cap on return
+/// (so a DHL_SIMD override stays respected -- under DHL_SIMD=scalar both
+/// arms run the reference path and every speedup reads ~1.0 by design).
+inline std::vector<KernelAbRow> run_kernel_ab(int blocks = 40) {
+  namespace simd = common::simd;
+  const simd::Isa ambient = simd::cap();
+  Xoshiro256 rng{0x5EED5EEDull};
+
+  auto isa_of = [](const char* kernel) -> std::string {
+    for (const simd::KernelInfo& k : simd::kernel_report()) {
+      if (std::strcmp(k.name, kernel) == 0) return simd::to_string(k.selected);
+    }
+    return simd::to_string(simd::Isa::kScalar);
+  };
+
+  std::vector<KernelAbRow> rows;
+  auto measure = [&](const char* kernel, std::uint64_t bytes, int iters,
+                     const std::function<void()>& fn) {
+    KernelAbRow r;
+    r.kernel = kernel;
+    r.isa = isa_of(kernel);
+    simd::set_cap(simd::Isa::kScalar);
+    r.scalar_ns = min_block_ns(iters, blocks, fn);
+    simd::set_cap(ambient);
+    r.vector_ns = min_block_ns(iters, blocks, fn);
+    r.speedup = r.vector_ns > 0 ? r.scalar_ns / r.vector_ns : 0;
+    r.bytes = bytes;
+    rows.push_back(std::move(r));
+  };
+
+  {  // crc32c: one MTU frame, the Distributor integrity-gate shape.
+    std::vector<std::uint8_t> buf(1500);
+    rng.fill(buf.data(), buf.size());
+    volatile std::uint32_t sink = 0;
+    measure("crc32c", buf.size(), 400,
+            [&] { sink = common::crc32c(buf); });
+    (void)sink;
+  }
+  {  // aes256_ctr: one MTU frame through the IPsec keystream path.
+    std::array<std::uint8_t, 32> key{};
+    rng.fill(key.data(), key.size());
+    const crypto::Aes256 cipher{key};
+    const std::array<std::uint8_t, 16> ctr{};
+    std::vector<std::uint8_t> in(1500), out(1500);
+    rng.fill(in.data(), in.size());
+    measure("aes256_ctr", in.size(), 200,
+            [&] { crypto::aes256_ctr(cipher, ctr, in, out); });
+  }
+  {  // ac_multilane: a full lane group of MTU payloads, the batch-fallback
+    // shape (random patterns approximate a small Snort content set).
+    std::vector<std::string> patterns;
+    for (int i = 0; i < 48; ++i) {
+      std::string p;
+      const std::size_t len = 4 + rng.bounded(13);
+      for (std::size_t j = 0; j < len; ++j) {
+        p.push_back(static_cast<char>('a' + rng.bounded(26)));
+      }
+      patterns.push_back(std::move(p));
+    }
+    const match::AhoCorasick ac =
+        match::AhoCorasick::build(patterns, /*case_insensitive=*/true);
+    constexpr std::size_t kLanes = match::AhoCorasick::kLanes;
+    std::vector<std::vector<std::uint8_t>> texts(
+        kLanes, std::vector<std::uint8_t>(1500));
+    for (auto& t : texts) rng.fill(t.data(), t.size());
+    std::vector<std::span<const std::uint8_t>> spans(texts.begin(),
+                                                     texts.end());
+    std::vector<std::vector<match::PatternMatch>> hits(kLanes);
+    // Short blocks (~0.5 ms): the slowest kernel here is also the one most
+    // sensitive to co-tenant interference, and a block only contributes a
+    // clean floor sample if the whole block ran undisturbed.
+    measure("ac_multilane", kLanes * 1500, 40, [&] {
+      for (auto& h : hits) h.clear();
+      ac.find_all_multi(spans, hits);
+    });
+  }
+  {  // batch_copy: one 240 B record payload -- the linearize() copy shape at
+    // the micro-bench frame size, inside the kCopyVectorMax window where the
+    // vector loop actually dispatches.  The scalar arm is std::memcpy (itself
+    // vectorized), so this row reports the margin over libc, not a large
+    // ratio; copies past the window defer to memcpy and are 1.0x by design.
+    std::vector<std::uint8_t> src(240), dst(240);
+    rng.fill(src.data(), src.size());
+    measure("batch_copy", src.size(), 4000, [&] {
+      common::simd::copy_bytes(dst.data(), src.data(), src.size());
+    });
+  }
+
+  simd::set_cap(ambient);
+  return rows;
+}
+
+/// End-to-end wall-ns/pkt of the fully-quarantined software fallback path,
+/// vector kernels on vs capped to scalar.
+struct FallbackAb {
+  double scalar_ns_per_pkt = 0;
+  double vector_ns_per_pkt = 0;
+  double speedup = 0;
+  std::uint64_t fallback_pkts = 0;  ///< served via fallback across both arms
+};
+
+/// Quarantine stress A/B: every pattern-matching replica is held in
+/// permanent quarantine by a device fault, so bursts flow Packer ->
+/// FallbackRouter -> batch fallback (PatternMatchingModule::process_multi,
+/// i.e. the multi-lane AC kernel) and back out the OBQ.  The timed section
+/// is the Packer poll that runs the fallback; flipping the ISA cap between
+/// arms shows how much of the kernel speedup survives runtime framing.
+/// Frame/burst are chosen so each 6 KB batch holds exactly kLanes records:
+/// the fallback sees full lane groups.
+inline FallbackAb run_fallback_quarantine_ab(int blocks = 24,
+                                             int rounds_per_block = 8) {
+  namespace simd = common::simd;
+  using netio::Mbuf;
+  constexpr std::uint32_t kFrame = 720;   // 8 x (16 + 720) = 5888 <= 6144
+  constexpr std::uint32_t kBurst = 32;    // four full batches per round
+
+  sim::Simulator sim;
+  fpga::FpgaDeviceConfig fc;
+  fpga::FpgaDevice fpga{sim, fc};
+  runtime::RuntimeConfig cfg;
+  cfg.num_sockets = 1;
+  cfg.ibq_burst = kBurst;
+  const std::vector<std::string> patterns{"attack", "overflow", "evil"};
+  auto automaton = std::make_shared<const match::AhoCorasick>(
+      match::AhoCorasick::build(patterns, /*case_insensitive=*/true));
+  runtime::DhlRuntime rt{sim, cfg, accel::standard_module_database(automaton),
+                         std::vector<fpga::FpgaDevice*>{&fpga}};
+  const netio::NfId nf = rt.register_nf("fallback-ab", 0);
+  const runtime::AccHandle handle = rt.search_by_name("pattern-matching", 0);
+  sim.run_until(sim.now() + milliseconds(40));
+  if (!handle.valid() || !rt.acc_ready(handle)) {
+    throw std::runtime_error("fallback_ab: pattern-matching never ready");
+  }
+
+  // Permanent quarantine: every dispatch attempt re-fails the device, so
+  // the hardware path stays unreachable for the whole measurement.
+  runtime::FaultInjector inj{sim, rt.telemetry(), /*seed=*/1234};
+  rt.set_fault_injector(&inj);
+  inj.add_rule({.site = fpga::FaultSite::kDevice,
+                .kind = fpga::FaultKind::kDeviceUnhealthy});
+
+  accel::PatternMatchingModule soft{automaton};
+  std::vector<std::span<std::uint8_t>> datas;
+  std::vector<std::uint64_t> results;
+  rt.register_fallback_batch(
+      nf, "pattern-matching", [&](std::span<Mbuf* const> pkts) {
+        datas.clear();
+        results.assign(pkts.size(), 0);
+        for (Mbuf* m : pkts) datas.emplace_back(m->data(), m->data_len());
+        soft.process_multi(datas, results);
+        for (std::size_t i = 0; i < pkts.size(); ++i) {
+          pkts[i]->set_accel_result(results[i]);
+        }
+      });
+
+  netio::MbufPool pool{"fallback-ab", kBurst * 4, 2048, 0};
+  // Per-packet random payloads, a few with embedded pattern text: a
+  // constant filler byte would pin the DFA walk to one hot table column
+  // and hide the multi-lane kernel's real memory-level parallelism.
+  Xoshiro256 payload_rng{0xFA11BACull};
+  std::vector<Mbuf*> pkts;
+  for (std::uint32_t i = 0; i < kBurst; ++i) {
+    std::vector<std::uint8_t> payload(kFrame);
+    payload_rng.fill(payload.data(), payload.size());
+    if (i % 4 == 0) {
+      static constexpr char kText[] = "buffer OVERFLOW attack in progress";
+      std::memcpy(payload.data() + 64, kText, sizeof(kText) - 1);
+    }
+    Mbuf* m = pool.alloc();
+    m->assign(payload);
+    m->set_nf_id(nf);
+    m->set_acc_id(handle.acc_id);
+    pkts.push_back(m);
+  }
+  std::vector<Mbuf*> out(kBurst * 2, nullptr);
+
+  auto& ibq = rt.get_shared_ibq(nf);
+  auto& obq = rt.get_private_obq(nf);
+  // One round: burst in, two TX polls (immediate flush + timeout flush of
+  // any open batch) with the fallback running inside them, drain the OBQ,
+  // recirculate.  Returns the host ns spent in the polls.
+  auto round = [&]() -> std::uint64_t {
+    using Clock = std::chrono::steady_clock;
+    for (Mbuf* m : pkts) {
+      m->set_rx_timestamp(sim.now() == 0 ? 1 : sim.now());
+    }
+    if (runtime::DhlRuntime::send_packets(ibq, pkts.data(), pkts.size()) !=
+        pkts.size()) {
+      throw std::runtime_error("fallback_ab: IBQ rejected burst");
+    }
+    const auto t0 = Clock::now();
+    rt.packer().poll(0);
+    const auto t1 = Clock::now();
+    sim.run_until(sim.now() + microseconds(200));  // > batch_timeout
+    const auto t2 = Clock::now();
+    rt.packer().poll(0);
+    const auto t3 = Clock::now();
+    const std::size_t n =
+        runtime::DhlRuntime::receive_packets(obq, out.data(), out.size());
+    if (n != pkts.size()) {
+      throw std::runtime_error("fallback_ab: round lost packets");
+    }
+    std::copy_n(out.data(), n, pkts.data());
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>((t1 - t0) +
+                                                             (t3 - t2))
+            .count());
+  };
+
+  const double pkts_per_round = static_cast<double>(kBurst);
+  auto arm_ns_per_pkt = [&]() {
+    double best = std::numeric_limits<double>::infinity();
+    for (int b = 0; b < blocks; ++b) {
+      std::uint64_t ns = 0;
+      for (int r = 0; r < rounds_per_block; ++r) ns += round();
+      const double per_pkt = static_cast<double>(ns) /
+                             (pkts_per_round * rounds_per_block);
+      if (per_pkt < best) best = per_pkt;
+    }
+    return best;
+  };
+
+  const simd::Isa ambient = simd::cap();
+  FallbackAb ab;
+  for (int i = 0; i < 4; ++i) round();  // warmup (also primes quarantine)
+  simd::set_cap(simd::Isa::kScalar);
+  ab.scalar_ns_per_pkt = arm_ns_per_pkt();
+  simd::set_cap(ambient);
+  ab.vector_ns_per_pkt = arm_ns_per_pkt();
+  ab.speedup = ab.vector_ns_per_pkt > 0
+                   ? ab.scalar_ns_per_pkt / ab.vector_ns_per_pkt
+                   : 0;
+  ab.fallback_pkts = static_cast<std::uint64_t>(
+      rt.telemetry().metrics.snapshot().sum("dhl.fallback.pkts"));
+  for (Mbuf* m : pkts) m->release();
+  return ab;
+}
+
+/// Run both kernel-level A/Bs, print the tables.  Returns the rows so the
+/// JSON writer can embed them; `bench_micro --kernel-ab` runs exactly this.
+inline std::vector<KernelAbRow> run_kernel_ab_suite(FallbackAb* fb_out =
+                                                        nullptr) {
+  print_title("CPU vector kernels: scalar vs dispatched ISA (best-block ns)");
+  const std::vector<KernelAbRow> rows = run_kernel_ab();
+  std::printf("%-14s %-8s %12s %12s %9s %8s\n", "kernel", "isa", "scalar-ns",
+              "vector-ns", "speedup", "bytes");
+  print_rule(68);
+  for (const KernelAbRow& r : rows) {
+    std::printf("%-14s %-8s %12.1f %12.1f %8.2fx %8llu\n", r.kernel.c_str(),
+                r.isa.c_str(), r.scalar_ns, r.vector_ns, r.speedup,
+                static_cast<unsigned long long>(r.bytes));
+  }
+
+  print_title("quarantine fallback path: e2e ns/pkt, scalar cap vs native");
+  const FallbackAb fb = run_fallback_quarantine_ab();
+  std::printf("scalar cap:  %8.1f ns/pkt\n", fb.scalar_ns_per_pkt);
+  std::printf("native ISA:  %8.1f ns/pkt  (%.2fx, %llu pkts via fallback)\n",
+              fb.vector_ns_per_pkt, fb.speedup,
+              static_cast<unsigned long long>(fb.fallback_pkts));
+  if (fb_out != nullptr) *fb_out = fb;
+  return rows;
+}
+
+inline bool write_transfer_micro_json(
+    const std::string& path, const TransferMicroOptions& opt,
+    const TransferMicroResult& zc, const TransferMicroResult& legacy,
+    const IntrospectionAb* ab = nullptr,
+    const std::vector<KernelAbRow>* kernels = nullptr,
+    const FallbackAb* fb = nullptr) {
   std::ofstream f{path};
   if (!f) return false;
   f << std::fixed << std::setprecision(4);
@@ -678,6 +1048,28 @@ inline bool write_transfer_micro_json(const std::string& path,
       << "    \"pairs\": " << ab->pairs << "\n"
       << "  },\n";
   }
+  // Per-kernel scalar-vs-vector speedups (run_kernel_ab): CI's Release
+  // perf gate asserts aes256_ctr >= 3x and ac_multilane >= 2x.
+  if (kernels != nullptr && !kernels->empty()) {
+    f << "  \"kernels\": [\n";
+    for (std::size_t i = 0; i < kernels->size(); ++i) {
+      const KernelAbRow& r = (*kernels)[i];
+      f << "    {\"kernel\": \"" << r.kernel << "\", \"isa\": \"" << r.isa
+        << "\", \"scalar_ns\": " << r.scalar_ns
+        << ", \"vector_ns\": " << r.vector_ns
+        << ", \"speedup\": " << r.speedup << ", \"bytes\": " << r.bytes
+        << "}" << (i + 1 < kernels->size() ? "," : "") << "\n";
+    }
+    f << "  ],\n";
+  }
+  if (fb != nullptr) {
+    f << "  \"fallback\": {\n"
+      << "    \"scalar_ns_per_pkt\": " << fb->scalar_ns_per_pkt << ",\n"
+      << "    \"vector_ns_per_pkt\": " << fb->vector_ns_per_pkt << ",\n"
+      << "    \"speedup\": " << fb->speedup << ",\n"
+      << "    \"fallback_pkts\": " << fb->fallback_pkts << "\n"
+      << "  },\n";
+  }
   // The ratio is the CI-gated metric: it compares the two modes within one
   // run on one machine, so it is stable across hardware where raw ns/pkt
   // is not.
@@ -694,6 +1086,13 @@ inline bool write_transfer_micro_json(const std::string& path,
 /// Run both modes, print a summary table, write the JSON.  Used by
 /// bench_micro when `--micro-out=<path>` is given.
 inline bool run_transfer_micro_suite(const std::string& out_path) {
+  // Kernel A/B first, on a fresh heap: the multi-lane AC stepper's win is
+  // memory-level parallelism, and the transfer benches' allocator churn
+  // costs it ~40% (measured 1.7x after vs 2.8x before).  Running kernels
+  // first matches the standalone --kernel-ab conditions CI developers see.
+  FallbackAb fb;
+  const std::vector<KernelAbRow> kernels = run_kernel_ab_suite(&fb);
+
   print_title("transfer-layer micro: zero-copy vs legacy copy path");
   TransferMicroOptions opt;
   opt.zero_copy = true;
@@ -725,47 +1124,12 @@ inline bool run_transfer_micro_suite(const std::string& out_path) {
               "%d on/off pairs\n",
               ab.delta_ns_per_pkt, ab.overhead_percent, ab.pairs);
 
-  if (!write_transfer_micro_json(out_path, opt, zc, legacy, &ab)) {
+  if (!write_transfer_micro_json(out_path, opt, zc, legacy, &ab, &kernels,
+                                 &fb)) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
     return false;
   }
   std::printf("micro-bench JSON written to %s\n", out_path.c_str());
-  return true;
-}
-
-/// Paired A/B of the Distributor's CRC32C integrity gate on the zero-copy
-/// path: alternate crc_check on/off within one process and compare the
-/// median ns/pkt of the two arms.  Run by `bench_micro --crc-ab`.  The
-/// interleaving makes each arm see the same thermal/load conditions, so the
-/// difference of medians isolates the verify cost even on machines whose
-/// run-to-run ns/pkt noise dwarfs it.
-inline bool run_crc_ab_suite(int pairs = 15) {
-  print_title("CRC32C integrity gate: zero-copy ns/pkt, verify on vs off");
-  TransferMicroOptions opt;
-  opt.zero_copy = true;
-  // Back-to-back on/off runs form one pair; the per-pair delta cancels the
-  // slow drift (thermal, background load) that dominates raw ns/pkt, so
-  // the median *delta* is the robust statistic -- not the difference of
-  // the two arms' medians, which drift re-inflates.
-  std::vector<double> deltas, off_ns;
-  for (int i = 0; i < pairs; ++i) {
-    opt.crc_check = true;
-    const double on = run_transfer_micro(opt).ns_per_pkt;
-    opt.crc_check = false;
-    const double off = run_transfer_micro(opt).ns_per_pkt;
-    deltas.push_back(on - off);
-    off_ns.push_back(off);
-  }
-  auto median = [](std::vector<double> v) {
-    std::sort(v.begin(), v.end());
-    return v[v.size() / 2];
-  };
-  const double delta = median(deltas);
-  const double off = median(off_ns);
-  std::printf("baseline (crc off): %7.2f ns/pkt\n", off);
-  std::printf("verify overhead:    %+7.2f ns/pkt (%+.1f%%), median delta of "
-              "%d paired runs\n",
-              delta, off > 0 ? 100.0 * delta / off : 0.0, pairs);
   return true;
 }
 

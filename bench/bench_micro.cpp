@@ -9,6 +9,9 @@
 // writes a machine-readable JSON -- the artifact behind BENCH_micro.json
 // and the CI perf smoke.  `--crc-ab` runs the interleaved on/off pairing
 // that isolates the Distributor CRC gate's cost on the zero-copy path.
+// `--kernel-ab` pairs each registered CPU vector kernel (common/simd.hpp)
+// against its scalar reference and measures the quarantine fallback path
+// end to end under both ISA caps.
 
 #include <benchmark/benchmark.h>
 
@@ -157,6 +160,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--crc-ab") == 0) {
       return dhl::bench::run_crc_ab_suite() ? 0 : 1;
+    }
+    if (std::strcmp(argv[i], "--kernel-ab") == 0) {
+      return dhl::bench::run_kernel_ab_suite().empty() ? 1 : 0;
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -57,6 +57,15 @@ class PatternMatchingModule final : public fpga::AcceleratorModule {
 
   fpga::ProcessResult process(std::span<std::uint8_t> data) override;
 
+  /// Batch form of process(): walks several records' payloads through the
+  /// automaton's multi-lane stepper (find_all_multi) so the per-byte DFA
+  /// loads of up to AhoCorasick::kLanes packets overlap.  `results[i]` is
+  /// exactly `process(datas[i]).result`; the module never rewrites bytes,
+  /// so that is the whole observable effect.  This is the kernel behind the
+  /// batch software fallback (DHL_register_fallback_batch).
+  void process_multi(std::span<const std::span<std::uint8_t>> datas,
+                     std::span<std::uint64_t> results);
+
  private:
   std::shared_ptr<const match::AhoCorasick> automaton_;
   /// Per-pattern "already counted" scratch, reused across records so the
@@ -64,6 +73,11 @@ class PatternMatchingModule final : public fpga::AcceleratorModule {
   /// match-vector register anyway).  `touched_` lists the entries to clear.
   std::vector<std::uint8_t> seen_;
   std::vector<std::uint32_t> touched_;
+  /// process_multi scratch (haystack spans + per-lane match lists), reused
+  /// across batches to keep the fallback hot path allocation-free at
+  /// steady state.
+  std::vector<std::span<const std::uint8_t>> lane_haystacks_;
+  std::vector<std::vector<match::PatternMatch>> lane_matches_;
 };
 
 /// Bitstream descriptor (Table V: 6.8 MB).

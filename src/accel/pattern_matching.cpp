@@ -58,6 +58,43 @@ fpga::ProcessResult PatternMatchingModule::process(
   return {result, len, /*data_unmodified=*/true};
 }
 
+void PatternMatchingModule::process_multi(
+    std::span<const std::span<std::uint8_t>> datas,
+    std::span<std::uint64_t> results) {
+  DHL_CHECK(results.size() >= datas.size());
+  const std::size_t n = datas.size();
+  if (lane_matches_.size() < n) lane_matches_.resize(n);
+  lane_haystacks_.clear();
+  for (const auto& data : datas) {
+    const netio::PacketView view = netio::parse_packet(data);
+    const std::size_t start = view.valid ? view.payload_offset : 0;
+    lane_haystacks_.push_back({data.data() + start, data.size() - start});
+  }
+  for (std::size_t i = 0; i < n; ++i) lane_matches_[i].clear();
+  automaton_->find_all_multi(lane_haystacks_,
+                             {lane_matches_.data(), n});
+
+  if (seen_.size() < automaton_->pattern_count()) {
+    seen_.resize(automaton_->pattern_count(), 0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t bitmap = 0;
+    std::uint32_t distinct = 0;
+    for (const match::PatternMatch& m : lane_matches_[i]) {
+      if (!seen_[m.pattern]) {
+        seen_[m.pattern] = 1;
+        touched_.push_back(m.pattern);
+        ++distinct;
+        if (m.pattern < 48) bitmap |= 1ULL << m.pattern;
+      }
+    }
+    for (const std::uint32_t p : touched_) seen_[p] = 0;
+    touched_.clear();
+    if (distinct > 0xffff) distinct = 0xffff;
+    results[i] = bitmap | (static_cast<std::uint64_t>(distinct) << 48);
+  }
+}
+
 fpga::PartialBitstream pattern_matching_bitstream(
     std::shared_ptr<const match::AhoCorasick> automaton) {
   fpga::PartialBitstream b;

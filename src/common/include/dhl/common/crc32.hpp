@@ -18,6 +18,8 @@
 #include <cstring>
 #include <span>
 
+#include "dhl/common/simd.hpp"
+
 namespace dhl::common {
 
 namespace detail {
@@ -108,8 +110,10 @@ __attribute__((target("sse4.2"))) inline std::uint32_t crc32c_update_hw(
 }
 
 inline bool crc32c_hw_available() {
-  static const bool ok = __builtin_cpu_supports("sse4.2");
-  return ok;
+  // Registered as kernel "crc32c" (tier sse42) in simd::kernel_report();
+  // honoring the cap keeps the slice-by-8 reference path exercised under
+  // the DHL_SIMD=scalar CI leg.
+  return simd::enabled(simd::Isa::kSse42);
 }
 #endif  // x86 gcc/clang
 

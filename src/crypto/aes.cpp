@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "dhl/common/check.hpp"
+#include "dhl/common/simd.hpp"
 
 namespace dhl::crypto {
 
@@ -100,6 +101,86 @@ std::uint32_t sub_word(std::uint32_t w) {
 
 std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
 
+/// Increment a 128-bit big-endian counter in place.  Shared by the scalar
+/// and AES-NI CTR paths so both walk the identical counter sequence --
+/// which is what makes their keystreams bit-identical.
+void inc_ctr_be128(std::uint8_t ctr[16]) {
+  for (int i = 15; i >= 0; --i) {
+    if (++ctr[i] != 0) break;
+  }
+}
+
+#ifdef DHL_SIMD_X86
+#define DHL_AES_HAS_NI 1
+
+__attribute__((target("aes,sse2"))) void encrypt_block_aesni(
+    const std::uint8_t* rk, const std::uint8_t in[16], std::uint8_t out[16]) {
+  __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  b = _mm_xor_si128(b, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk)));
+  for (int round = 1; round < Aes256::kRounds; ++round) {
+    b = _mm_aesenc_si128(
+        b, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * round)));
+  }
+  b = _mm_aesenclast_si128(
+      b, _mm_loadu_si128(
+             reinterpret_cast<const __m128i*>(rk + 16 * Aes256::kRounds)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), b);
+}
+
+/// CTR keystream with up to 8 independent counter blocks in flight: the
+/// aesenc latency (4-7 cycles) is hidden by the other lanes' rounds, so
+/// throughput approaches one block per round instead of one block per
+/// latency chain.  Counters are materialized with the shared scalar
+/// increment -- its cost is noise next to 14 AES rounds.
+__attribute__((target("aes,sse2"))) void aes256_ctr_aesni(
+    const std::uint8_t* rk, std::uint8_t ctr[16], const std::uint8_t* in,
+    std::uint8_t* out, std::size_t len) {
+  constexpr int kPipe = 8;
+  while (len > 0) {
+    const std::size_t blocks_left = (len + 15) / 16;
+    const int group =
+        blocks_left < kPipe ? static_cast<int>(blocks_left) : kPipe;
+    alignas(16) std::uint8_t ctrs[kPipe][16];
+    for (int i = 0; i < group; ++i) {
+      std::memcpy(ctrs[i], ctr, 16);
+      inc_ctr_be128(ctr);
+    }
+    __m128i b[kPipe];
+    const __m128i k0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk));
+    for (int i = 0; i < group; ++i) {
+      b[i] = _mm_xor_si128(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(ctrs[i])), k0);
+    }
+    for (int round = 1; round < Aes256::kRounds; ++round) {
+      const __m128i k = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(rk + 16 * round));
+      for (int i = 0; i < group; ++i) b[i] = _mm_aesenc_si128(b[i], k);
+    }
+    const __m128i klast = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(rk + 16 * Aes256::kRounds));
+    for (int i = 0; i < group; ++i) b[i] = _mm_aesenclast_si128(b[i], klast);
+
+    for (int i = 0; i < group; ++i) {
+      if (len >= 16) {
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                         _mm_xor_si128(v, b[i]));
+        in += 16;
+        out += 16;
+        len -= 16;
+      } else {
+        alignas(16) std::uint8_t ks[16];
+        _mm_store_si128(reinterpret_cast<__m128i*>(ks), b[i]);
+        for (std::size_t j = 0; j < len; ++j) out[j] = in[j] ^ ks[j];
+        len = 0;
+      }
+    }
+  }
+}
+
+#endif  // DHL_SIMD_X86
+
 }  // namespace
 
 Aes256::Aes256(std::span<const std::uint8_t, kKeyBytes> key) {
@@ -118,10 +199,28 @@ Aes256::Aes256(std::span<const std::uint8_t, kKeyBytes> key) {
     }
     round_keys_[i] = round_keys_[i - kNk] ^ temp;
   }
+  // Serialize the schedule to wire byte order (big-endian words) for the
+  // AES-NI kernels: AddRoundKey is a byte-wise XOR, so the byte-order key
+  // block XORed against the byte-order state is exactly the scalar path.
+  for (int i = 0; i < kNw; ++i) {
+    store_be32(&round_key_bytes_[4 * static_cast<std::size_t>(i)],
+               round_keys_[static_cast<std::size_t>(i)]);
+  }
 }
 
 void Aes256::encrypt_block(const std::uint8_t in[kBlockBytes],
                            std::uint8_t out[kBlockBytes]) const {
+#ifdef DHL_AES_HAS_NI
+  if (common::simd::enabled(common::simd::Isa::kAesni)) {
+    encrypt_block_aesni(round_key_bytes_.data(), in, out);
+    return;
+  }
+#endif
+  encrypt_block_scalar(in, out);
+}
+
+void Aes256::encrypt_block_scalar(const std::uint8_t in[kBlockBytes],
+                                  std::uint8_t out[kBlockBytes]) const {
   const auto& tb = tables();
   std::uint32_t s0 = load_be32(in) ^ round_keys_[0];
   std::uint32_t s1 = load_be32(in + 4) ^ round_keys_[1];
@@ -224,6 +323,13 @@ void aes256_ctr(const Aes256& cipher, std::span<const std::uint8_t, 16> counter,
   DHL_CHECK(out.size() >= in.size());
   std::uint8_t ctr[16];
   std::memcpy(ctr, counter.data(), 16);
+#ifdef DHL_AES_HAS_NI
+  if (common::simd::enabled(common::simd::Isa::kAesni)) {
+    aes256_ctr_aesni(cipher.round_key_bytes(), ctr, in.data(), out.data(),
+                     in.size());
+    return;
+  }
+#endif
   std::uint8_t keystream[16];
   std::size_t off = 0;
   while (off < in.size()) {
@@ -231,10 +337,7 @@ void aes256_ctr(const Aes256& cipher, std::span<const std::uint8_t, 16> counter,
     const std::size_t n = std::min<std::size_t>(16, in.size() - off);
     for (std::size_t i = 0; i < n; ++i) out[off + i] = in[off + i] ^ keystream[i];
     off += n;
-    // Increment the 128-bit big-endian counter.
-    for (int i = 15; i >= 0; --i) {
-      if (++ctr[i] != 0) break;
-    }
+    inc_ctr_be128(ctr);
   }
 }
 

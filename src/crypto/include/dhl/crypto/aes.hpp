@@ -5,12 +5,17 @@
 // This is the cipher inside both the CPU-only IPsec gateway (the paper uses
 // Intel-ipsec-mb's AES-CTR) and the FPGA ipsec-crypto accelerator module:
 // DHL's claim is that the *same* transformation runs in either place, so the
-// bytes produced here must be identical on both paths.  Encryption uses
-// T-tables (fast enough to push hundreds of MB/s through the simulated data
-// plane); decryption uses the straightforward inverse cipher and is only on
-// test/verification paths.
+// bytes produced here must be identical on both paths.  The scalar reference
+// encrypts through T-tables; on hosts with AES-NI (and under a permissive
+// DHL_SIMD cap, see common/simd.hpp) encrypt_block and aes256_ctr dispatch
+// to aesenc kernels -- the CTR path keeps 8 independent counter blocks in
+// flight per call so the 14-round dependency chains overlap.  Decryption
+// uses the straightforward inverse cipher and is only on test/verification
+// paths.
 //
-// Verified against FIPS-197 and NIST SP 800-38A vectors in tests.
+// Verified against FIPS-197 and NIST SP 800-38A vectors in tests; the
+// AES-NI variants are bit-parity-tested against the scalar reference in
+// test_simd_parity.
 
 #include <array>
 #include <cstdint>
@@ -31,8 +36,19 @@ class Aes256 {
   void decrypt_block(const std::uint8_t in[kBlockBytes],
                      std::uint8_t out[kBlockBytes]) const;
 
+  /// Round keys serialized in wire byte order, one 16-byte block per round
+  /// (FIPS-197 word layout); this is the form the AES-NI kernels in aes.cpp
+  /// consume with plain unaligned loads.
+  const std::uint8_t* round_key_bytes() const {
+    return round_key_bytes_.data();
+  }
+
  private:
+  void encrypt_block_scalar(const std::uint8_t in[kBlockBytes],
+                            std::uint8_t out[kBlockBytes]) const;
+
   std::array<std::uint32_t, 4 * (kRounds + 1)> round_keys_{};
+  alignas(16) std::array<std::uint8_t, 16 * (kRounds + 1)> round_key_bytes_{};
 };
 
 /// AES-CTR keystream application: out = in XOR E_k(counter++).  CTR is its

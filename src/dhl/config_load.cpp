@@ -1,5 +1,7 @@
 #include "dhl/runtime/config_load.hpp"
 
+#include "dhl/common/simd.hpp"
+
 namespace dhl::runtime {
 
 namespace {
@@ -48,6 +50,13 @@ void apply_runtime_config(const common::ConfigFile& file,
   config.ledger = file.get_bool(s, "ledger", config.ledger);
   config.introspection =
       file.get_bool(s, "introspection", config.introspection);
+  // Process-wide ISA cap for the CPU vector kernels (common/simd.hpp):
+  // `simd = scalar|sse42|aesni|avx2`.  Unset keeps the DHL_SIMD
+  // environment variable (or no cap) in charge.
+  if (const std::string isa = file.get_string(s, "simd", ""); !isa.empty()) {
+    common::simd::Isa cap = common::simd::kMaxIsa;
+    if (common::simd::parse_isa(isa, cap)) common::simd::set_cap(cap);
+  }
 }
 
 std::vector<TenantStanza> tenant_stanzas(const common::ConfigFile& file) {

@@ -113,4 +113,16 @@ inline void DHL_register_fallback(runtime::DhlRuntime& rt, netio::NfId nf_id,
   rt.register_fallback(nf_id, hf_name, std::move(fn));
 }
 
+/// Batched register_fallback: the callback receives every packet of a
+/// failed same-NF batch run in one call -- the shape the vectorized CPU
+/// kernels want (multi-lane Aho-Corasick, pipelined AES-CTR; DESIGN.md
+/// section 3.5).  Per-packet contract is identical to DHL_register_fallback;
+/// when both forms are registered the batch form wins.
+inline void DHL_register_fallback_batch(runtime::DhlRuntime& rt,
+                                        netio::NfId nf_id,
+                                        const std::string& hf_name,
+                                        runtime::FallbackBatchFn fn) {
+  rt.register_fallback_batch(nf_id, hf_name, std::move(fn));
+}
+
 }  // namespace dhl

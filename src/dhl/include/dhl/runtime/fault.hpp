@@ -28,6 +28,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -96,6 +97,14 @@ class FaultInjector final : public fpga::FaultHook {
 /// as the accelerator path would have (the parity tests enforce this).
 using FallbackFn = std::function<void(netio::Mbuf&)>;
 
+/// Batch form: receives every packet of one (nf, hf) run at once -- the
+/// shape the Packer's failed DMA batch already has -- so vectorized
+/// fallbacks (multi-lane Aho-Corasick, pipelined AES-CTR) see whole
+/// batches instead of one packet per call.  Same contract per packet as
+/// FallbackFn: leave payload + accel_result exactly as the accelerator
+/// path would have.
+using FallbackBatchFn = std::function<void(std::span<netio::Mbuf* const>)>;
+
 class FallbackRouter {
  public:
   FallbackRouter(std::vector<NfInfo>& nfs, RuntimeMetrics& metrics);
@@ -107,12 +116,24 @@ class FallbackRouter {
   void register_fallback(netio::NfId nf_id, const std::string& hf_name,
                          FallbackFn fn);
 
+  /// DHL_register_fallback_batch(): batched software path for
+  /// (nf, hf_name).  Preferred by process_batch when both forms exist.
+  void register_fallback_batch(netio::NfId nf_id, const std::string& hf_name,
+                               FallbackBatchFn fn);
+
   bool has(netio::NfId nf_id, const std::string& hf_name) const;
 
   /// Run the registered callback on `m` and deliver it to the NF's private
   /// OBQ (with the usual OBQ-full drop accounting).  False when no
   /// callback is registered -- the packet stays with the caller.
   bool process(netio::NfId nf_id, const std::string& hf_name, netio::Mbuf* m);
+
+  /// Serve a whole same-NF run of packets: one FallbackBatchFn call if a
+  /// batch callback is registered (falling back to the per-packet callback
+  /// otherwise), then the usual per-packet OBQ delivery/accounting.  False
+  /// when neither form is registered -- the packets stay with the caller.
+  bool process_batch(netio::NfId nf_id, const std::string& hf_name,
+                     std::span<netio::Mbuf* const> pkts);
 
   /// Packet-lifecycle ledger (null = not auditing).  Owned by the facade.
   void set_ledger(LifecycleLedger* ledger) { ledger_ = ledger; }
@@ -128,6 +149,10 @@ class FallbackRouter {
   }
 
  private:
+  /// Post-callback bookkeeping for one served packet: fallback counters,
+  /// ledger stage, OBQ delivery (or drop accounting), stage/e2e records.
+  void deliver(netio::NfId nf_id, netio::Mbuf* m);
+
   std::vector<NfInfo>& nfs_;
   RuntimeMetrics& metrics_;
   LifecycleLedger* ledger_ = nullptr;
@@ -135,6 +160,7 @@ class FallbackRouter {
   sim::Simulator* sim_ = nullptr;
   telemetry::Telemetry* telemetry_ = nullptr;
   std::map<std::pair<netio::NfId, std::string>, FallbackFn> fns_;
+  std::map<std::pair<netio::NfId, std::string>, FallbackBatchFn> batch_fns_;
 };
 
 }  // namespace dhl::runtime

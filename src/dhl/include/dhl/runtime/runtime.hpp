@@ -192,6 +192,11 @@ class DhlRuntime {
   /// accelerator would have.
   void register_fallback(netio::NfId nf_id, const std::string& hf_name,
                          FallbackFn fn);
+  /// DHL_register_fallback_batch(): batched form -- the callback receives
+  /// every packet of a failed same-NF batch run at once, so vectorized
+  /// software paths (multi-lane AC, pipelined AES-CTR) keep their shape.
+  void register_fallback_batch(netio::NfId nf_id, const std::string& hf_name,
+                               FallbackBatchFn fn);
   FallbackRouter& fallback_router() { return fallback_; }
 
   /// Packet-lifecycle conservation ledger (DESIGN.md section 3.4).  A

@@ -1,6 +1,7 @@
 #include "dhl/runtime/packer.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "dhl/common/check.hpp"
 #include "dhl/common/log.hpp"
@@ -108,15 +109,29 @@ void Packer::fallback_or_drop(fpga::DmaBatchPtr batch,
                           static_cast<std::int16_t>(batch->acc_id()),
                           static_cast<std::int32_t>(batch->pkts().size()));
   if (tenants_ != nullptr) tenants_->retire_batch(*batch);
-  for (Mbuf* m : batch->pkts()) {
-    --metrics_.in_flight;
-    if (fallback_ != nullptr && fallback_->process(m->nf_id(), hf_name, m)) {
-      continue;  // served in software, delivered to the NF's OBQ
+  // Hand the fallback router whole same-NF runs (batches are usually
+  // single-NF, so normally one call) so batch-registered software paths --
+  // multi-lane Aho-Corasick, pipelined AES-CTR -- see the batch shape
+  // instead of one packet per call.
+  const auto& pkts = batch->pkts();
+  std::size_t i = 0;
+  while (i < pkts.size()) {
+    std::size_t j = i + 1;
+    while (j < pkts.size() && pkts[j]->nf_id() == pkts[i]->nf_id()) ++j;
+    const std::span<Mbuf* const> run{pkts.data() + i, j - i};
+    metrics_.in_flight -= run.size();
+    if (fallback_ != nullptr &&
+        fallback_->process_batch(pkts[i]->nf_id(), hf_name, run)) {
+      i = j;  // served in software, delivered to the NF's OBQ
+      continue;
     }
-    metrics_.submit_drop_pkts->add(1);
-    if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kSubmit);
-    if (tenants_ != nullptr) tenants_->count_drop(m->nf_id());
-    m->release();
+    for (Mbuf* m : run) {
+      metrics_.submit_drop_pkts->add(1);
+      if (ledger_ != nullptr) ledger_->on_drop(m, LedgerDrop::kSubmit);
+      if (tenants_ != nullptr) tenants_->count_drop(m->nf_id());
+      m->release();
+    }
+    i = j;
   }
   pools_.recycle(std::move(batch));
 }

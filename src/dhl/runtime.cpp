@@ -2,6 +2,7 @@
 
 #include "dhl/common/check.hpp"
 #include "dhl/common/log.hpp"
+#include "dhl/common/simd.hpp"
 
 namespace dhl::runtime {
 
@@ -56,6 +57,17 @@ DhlRuntime::DhlRuntime(sim::Simulator& simulator, RuntimeConfig config,
       .gauge("dhl.runtime.dispatch_policy",
              telemetry::Labels{{"policy", policy_->name()}})
       ->set(1);
+  // Likewise the CPU kernel dispatch (common/simd.hpp): one gauge per
+  // kernel, labelled with the ISA it selected on this host under the
+  // current DHL_SIMD cap, valued with the tier ordinal so dashboards can
+  // plot degradations numerically.
+  for (const auto& k : common::simd::kernel_report()) {
+    telemetry_->metrics
+        .gauge("dhl.simd.kernel_isa",
+               telemetry::Labels{{"kernel", k.name},
+                                 {"isa", common::simd::to_string(k.selected)}})
+        ->set(static_cast<double>(k.selected));
+  }
   for (fpga::FpgaDevice* dev : table_.devices()) {
     DHL_CHECK_MSG(dev->socket() >= 0 && dev->socket() < config_.num_sockets,
                   "FPGA socket out of range");
@@ -229,6 +241,14 @@ void DhlRuntime::register_fallback(netio::NfId nf_id,
                                    FallbackFn fn) {
   DHL_CHECK_MSG(nf_id < nfs_.size(), "register_fallback: unregistered nf_id");
   fallback_.register_fallback(nf_id, hf_name, std::move(fn));
+}
+
+void DhlRuntime::register_fallback_batch(netio::NfId nf_id,
+                                         const std::string& hf_name,
+                                         FallbackBatchFn fn) {
+  DHL_CHECK_MSG(nf_id < nfs_.size(),
+                "register_fallback_batch: unregistered nf_id");
+  fallback_.register_fallback_batch(nf_id, hf_name, std::move(fn));
 }
 
 void DhlRuntime::set_dispatch_policy(std::unique_ptr<DispatchPolicy> policy) {

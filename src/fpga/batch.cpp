@@ -5,6 +5,7 @@
 
 #include "dhl/common/crc32.hpp"
 #include "dhl/common/endian.hpp"
+#include "dhl/common/simd.hpp"
 
 namespace dhl::fpga {
 
@@ -18,11 +19,17 @@ using common::store_le32;
 using common::store_le64;
 
 void serialize_header(std::uint8_t* p, const RecordHeader& h) {
-  p[0] = h.nf_id;
-  p[1] = h.acc_id;
-  store_le16(p + 2, h.flags);
-  store_le32(p + 4, h.data_len);
-  store_le64(p + 8, h.result);
+  // Build the 16-byte header in a local block and emit it with one copy:
+  // the compiler turns this into a pair of wide stores instead of the six
+  // byte/halfword/word stores the field-at-a-time form produced, which the
+  // linearize() header loop feels at 24 records per batch.
+  std::uint8_t hdr[kRecordHeaderBytes];
+  hdr[0] = h.nf_id;
+  hdr[1] = h.acc_id;
+  store_le16(hdr + 2, h.flags);
+  store_le32(hdr + 4, h.data_len);
+  store_le64(hdr + 8, h.result);
+  std::memcpy(p, hdr, kRecordHeaderBytes);
 }
 
 /// Decode the record at `off`; returns the offset one past its data.
@@ -63,8 +70,8 @@ void DmaBatch::append(netio::NfId nf_id, std::span<const std::uint8_t> data,
   const std::size_t off = buffer_.size();
   buffer_.resize(off + kRecordHeaderBytes + data.size());
   serialize_header(buffer_.data() + off, h);
-  std::memcpy(buffer_.data() + off + kRecordHeaderBytes, data.data(),
-              data.size());
+  common::simd::copy_bytes(buffer_.data() + off + kRecordHeaderBytes,
+                           data.data(), data.size());
   pkts_.push_back(origin);
   ++record_count_;
 }
@@ -95,8 +102,10 @@ void DmaBatch::linearize() {
     serialize_header(buffer_.data() + off, d.header);
     off += kRecordHeaderBytes;
     if (d.len != 0) {
-      std::memcpy(buffer_.data() + off, d.mbuf->payload().data() + d.offset,
-                  d.len);
+      // Kernel "batch_copy": AVX2 under a permissive cap, std::memcpy
+      // otherwise; byte-identical either way (test_simd_parity).
+      common::simd::copy_bytes(buffer_.data() + off,
+                               d.mbuf->payload().data() + d.offset, d.len);
     }
     off += d.len;
   }

@@ -1,16 +1,48 @@
 #include "dhl/match/aho_corasick.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cctype>
 #include <deque>
-#include <map>
 
 #include "dhl/common/check.hpp"
+#include "dhl/common/simd.hpp"
 
 namespace dhl::match {
 
+namespace {
+
+/// Trie node with sorted-vector edges.  A std::map here costs one red-black
+/// allocation per edge; large rulesets (thousands of patterns) spend build
+/// time in the allocator instead of the trie.  Fan-out is <= 256, so a
+/// sorted vector's binary search + positional insert is both smaller and
+/// faster, and iterating it preserves the byte-sorted order the BFS and
+/// dense-table passes relied on with std::map.
+struct TrieNode {
+  std::vector<std::pair<std::uint8_t, std::uint32_t>> next;  // sorted by byte
+  std::vector<std::uint32_t> out;
+  std::uint32_t fail = 0;
+};
+
+std::uint32_t* edge_find(TrieNode& node, std::uint8_t b) {
+  auto it = std::lower_bound(
+      node.next.begin(), node.next.end(), b,
+      [](const auto& e, std::uint8_t key) { return e.first < key; });
+  if (it == node.next.end() || it->first != b) return nullptr;
+  return &it->second;
+}
+
+void edge_insert(TrieNode& node, std::uint8_t b, std::uint32_t to) {
+  auto it = std::lower_bound(
+      node.next.begin(), node.next.end(), b,
+      [](const auto& e, std::uint8_t key) { return e.first < key; });
+  node.next.insert(it, {b, to});
+}
+
+}  // namespace
+
 AhoCorasick AhoCorasick::build(std::span<const std::string> patterns,
-                               bool case_insensitive) {
+                               bool case_insensitive, bool compact_table) {
   AhoCorasick ac;
   ac.case_insensitive_ = case_insensitive;
   for (int i = 0; i < 256; ++i) {
@@ -20,13 +52,7 @@ AhoCorasick AhoCorasick::build(std::span<const std::string> patterns,
                       : static_cast<std::uint8_t>(i);
   }
 
-  // Trie construction with sparse edges.
-  struct Node {
-    std::map<std::uint8_t, std::uint32_t> next;
-    std::vector<std::uint32_t> out;
-    std::uint32_t fail = 0;
-  };
-  std::vector<Node> trie(1);
+  std::vector<TrieNode> trie(1);
 
   for (std::size_t p = 0; p < patterns.size(); ++p) {
     const std::string& pat = patterns[p];
@@ -34,12 +60,15 @@ AhoCorasick AhoCorasick::build(std::span<const std::string> patterns,
     std::uint32_t state = 0;
     for (char ch : pat) {
       const std::uint8_t b = ac.fold_[static_cast<std::uint8_t>(ch)];
-      auto it = trie[state].next.find(b);
-      if (it == trie[state].next.end()) {
+      const std::uint32_t* edge = edge_find(trie[state], b);
+      if (edge == nullptr) {
+        const auto fresh = static_cast<std::uint32_t>(trie.size());
         trie.push_back({});
-        it = trie[state].next.emplace(b, static_cast<std::uint32_t>(trie.size() - 1)).first;
+        edge_insert(trie[state], b, fresh);
+        state = fresh;
+      } else {
+        state = *edge;
       }
-      state = it->second;
     }
     trie[state].out.push_back(static_cast<std::uint32_t>(p));
     ac.pattern_lens_.push_back(static_cast<std::uint32_t>(pat.size()));
@@ -48,6 +77,7 @@ AhoCorasick AhoCorasick::build(std::span<const std::string> patterns,
   // BFS failure links + output merging.
   std::deque<std::uint32_t> queue;
   for (const auto& [b, s] : trie[0].next) {
+    (void)b;
     trie[s].fail = 0;
     queue.push_back(s);
   }
@@ -57,9 +87,9 @@ AhoCorasick AhoCorasick::build(std::span<const std::string> patterns,
     for (const auto& [b, v] : trie[u].next) {
       // Follow fails until a state with an edge on b (or root).
       std::uint32_t f = trie[u].fail;
-      while (f != 0 && !trie[f].next.contains(b)) f = trie[f].fail;
-      const auto it = trie[f].next.find(b);
-      trie[v].fail = (it != trie[f].next.end() && it->second != v) ? it->second : 0;
+      while (f != 0 && edge_find(trie[f], b) == nullptr) f = trie[f].fail;
+      const std::uint32_t* it = edge_find(trie[f], b);
+      trie[v].fail = (it != nullptr && *it != v) ? *it : 0;
       const auto& fo = trie[trie[v].fail].out;
       trie[v].out.insert(trie[v].out.end(), fo.begin(), fo.end());
       queue.push_back(v);
@@ -86,22 +116,55 @@ AhoCorasick AhoCorasick::build(std::span<const std::string> patterns,
   }
   DHL_CHECK(order.size() == n);
   for (const std::uint32_t s : order) {
+    const TrieNode& node = trie[s];
+    // The sorted edge list partitions the folded byte space: folded bytes
+    // with a goto edge take it, everything between two edges inherits from
+    // the fail state (root rows inherit 0).  One merge pass instead of 256
+    // binary searches.  Rows are built over *folded* bytes first; the case
+    // fold is then baked into the raw-byte columns below so the scan loops
+    // never touch fold_ -- one dependent load per byte instead of two.
+    const std::uint32_t* inherit =
+        s == 0 ? nullptr : &ac.dfa_[static_cast<std::size_t>(node.fail) * 256];
+    std::size_t e = 0;
     for (int b = 0; b < 256; ++b) {
-      const auto it = trie[s].next.find(static_cast<std::uint8_t>(b));
-      if (it != trie[s].next.end()) {
-        ac.dfa_[s * 256 + b] = it->second;
+      if (e < node.next.size() && node.next[e].first == b) {
+        ac.dfa_[s * 256 + b] = node.next[e].second;
+        ++e;
       } else {
-        ac.dfa_[s * 256 + b] =
-            s == 0 ? 0 : ac.dfa_[static_cast<std::size_t>(trie[s].fail) * 256 + b];
+        ac.dfa_[s * 256 + b] = inherit == nullptr ? 0 : inherit[b];
+      }
+    }
+  }
+  if (case_insensitive) {
+    // Bake the fold in: delta(s, B) = delta(s, fold(B)).  Upper-case
+    // columns are copies of their lower-case ones, so this costs no space
+    // (the table is 256 wide regardless) and removes the per-byte fold
+    // lookup from every scan.  Inherit rows above already read folded
+    // columns, which the fold leaves fixed, so ordering is safe.
+    for (std::size_t s = 0; s < n; ++s) {
+      for (int b = 0; b < 256; ++b) {
+        const std::uint8_t fb = ac.fold_[b];
+        if (fb != b) ac.dfa_[s * 256 + b] = ac.dfa_[s * 256 + fb];
       }
     }
   }
 
   // Flatten outputs.
+  ac.has_output_.assign(n, 0);
   for (std::size_t s = 0; s < n; ++s) {
     ac.output_range_[s] = {static_cast<std::uint32_t>(ac.outputs_.size()),
                            static_cast<std::uint32_t>(trie[s].out.size())};
     ac.outputs_.insert(ac.outputs_.end(), trie[s].out.begin(), trie[s].out.end());
+    ac.has_output_[s] = trie[s].out.empty() ? 0 : 1;
+  }
+
+  // Narrow the table when every state id fits uint16: half the bytes means
+  // the snort-scale automata stay L2-resident, which the dependent-load
+  // scan loop feels directly.
+  if (compact_table && n <= (std::size_t{1} << 16)) {
+    ac.dfa16_.assign(ac.dfa_.begin(), ac.dfa_.end());
+    ac.dfa_.clear();
+    ac.dfa_.shrink_to_fit();
   }
   return ac;
 }
@@ -112,6 +175,7 @@ std::size_t AhoCorasick::find_all(std::span<const std::uint8_t> text,
   std::uint32_t state = 0;
   for (std::size_t i = 0; i < text.size(); ++i) {
     state = step(state, text[i]);
+    if (!has_output(state)) continue;
     for (const std::uint32_t p : outputs(state)) {
       out.push_back({p, i + 1});
       ++found;
@@ -120,11 +184,134 @@ std::size_t AhoCorasick::find_all(std::span<const std::uint8_t> text,
   return found;
 }
 
+template <typename Entry>
+std::size_t AhoCorasick::scan_lanes(
+    const Entry* table, std::span<const std::span<const std::uint8_t>> texts,
+    std::span<std::vector<PatternMatch>> out) const {
+  // Lane state kept in parallel local arrays (not an array of structs) so
+  // the full-lane fast loop below can hold every lane's DFA state in a
+  // register and issue kLanes independent dependent-load chains per byte.
+  const std::uint8_t* cursor[kLanes];  // advances through the chunk
+  std::size_t pos[kLanes];             // bytes consumed before this chunk
+  std::size_t remaining[kLanes];
+  std::size_t idx[kLanes];
+  std::uint32_t state[kLanes];
+  std::size_t next_text = 0;
+  std::size_t total = 0;
+  const std::uint8_t* const accept = has_output_.data();
+
+  const auto refill = [&](std::size_t lane) {
+    while (next_text < texts.size()) {
+      const auto t = texts[next_text];
+      if (t.empty()) {
+        ++next_text;
+        continue;
+      }
+      cursor[lane] = t.data();
+      pos[lane] = 0;
+      remaining[lane] = t.size();
+      idx[lane] = next_text++;
+      state[lane] = 0;
+      return true;
+    }
+    return false;
+  };
+  // Rare path, deliberately out of the byte loops: record the matches
+  // accepted at `s` for lane `i` after its k-th chunk byte.
+  const auto emit = [&](std::size_t i, std::uint32_t s, std::size_t k) {
+    for (const std::uint32_t p : outputs(s)) {
+      out[idx[i]].push_back({p, pos[i] + k + 1});
+      ++total;
+    }
+  };
+
+  std::size_t nl = 0;
+  while (nl < kLanes && refill(nl)) ++nl;
+
+  while (nl > 0) {
+    // Run every live lane for the shortest remaining length: inside the
+    // chunk there are no end-of-text branches, just nl independent
+    // state->load->state chains the core can overlap.
+    std::size_t chunk = ~std::size_t{0};
+    for (std::size_t i = 0; i < nl; ++i) chunk = std::min(chunk, remaining[i]);
+
+    if (nl == kLanes) {
+      // Full complement: fixed-trip inner loop the compiler fully unrolls,
+      // states pinned in registers.
+      std::uint32_t st[kLanes];
+      for (std::size_t i = 0; i < kLanes; ++i) st[i] = state[i];
+      for (std::size_t k = 0; k < chunk; ++k) {
+        for (std::size_t i = 0; i < kLanes; ++i) {
+          const std::uint32_t s = static_cast<std::uint32_t>(
+              table[static_cast<std::size_t>(st[i]) * 256 + cursor[i][k]]);
+          st[i] = s;
+          if (accept[s] != 0) [[unlikely]] {
+            emit(i, s, k);
+          }
+        }
+      }
+      for (std::size_t i = 0; i < kLanes; ++i) state[i] = st[i];
+    } else {
+      for (std::size_t k = 0; k < chunk; ++k) {
+        for (std::size_t i = 0; i < nl; ++i) {
+          const std::uint32_t s = static_cast<std::uint32_t>(
+              table[static_cast<std::size_t>(state[i]) * 256 + cursor[i][k]]);
+          state[i] = s;
+          if (accept[s] != 0) [[unlikely]] {
+            emit(i, s, k);
+          }
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < nl; ++i) {
+      cursor[i] += chunk;
+      pos[i] += chunk;
+      remaining[i] -= chunk;
+    }
+    // Retire exhausted lanes: refill from the pending texts or compact.
+    for (std::size_t i = 0; i < nl;) {
+      if (remaining[i] == 0) {
+        if (!refill(i)) {
+          --nl;
+          cursor[i] = cursor[nl];
+          pos[i] = pos[nl];
+          remaining[i] = remaining[nl];
+          idx[i] = idx[nl];
+          state[i] = state[nl];
+        }
+      } else {
+        ++i;
+      }
+    }
+  }
+  return total;
+}
+
+std::size_t AhoCorasick::find_all_multi(
+    std::span<const std::span<const std::uint8_t>> texts,
+    std::span<std::vector<PatternMatch>> out) const {
+  DHL_CHECK(out.size() >= texts.size());
+  // Kernel "ac_multilane" (simd::kernel_report): no vector instructions,
+  // but the lane interleave is the same scalar-vs-fast contract, so it sits
+  // behind the sse42 tier -- DHL_SIMD=scalar forces the reference loop.
+  if (texts.size() < 2 ||
+      !common::simd::enabled(common::simd::Isa::kSse42)) {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < texts.size(); ++i) {
+      total += find_all(texts[i], out[i]);
+    }
+    return total;
+  }
+  return dfa16_.empty() ? scan_lanes(dfa_.data(), texts, out)
+                        : scan_lanes(dfa16_.data(), texts, out);
+}
+
 bool AhoCorasick::contains_any(std::span<const std::uint8_t> text) const {
   std::uint32_t state = 0;
   for (const std::uint8_t b : text) {
     state = step(state, b);
-    if (output_range_[state].second != 0) return true;
+    if (has_output(state)) return true;
   }
   return false;
 }
@@ -135,6 +322,7 @@ std::size_t AhoCorasick::count_distinct(std::span<const std::uint8_t> text) cons
   std::uint32_t state = 0;
   for (const std::uint8_t b : text) {
     state = step(state, b);
+    if (!has_output(state)) continue;
     for (const std::uint32_t p : outputs(state)) {
       if (!seen[p]) {
         seen[p] = true;

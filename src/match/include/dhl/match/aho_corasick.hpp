@@ -10,8 +10,17 @@
 //    paper ports to FPGA -- so software and hardware paths return identical
 //    matches.
 //
-// Construction: trie -> BFS failure links -> output merging -> optional
-// dense next-state table (state x 256).
+// Construction: trie (sorted-vector edges) -> BFS failure links -> output
+// merging -> dense next-state table (state x 256), stored as uint16 when the
+// automaton has <= 65536 states to halve its cache footprint.
+//
+// Scanning: the per-byte loop is a single dependent table load, so one lane
+// is bounded by load latency, not bandwidth.  find_all_multi() walks up to
+// kLanes texts concurrently -- the batch shape the Packer hands the fallback
+// path -- so the independent lanes' loads overlap in the memory pipeline.
+// Under a DHL_SIMD=scalar cap (common/simd.hpp) it degrades to the
+// single-lane reference loop; outputs are bit-identical either way
+// (test_simd_parity).
 
 #include <array>
 #include <cstdint>
@@ -29,18 +38,35 @@ struct PatternMatch {
 
 class AhoCorasick {
  public:
+  /// Lanes stepped concurrently by find_all_multi (8 independent dependent-
+  /// load chains is enough to fill the load pipeline on current x86).
+  static constexpr std::size_t kLanes = 8;
+
   /// Build an automaton over `patterns`.  Empty patterns are rejected.
   /// `case_insensitive` folds ASCII case (Snort "nocase").
+  /// `compact_table` narrows the dense table to uint16 entries when the
+  /// state count allows; pass false to force the wide table (tests cover
+  /// the >65536-state layout without building a 65536-state automaton).
   static AhoCorasick build(std::span<const std::string> patterns,
-                           bool case_insensitive = false);
+                           bool case_insensitive = false,
+                           bool compact_table = true);
 
   std::size_t pattern_count() const { return pattern_lens_.size(); }
   std::size_t state_count() const { return fail_.size(); }
   bool case_insensitive() const { return case_insensitive_; }
+  bool compact_table() const { return !dfa16_.empty(); }
 
   /// Append every match in `text` to `out`.  Returns the number found.
   std::size_t find_all(std::span<const std::uint8_t> text,
                        std::vector<PatternMatch>& out) const;
+
+  /// Multi-lane find_all: scan `texts[i]` appending its matches to `out[i]`
+  /// (out must be at least texts.size() long; entries are appended to, not
+  /// cleared).  Returns the total number of matches.  Per-text results are
+  /// byte-identical to find_all on that text.
+  std::size_t find_all_multi(
+      std::span<const std::span<const std::uint8_t>> texts,
+      std::span<std::vector<PatternMatch>> out) const;
 
   /// True as soon as any pattern occurs (early exit).
   bool contains_any(std::span<const std::uint8_t> text) const;
@@ -49,9 +75,16 @@ class AhoCorasick {
   std::size_t count_distinct(std::span<const std::uint8_t> text) const;
 
   /// Walk one byte from `state`; exposed so the FPGA module model can step
-  /// the DFA explicitly.
+  /// the DFA explicitly.  Case folding is baked into the table rows at
+  /// build time, so the hot path is one dependent load, no fold lookup.
   std::uint32_t step(std::uint32_t state, std::uint8_t byte) const {
-    return dfa_[static_cast<std::size_t>(state) * 256 + fold_[byte]];
+    const std::size_t i = static_cast<std::size_t>(state) * 256 + byte;
+    return dfa16_.empty() ? dfa_[i] : dfa16_[i];
+  }
+  /// True when `state` accepts at least one pattern (cheaper than
+  /// outputs().empty() in the per-byte loop: one byte load, no span).
+  bool has_output(std::uint32_t state) const {
+    return has_output_[state] != 0;
   }
   /// Patterns accepted at `state` (indices into the pattern list).
   std::span<const std::uint32_t> outputs(std::uint32_t state) const {
@@ -62,9 +95,16 @@ class AhoCorasick {
  private:
   AhoCorasick() = default;
 
+  template <typename Entry>
+  std::size_t scan_lanes(const Entry* table,
+                         std::span<const std::span<const std::uint8_t>> texts,
+                         std::span<std::vector<PatternMatch>> out) const;
+
   bool case_insensitive_ = false;
   std::array<std::uint8_t, 256> fold_{};      // identity or tolower
   std::vector<std::uint32_t> dfa_;            // dense: state*256 + byte
+  std::vector<std::uint16_t> dfa16_;          // narrow form (exclusive w/ dfa_)
+  std::vector<std::uint8_t> has_output_;      // per state: any pattern accepted
   std::vector<std::uint32_t> fail_;           // kept for inspection/tests
   std::vector<std::pair<std::uint32_t, std::uint32_t>> output_range_;
   std::vector<std::uint32_t> outputs_;        // flattened output lists

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,52 @@ TEST(AhoCorasick, DfaStepMatchesOutputs) {
   s = ac.step(s, 'b');
   s = ac.step(s, 'c');
   EXPECT_EQ(ac.outputs(s).size(), 1u);
+}
+
+TEST(AhoCorasick, WideTableMatchesCompact) {
+  // compact_table=false forces the uint32 dense table (the layout automata
+  // with >65536 states get) without building such a monster; both layouts
+  // must scan identically.
+  const std::vector<std::string> patterns{"he", "she", "his", "hers"};
+  const auto compact = AhoCorasick::build(patterns, false, true);
+  const auto wide = AhoCorasick::build(patterns, false, false);
+  EXPECT_TRUE(compact.compact_table());
+  EXPECT_FALSE(wide.compact_table());
+  EXPECT_EQ(compact.state_count(), wide.state_count());
+  const std::string text = "she sells his sushi to ushers";
+  std::vector<PatternMatch> a, b;
+  compact.find_all(bytes(text), a);
+  wide.find_all(bytes(text), b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pattern, b[i].pattern);
+    EXPECT_EQ(a[i].end_offset, b[i].end_offset);
+  }
+}
+
+TEST(AhoCorasick, BuildTimeStaysInBudget) {
+  // Regression guard for the trie construction cost: with std::map edges
+  // a 2000-pattern build took noticeably longer than the sorted-vector
+  // trie does now.  The ceiling is deliberately loose (shared CI boxes,
+  // Debug builds) -- it exists to catch an accidental return to per-edge
+  // tree allocations, which costs an order of magnitude, not percents.
+  Xoshiro256 rng{0xB111DD};
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t len = 4 + rng.bounded(28);
+    std::string p;
+    for (std::size_t j = 0; j < len; ++j) {
+      p.push_back(static_cast<char>('a' + rng.bounded(26)));
+    }
+    patterns.push_back(std::move(p));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto ac = AhoCorasick::build(patterns, /*case_insensitive=*/true);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GT(ac.state_count(), 2000u);
+  EXPECT_LT(elapsed.count(), 5000) << "AC build took " << elapsed.count()
+                                   << " ms for 2000 patterns";
 }
 
 // --- property: agrees with naive substring search -----------------------------

@@ -1,0 +1,463 @@
+// Bit-parity suite for the runtime-dispatched CPU vector kernels
+// (common/simd.hpp, DESIGN.md section 3.5): for every kernel, the output
+// under each host-supported ISA tier must be byte-identical to the scalar
+// reference, across fuzzed lengths and alignments including sub-16-byte
+// buffers and page-crossing placements.  The DHL_SIMD=scalar CI leg runs
+// this same binary with the cap pinned; set_cap() overrides the environment
+// per test, so each tier is still exercised wherever the host supports it.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dhl/accel/catalog.hpp"
+#include "dhl/accel/pattern_matching.hpp"
+#include "dhl/common/crc32.hpp"
+#include "dhl/common/rng.hpp"
+#include "dhl/common/simd.hpp"
+#include "dhl/crypto/aes.hpp"
+#include "dhl/fpga/device.hpp"
+#include "dhl/match/aho_corasick.hpp"
+#include "dhl/runtime/runtime.hpp"
+#include "dhl/sim/simulator.hpp"
+
+namespace dhl {
+namespace {
+
+namespace simd = common::simd;
+
+/// Restore the ambient cap (environment or a prior set_cap) on scope exit,
+/// so one test's tier sweep cannot leak into the next.
+struct CapGuard {
+  simd::Isa prev = simd::cap();
+  ~CapGuard() { simd::set_cap(prev); }
+};
+
+/// Every tier this host can execute, scalar first.  Tiers the host lacks
+/// are skipped (the dispatch would fall back to scalar anyway, so testing
+/// them adds nothing).
+std::vector<simd::Isa> host_tiers() {
+  std::vector<simd::Isa> tiers;
+  for (int t = 0; t <= static_cast<int>(simd::kMaxIsa); ++t) {
+    const auto isa = static_cast<simd::Isa>(t);
+    if (simd::host_supports(isa)) tiers.push_back(isa);
+  }
+  return tiers;
+}
+
+/// Page-size-aligned scratch whose tail can be positioned to straddle the
+/// boundary between its two pages (vector kernels with wide unaligned loads
+/// are most likely to over-read exactly there).
+struct TwoPages {
+  static constexpr std::size_t kPage = 4096;
+  std::uint8_t* base = nullptr;
+  TwoPages() {
+    void* p = nullptr;
+    if (posix_memalign(&p, kPage, 2 * kPage) != 0) std::abort();
+    base = static_cast<std::uint8_t*>(p);
+    std::memset(base, 0xEE, 2 * kPage);
+  }
+  ~TwoPages() { std::free(base); }
+  /// Pointer `back` bytes before the page boundary.
+  std::uint8_t* straddle(std::size_t back) { return base + kPage - back; }
+};
+
+TEST(SimdDispatch, ParseIsaRoundTrip) {
+  simd::Isa out = simd::kMaxIsa;
+  EXPECT_TRUE(simd::parse_isa("scalar", out));
+  EXPECT_EQ(out, simd::Isa::kScalar);
+  EXPECT_TRUE(simd::parse_isa("sse42", out));
+  EXPECT_EQ(out, simd::Isa::kSse42);
+  EXPECT_TRUE(simd::parse_isa("aesni", out));
+  EXPECT_EQ(out, simd::Isa::kAesni);
+  EXPECT_TRUE(simd::parse_isa("avx2", out));
+  EXPECT_EQ(out, simd::Isa::kAvx2);
+  out = simd::Isa::kSse42;
+  EXPECT_FALSE(simd::parse_isa("avx512", out));
+  EXPECT_EQ(out, simd::Isa::kSse42);  // untouched on failure
+  for (const auto isa : host_tiers()) {
+    simd::Isa parsed = simd::Isa::kScalar;
+    EXPECT_TRUE(simd::parse_isa(simd::to_string(isa), parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+}
+
+TEST(SimdDispatch, CapGatesEnabled) {
+  CapGuard guard;
+  simd::set_cap(simd::Isa::kScalar);
+  EXPECT_TRUE(simd::enabled(simd::Isa::kScalar));
+  EXPECT_FALSE(simd::enabled(simd::Isa::kSse42));
+  EXPECT_FALSE(simd::enabled(simd::Isa::kAvx2));
+  simd::set_cap(simd::kMaxIsa);
+  for (const auto isa : host_tiers()) EXPECT_TRUE(simd::enabled(isa));
+}
+
+TEST(SimdDispatch, KernelReportTracksCap) {
+  CapGuard guard;
+  const std::vector<const char*> expected{"crc32c", "aes256_ctr",
+                                          "ac_multilane", "batch_copy"};
+  simd::set_cap(simd::Isa::kScalar);
+  auto report = simd::kernel_report();
+  ASSERT_EQ(report.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_STREQ(report[i].name, expected[i]);
+    EXPECT_EQ(report[i].selected, simd::Isa::kScalar)
+        << report[i].name << " must report scalar under a scalar cap";
+  }
+  simd::set_cap(simd::kMaxIsa);
+  report = simd::kernel_report();
+  for (const auto& k : report) {
+    const simd::Isa want =
+        simd::host_supports(k.tier) ? k.tier : simd::Isa::kScalar;
+    EXPECT_EQ(k.selected, want) << k.name;
+  }
+}
+
+/// The runtime exports the registry as a telemetry gauge at construction:
+/// one dhl.simd.kernel_isa series per kernel, value = selected tier.
+TEST(SimdDispatch, RuntimeExportsKernelIsaGauge) {
+  CapGuard guard;
+  simd::set_cap(simd::kMaxIsa);
+  sim::Simulator sim;
+  fpga::FpgaDeviceConfig fc;
+  fpga::FpgaDevice fpga{sim, fc};
+  runtime::RuntimeConfig cfg;
+  runtime::DhlRuntime rt{sim, cfg, accel::standard_module_database(nullptr),
+                         std::vector<fpga::FpgaDevice*>{&fpga}};
+  const auto snap = rt.telemetry().metrics.snapshot();
+  for (const auto& k : simd::kernel_report()) {
+    const auto* s = snap.find("dhl.simd.kernel_isa", {{"kernel", k.name}});
+    ASSERT_NE(s, nullptr) << "no gauge for kernel " << k.name;
+    EXPECT_EQ(s->value, static_cast<double>(k.selected)) << k.name;
+    std::string isa_label;
+    for (const auto& [lk, lv] : s->labels) {
+      if (lk == "isa") isa_label = lv;
+    }
+    EXPECT_EQ(isa_label, simd::to_string(k.selected)) << k.name;
+  }
+}
+
+// --- AES-256-CTR -------------------------------------------------------------
+
+TEST(SimdParity, Aes256CtrAllTiersLengthsOffsets) {
+  CapGuard guard;
+  Xoshiro256 rng{0xAE51234ull};
+  std::array<std::uint8_t, 32> key{};
+  rng.fill(key.data(), key.size());
+  const crypto::Aes256 cipher{key};
+  std::array<std::uint8_t, 16> ctr{};
+  rng.fill(ctr.data(), ctr.size());
+  // Lengths cover: empty, sub-block, one block +-1, one pipeline group
+  // (8 blocks = 128), ragged multi-group, an MTU, and a jumbo batch.
+  const std::size_t lengths[] = {0,   1,   7,    15,   16,   17,  64,
+                                 127, 128, 129,  255,  256,  1000,
+                                 1500, 6144};
+  const std::size_t offsets[] = {0, 1, 8, 15};
+  for (const std::size_t len : lengths) {
+    for (const std::size_t off : offsets) {
+      std::vector<std::uint8_t> backing(len + 32);
+      rng.fill(backing.data(), backing.size());
+      const std::span<const std::uint8_t> in{backing.data() + off, len};
+
+      simd::set_cap(simd::Isa::kScalar);
+      std::vector<std::uint8_t> want(len);
+      crypto::aes256_ctr(cipher, ctr, in, want);
+
+      for (const auto isa : host_tiers()) {
+        simd::set_cap(isa);
+        std::vector<std::uint8_t> got(len, 0xAA);
+        crypto::aes256_ctr(cipher, ctr, in, got);
+        EXPECT_EQ(got, want) << "len=" << len << " off=" << off << " isa="
+                             << simd::to_string(isa);
+      }
+    }
+  }
+}
+
+TEST(SimdParity, Aes256CtrCrossPage) {
+  CapGuard guard;
+  Xoshiro256 rng{0xAE5CAFEull};
+  std::array<std::uint8_t, 32> key{};
+  rng.fill(key.data(), key.size());
+  const crypto::Aes256 cipher{key};
+  const std::array<std::uint8_t, 16> ctr{};
+  TwoPages in_pages, out_pages;
+  // Buffers starting shortly before the page boundary, ending after it.
+  for (const std::size_t back : {1ul, 5ul, 16ul, 100ul}) {
+    const std::size_t len = back + 200;  // always crosses
+    std::uint8_t* in = in_pages.straddle(back);
+    std::uint8_t* out = out_pages.straddle(back);
+    rng.fill(in, len);
+
+    simd::set_cap(simd::Isa::kScalar);
+    std::vector<std::uint8_t> want(len);
+    crypto::aes256_ctr(cipher, ctr, {in, len}, want);
+
+    for (const auto isa : host_tiers()) {
+      simd::set_cap(isa);
+      std::memset(out, 0, len);
+      crypto::aes256_ctr(cipher, ctr, {in, len}, {out, len});
+      EXPECT_EQ(std::memcmp(out, want.data(), len), 0)
+          << "back=" << back << " isa=" << simd::to_string(isa);
+    }
+  }
+}
+
+TEST(SimdParity, Aes256CtrIsItsOwnInverseUnderEveryTier) {
+  CapGuard guard;
+  Xoshiro256 rng{0xDEC0DEull};
+  std::array<std::uint8_t, 32> key{};
+  rng.fill(key.data(), key.size());
+  const crypto::Aes256 cipher{key};
+  std::array<std::uint8_t, 16> ctr{};
+  rng.fill(ctr.data(), ctr.size());
+  std::vector<std::uint8_t> plain(777);
+  rng.fill(plain.data(), plain.size());
+  for (const auto isa : host_tiers()) {
+    simd::set_cap(isa);
+    std::vector<std::uint8_t> enc(plain.size()), dec(plain.size());
+    crypto::aes256_ctr(cipher, ctr, plain, enc);
+    EXPECT_NE(enc, plain);
+    crypto::aes256_ctr(cipher, ctr, enc, dec);
+    EXPECT_EQ(dec, plain) << simd::to_string(isa);
+  }
+}
+
+TEST(SimdParity, AesEncryptDecryptBlockAllTiers) {
+  CapGuard guard;
+  Xoshiro256 rng{0xB10CC5ull};
+  std::array<std::uint8_t, 32> key{};
+  rng.fill(key.data(), key.size());
+  const crypto::Aes256 cipher{key};
+  std::uint8_t in[16], want[16];
+  rng.fill(in, sizeof(in));
+  simd::set_cap(simd::Isa::kScalar);
+  cipher.encrypt_block(in, want);
+  for (const auto isa : host_tiers()) {
+    simd::set_cap(isa);
+    std::uint8_t out[16] = {0}, back[16] = {0};
+    cipher.encrypt_block(in, out);
+    EXPECT_EQ(std::memcmp(out, want, 16), 0) << simd::to_string(isa);
+    cipher.decrypt_block(out, back);
+    EXPECT_EQ(std::memcmp(back, in, 16), 0) << simd::to_string(isa);
+  }
+}
+
+// --- Aho-Corasick multi-lane stepper -----------------------------------------
+
+std::vector<std::string> fuzz_patterns(Xoshiro256& rng, std::size_t n) {
+  std::vector<std::string> patterns;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string p;
+    const std::size_t len = 1 + rng.bounded(12);
+    for (std::size_t j = 0; j < len; ++j) {
+      // Small alphabet: dense overlaps, deep failure links.
+      p.push_back(static_cast<char>('a' + rng.bounded(4)));
+    }
+    patterns.push_back(std::move(p));
+  }
+  return patterns;
+}
+
+TEST(SimdParity, AhoCorasickMultiLaneMatchesSingleLane) {
+  CapGuard guard;
+  Xoshiro256 rng{0xAC0FACEull};
+  for (const bool nocase : {false, true}) {
+    for (const bool compact : {true, false}) {
+      const auto patterns = fuzz_patterns(rng, 24);
+      const match::AhoCorasick ac =
+          match::AhoCorasick::build(patterns, nocase, compact);
+      EXPECT_EQ(ac.compact_table(), compact);
+
+      // Lane counts from degenerate (0, 1) through partial groups to
+      // several times kLanes; text lengths fuzzed including empty and
+      // sub-16-byte, from the same small alphabet plus case flips.
+      for (const std::size_t ntexts : {0ul, 1ul, 2ul, 3ul, 7ul, 8ul, 9ul,
+                                       20ul, 33ul}) {
+        std::vector<std::vector<std::uint8_t>> texts(ntexts);
+        for (auto& t : texts) {
+          const std::size_t len = rng.bounded(200);
+          t.resize(len);
+          for (auto& b : t) {
+            b = static_cast<std::uint8_t>(
+                (rng.bounded(2) ? 'a' : 'A') + rng.bounded(4));
+          }
+        }
+        std::vector<std::span<const std::uint8_t>> spans(texts.begin(),
+                                                         texts.end());
+        std::vector<std::vector<match::PatternMatch>> multi(ntexts);
+        const std::size_t total = ac.find_all_multi(spans, multi);
+
+        std::size_t want_total = 0;
+        for (std::size_t i = 0; i < ntexts; ++i) {
+          std::vector<match::PatternMatch> single;
+          ac.find_all(spans[i], single);
+          want_total += single.size();
+          ASSERT_EQ(multi[i].size(), single.size())
+              << "text " << i << " nocase=" << nocase
+              << " compact=" << compact;
+          for (std::size_t k = 0; k < single.size(); ++k) {
+            EXPECT_EQ(multi[i][k].pattern, single[k].pattern);
+            EXPECT_EQ(multi[i][k].end_offset, single[k].end_offset);
+          }
+        }
+        EXPECT_EQ(total, want_total);
+      }
+    }
+  }
+}
+
+TEST(SimdParity, AhoCorasickMultiLaneAllTiers) {
+  CapGuard guard;
+  Xoshiro256 rng{0xAC17AB5ull};
+  const auto patterns = fuzz_patterns(rng, 32);
+  const match::AhoCorasick ac =
+      match::AhoCorasick::build(patterns, /*case_insensitive=*/true);
+  constexpr std::size_t kLanes = match::AhoCorasick::kLanes;
+  std::vector<std::vector<std::uint8_t>> texts(kLanes + 3);
+  for (auto& t : texts) {
+    t.resize(1 + rng.bounded(500));
+    for (auto& b : t) {
+      b = static_cast<std::uint8_t>((rng.bounded(2) ? 'a' : 'A') +
+                                    rng.bounded(4));
+    }
+  }
+  std::vector<std::span<const std::uint8_t>> spans(texts.begin(),
+                                                   texts.end());
+
+  simd::set_cap(simd::Isa::kScalar);
+  std::vector<std::vector<match::PatternMatch>> want(texts.size());
+  ac.find_all_multi(spans, want);
+
+  for (const auto isa : host_tiers()) {
+    simd::set_cap(isa);
+    std::vector<std::vector<match::PatternMatch>> got(texts.size());
+    ac.find_all_multi(spans, got);
+    for (std::size_t i = 0; i < texts.size(); ++i) {
+      ASSERT_EQ(got[i].size(), want[i].size())
+          << "text " << i << " isa=" << simd::to_string(isa);
+      for (std::size_t k = 0; k < want[i].size(); ++k) {
+        EXPECT_EQ(got[i][k].pattern, want[i][k].pattern);
+        EXPECT_EQ(got[i][k].end_offset, want[i][k].end_offset);
+      }
+    }
+  }
+}
+
+// --- copy kernel -------------------------------------------------------------
+
+TEST(SimdParity, CopyBytesMatchesMemcpy) {
+  CapGuard guard;
+  Xoshiro256 rng{0xC09Full};
+  const std::size_t lengths[] = {0,  1,  2,  3,   7,   8,   15,  16,
+                                 17, 31, 32, 33,  63,  64,  65,  100,
+                                 240, 720, 1500, 6144};
+  for (const auto isa : host_tiers()) {
+    simd::set_cap(isa);
+    for (const std::size_t len : lengths) {
+      for (const std::size_t src_off : {0ul, 1ul, 7ul, 15ul}) {
+        for (const std::size_t dst_off : {0ul, 3ul, 9ul}) {
+          std::vector<std::uint8_t> src(len + 16), dst(len + 16, 0),
+              want(len + 16, 0);
+          rng.fill(src.data(), src.size());
+          std::memcpy(want.data() + dst_off, src.data() + src_off, len);
+          simd::copy_bytes(dst.data() + dst_off, src.data() + src_off, len);
+          EXPECT_EQ(dst, want) << "len=" << len << " s+" << src_off << " d+"
+                               << dst_off << " isa=" << simd::to_string(isa);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdParity, CopyBytesCrossPage) {
+  CapGuard guard;
+  Xoshiro256 rng{0xC09FACEull};
+  TwoPages src_pages, dst_pages;
+  for (const auto isa : host_tiers()) {
+    simd::set_cap(isa);
+    for (const std::size_t back : {1ul, 15ul, 33ul, 63ul}) {
+      const std::size_t len = back + 97;
+      std::uint8_t* src = src_pages.straddle(back);
+      std::uint8_t* dst = dst_pages.straddle(back);
+      rng.fill(src, len);
+      std::vector<std::uint8_t> want(len);
+      std::memcpy(want.data(), src, len);
+      std::memset(dst, 0, len);
+      simd::copy_bytes(dst, src, len);
+      EXPECT_EQ(std::memcmp(dst, want.data(), len), 0)
+          << "back=" << back << " isa=" << simd::to_string(isa);
+    }
+  }
+}
+
+// --- CRC32C ------------------------------------------------------------------
+
+TEST(SimdParity, Crc32cAllTiers) {
+  CapGuard guard;
+  Xoshiro256 rng{0xCCC32ull};
+  for (const std::size_t len : {0ul, 1ul, 7ul, 8ul, 9ul, 100ul, 1500ul}) {
+    std::vector<std::uint8_t> buf(len);
+    rng.fill(buf.data(), buf.size());
+    simd::set_cap(simd::Isa::kScalar);
+    const std::uint32_t want = common::crc32c(buf);
+    for (const auto isa : host_tiers()) {
+      simd::set_cap(isa);
+      EXPECT_EQ(common::crc32c(buf), want)
+          << "len=" << len << " isa=" << simd::to_string(isa);
+    }
+  }
+}
+
+// --- accelerator module: process vs process_multi ----------------------------
+
+TEST(SimdParity, PatternModuleProcessMultiMatchesProcess) {
+  CapGuard guard;
+  Xoshiro256 rng{0xFA11BACull};
+  const std::vector<std::string> patterns{"attack", "overflow", "evil",
+                                          "\x42\x49"};
+  auto automaton = std::make_shared<const match::AhoCorasick>(
+      match::AhoCorasick::build(patterns, /*case_insensitive=*/true));
+  accel::PatternMatchingModule mod{automaton};
+
+  // A mix of raw fuzz bytes and embedded pattern text at random offsets,
+  // various lengths (the module parses packet headers when present and
+  // scans payload bytes otherwise -- both shapes appear here).
+  std::vector<std::vector<std::uint8_t>> pkts;
+  for (int i = 0; i < 24; ++i) {
+    std::vector<std::uint8_t> p(20 + rng.bounded(1400));
+    rng.fill(p.data(), p.size());
+    if (i % 3 == 0) {
+      static constexpr char kText[] = "an OVERFLOW attack hides here";
+      const std::size_t at = rng.bounded(p.size() - sizeof(kText));
+      std::memcpy(p.data() + at, kText, sizeof(kText) - 1);
+    }
+    pkts.push_back(std::move(p));
+  }
+
+  for (const auto isa : host_tiers()) {
+    simd::set_cap(isa);
+    // Reference: per-packet process() on copies.
+    std::vector<std::uint64_t> want;
+    for (const auto& p : pkts) {
+      std::vector<std::uint8_t> copy = p;
+      want.push_back(mod.process({copy.data(), copy.size()}).result);
+      EXPECT_EQ(copy, p) << "process() must not rewrite payload bytes";
+    }
+    // Batched: process_multi over all packets at once.
+    std::vector<std::vector<std::uint8_t>> copies = pkts;
+    std::vector<std::span<std::uint8_t>> datas;
+    for (auto& c : copies) datas.emplace_back(c.data(), c.size());
+    std::vector<std::uint64_t> got(pkts.size(), 0);
+    mod.process_multi(datas, got);
+    EXPECT_EQ(got, want) << simd::to_string(isa);
+    EXPECT_EQ(copies, pkts);
+  }
+}
+
+}  // namespace
+}  // namespace dhl
