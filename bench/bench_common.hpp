@@ -176,6 +176,16 @@ inline PointResult run_single_nf(const SingleNfOptions& opt) {
       cpu_nf = std::make_unique<nf::CpuPipelineNf>(
           tb.sim(), cfg, std::vector<netio::NicPort*>{port}, std::move(fn),
           std::move(cost));
+      if (opt.kind == NfKind::kNids) {
+        // Batch the worker bursts through the multi-lane AC stepper
+        // (find_all_multi) so the CPU-only figure benches exercise the
+        // same SIMD/ILP kernel the fallback path uses.
+        cpu_nf->set_batch_fn(
+            [nids](std::span<netio::Mbuf* const> pkts,
+                   std::span<nf::Verdict> out) {
+              nids->cpu_process_multi(pkts, out);
+            });
+      }
       cpu_nf->start();
       break;
     }

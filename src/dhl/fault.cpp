@@ -173,4 +173,26 @@ void FallbackRouter::deliver(netio::NfId nf_id, netio::Mbuf* m) {
   }
 }
 
+std::optional<fpga::FaultSite> fault_site_from_string(std::string_view name) {
+  using fpga::FaultSite;
+  for (const FaultSite site :
+       {FaultSite::kDmaSubmit, FaultSite::kDmaCompletion, FaultSite::kPrLoad,
+        FaultSite::kDevice}) {
+    if (name == fpga::to_string(site)) return site;
+  }
+  return std::nullopt;
+}
+
+std::optional<fpga::FaultKind> fault_kind_from_string(std::string_view name) {
+  using fpga::FaultKind;
+  for (const FaultKind kind :
+       {FaultKind::kSubmitTimeout, FaultKind::kPartialTransfer,
+        FaultKind::kCorruptHeader, FaultKind::kFlipUnmodifiedFlag,
+        FaultKind::kTruncateTail, FaultKind::kPrFail, FaultKind::kPrSlow,
+        FaultKind::kDeviceUnhealthy}) {
+    if (name == fpga::to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
 }  // namespace dhl::runtime

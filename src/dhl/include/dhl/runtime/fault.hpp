@@ -30,6 +30,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -57,6 +58,13 @@ struct FaultRule {
   /// Extra virtual-time delay the fault adds (kPrSlow).
   Picos delay = 0;
 };
+
+/// Inverse of fpga::to_string(FaultSite/FaultKind): parse the canonical
+/// names ("dma.submit", "pr_fail", ...) back into the enums.  nullopt on
+/// unknown input.  The scenario harness builds fault-soak overlays from
+/// declarative INI specs through these.
+std::optional<fpga::FaultSite> fault_site_from_string(std::string_view name);
+std::optional<fpga::FaultKind> fault_kind_from_string(std::string_view name);
 
 class FaultInjector final : public fpga::FaultHook {
  public:

@@ -64,6 +64,10 @@ class NicPort {
   /// offered rate; > 0 = ON/OFF bursts with that period -- the link runs at
   /// line rate for offered_fraction of each period and is silent for the
   /// rest (same mean load, very different queueing behaviour).
+  ///
+  /// When `traffic.gap_model` is set it replaces both shapes: the hook
+  /// returns every inter-arrival gap and offered_fraction / burst_period
+  /// are ignored (pass the defaults).
   void start_traffic(TrafficConfig traffic, double offered_fraction = 1.0,
                      Picos burst_period = 0);
   void stop_traffic();

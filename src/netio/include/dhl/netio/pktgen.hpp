@@ -10,11 +10,13 @@
 // detection results must have ground truth).
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "dhl/common/rng.hpp"
+#include "dhl/common/units.hpp"
 #include "dhl/netio/headers.hpp"
 #include "dhl/netio/mbuf.hpp"
 
@@ -47,6 +49,32 @@ struct TrafficConfig {
   std::vector<std::string> attack_strings;
 
   std::uint64_t seed = 1;
+
+  // --- pluggable generator hooks (src/workload) ---------------------------
+  //
+  // When set, these override the built-in pickers so composed workload
+  // models (heavy-tailed size mixes, churning flow tables, bursty arrival
+  // processes) plug in without netio knowing about them.  Each hook must be
+  // a deterministic function of its own seeded state -- the replay
+  // guarantee of the scenario harness depends on it.
+
+  /// Overrides frame_len / size_mix.  Must return >= kMinFrameLen.
+  std::function<std::uint32_t()> size_model;
+  /// Overrides the uniform flow pick.  The returned index feeds the same
+  /// address/port derivation as the built-in picker (it need not be bounded
+  /// by num_flows).
+  std::function<std::uint32_t()> flow_model;
+  /// Overrides the NicPort arrival shaping (offered_fraction /
+  /// burst_period): given the arrival time of the frame just built and its
+  /// wire time at line rate, return the full gap to the next arrival.  ON/
+  /// OFF silences and ramp shapes are encoded in the returned gap.
+  std::function<Picos(Picos now, Picos line_gap)> gap_model;
+
+  /// Chain a CRC32C digest over every built frame's bytes (see
+  /// FrameFactory::stream_digest).  Off by default: it touches every
+  /// payload byte a second time, which the fixed-workload benches don't
+  /// want to pay.
+  bool stream_digest = false;
 };
 
 /// Minimum frame a factory will build: headers + enough payload to tag.
@@ -67,6 +95,11 @@ class FrameFactory {
   std::uint64_t frames_built() const { return seq_; }
   /// Ground truth: frames built so far that contain an attack string.
   std::uint64_t attack_frames() const { return attack_frames_; }
+  /// CRC32C chained over the raw bytes of every frame built so far
+  /// (TrafficConfig::stream_digest only; 0 otherwise).  Two factories with
+  /// identical configs and seeds produce identical digests -- the
+  /// bit-exact-replay witness the determinism tests assert.
+  std::uint32_t stream_digest() const { return digest_; }
 
   const TrafficConfig& config() const { return config_; }
 
@@ -78,6 +111,7 @@ class FrameFactory {
   Xoshiro256 rng_;
   std::uint64_t seq_ = 0;
   std::uint64_t attack_frames_ = 0;
+  std::uint32_t digest_ = 0;
   std::uint32_t pending_len_ = 0;  // set by peek, consumed by build
   bool has_pending_len_ = false;
   double total_weight_ = 0;

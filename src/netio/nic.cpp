@@ -80,7 +80,12 @@ void NicPort::schedule_arrivals() {
     staged.push_back({m, t});
     const Picos line_gap = config_.link.transfer_time(wire_bytes(len));
     last = t;
-    if (burst_period_ == 0) {
+    if (factory_->config().gap_model) {
+      // Workload-supplied arrival process: the hook owns the shaping
+      // (ramps, ON/OFF silences) and returns the full gap to the next
+      // arrival.
+      t += factory_->config().gap_model(t, line_gap);
+    } else if (burst_period_ == 0) {
       // Smooth CBR: stretch the inter-frame gap by the offered fraction.
       t += static_cast<Picos>(static_cast<double>(line_gap) /
                               offered_fraction_);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "dhl/common/check.hpp"
+#include "dhl/common/crc32.hpp"
 
 namespace dhl::netio {
 
@@ -32,6 +33,11 @@ FrameFactory::FrameFactory(TrafficConfig config)
 }
 
 std::uint32_t FrameFactory::pick_frame_len() {
+  if (config_.size_model) {
+    const std::uint32_t len = config_.size_model();
+    DHL_CHECK_MSG(len >= kMinFrameLen, "size_model returned a runt frame");
+    return len;
+  }
   if (config_.size_mix.empty()) return config_.frame_len;
   double r = rng_.uniform() * total_weight_;
   for (const auto& [len, weight] : config_.size_mix) {
@@ -89,7 +95,10 @@ std::uint32_t FrameFactory::build(Mbuf& m) {
 
   m.reset();
   std::uint8_t* p = m.append(frame_len);
-  const std::uint32_t flow = static_cast<std::uint32_t>(rng_.bounded(config_.num_flows));
+  const std::uint32_t flow =
+      config_.flow_model
+          ? config_.flow_model()
+          : static_cast<std::uint32_t>(rng_.bounded(config_.num_flows));
 
   EthernetHeader eth;
   eth.src = {0x02, 0x00, 0x00, 0x00, 0x00, static_cast<std::uint8_t>(flow)};
@@ -115,6 +124,10 @@ std::uint32_t FrameFactory::build(Mbuf& m) {
   bool attack = false;
   fill_payload({p + payload_off, frame_len - payload_off}, &attack);
   if (attack) ++attack_frames_;
+
+  if (config_.stream_digest) {
+    digest_ = common::crc32c({p, frame_len}, digest_);
+  }
 
   m.set_seq(seq_++);
   return frame_len;

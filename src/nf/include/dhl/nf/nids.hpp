@@ -8,6 +8,7 @@
 // rule options on the match bitmap the module returns.
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "dhl/match/aho_corasick.hpp"
@@ -31,6 +32,14 @@ class NidsProcessor {
   /// CPU-only worker body: scan + evaluate rule options.
   Verdict cpu_process(netio::Mbuf& m);
 
+  /// Batch form of cpu_process for the pipeline worker's BatchPacketFn
+  /// seam: scans up to AhoCorasick::kLanes payloads concurrently through
+  /// find_all_multi so the per-byte DFA loads overlap (PR 8's SIMD/ILP
+  /// kernel).  `out[i]` is exactly cpu_process(*pkts[i]); stats accrue
+  /// identically.
+  void cpu_process_multi(std::span<netio::Mbuf* const> pkts,
+                         std::span<Verdict> out);
+
   /// DHL ingress body: light sanity parse (pre-processing stage).
   Verdict dhl_prep(netio::Mbuf& m);
 
@@ -51,6 +60,9 @@ class NidsProcessor {
   std::shared_ptr<const match::AhoCorasick> automaton_;
   std::vector<std::uint64_t> rule_masks_;  // per-rule required-pattern bitmap
   std::vector<match::PatternMatch> scratch_;
+  /// cpu_process_multi lane scratch, reused across bursts.
+  std::vector<std::span<const std::uint8_t>> lane_texts_;
+  std::vector<std::vector<match::PatternMatch>> lane_matches_;
   NidsStats stats_;
 };
 

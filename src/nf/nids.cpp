@@ -1,5 +1,7 @@
 #include "dhl/nf/nids.hpp"
 
+#include <algorithm>
+
 #include "dhl/accel/pattern_matching.hpp"
 #include "dhl/common/check.hpp"
 #include "dhl/netio/headers.hpp"
@@ -86,6 +88,35 @@ Verdict NidsProcessor::cpu_process(Mbuf& m) {
     if (hit.pattern < 48) bitmap |= 1ULL << hit.pattern;
   }
   return evaluate_options(m, bitmap);
+}
+
+void NidsProcessor::cpu_process_multi(std::span<Mbuf* const> pkts,
+                                      std::span<Verdict> out) {
+  DHL_CHECK(out.size() >= pkts.size());
+  constexpr std::size_t kLanes = match::AhoCorasick::kLanes;
+  if (lane_matches_.size() < kLanes) lane_matches_.resize(kLanes);
+  for (std::size_t base = 0; base < pkts.size(); base += kLanes) {
+    const std::size_t lanes = std::min(kLanes, pkts.size() - base);
+    lane_texts_.clear();
+    for (std::size_t l = 0; l < lanes; ++l) {
+      Mbuf& m = *pkts[base + l];
+      ++stats_.scanned;
+      const netio::PacketView view = netio::parse_packet(m.payload());
+      const std::size_t start = view.valid ? view.payload_offset : 0;
+      lane_texts_.push_back({m.payload().data() + start,
+                             m.data_len() - start});
+      lane_matches_[l].clear();
+    }
+    automaton_->find_all_multi(lane_texts_,
+                               {lane_matches_.data(), lanes});
+    for (std::size_t l = 0; l < lanes; ++l) {
+      std::uint64_t bitmap = 0;
+      for (const match::PatternMatch& hit : lane_matches_[l]) {
+        if (hit.pattern < 48) bitmap |= 1ULL << hit.pattern;
+      }
+      out[base + l] = evaluate_options(*pkts[base + l], bitmap);
+    }
+  }
 }
 
 Verdict NidsProcessor::dhl_prep(Mbuf& m) {

@@ -192,10 +192,17 @@ sim::PollResult CpuPipelineNf::worker_poll() {
   if (n == 0) return {0, false};
   cycles += cpu.ring_op_fixed_cycles +
             cpu.ring_op_per_pkt_cycles * static_cast<double>(n);
+  // Batched compute runs up front (the vectorized kernels want the whole
+  // burst at once); the cost/latency accounting below stays per-packet.
+  std::vector<Verdict> verdicts;
+  if (batch_fn_) {
+    verdicts.assign(n, Verdict::kForward);
+    batch_fn_({pkts.data(), n}, verdicts);
+  }
   for (std::size_t i = 0; i < n; ++i) {
     Mbuf* m = pkts[i];
     cycles += cost_(*m);
-    const Verdict v = fn_(*m);
+    const Verdict v = batch_fn_ ? verdicts[i] : fn_(*m);
     ++stats_.processed;
     if (v == Verdict::kDrop) {
       ++stats_.dropped;

@@ -174,4 +174,26 @@ std::string SloWatchdog::verdicts_json() const {
   return os.str();
 }
 
+void SloWatchdog::write_drop_sites_json(std::ostream& os,
+                                        const MetricsSnapshot& snap) {
+  // Terminal drops first, then admission rejections (back-pressure, not
+  // drops, but a scenario reader wants both in one place).
+  static constexpr const char* kFamilies[] = {
+      "dhl.nic.rx_drops",           "dhl.runtime.unready_drops",
+      "dhl.runtime.submit_drop_pkts", "dhl.runtime.oversize_drops",
+      "dhl.runtime.obq_drops",      "dhl.batch.crc_drop_pkts",
+      "dhl.tenant.dropped_pkts",    "dhl.tenant.rejected_pkts",
+      "dhl.fallback.pkts",
+  };
+  os << "{";
+  bool first = true;
+  for (const char* family : kFamilies) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << family << "\": "
+       << static_cast<std::uint64_t>(snap.sum(family));
+  }
+  os << "}";
+}
+
 }  // namespace dhl::telemetry

@@ -1,0 +1,257 @@
+#include "dhl/workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dhl/common/check.hpp"
+
+namespace dhl::workload {
+
+namespace {
+// Sub-seed salts: the three generators (and the payload RNG) must draw from
+// independent streams so, e.g., a longer size draw sequence never perturbs
+// flow picks.
+constexpr std::uint64_t kSizeSalt = 0x9E3779B97F4A7C15ULL;
+constexpr std::uint64_t kFlowSalt = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kPayloadSalt = 0x165667B19E3779F9ULL;
+}  // namespace
+
+// --- SizeModel ---------------------------------------------------------------
+
+SizeModel::SizeModel(SizeModelConfig config, std::uint64_t seed)
+    : config_{std::move(config)}, rng_{seed} {
+  DHL_CHECK(config_.fixed_len >= netio::kMinFrameLen);
+  DHL_CHECK(config_.min_len >= netio::kMinFrameLen);
+  DHL_CHECK(config_.max_len >= config_.min_len);
+  DHL_CHECK_MSG(config_.pareto_alpha > 1.0,
+                "pareto_alpha must be > 1 (finite mean)");
+  for (const auto& [len, weight] : config_.imix) {
+    DHL_CHECK(len >= netio::kMinFrameLen);
+    DHL_CHECK(weight > 0);
+    imix_total_weight_ += weight;
+  }
+}
+
+std::uint32_t SizeModel::next() {
+  ++picks_;
+  switch (config_.kind) {
+    case SizeKind::kFixed:
+      return config_.fixed_len;
+    case SizeKind::kUniform:
+      return config_.min_len +
+             static_cast<std::uint32_t>(
+                 rng_.bounded(config_.max_len - config_.min_len + 1));
+    case SizeKind::kImix: {
+      double r = rng_.uniform() * imix_total_weight_;
+      for (const auto& [len, weight] : config_.imix) {
+        if (r < weight) return len;
+        r -= weight;
+      }
+      return config_.imix.back().first;
+    }
+    case SizeKind::kPareto: {
+      // Inverse-CDF sample of Pareto(location = min_len, shape = alpha),
+      // truncated by clamping to max_len (the clamp mass sits at max_len,
+      // matching expected_mean()'s analytic form).
+      const double u = 1.0 - rng_.uniform();  // (0, 1]
+      const double x = static_cast<double>(config_.min_len) /
+                       std::pow(u, 1.0 / config_.pareto_alpha);
+      const double clamped =
+          std::min(x, static_cast<double>(config_.max_len));
+      return std::max(config_.min_len, static_cast<std::uint32_t>(clamped));
+    }
+  }
+  return config_.fixed_len;
+}
+
+double SizeModel::expected_mean() const {
+  switch (config_.kind) {
+    case SizeKind::kFixed:
+      return config_.fixed_len;
+    case SizeKind::kUniform:
+      return (static_cast<double>(config_.min_len) +
+              static_cast<double>(config_.max_len)) /
+             2.0;
+    case SizeKind::kImix: {
+      double sum = 0;
+      for (const auto& [len, weight] : config_.imix) {
+        sum += static_cast<double>(len) * weight;
+      }
+      return sum / imix_total_weight_;
+    }
+    case SizeKind::kPareto: {
+      // E[min(X, c)] for X ~ Pareto(m, a):
+      //   integral_m^c x a m^a x^{-a-1} dx  +  c (m/c)^a
+      const double m = config_.min_len;
+      const double c = config_.max_len;
+      const double a = config_.pareto_alpha;
+      const double body = a * std::pow(m, a) *
+                          (std::pow(c, 1.0 - a) - std::pow(m, 1.0 - a)) /
+                          (1.0 - a);
+      return body + c * std::pow(m / c, a);
+    }
+  }
+  return config_.fixed_len;
+}
+
+double SizeModel::tail_mass(std::uint32_t threshold) const {
+  switch (config_.kind) {
+    case SizeKind::kFixed:
+      return config_.fixed_len >= threshold ? 1.0 : 0.0;
+    case SizeKind::kUniform: {
+      if (threshold <= config_.min_len) return 1.0;
+      if (threshold > config_.max_len) return 0.0;
+      return static_cast<double>(config_.max_len - threshold + 1) /
+             static_cast<double>(config_.max_len - config_.min_len + 1);
+    }
+    case SizeKind::kImix: {
+      double mass = 0;
+      for (const auto& [len, weight] : config_.imix) {
+        if (len >= threshold) mass += weight;
+      }
+      return mass / imix_total_weight_;
+    }
+    case SizeKind::kPareto: {
+      if (threshold <= config_.min_len) return 1.0;
+      if (threshold > config_.max_len) return 0.0;
+      return std::pow(static_cast<double>(config_.min_len) /
+                          static_cast<double>(threshold),
+                      config_.pareto_alpha);
+    }
+  }
+  return 0.0;
+}
+
+// --- ArrivalModel ------------------------------------------------------------
+
+ArrivalModel::ArrivalModel(ArrivalModelConfig config)
+    : config_{std::move(config)} {
+  DHL_CHECK(config_.offered > 0 && config_.offered <= 1.0);
+  DHL_CHECK(config_.peak > 0 && config_.peak <= 1.0);
+  DHL_CHECK(config_.duty > 0 && config_.duty <= 1.0);
+  DHL_CHECK(config_.period > 0);
+  DHL_CHECK(config_.ramp_up > 0 && config_.ramp_down > 0);
+}
+
+double ArrivalModel::offered_at(Picos rel) const {
+  switch (config_.kind) {
+    case ArrivalKind::kConstant:
+      return config_.offered;
+    case ArrivalKind::kOnOff: {
+      const Picos on_window = static_cast<Picos>(
+          static_cast<double>(config_.period) * config_.duty);
+      return (rel % config_.period) < on_window ? config_.peak : 0.0;
+    }
+    case ArrivalKind::kFlashCrowd: {
+      const double base = config_.offered;
+      const double peak = config_.peak;
+      if (rel < config_.ramp_start) return base;
+      Picos t = rel - config_.ramp_start;
+      if (t < config_.ramp_up) {
+        return base + (peak - base) * static_cast<double>(t) /
+                          static_cast<double>(config_.ramp_up);
+      }
+      t -= config_.ramp_up;
+      if (t < config_.hold) return peak;
+      t -= config_.hold;
+      if (t < config_.ramp_down) {
+        return peak - (peak - base) * static_cast<double>(t) /
+                          static_cast<double>(config_.ramp_down);
+      }
+      return base;
+    }
+  }
+  return config_.offered;
+}
+
+Picos ArrivalModel::gap(Picos now, Picos line_gap) {
+  if (!have_epoch_) {
+    epoch_ = now;
+    have_epoch_ = true;
+  }
+  const Picos rel = now - epoch_;
+  switch (config_.kind) {
+    case ArrivalKind::kConstant:
+      return std::max<Picos>(
+          1, static_cast<Picos>(static_cast<double>(line_gap) /
+                                config_.offered));
+    case ArrivalKind::kOnOff: {
+      const Picos period = config_.period;
+      const Picos on_window =
+          static_cast<Picos>(static_cast<double>(period) * config_.duty);
+      const Picos pos = rel % period;
+      // Outside the ON window (only the session's very first arrival can
+      // land here): jump to the next period start.
+      if (pos >= on_window) return period - pos;
+      const Picos g = std::max<Picos>(
+          1,
+          static_cast<Picos>(static_cast<double>(line_gap) / config_.peak));
+      // A next-arrival past the window end defers to the next ON window.
+      if (pos + g >= on_window) return period - pos;
+      return g;
+    }
+    case ArrivalKind::kFlashCrowd: {
+      const double f = std::max(1e-6, offered_at(rel));
+      return std::max<Picos>(
+          1, static_cast<Picos>(static_cast<double>(line_gap) / f));
+    }
+  }
+  return line_gap;
+}
+
+// --- FlowModel ---------------------------------------------------------------
+
+FlowModel::FlowModel(FlowModelConfig config, std::uint64_t seed)
+    : config_{std::move(config)}, rng_{seed} {
+  DHL_CHECK(config_.flows > 0);
+  DHL_CHECK(config_.elephants <= config_.flows);
+  DHL_CHECK(config_.elephant_share >= 0 && config_.elephant_share <= 1.0);
+  table_.reserve(config_.flows);
+  for (std::uint32_t i = 0; i < config_.flows; ++i) table_.push_back(i);
+  next_flow_id_ = config_.flows;
+}
+
+std::uint32_t FlowModel::next() {
+  const std::uint32_t mice =
+      static_cast<std::uint32_t>(table_.size()) - config_.elephants;
+  if (config_.churn_every > 0 && mice > 0 && picks_ > 0 &&
+      picks_ % config_.churn_every == 0) {
+    // One expire + one create, round-robin over the mice slots so the
+    // elephants persist across churn.
+    table_[config_.elephants + churn_cursor_] = next_flow_id_++;
+    churn_cursor_ = (churn_cursor_ + 1) % mice;
+    ++created_;
+    ++expired_;
+  }
+  ++picks_;
+  std::uint32_t slot;
+  if (config_.elephants > 0 && rng_.uniform() < config_.elephant_share) {
+    slot = static_cast<std::uint32_t>(rng_.bounded(config_.elephants));
+  } else if (mice > 0) {
+    slot = config_.elephants +
+           static_cast<std::uint32_t>(rng_.bounded(mice));
+  } else {
+    slot = static_cast<std::uint32_t>(rng_.bounded(table_.size()));
+  }
+  return table_[slot];
+}
+
+// --- WorkloadModel -----------------------------------------------------------
+
+WorkloadModel::WorkloadModel(const WorkloadConfig& config)
+    : size_{config.size, config.seed ^ kSizeSalt},
+      arrival_{config.arrival},
+      flow_{config.flow, config.seed ^ kFlowSalt},
+      payload_seed_{config.seed ^ kPayloadSalt} {}
+
+void WorkloadModel::bind(netio::TrafficConfig& traffic) {
+  traffic.seed = payload_seed_;
+  traffic.size_model = [this] { return size_.next(); };
+  traffic.flow_model = [this] { return flow_.next(); };
+  traffic.gap_model = [this](Picos now, Picos line_gap) {
+    return arrival_.gap(now, line_gap);
+  };
+  traffic.stream_digest = true;
+}
+
+}  // namespace dhl::workload

@@ -1,0 +1,199 @@
+#pragma once
+
+// Adversarial workload generators (ROADMAP item 5, DESIGN.md section 3.6).
+//
+// Benchmarking NFV Software Dataplanes (PAPERS.md) shows that dataplanes
+// which look healthy under fixed-size/uniform load fall over under realistic
+// traffic: heavy-tailed size mixes, bursty arrivals, churning flow tables.
+// This header provides those shapes as three orthogonal, individually seeded
+// generators that plug into netio's FrameFactory/NicPort through the
+// TrafficConfig hooks:
+//
+//   SizeModel    -- what each frame looks like (fixed, uniform, IMIX,
+//                   truncated Pareto)
+//   ArrivalModel -- when frames arrive (constant rate, ON/OFF bursts,
+//                   flash-crowd ramp)
+//   FlowModel    -- which 5-tuple each frame belongs to (static table,
+//                   high-rate churn, elephant/mice skew)
+//
+// Determinism contract: every random decision flows through a Xoshiro256
+// seeded from the scenario seed, and generation happens in virtual-clock
+// event order, so a fixed seed reproduces the exact byte stream -- the
+// replay guarantee tests/test_workload_determinism.cpp enforces.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dhl/common/rng.hpp"
+#include "dhl/common/units.hpp"
+#include "dhl/netio/pktgen.hpp"
+
+namespace dhl::workload {
+
+// --- packet-size mixes -------------------------------------------------------
+
+enum class SizeKind : std::uint8_t { kFixed, kUniform, kImix, kPareto };
+
+struct SizeModelConfig {
+  SizeKind kind = SizeKind::kFixed;
+  std::uint32_t fixed_len = 256;
+  /// kUniform / kPareto bounds, inclusive.  min_len is also the Pareto
+  /// location parameter.
+  std::uint32_t min_len = netio::kMinFrameLen;
+  std::uint32_t max_len = 1500;
+  /// Pareto shape; smaller = heavier tail.  Must be > 1 so the mean exists.
+  double pareto_alpha = 1.3;
+  /// kImix weighted mix; defaults to the simple 7:4:1 IMIX.
+  std::vector<std::pair<std::uint32_t, double>> imix = {
+      {64, 7.0}, {570, 4.0}, {1500, 1.0}};
+};
+
+class SizeModel {
+ public:
+  SizeModel(SizeModelConfig config, std::uint64_t seed);
+
+  /// Next frame length.  Always within [min_len, max_len] (kFixed/kImix:
+  /// the configured lengths).
+  std::uint32_t next();
+
+  /// Analytic mean frame length (Pareto truncated at max_len) -- the
+  /// reference value the statistical-shape tests compare against.
+  double expected_mean() const;
+  /// P(len >= threshold) under this model.
+  double tail_mass(std::uint32_t threshold) const;
+
+  std::uint64_t picks() const { return picks_; }
+  const SizeModelConfig& config() const { return config_; }
+
+ private:
+  SizeModelConfig config_;
+  Xoshiro256 rng_;
+  double imix_total_weight_ = 0;
+  std::uint64_t picks_ = 0;
+};
+
+// --- arrival processes -------------------------------------------------------
+
+enum class ArrivalKind : std::uint8_t { kConstant, kOnOff, kFlashCrowd };
+
+struct ArrivalModelConfig {
+  ArrivalKind kind = ArrivalKind::kConstant;
+  /// Base offered load as a fraction of line rate (kConstant rate;
+  /// kFlashCrowd pre/post-ramp level).
+  double offered = 0.5;
+  /// Burst intensity as a fraction of line rate (kOnOff ON windows,
+  /// kFlashCrowd peak).
+  double peak = 1.0;
+  // kOnOff: each `period` spends `duty` of its span ON at `peak`, then
+  // falls silent.  Mean load = duty * peak.
+  Picos period = microseconds(200);
+  double duty = 0.5;
+  // kFlashCrowd: offered ramps base -> peak over `ramp_up` starting at
+  // `ramp_start`, holds `peak` for `hold`, ramps back over `ramp_down`.
+  Picos ramp_start = milliseconds(2);
+  Picos ramp_up = milliseconds(1);
+  Picos hold = milliseconds(2);
+  Picos ramp_down = milliseconds(1);
+};
+
+class ArrivalModel {
+ public:
+  explicit ArrivalModel(ArrivalModelConfig config);
+
+  /// Instantaneous offered fraction of line rate at `rel` after the
+  /// process started (0 inside an OFF window).  Pure in process-relative
+  /// time, so shape tests can probe it directly.
+  double offered_at(Picos rel) const;
+
+  /// Gap from a frame arriving at `now` (wire time `line_gap` at line
+  /// rate) to the next arrival.  OFF-window silences and ramp shapes are
+  /// encoded in the returned gap -- this is the TrafficConfig::gap_model
+  /// hook.  The first call anchors the process epoch (ramps and burst
+  /// phases are relative to traffic start, not to the virtual-clock
+  /// origin: the testbed spends ~40 ms on the PR load first).
+  Picos gap(Picos now, Picos line_gap);
+
+  const ArrivalModelConfig& config() const { return config_; }
+
+ private:
+  ArrivalModelConfig config_;
+  Picos epoch_ = 0;
+  bool have_epoch_ = false;
+};
+
+// --- flow dynamics -----------------------------------------------------------
+
+struct FlowModelConfig {
+  /// Active flow-table size (constant; churn replaces entries).
+  std::uint32_t flows = 64;
+  /// Picks between churn events (one expire + one create each).  0 = a
+  /// static table.  Churn cycles round-robin through the mice slots so
+  /// elephants persist.
+  std::uint32_t churn_every = 0;
+  /// The first `elephants` table slots are elephants; they jointly serve
+  /// `elephant_share` of the picks, the mice split the rest.
+  std::uint32_t elephants = 0;
+  double elephant_share = 0.0;
+};
+
+class FlowModel {
+ public:
+  FlowModel(FlowModelConfig config, std::uint64_t seed);
+
+  /// Flow id for the next frame (feeds the FrameFactory address/port
+  /// derivation).  Ids are never reused after expiry.
+  std::uint32_t next();
+
+  std::uint64_t picks() const { return picks_; }
+  /// Churn counters (the initial table does not count as created).
+  std::uint64_t created() const { return created_; }
+  std::uint64_t expired() const { return expired_; }
+  std::uint32_t active() const {
+    return static_cast<std::uint32_t>(table_.size());
+  }
+
+  const FlowModelConfig& config() const { return config_; }
+
+ private:
+  FlowModelConfig config_;
+  Xoshiro256 rng_;
+  std::vector<std::uint32_t> table_;
+  std::uint32_t next_flow_id_ = 0;
+  std::uint32_t churn_cursor_ = 0;
+  std::uint64_t picks_ = 0;
+  std::uint64_t created_ = 0;
+  std::uint64_t expired_ = 0;
+};
+
+// --- composition -------------------------------------------------------------
+
+struct WorkloadConfig {
+  SizeModelConfig size;
+  ArrivalModelConfig arrival;
+  FlowModelConfig flow;
+  std::uint64_t seed = 1;
+};
+
+/// The three generators composed over one scenario seed (each gets an
+/// independent sub-seed) and bound into a TrafficConfig as pktgen hooks.
+class WorkloadModel {
+ public:
+  explicit WorkloadModel(const WorkloadConfig& config);
+
+  /// Install the hooks (and the stream digest + a payload sub-seed) into
+  /// `traffic`.  The model must outlive the port's traffic session.
+  void bind(netio::TrafficConfig& traffic);
+
+  SizeModel& size_model() { return size_; }
+  ArrivalModel& arrival_model() { return arrival_; }
+  FlowModel& flow_model() { return flow_; }
+
+ private:
+  SizeModel size_;
+  ArrivalModel arrival_;
+  FlowModel flow_;
+  std::uint64_t payload_seed_;
+};
+
+}  // namespace dhl::workload

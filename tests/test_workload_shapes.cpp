@@ -1,0 +1,216 @@
+// Statistical-shape checks for the workload generators (DESIGN.md section
+// 3.6): empirical moments of each generator must track its analytic model
+// closely enough that scenario verdicts reflect the intended adversarial
+// shape, not a generator bug.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dhl/workload/generators.hpp"
+
+namespace dhl::workload {
+namespace {
+
+constexpr int kDraws = 200000;
+
+TEST(SizeShapes, ParetoMeanAndTailTrackAnalyticModel) {
+  SizeModelConfig cfg;
+  cfg.kind = SizeKind::kPareto;
+  cfg.min_len = 64;
+  cfg.max_len = 1500;
+  cfg.pareto_alpha = 1.3;
+  SizeModel model{cfg, 99};
+
+  double sum = 0;
+  int tail = 0;       // >= 1000B
+  int clamped = 0;    // exactly max_len (truncation mass)
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint32_t len = model.next();
+    ASSERT_GE(len, cfg.min_len);
+    ASSERT_LE(len, cfg.max_len);
+    sum += len;
+    if (len >= 1000) ++tail;
+    if (len == cfg.max_len) ++clamped;
+  }
+  const double mean = sum / kDraws;
+  EXPECT_NEAR(mean, model.expected_mean(), 0.02 * model.expected_mean());
+
+  // P(len >= 1000) = (64/1000)^1.3 ~= 0.028; the integer floor in the
+  // sampler shifts boundaries by < 1 length unit, so 20% slack is ample.
+  const double tail_frac = static_cast<double>(tail) / kDraws;
+  EXPECT_NEAR(tail_frac, model.tail_mass(1000), 0.2 * model.tail_mass(1000));
+
+  // The clamp lump at max_len carries (64/1500)^1.3 ~= 1.7% of the mass --
+  // the heavy tail is real, not an artifact of averaging.
+  const double clamp_frac = static_cast<double>(clamped) / kDraws;
+  EXPECT_NEAR(clamp_frac, model.tail_mass(cfg.max_len),
+              0.2 * model.tail_mass(cfg.max_len));
+}
+
+TEST(SizeShapes, UniformCoversBoundsWithFlatMean) {
+  SizeModelConfig cfg;
+  cfg.kind = SizeKind::kUniform;
+  cfg.min_len = 64;
+  cfg.max_len = 512;
+  SizeModel model{cfg, 5};
+
+  double sum = 0;
+  bool saw_min = false, saw_max = false;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint32_t len = model.next();
+    ASSERT_GE(len, cfg.min_len);
+    ASSERT_LE(len, cfg.max_len);
+    saw_min |= (len == cfg.min_len);
+    saw_max |= (len == cfg.max_len);
+    sum += len;
+  }
+  EXPECT_TRUE(saw_min);
+  EXPECT_TRUE(saw_max);  // bounds are inclusive
+  EXPECT_NEAR(sum / kDraws, model.expected_mean(), 2.0);
+}
+
+TEST(SizeShapes, ImixWeightsReproduce) {
+  SizeModelConfig cfg;
+  cfg.kind = SizeKind::kImix;  // default 64:570:1500 at 7:4:1
+  SizeModel model{cfg, 17};
+
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[model.next()];
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_NEAR(counts[64] / double(kDraws), 7.0 / 12.0, 0.01);
+  EXPECT_NEAR(counts[570] / double(kDraws), 4.0 / 12.0, 0.01);
+  EXPECT_NEAR(counts[1500] / double(kDraws), 1.0 / 12.0, 0.01);
+  EXPECT_NEAR(model.expected_mean(), (64 * 7 + 570 * 4 + 1500) / 12.0, 1e-9);
+}
+
+TEST(ArrivalShapes, OnOffConfinesArrivalsToDutyWindows) {
+  ArrivalModelConfig cfg;
+  cfg.kind = ArrivalKind::kOnOff;
+  cfg.peak = 0.8;
+  cfg.duty = 0.4;
+  cfg.period = microseconds(200);
+  ArrivalModel model{cfg};
+
+  // Walk the process as NicPort would: each arrival at `now`, next at
+  // now + gap(now, line_gap).  Epoch anchors at the first call, which we
+  // deliberately start at an awkward non-zero virtual time.
+  const Picos line_gap = nanoseconds(300);
+  const Picos start = milliseconds(40) + nanoseconds(123);
+  const Picos on_window = static_cast<Picos>(
+      static_cast<double>(cfg.period) * cfg.duty);
+  Picos now = start;
+  std::uint64_t arrivals = 0;
+  std::uint64_t in_on_window = 0;
+  while (now < start + milliseconds(4)) {
+    const Picos rel = now - start;
+    ++arrivals;
+    if (rel % cfg.period < on_window) ++in_on_window;
+    now += model.gap(now, line_gap);
+  }
+  // Every arrival after the anchor lands inside an ON window.
+  EXPECT_GE(in_on_window + 1, arrivals);
+
+  // Mean offered load over whole periods ~= duty * peak.  Each arrival
+  // occupies `line_gap` of wire time.
+  const double offered = static_cast<double>(arrivals * line_gap) /
+                         static_cast<double>(now - start);
+  EXPECT_NEAR(offered, cfg.duty * cfg.peak, 0.05);
+}
+
+TEST(ArrivalShapes, FlashCrowdProfileRampsAndRecovers) {
+  ArrivalModelConfig cfg;
+  cfg.kind = ArrivalKind::kFlashCrowd;
+  cfg.offered = 0.25;
+  cfg.peak = 1.0;
+  cfg.ramp_start = milliseconds(2);
+  cfg.ramp_up = milliseconds(1);
+  cfg.hold = milliseconds(2);
+  cfg.ramp_down = milliseconds(1);
+  ArrivalModel model{cfg};
+
+  EXPECT_DOUBLE_EQ(model.offered_at(0), 0.25);
+  EXPECT_DOUBLE_EQ(model.offered_at(milliseconds(1)), 0.25);
+  // Mid-ramp: halfway between base and peak.
+  EXPECT_NEAR(model.offered_at(milliseconds(2) + microseconds(500)), 0.625,
+              1e-6);
+  EXPECT_DOUBLE_EQ(model.offered_at(milliseconds(3)), 1.0);   // peak start
+  EXPECT_DOUBLE_EQ(model.offered_at(milliseconds(4)), 1.0);   // holding
+  EXPECT_NEAR(model.offered_at(milliseconds(5) + microseconds(500)), 0.625,
+              1e-6);                                          // ramping down
+  EXPECT_DOUBLE_EQ(model.offered_at(milliseconds(7)), 0.25);  // recovered
+}
+
+TEST(ArrivalShapes, FlashCrowdEpochAnchorsAtFirstArrival) {
+  // The regression that motivated epoch anchoring: traffic starts ~40 ms
+  // into virtual time (after PR load), and the ramp must be relative to
+  // that start, not to the virtual-clock origin.
+  ArrivalModelConfig cfg;
+  cfg.kind = ArrivalKind::kFlashCrowd;
+  cfg.offered = 0.25;
+  cfg.peak = 1.0;
+  cfg.ramp_start = milliseconds(2);
+  ArrivalModel model{cfg};
+
+  const Picos line_gap = nanoseconds(300);
+  const Picos start = milliseconds(40);
+  // First arrival: still at base load, so the gap is line_gap / 0.25.
+  const Picos g0 = model.gap(start, line_gap);
+  EXPECT_NEAR(static_cast<double>(g0), static_cast<double>(line_gap) / 0.25,
+              1.0);
+  // 3 ms after the anchor the ramp has peaked: gap collapses to line rate.
+  const Picos g1 = model.gap(start + milliseconds(3), line_gap);
+  EXPECT_EQ(g1, line_gap);
+}
+
+TEST(FlowShapes, ChurnCountersAreExactAndIdsNeverReused) {
+  FlowModelConfig cfg;
+  cfg.flows = 256;
+  cfg.churn_every = 8;
+  FlowModel model{cfg, 31};
+
+  constexpr std::uint64_t kPicks = 40001;
+  std::uint32_t max_id = 0;
+  for (std::uint64_t i = 0; i < kPicks; ++i) max_id = std::max(max_id, model.next());
+
+  // One expire + one create every churn_every picks (the initial table is
+  // not "created"), and the table never grows or shrinks.
+  const std::uint64_t churns = (kPicks - 1) / cfg.churn_every;
+  EXPECT_EQ(model.created(), churns);
+  EXPECT_EQ(model.expired(), churns);
+  EXPECT_EQ(model.active(), cfg.flows);
+  // Monotone id allocation: every id ever handed out is < flows + created.
+  EXPECT_LT(max_id, cfg.flows + model.created());
+  EXPECT_GE(max_id, cfg.flows);  // churn actually introduced fresh flows
+}
+
+TEST(FlowShapes, StaticTableNeverChurns) {
+  FlowModelConfig cfg;
+  cfg.flows = 32;
+  FlowModel model{cfg, 3};
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(model.next(), cfg.flows);
+  EXPECT_EQ(model.created(), 0u);
+  EXPECT_EQ(model.expired(), 0u);
+}
+
+TEST(FlowShapes, ElephantsCarryConfiguredShareAndSurviveChurn) {
+  FlowModelConfig cfg;
+  cfg.flows = 256;
+  cfg.elephants = 4;
+  cfg.elephant_share = 0.9;
+  cfg.churn_every = 8;
+  FlowModel model{cfg, 77};
+
+  std::uint64_t elephant_picks = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    // Elephant slots hold ids 0..3 forever: churn only recycles mice slots,
+    // and fresh ids start at `flows`, so id < elephants identifies them.
+    if (model.next() < cfg.elephants) ++elephant_picks;
+  }
+  const double share = static_cast<double>(elephant_picks) / kDraws;
+  EXPECT_NEAR(share, cfg.elephant_share, 0.01);
+  EXPECT_GT(model.created(), 0u);
+}
+
+}  // namespace
+}  // namespace dhl::workload
