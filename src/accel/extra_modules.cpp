@@ -47,6 +47,46 @@ fpga::ProcessResult CompressionModule::process(std::span<std::uint8_t> data) {
           static_cast<std::uint32_t>(packed.size())};
 }
 
+void Aes256CtrModule::configure(std::span<const std::uint8_t> config) {
+  if (config.size() != 32 + 16) {
+    throw std::invalid_argument("aes256-ctr: config must be key[32] | iv[16]");
+  }
+  State st{crypto::Aes256{std::span<const std::uint8_t, 32>{config.data(), 32}},
+           {}};
+  std::memcpy(st.iv.data(), config.data() + 32, 16);
+  state_ = st;
+}
+
+fpga::ProcessResult Aes256CtrModule::process(std::span<std::uint8_t> data) {
+  if (!state_.has_value()) {
+    return {kNotConfigured, static_cast<std::uint32_t>(data.size()),
+            /*data_unmodified=*/true};
+  }
+  crypto::aes256_ctr(state_->cipher, state_->iv, data, data);
+  return {kOk, static_cast<std::uint32_t>(data.size())};
+}
+
+std::vector<std::uint8_t> aes256_ctr_module_config(
+    std::span<const std::uint8_t, 32> key,
+    std::span<const std::uint8_t, 16> iv) {
+  std::vector<std::uint8_t> blob(48);
+  std::memcpy(blob.data(), key.data(), 32);
+  std::memcpy(blob.data() + 32, iv.data(), 16);
+  return blob;
+}
+
+std::vector<std::uint8_t> aes256_ctr_test_config() {
+  std::array<std::uint8_t, 32> key{};
+  std::array<std::uint8_t, 16> iv{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(0xA5 ^ (i * 7));
+  }
+  for (std::size_t i = 0; i < iv.size(); ++i) {
+    iv[i] = static_cast<std::uint8_t>(0x3C + i);
+  }
+  return aes256_ctr_module_config(key, iv);
+}
+
 fpga::PartialBitstream md5_bitstream() {
   fpga::PartialBitstream b;
   b.hf_name = "md5-auth";
@@ -62,6 +102,15 @@ fpga::PartialBitstream compression_bitstream() {
   b.size_bytes = 4'700'000;
   b.resources = CompressionModule{}.resources();
   b.factory = [] { return std::make_unique<CompressionModule>(); };
+  return b;
+}
+
+fpga::PartialBitstream aes256_ctr_bitstream() {
+  fpga::PartialBitstream b;
+  b.hf_name = "aes256-ctr";
+  b.size_bytes = 3'900'000;
+  b.resources = Aes256CtrModule{}.resources();
+  b.factory = [] { return std::make_unique<Aes256CtrModule>(); };
   return b;
 }
 

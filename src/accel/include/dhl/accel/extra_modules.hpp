@@ -6,10 +6,15 @@
 // the paper's evaluation; their resource/timing figures are our own
 // plausible characterizations, marked as such in DESIGN.md.
 
+#include <array>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "dhl/crypto/aes.hpp"
 #include "dhl/fpga/accelerator.hpp"
 #include "dhl/fpga/bitstream.hpp"
 
@@ -49,7 +54,50 @@ class CompressionModule final : public fpga::AcceleratorModule {
   fpga::ProcessResult process(std::span<std::uint8_t> data) override;
 };
 
+/// aes256-ctr: raw AES-256-CTR over the whole record payload, the crypto
+/// half of the lz77 -> AES "CompNcrypt" fused chain (SNIPPETS.md) and of
+/// nc_encode -> aes chains.  Unlike ipsec-crypto it has no ESP framing:
+/// whatever bytes arrive are XORed with the keystream, so it composes
+/// behind any payload-shrinking stage.  CTR is an involution -- the same
+/// configuration decrypts.
+class Aes256CtrModule final : public fpga::AcceleratorModule {
+ public:
+  static constexpr std::uint64_t kOk = 0;
+  static constexpr std::uint64_t kNotConfigured = 3;
+
+  const std::string& name() const override {
+    static const std::string kName = "aes256-ctr";
+    return kName;
+  }
+  fpga::ModuleResources resources() const override { return {7'900, 210}; }
+  fpga::ModuleTiming timing() const override {
+    // The ipsec-crypto cipher pipeline without the HMAC lane.
+    return {Bandwidth::gbps(70.0), 96};
+  }
+  /// Blob layout: key[32] | iv[16] (the initial counter block).  The IV is
+  /// per-configuration, not per-record -- a deliberate simulation
+  /// simplification that keeps fused-vs-per-stage runs bit-comparable.
+  void configure(std::span<const std::uint8_t> config) override;
+  fpga::ProcessResult process(std::span<std::uint8_t> data) override;
+
+  bool configured() const { return state_.has_value(); }
+
+ private:
+  struct State {
+    crypto::Aes256 cipher;
+    std::array<std::uint8_t, 16> iv{};
+  };
+  std::optional<State> state_;
+};
+
+/// Build the aes256-ctr configuration blob.
+std::vector<std::uint8_t> aes256_ctr_module_config(
+    std::span<const std::uint8_t, 32> key, std::span<const std::uint8_t, 16> iv);
+/// Deterministic key/IV blob for tests and benches.
+std::vector<std::uint8_t> aes256_ctr_test_config();
+
 fpga::PartialBitstream md5_bitstream();
 fpga::PartialBitstream compression_bitstream();
+fpga::PartialBitstream aes256_ctr_bitstream();
 
 }  // namespace dhl::accel

@@ -1,0 +1,148 @@
+#include "dhl/common/gf256.hpp"
+
+#include <cstring>
+
+namespace dhl::common::gf256 {
+
+namespace detail {
+
+namespace {
+
+Tables build_tables() {
+  Tables t{};
+  // Generator 2 is primitive for 0x11d.
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPoly;
+  }
+  for (int i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+
+  // Nibble half-products: every product c*n decomposes as
+  // c*(n_lo) ^ c*(n_hi << 4) over GF(2), which is exactly what the PSHUFB
+  // kernel resolves 32 lanes at a time and the scalar loop two lookups at
+  // a time.
+  auto slow_mul = [&t](std::uint8_t a, std::uint8_t b) -> std::uint8_t {
+    if (a == 0 || b == 0) return 0;
+    return t.exp[t.log[a] + t.log[b]];
+  };
+  for (int c = 0; c < 256; ++c) {
+    for (int n = 0; n < 16; ++n) {
+      t.mul_lo[c][n] = slow_mul(static_cast<std::uint8_t>(c),
+                                static_cast<std::uint8_t>(n));
+      t.mul_hi[c][n] = slow_mul(static_cast<std::uint8_t>(c),
+                                static_cast<std::uint8_t>(n << 4));
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+const Tables& tables() {
+  static const Tables t = build_tables();
+  return t;
+}
+
+#ifdef DHL_SIMD_X86
+
+__attribute__((target("avx2"))) void addmul_avx2(std::uint8_t* dst,
+                                                 const std::uint8_t* src,
+                                                 std::uint8_t coeff,
+                                                 std::size_t n) {
+  const Tables& t = tables();
+  const __m256i lo_tbl = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.mul_lo[coeff])));
+  const __m256i hi_tbl = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.mul_hi[coeff])));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i lo = _mm256_shuffle_epi8(lo_tbl, _mm256_and_si256(s, mask));
+    const __m256i hi = _mm256_shuffle_epi8(
+        hi_tbl, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+    const __m256i prod = _mm256_xor_si256(lo, hi);
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, prod));
+  }
+  for (; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(
+        dst[i] ^ t.mul_lo[coeff][src[i] & 0x0f] ^ t.mul_hi[coeff][src[i] >> 4]);
+  }
+}
+
+__attribute__((target("avx2"))) void mul_region_avx2(std::uint8_t* dst,
+                                                     std::uint8_t coeff,
+                                                     std::size_t n) {
+  const Tables& t = tables();
+  const __m256i lo_tbl = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.mul_lo[coeff])));
+  const __m256i hi_tbl = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.mul_hi[coeff])));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i lo = _mm256_shuffle_epi8(lo_tbl, _mm256_and_si256(s, mask));
+    const __m256i hi = _mm256_shuffle_epi8(
+        hi_tbl, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(lo, hi));
+  }
+  for (; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(t.mul_lo[coeff][dst[i] & 0x0f] ^
+                                       t.mul_hi[coeff][dst[i] >> 4]);
+  }
+}
+
+#endif  // DHL_SIMD_X86
+
+}  // namespace detail
+
+void addmul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t coeff,
+            std::size_t n) {
+  if (coeff == 0 || n == 0) return;
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+#ifdef DHL_SIMD_X86
+  if (n >= 32 && simd::enabled(simd::Isa::kAvx2)) {
+    detail::addmul_avx2(dst, src, coeff, n);
+    return;
+  }
+#endif
+  const detail::Tables& t = detail::tables();
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(
+        dst[i] ^ t.mul_lo[coeff][src[i] & 0x0f] ^ t.mul_hi[coeff][src[i] >> 4]);
+  }
+}
+
+void mul_region(std::uint8_t* dst, std::uint8_t coeff, std::size_t n) {
+  if (n == 0 || coeff == 1) return;
+  if (coeff == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+#ifdef DHL_SIMD_X86
+  if (n >= 32 && simd::enabled(simd::Isa::kAvx2)) {
+    detail::mul_region_avx2(dst, coeff, n);
+    return;
+  }
+#endif
+  const detail::Tables& t = detail::tables();
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(t.mul_lo[coeff][dst[i] & 0x0f] ^
+                                       t.mul_hi[coeff][dst[i] >> 4]);
+  }
+}
+
+}  // namespace dhl::common::gf256

@@ -1,0 +1,79 @@
+#pragma once
+
+// GF(2^8) arithmetic for the network-coding module family (DESIGN.md
+// section 3.7).
+//
+// The field is GF(2)[x]/(x^8 + x^4 + x^3 + x^2 + 1), the 0x11d reducing
+// polynomial every RLNC implementation settles on.  Single multiplies go
+// through log/exp tables; the data-plane kernel is gf256_addmul --
+// dst[i] ^= coeff * src[i] over a whole symbol -- which is where encode,
+// recode and Gaussian elimination spend all their time.
+//
+// Dispatch follows the common/simd.hpp pattern: one scalar reference loop
+// (two 256-entry half-product tables, so the inner loop is two lookups and
+// a xor) and an AVX2 variant that splits each byte into nibbles and
+// resolves both through 16-entry PSHUFB tables, 32 bytes per step.  The
+// "gf256_addmul" row in kernel_report() declares the tier; the parity
+// suite sweeps DHL_SIMD caps to prove both paths agree bit-for-bit.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dhl/common/simd.hpp"
+
+namespace dhl::common::gf256 {
+
+/// The reducing polynomial (x^8 term implied).
+inline constexpr std::uint16_t kPoly = 0x11d;
+
+namespace detail {
+
+struct Tables {
+  std::uint8_t exp[512];   // exp[i] = g^i, doubled to skip one mod 255
+  std::uint8_t log[256];   // log[0] unused
+  /// mul_lo[c][n] = c * n, mul_hi[c][n] = c * (n << 4): the nibble
+  /// half-products shared by the scalar loop and the PSHUFB kernel.
+  std::uint8_t mul_lo[256][16];
+  std::uint8_t mul_hi[256][16];
+};
+
+const Tables& tables();
+
+#ifdef DHL_SIMD_X86
+void addmul_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                 std::uint8_t coeff, std::size_t n);
+void mul_region_avx2(std::uint8_t* dst, std::uint8_t coeff, std::size_t n);
+#endif
+
+}  // namespace detail
+
+/// c = a * b in GF(2^8).
+inline std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const detail::Tables& t = detail::tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+/// Multiplicative inverse; inv(0) is undefined (returns 0).
+inline std::uint8_t inv(std::uint8_t a) {
+  if (a == 0) return 0;
+  const detail::Tables& t = detail::tables();
+  return t.exp[255 - t.log[a]];
+}
+
+/// a / b (b != 0).
+inline std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  return mul(a, inv(b));
+}
+
+/// dst[i] ^= coeff * src[i] for i in [0, n).  The RLNC inner loop: one
+/// call per (coefficient, symbol) pair in encode/recode and per row
+/// operation in the decoder's elimination.  coeff == 0 is a no-op,
+/// coeff == 1 a plain xor.
+void addmul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t coeff,
+            std::size_t n);
+
+/// dst[i] = coeff * dst[i] for i in [0, n) (row scaling in elimination).
+void mul_region(std::uint8_t* dst, std::uint8_t coeff, std::size_t n);
+
+}  // namespace dhl::common::gf256

@@ -66,6 +66,7 @@ std::vector<KernelInfo> kernel_report() {
       {"aes256_ctr", Isa::kAesni},        // crypto/aes.cpp
       {"ac_multilane", Isa::kSse42},      // match/aho_corasick.cpp
       {"batch_copy", Isa::kAvx2},         // common/simd.hpp copy_bytes
+      {"gf256_addmul", Isa::kAvx2},       // common/gf256.cpp
   };
   std::vector<KernelInfo> out;
   out.reserve(std::size(kKernels));

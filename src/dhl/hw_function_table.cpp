@@ -4,6 +4,7 @@
 
 #include "dhl/common/check.hpp"
 #include "dhl/common/log.hpp"
+#include "dhl/fpga/chain_module.hpp"
 
 namespace dhl::runtime {
 
@@ -165,6 +166,79 @@ AccHandle HwFunctionTable::search_by_name(const std::string& hf_name,
   }
   DHL_WARN("dhl", "no FPGA can host '" << hf_name << "'");
   return {};
+}
+
+AccHandle HwFunctionTable::compose_chain(
+    const std::string& chain_name, const std::vector<std::string>& stage_hfs,
+    int socket) {
+  // Re-composition with the same name reuses the registered fusion (the
+  // common case: every ChainNf instance composes its segments at startup).
+  if (database_.find(chain_name) != nullptr) {
+    return search_by_name(chain_name, socket);
+  }
+  if (stage_hfs.size() < 2) {
+    DHL_WARN("dhl", "compose_chain '" << chain_name
+                                      << "': need at least two stages");
+    return {};
+  }
+  std::vector<const fpga::PartialBitstream*> parts;
+  parts.reserve(stage_hfs.size());
+  for (const std::string& hf : stage_hfs) {
+    const fpga::PartialBitstream* b = database_.find(hf);
+    if (b == nullptr) {
+      DHL_WARN("dhl", "compose_chain '" << chain_name << "': stage '" << hf
+                                        << "' not in module database");
+      return {};
+    }
+    parts.push_back(b);
+  }
+
+  fpga::PartialBitstream fused;
+  fused.hf_name = chain_name;
+  // Per-stage telemetry attribution: created once here, shared by every
+  // replica of the chain (Counter instances are registry-owned).
+  struct StageRecipe {
+    std::function<fpga::ModulePtr()> factory;
+    telemetry::Counter* records;
+    telemetry::Counter* bytes;
+  };
+  auto recipes = std::make_shared<std::vector<StageRecipe>>();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    fused.size_bytes += parts[i]->size_bytes;
+    fused.resources.luts += parts[i]->resources.luts;
+    fused.resources.brams += parts[i]->resources.brams;
+    const telemetry::Labels labels{{"chain", chain_name},
+                                   {"stage", parts[i]->hf_name},
+                                   {"idx", std::to_string(i)}};
+    recipes->push_back(
+        {parts[i]->factory,
+         telemetry_.metrics.counter("dhl.chain.stage_records", labels),
+         telemetry_.metrics.counter("dhl.chain.stage_bytes", labels)});
+  }
+  fused.factory = [chain_name, recipes]() -> fpga::ModulePtr {
+    std::vector<fpga::ChainStageSlot> slots;
+    slots.reserve(recipes->size());
+    for (const StageRecipe& r : *recipes) {
+      slots.push_back({r.factory(), r.records, r.bytes});
+    }
+    return std::make_unique<fpga::ChainModule>(chain_name, std::move(slots));
+  };
+
+  // Bake the stages' current retained configurations into the chain's
+  // replay blob BEFORE the first load, so every replica (now and from
+  // future replicate() calls) comes up configured.
+  std::vector<std::vector<std::uint8_t>> per_stage(stage_hfs.size());
+  for (std::size_t i = 0; i < stage_hfs.size(); ++i) {
+    const auto it = configs_.find(stage_hfs[i]);
+    if (it != configs_.end()) per_stage[i] = it->second;
+  }
+  std::vector<std::uint8_t> chain_cfg = fpga::encode_chain_config(per_stage);
+  if (!chain_cfg.empty()) configs_[chain_name] = std::move(chain_cfg);
+
+  database_.add(std::move(fused));
+  DHL_INFO("dhl", "composed chain '" << chain_name << "' ("
+                                     << stage_hfs.size() << " stages)");
+  return search_by_name(chain_name, socket);
 }
 
 AccHandle HwFunctionTable::load_pr(const std::string& hf_name, int fpga_id) {

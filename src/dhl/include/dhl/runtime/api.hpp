@@ -46,6 +46,16 @@ inline runtime::AccHandle DHL_search_by_name(runtime::DhlRuntime& rt,
   return rt.search_by_name(hf_name, socket);
 }
 
+/// Fuse an ordered list of hardware functions into one dispatchable chain:
+/// a batch sent to the returned handle traverses every stage inside the
+/// fabric and crosses PCIe once.  Stages must exist in the module database;
+/// the fused footprint must fit one PR region.
+inline runtime::AccHandle DHL_compose_chain(
+    runtime::DhlRuntime& rt, const std::string& chain_name,
+    const std::vector<std::string>& stage_hfs, int socket) {
+  return rt.compose_chain(chain_name, stage_hfs, socket);
+}
+
 /// Load a partial reconfiguration bitstream explicitly.
 inline runtime::AccHandle DHL_load_pr(runtime::DhlRuntime& rt,
                                       const std::string& hf_name,

@@ -48,6 +48,21 @@ class HwFunctionTable {
   /// DHL_load_pr(): explicitly program a database bitstream into `fpga_id`.
   AccHandle load_pr(const std::string& hf_name, int fpga_id);
 
+  /// DHL_compose_chain(): fuse an ordered list of database hardware
+  /// functions into one dispatchable chain (DESIGN.md 3.7).  Registers a
+  /// synthetic bitstream named `chain_name` (size and resources are the
+  /// sums of the constituents -- fusing buys round trips, not area) whose
+  /// module runs the stages back to back inside the fabric, then loads it
+  /// like any other hardware function via search_by_name().  Per-stage
+  /// configuration retained from earlier acc_configure() calls is baked
+  /// into the chain's replayed config, so replicas come up configured;
+  /// later reconfiguration goes through the chain's own acc_id with an
+  /// encode_chain_config() framed blob.  Invalid handle when a stage is
+  /// not in the database or no FPGA can host the fused footprint.
+  AccHandle compose_chain(const std::string& chain_name,
+                          const std::vector<std::string>& stage_hfs,
+                          int socket);
+
   /// Ensure `hf_name` has at least `n` replicas (ready or loading), adding
   /// regions on the devices currently hosting the fewest replicas of it.
   /// Returns the resulting replica count (may be < n when out of space).

@@ -89,6 +89,18 @@ class DhlRuntime {
   /// True once the PR load behind `handle` has completed.
   bool acc_ready(const AccHandle& handle) const;
 
+  /// DHL_compose_chain(): fuse an ordered list of database hardware
+  /// functions ("compression" -> "aes256-ctr", ...) into one dispatchable
+  /// chain named `chain_name`, so a batch traverses all stages inside the
+  /// fabric in a single PCIe round trip.  Output bytes are bit-identical
+  /// to per-stage round trips; the record's result word is the LAST
+  /// stage's.  Returns the chain's handle (same lifecycle as
+  /// search_by_name) or an invalid handle when a stage is unknown or no
+  /// FPGA can host the fused footprint.
+  AccHandle compose_chain(const std::string& chain_name,
+                          const std::vector<std::string>& stage_hfs,
+                          int socket);
+
   /// DHL_load_pr(): explicitly program a bitstream from the database into
   /// `fpga_id`.  Returns the handle (not yet ready) or an invalid handle.
   AccHandle load_pr(const std::string& hf_name, int fpga_id);

@@ -163,6 +163,12 @@ bool DhlRuntime::acc_ready(const AccHandle& handle) const {
   return table_.acc_ready(handle.acc_id);
 }
 
+AccHandle DhlRuntime::compose_chain(const std::string& chain_name,
+                                    const std::vector<std::string>& stage_hfs,
+                                    int socket) {
+  return table_.compose_chain(chain_name, stage_hfs, socket);
+}
+
 AccHandle DhlRuntime::load_pr(const std::string& hf_name, int fpga_id) {
   return table_.load_pr(hf_name, fpga_id);
 }

@@ -240,6 +240,7 @@ void FpgaDevice::dispatch_batch(DmaBatchPtr batch) {
     Region& region = regions_[static_cast<std::size_t>(region_idx)];
 
     // --- functional processing (bit-exact transform) ---
+    const std::uint32_t entry_len = v.header.data_len;
     auto data = batch->record_data(v);
     const ProcessResult res = region.module->process(data);
     DHL_CHECK_MSG(res.new_len <= v.header.data_len,
@@ -256,17 +257,37 @@ void FpgaDevice::dispatch_batch(DmaBatchPtr batch) {
       batch->store_header(v);
     }
 
-    // --- timing: pipeline occupancy + delay ---
-    const ModuleTiming t = region.module->timing();
-    const Picos start = std::max(region.busy_until, arrival + dispatch_cost);
-    const Picos occupancy = t.max_throughput.transfer_time(v.header.data_len);
-    region.busy_until = start + occupancy;
-    region.busy_accum += occupancy;
+    // --- timing: per-stage pipeline occupancy + delay ---
+    // The record flows through the module's internal stages in order; each
+    // stage is store-and-forward, so stage s admits the record once its own
+    // previous occupancy drains AND the record has left stage s-1.  For a
+    // single-stage module this reduces exactly to the old busy_until model.
+    // Stage 0 is charged the record's entry length; later stages the exit
+    // length (the only two the device observes -- a shrinking front stage
+    // like lz77 therefore un-burdens everything behind it, which is the
+    // whole point of fusing CompNcrypt-style chains).
+    const std::vector<ModuleTiming> stages = region.module->stage_timings();
+    DHL_CHECK(!stages.empty());
+    if (region.stage_busy.size() < stages.size()) {
+      region.stage_busy.resize(stages.size(), 0);
+    }
+    Picos record_t = arrival + dispatch_cost;
+    Picos bottleneck = 0;
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      const std::uint32_t len =
+          (s == 0 && stages.size() > 1) ? entry_len : v.header.data_len;
+      const Picos occupancy = stages[s].max_throughput.transfer_time(len);
+      const Picos start = std::max(region.stage_busy[s], record_t);
+      region.stage_busy[s] = start + occupancy;
+      record_t = start + occupancy +
+                 config_.timing.fabric_clock.cycles(stages[s].delay_cycles);
+      bottleneck = std::max(bottleneck, occupancy);
+    }
+    region.busy_until = region.stage_busy.back();
+    region.busy_accum += bottleneck;
     region.records += 1;
     region.bytes += v.header.data_len;
-    const Picos completion =
-        region.busy_until + config_.timing.fabric_clock.cycles(t.delay_cycles);
-    batch_done = std::max(batch_done, completion);
+    batch_done = std::max(batch_done, record_t);
   }
 
   dispatch_records_->add(views.size());

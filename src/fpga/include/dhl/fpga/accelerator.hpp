@@ -17,6 +17,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "dhl/common/units.hpp"
 
@@ -59,6 +60,13 @@ class AcceleratorModule {
   virtual const std::string& name() const = 0;
   virtual ModuleResources resources() const = 0;
   virtual ModuleTiming timing() const = 0;
+
+  /// Internal pipeline stages, in datapath order.  Simple modules are one
+  /// stage (the default); fused chains (ChainModule) expose one entry per
+  /// constituent so the device can model store-and-forward pipelining --
+  /// record N occupies stage S while record N+1 is in stage S-1, instead of
+  /// serializing whole records through a single busy window.
+  virtual std::vector<ModuleTiming> stage_timings() const { return {timing()}; }
 
   /// Apply configuration written through DHL_acc_configure().  The blob is
   /// module-defined (it models a register/BRAM write).  Throws

@@ -157,6 +157,10 @@ class FpgaDevice {
     ModuleResources resources;
     Picos busy_until = 0;
     Picos busy_accum = 0;
+    /// Per-pipeline-stage busy windows (lazily sized from stage_timings()).
+    /// Single-stage modules use stage_busy[0] == busy_until; fused chains get
+    /// one window per constituent so consecutive records overlap in flight.
+    std::vector<Picos> stage_busy;
     std::uint64_t records = 0;
     std::uint64_t bytes = 0;
   };

@@ -1,6 +1,8 @@
 #include "dhl/nf/chain.hpp"
 
 #include "dhl/common/check.hpp"
+#include "dhl/common/log.hpp"
+#include "dhl/fpga/chain_module.hpp"
 
 namespace dhl::nf {
 
@@ -24,10 +26,14 @@ ChainNf::ChainNf(sim::Simulator& simulator, ChainConfig config,
                 "offload stages require a DHL runtime");
 
   handles_.resize(stages_.size());
+  seg_at_.assign(stages_.size(), -1);
   if (runtime_ != nullptr) {
-    nf_id_ = DHL_register(*runtime_, config_.name, config_.socket);
+    nf_id_ = DHL_register(*runtime_, config_.name, config_.socket,
+                          config_.tenant);
     ibq_ = DHL_get_shared_IBQ(*runtime_, nf_id_);
     obq_ = DHL_get_private_OBQ(*runtime_, nf_id_);
+    bad_port_counter_ = runtime_->telemetry().metrics.counter(
+        "dhl.chain.bad_port_drops", {{"nf", config_.name}});
     for (std::size_t i = 0; i < stages_.size(); ++i) {
       if (!stages_[i].is_offload()) continue;
       handles_[i] =
@@ -37,6 +43,7 @@ ChainNf::ChainNf(sim::Simulator& simulator, ChainConfig config,
                                              << "' unavailable");
       DHL_acc_configure(*runtime_, handles_[i], stages_[i].acc_config);
     }
+    if (config_.fuse) compose_segments();
   }
 
   const Frequency clock = config_.timing.cpu.core_clock;
@@ -52,11 +59,62 @@ ChainNf::ChainNf(sim::Simulator& simulator, ChainConfig config,
   }
 }
 
+void ChainNf::compose_segments() {
+  // Maximal runs of >= 2 consecutive offload stages whose intermediates
+  // carry no post callback (a fused record returns only the LAST stage's
+  // result word, so intermediate results must be unobserved).
+  std::size_t i = 0;
+  while (i < stages_.size()) {
+    if (!stages_[i].is_offload()) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j + 1 < stages_.size() && stages_[j + 1].is_offload() &&
+           stages_[j].post == nullptr) {
+      ++j;
+    }
+    if (j == i) {
+      ++i;
+      continue;
+    }
+    FusedSegment seg;
+    seg.first = i;
+    seg.last = j;
+    std::vector<std::string> hfs;
+    std::vector<std::vector<std::uint8_t>> per_stage;
+    for (std::size_t k = i; k <= j; ++k) {
+      seg.chain_name += (k == i ? "" : "+") + stages_[k].hf_name;
+      hfs.push_back(stages_[k].hf_name);
+      per_stage.push_back(stages_[k].acc_config);
+    }
+    seg.config = fpga::encode_chain_config(per_stage);
+    seg.handle =
+        DHL_compose_chain(*runtime_, seg.chain_name, hfs, config_.socket);
+    if (seg.handle.valid()) {
+      if (!seg.config.empty()) {
+        DHL_acc_configure(*runtime_, seg.handle, seg.config);
+      }
+      seg_at_[i] = static_cast<int>(segments_.size());
+      segments_.push_back(std::move(seg));
+    } else {
+      // Composition refused (e.g. the fused footprint exceeds one PR
+      // region): stay on per-stage round trips for this run.
+      DHL_WARN("nf", config_.name << ": chain '" << seg.chain_name
+                                  << "' not fused; using per-stage offloads");
+    }
+    i = j + 1;
+  }
+}
+
 bool ChainNf::ready() const {
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     if (stages_[i].is_offload() && !runtime_->acc_ready(handles_[i])) {
       return false;
     }
+  }
+  for (const FusedSegment& seg : segments_) {
+    if (seg.handle.valid() && !runtime_->acc_ready(seg.handle)) return false;
   }
   return true;
 }
@@ -81,7 +139,44 @@ netio::NicPort* ChainNf::port_by_id(std::uint16_t port_id) {
   for (netio::NicPort* p : ports_) {
     if (p->port_id() == port_id) return p;
   }
-  return ports_.front();
+  return nullptr;
+}
+
+runtime::AccHandle& ChainNf::stage_handle_fresh(std::size_t i) {
+  runtime::AccHandle& h = handles_[i];
+  const runtime::HwFunctionEntry* e =
+      runtime_->function_table().entry_for(h.acc_id);
+  if (e == nullptr || e->hf_name != stages_[i].hf_name) {
+    // The daemon unloaded the function (slot empty) or recycled the acc_id
+    // to a different hardware function while we held the handle.  Re-resolve
+    // -- search_by_name reloads from the module database -- and re-apply
+    // our configuration, which the unload discarded.
+    h = DHL_search_by_name(*runtime_, stages_[i].hf_name, config_.socket);
+    if (h.valid()) {
+      DHL_acc_configure(*runtime_, h, stages_[i].acc_config);
+    }
+    ++stats_.handle_refreshes;
+  }
+  return h;
+}
+
+bool ChainNf::segment_usable(FusedSegment& seg) {
+  if (!seg.handle.valid()) return false;
+  const runtime::HwFunctionEntry* e =
+      runtime_->function_table().entry_for(seg.handle.acc_id);
+  if (e == nullptr || e->hf_name != seg.chain_name) {
+    // Stale chain handle: the composed bitstream stays registered, so this
+    // reloads (or re-shares) a replica.
+    seg.handle =
+        DHL_compose_chain(*runtime_, seg.chain_name, {}, config_.socket);
+    if (seg.handle.valid() && !seg.config.empty()) {
+      DHL_acc_configure(*runtime_, seg.handle, seg.config);
+    }
+    ++stats_.handle_refreshes;
+    if (!seg.handle.valid()) return false;
+  }
+  // Mid-PR (e.g. just re-resolved): per-stage round trips serve meanwhile.
+  return runtime_->acc_ready(seg.handle);
 }
 
 void ChainNf::run_from(Mbuf* m, std::size_t stage, double& cycles,
@@ -90,10 +185,24 @@ void ChainNf::run_from(Mbuf* m, std::size_t stage, double& cycles,
   for (std::size_t i = stage; i < stages_.size(); ++i) {
     ChainStage& s = stages_[i];
     if (s.is_offload()) {
+      // Fused run starting here: one round trip covers stages i..last and
+      // resumes past the whole run.
+      if (seg_at_[i] >= 0) {
+        FusedSegment& seg = segments_[static_cast<std::size_t>(seg_at_[i])];
+        if (segment_usable(seg)) {
+          m->set_user_tag(static_cast<std::uint16_t>(seg.last + 1));
+          m->set_nf_id(nf_id_);
+          m->set_acc_id(seg.handle.acc_id);
+          ++stats_.offloads;
+          ++stats_.fused_offloads;
+          to_send.push_back(m);
+          return;
+        }
+      }
       // Ship to the FPGA; resume at stage i+1 when it returns.
       m->set_user_tag(static_cast<std::uint16_t>(i + 1));
       m->set_nf_id(nf_id_);
-      m->set_acc_id(handles_[i].acc_id);
+      m->set_acc_id(stage_handle_fresh(i).acc_id);
       ++stats_.offloads;
       to_send.push_back(m);
       return;
@@ -110,6 +219,40 @@ void ChainNf::run_from(Mbuf* m, std::size_t stage, double& cycles,
   ++stats_.completed;
   cycles += config_.timing.cpu.nic_rxtx_per_pkt_cycles;
   to_tx.push_back(m);
+}
+
+void ChainNf::deferred_io(double cycles, std::vector<Mbuf*> to_send,
+                          std::vector<Mbuf*> to_tx) {
+  if (to_send.empty() && to_tx.empty()) return;
+  sim_.schedule_after(
+      config_.timing.cpu.core_clock.cycles(cycles),
+      [this, to_send = std::move(to_send), to_tx = std::move(to_tx)] {
+        for (Mbuf* m : to_tx) {
+          netio::NicPort* out = port_by_id(m->port());
+          if (out == nullptr) {
+            // A stage steered the packet to a port this chain doesn't own:
+            // drop loudly instead of silently mis-TXing via ports_.front().
+            ++stats_.bad_port_drops;
+            if (bad_port_counter_ != nullptr) bad_port_counter_->add(1);
+            m->release();
+            continue;
+          }
+          Mbuf* pkt = m;
+          out->tx_burst(&pkt, 1);
+        }
+        if (!to_send.empty()) {
+          // Instance API, not the raw shared-IBQ enqueue: chain traffic
+          // must pass the tenant quota admission and be counted like any
+          // other NF's (dhl.tenant.rejected_pkts).
+          auto pkts_copy = to_send;  // send_packets wants Mbuf**
+          const std::size_t sent = DHL_send_packets(
+              *runtime_, nf_id_, pkts_copy.data(), pkts_copy.size());
+          for (std::size_t i = sent; i < pkts_copy.size(); ++i) {
+            ++stats_.ibq_drops;
+            pkts_copy[i]->release();
+          }
+        }
+      });
 }
 
 sim::PollResult ChainNf::ingress_poll() {
@@ -134,25 +277,7 @@ sim::PollResult ChainNf::ingress_poll() {
     cycles += cpu.ring_op_fixed_cycles +
               cpu.ring_op_per_pkt_cycles * static_cast<double>(to_send.size());
   }
-  if (!to_send.empty() || !to_tx.empty()) {
-    sim_.schedule_after(
-        cpu.core_clock.cycles(cycles),
-        [this, to_send = std::move(to_send), to_tx = std::move(to_tx)] {
-          for (Mbuf* m : to_tx) {
-            Mbuf* pkt = m;
-            port_by_id(m->port())->tx_burst(&pkt, 1);
-          }
-          if (!to_send.empty()) {
-            auto pkts_copy = to_send;  // DHL_send_packets wants Mbuf**
-            const std::size_t sent = DHL_send_packets(
-                *ibq_, pkts_copy.data(), pkts_copy.size());
-            for (std::size_t i = sent; i < pkts_copy.size(); ++i) {
-              ++stats_.ibq_drops;
-              pkts_copy[i]->release();
-            }
-          }
-        });
-  }
+  deferred_io(cycles, std::move(to_send), std::move(to_tx));
   return {cycles, false};
 }
 
@@ -173,7 +298,8 @@ sim::PollResult ChainNf::egress_poll() {
     DHL_CHECK_MSG(resume >= 1 && resume <= stages_.size(),
                   "returned packet has a bogus resume stage");
     ChainStage& s = stages_[resume - 1];
-    // Post-processing of the offload stage that just completed.
+    // Post-processing of the offload stage that just completed (for a
+    // fused run, the run's last stage).
     if (s.post_cost) cycles += s.post_cost(*m);
     if (s.post && s.post(*m) == Verdict::kDrop) {
       ++stats_.dropped;
@@ -183,25 +309,7 @@ sim::PollResult ChainNf::egress_poll() {
     run_from(m, resume, cycles, to_send, to_tx);
   }
 
-  if (!to_send.empty() || !to_tx.empty()) {
-    sim_.schedule_after(
-        cpu.core_clock.cycles(cycles),
-        [this, to_send = std::move(to_send), to_tx = std::move(to_tx)] {
-          for (Mbuf* m : to_tx) {
-            Mbuf* pkt = m;
-            port_by_id(m->port())->tx_burst(&pkt, 1);
-          }
-          if (!to_send.empty()) {
-            auto pkts_copy = to_send;
-            const std::size_t sent = DHL_send_packets(
-                *ibq_, pkts_copy.data(), pkts_copy.size());
-            for (std::size_t i = sent; i < pkts_copy.size(); ++i) {
-              ++stats_.ibq_drops;
-              pkts_copy[i]->release();
-            }
-          }
-        });
-  }
+  deferred_io(cycles, std::move(to_send), std::move(to_tx));
   return {cycles, false};
 }
 

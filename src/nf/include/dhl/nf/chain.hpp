@@ -17,6 +17,16 @@
 // Core layout mirrors DhlOffloadNf: an ingress core (NIC RX -> stages until
 // the first offload) and an egress core (OBQ -> remaining stages -> NIC TX).
 // Chains without offload stages never touch the runtime.
+//
+// Fabric fusion (DESIGN.md 3.7): maximal runs of >= 2 consecutive offload
+// stages are fused through DHL_compose_chain into one chain handle, so the
+// run costs one PCIe round trip instead of one per stage.  Only runs whose
+// intermediate stages have no `post` callback fuse (a fused record carries
+// just the last stage's result word, so intermediate results must be
+// unobserved); the egress resume tag then points past the run and the last
+// stage's post runs as usual.  When the fused handle is unavailable --
+// composition failed, PR still in flight, or the daemon unloaded it -- the
+// chain falls back to per-stage round trips with identical bytes.
 
 #include <functional>
 #include <memory>
@@ -71,6 +81,10 @@ struct ChainConfig {
   int socket = 0;
   sim::TimingParams timing;
   std::uint32_t io_burst = 32;
+  /// Tenant the chain's offload traffic is admitted and accounted under.
+  TenantId tenant = kDefaultTenant;
+  /// Fuse maximal eligible offload runs via DHL_compose_chain.
+  bool fuse = true;
 };
 
 struct ChainStats {
@@ -78,7 +92,21 @@ struct ChainStats {
   std::uint64_t completed = 0;  // traversed every stage and left via TX
   std::uint64_t dropped = 0;    // dropped by some stage
   std::uint64_t offloads = 0;   // packets shipped to the FPGA (any stage)
-  std::uint64_t ibq_drops = 0;
+  std::uint64_t fused_offloads = 0;  // of which: via a fused chain handle
+  std::uint64_t ibq_drops = 0;  // refused by quota admission or a full IBQ
+  std::uint64_t bad_port_drops = 0;  // TX to a port id the chain doesn't own
+  std::uint64_t handle_refreshes = 0;  // stale acc handles re-resolved
+};
+
+/// A fused run of offload stages [first, last] dispatched as one handle.
+struct FusedSegment {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::string chain_name;
+  runtime::AccHandle handle;
+  /// Framed per-stage configuration (encode_chain_config), re-applied when
+  /// a stale handle is re-resolved after a daemon unload.
+  std::vector<std::uint8_t> config;
 };
 
 class ChainNf {
@@ -102,6 +130,7 @@ class ChainNf {
   const runtime::AccHandle& stage_handle(std::size_t i) const {
     return handles_[i];
   }
+  const std::vector<FusedSegment>& segments() const { return segments_; }
 
  private:
   sim::PollResult ingress_poll();
@@ -114,7 +143,23 @@ class ChainNf {
                 std::vector<netio::Mbuf*>& to_send,
                 std::vector<netio::Mbuf*>& to_tx);
 
+  /// The chain's port for `port_id`, or nullptr when it owns no such port
+  /// (the packet must be counted and dropped, never mis-TXed).
   netio::NicPort* port_by_id(std::uint16_t port_id);
+
+  /// Flush `to_send` through the tenant-aware instance API and TX `to_tx`,
+  /// after `cycles` core cycles (the deferred half of both poll loops).
+  void deferred_io(double cycles, std::vector<netio::Mbuf*> to_send,
+                   std::vector<netio::Mbuf*> to_tx);
+
+  /// Detect maximal fusable offload runs and compose them (constructor).
+  void compose_segments();
+  /// Per-stage handle for `i`, re-resolved if the daemon unloaded or
+  /// recycled it behind our back (satellite of DESIGN.md 3.7).
+  runtime::AccHandle& stage_handle_fresh(std::size_t i);
+  /// Is the fused segment dispatchable right now?  Re-resolves a stale
+  /// chain handle; false falls back to per-stage round trips.
+  bool segment_usable(FusedSegment& seg);
 
   sim::Simulator& sim_;
   ChainConfig config_;
@@ -122,6 +167,11 @@ class ChainNf {
   runtime::DhlRuntime* runtime_;
   std::vector<ChainStage> stages_;
   std::vector<runtime::AccHandle> handles_;  // invalid for CPU stages
+  std::vector<FusedSegment> segments_;
+  /// stage index -> index into segments_ when a fused run starts there,
+  /// -1 otherwise (hot-path lookup in run_from).
+  std::vector<int> seg_at_;
+  telemetry::Counter* bad_port_counter_ = nullptr;
   netio::NfId nf_id_ = netio::kInvalidNfId;
   netio::MbufRing* ibq_ = nullptr;
   netio::MbufRing* obq_ = nullptr;

@@ -63,6 +63,11 @@ struct ScenarioSpec {
   /// Hardware function the primary NF offloads to ("pattern-matching" or
   /// "loopback").
   std::string hf = "pattern-matching";
+  /// Service chain: ordered hf names (INI: `chain = compression,aes256-ctr`)
+  /// run by a ChainNf primary instead of the single-hf offload NF.  Maximal
+  /// offload runs fuse through DHL_compose_chain unless chain_fuse = off.
+  std::vector<std::string> chain;
+  bool chain_fuse = true;
   /// Embedded-attack probability for pattern-matching payloads (ground
   /// truth for the NIDS rule-option stage).
   double attack_probability = 0.02;

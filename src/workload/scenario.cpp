@@ -7,9 +7,11 @@
 #include <sstream>
 #include <utility>
 
+#include "dhl/accel/extra_modules.hpp"
 #include "dhl/accel/pattern_matching.hpp"
 #include "dhl/common/check.hpp"
 #include "dhl/match/ruleset.hpp"
+#include "dhl/nf/chain.hpp"
 #include "dhl/nf/dhl_nf.hpp"
 #include "dhl/nf/nids.hpp"
 #include "dhl/nf/testbed.hpp"
@@ -91,6 +93,17 @@ ScenarioSpec parse_one(const common::ConfigFile& f, const std::string& name) {
 
   // Run shape.
   spec.hf = f.get_string(s, "hf", spec.hf);
+  const std::string chain_csv = f.get_string(s, "chain", "");
+  for (std::size_t pos = 0; pos < chain_csv.size();) {
+    std::size_t comma = chain_csv.find(',', pos);
+    if (comma == std::string::npos) comma = chain_csv.size();
+    std::string hf = chain_csv.substr(pos, comma - pos);
+    const auto b = hf.find_first_not_of(" \t");
+    const auto e = hf.find_last_not_of(" \t");
+    if (b != std::string::npos) spec.chain.push_back(hf.substr(b, e - b + 1));
+    pos = comma + 1;
+  }
+  spec.chain_fuse = f.get_bool(s, "chain_fuse", spec.chain_fuse);
   spec.attack_probability =
       f.get_double(s, "attack_probability", spec.attack_probability);
   spec.link_gbps = f.get_double(s, "link_gbps", spec.link_gbps);
@@ -273,6 +286,44 @@ background_period_us = 20
 p99_us = 100
 drop_budget = 0.0
 expect = pass
+
+# Fused two-stage service chain under the flash-crowd ramp: full-MTU frames
+# at line rate (~38.6 Gbps payload) exceed the compression module's 24 Gbps
+# fabric rate, so the fused chain itself saturates, the tail breaches, and
+# the watchdog must observe the recovery after the ramp-down.
+[scenario chain-flash-crowd]
+chain = compression, aes256-ctr
+size = fixed
+frame_len = 1500
+arrival = flash-crowd
+offered = 0.25
+peak = 1.0
+ramp_start_us = 3000
+ramp_up_us = 1000
+hold_us = 2000
+ramp_down_us = 1000
+window_ms = 12
+flows = 128
+p99_us = 60
+expect = breach
+
+# Fused chain under DMA submit faults: retries absorb the timeouts and any
+# terminal drops are counted cleanly in the ledger, so the relaxed tail
+# budgets must hold with no drop budget set.
+[scenario chain-fault-soak]
+chain = compression, aes256-ctr
+size = fixed
+frame_len = 256
+arrival = constant
+offered = 0.25
+flows = 64
+fault = on
+fault_site = dma.submit
+fault_kind = submit_timeout
+fault_probability = 0.03
+p99_us = 150
+p999_us = 250
+expect = pass
 )ini";
 }
 
@@ -361,7 +412,11 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
   r.expect = spec.expect;
   const std::uint64_t seed = scenario_seed(spec.seed);
 
-  const bool nids = spec.hf == "pattern-matching";
+  const bool chained = !spec.chain.empty();
+  const bool nids = !chained && spec.hf == "pattern-matching";
+  const bool wants_pm =
+      nids || std::find(spec.chain.begin(), spec.chain.end(),
+                        "pattern-matching") != spec.chain.end();
 
   nf::TestbedConfig tb_cfg;
   tb_cfg.introspection.sample_period = spec.sample_period;
@@ -379,7 +434,8 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
 
   auto rules =
       std::make_shared<match::RuleSet>(match::RuleSet::builtin_snort_sample());
-  auto automaton = nids ? nf::NidsProcessor::build_automaton(*rules) : nullptr;
+  auto automaton =
+      wants_pm ? nf::NidsProcessor::build_automaton(*rules) : nullptr;
   auto& rt = tb.init_runtime(automaton);
 
   const TenantId primary = rt.register_tenant("primary", TenantQuota{});
@@ -394,7 +450,24 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
   nf_cfg.hf_name = spec.hf;
   nf_cfg.tenant = primary;
   std::unique_ptr<nf::DhlOffloadNf> nf;
-  if (nids) {
+  std::unique_ptr<nf::ChainNf> chain_nf;
+  if (chained) {
+    nf::ChainConfig chain_cfg;
+    chain_cfg.name = "primary-nf";
+    chain_cfg.timing = tb.timing();
+    chain_cfg.tenant = primary;
+    chain_cfg.fuse = spec.chain_fuse;
+    std::vector<nf::ChainStage> stages;
+    for (const std::string& hf : spec.chain) {
+      std::vector<std::uint8_t> cfg;
+      if (hf == "aes256-ctr") cfg = accel::aes256_ctr_test_config();
+      stages.push_back(
+          nf::ChainStage::offload(hf, hf, std::move(cfg), nullptr, nullptr));
+    }
+    chain_nf = std::make_unique<nf::ChainNf>(
+        tb.sim(), chain_cfg, std::vector<netio::NicPort*>{port}, &rt,
+        std::move(stages));
+  } else if (nids) {
     nf = std::make_unique<nf::DhlOffloadNf>(
         tb.sim(), nf_cfg, std::vector<netio::NicPort*>{port}, rt,
         [nids_proc](Mbuf& m) { return nids_proc->dhl_prep(m); },
@@ -409,10 +482,21 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
         [](Mbuf&) { return nf::Verdict::kForward; },
         [](const Mbuf&) { return 30.0; });
   }
-  tb.run_for(milliseconds(40));  // PR load
-  DHL_CHECK_MSG(nf->ready(), "scenario hf never became ready");
+  // PR load: a fused chain reprograms a region with the summed partial
+  // bitstream (tens of ms through ICAP), so poll instead of a fixed wait.
+  const auto primary_ready = [&] {
+    return chained ? chain_nf->ready() : nf->ready();
+  };
+  for (int i = 0; i < 30 && !primary_ready(); ++i) {
+    tb.run_for(milliseconds(10));
+  }
+  DHL_CHECK_MSG(primary_ready(), "scenario hf never became ready");
   rt.start();
-  nf->start();
+  if (chained) {
+    chain_nf->start();
+  } else {
+    nf->start();
+  }
 
   // Software fallback: if a fault overlay quarantines every replica, the
   // multi-lane CPU kernel keeps the scenario flowing (counted under
@@ -569,7 +653,11 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
     r.detail = "tenant outstanding bytes not drained";
   }
 
-  nf->stop();
+  if (chained) {
+    chain_nf->stop();
+  } else {
+    nf->stop();
+  }
   rt.set_fault_injector(nullptr);
   tb.stop_introspection();
   return r;

@@ -1,0 +1,479 @@
+// Fabric-level service chaining (DESIGN.md section 3.7): ChainModule unit
+// behaviour, DHL_compose_chain validation, fused-vs-per-stage bit parity,
+// live reconfiguration under a running chain, tenant quota policing of
+// chain traffic, and the nc-encode -> aes256-ctr chain with decode-side
+// verification at the host.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dhl/accel/extra_modules.hpp"
+#include "dhl/accel/network_coding.hpp"
+#include "dhl/crypto/aes.hpp"
+#include "dhl/fpga/chain_module.hpp"
+#include "dhl/nf/chain.hpp"
+#include "dhl/nf/nids.hpp"
+#include "dhl/nf/testbed.hpp"
+
+namespace dhl::nf {
+namespace {
+
+std::vector<std::uint8_t> compressible_text(std::size_t n) {
+  static const std::string phrase =
+      "the quick brown fox jumps over the lazy dog -- ";
+  std::vector<std::uint8_t> out;
+  while (out.size() < n) {
+    const std::size_t take = std::min(phrase.size(), n - out.size());
+    out.insert(out.end(), phrase.begin(), phrase.begin() + take);
+  }
+  return out;
+}
+
+fpga::ChainModule make_compncrypt_chain(
+    std::size_t result_stage = fpga::ChainModule::kResultFromLast) {
+  std::vector<fpga::ChainStageSlot> slots;
+  slots.push_back({std::make_unique<accel::CompressionModule>(), nullptr,
+                   nullptr});
+  auto aes = std::make_unique<accel::Aes256CtrModule>();
+  aes->configure(accel::aes256_ctr_test_config());
+  slots.push_back({std::move(aes), nullptr, nullptr});
+  return fpga::ChainModule{"compression+aes256-ctr", std::move(slots),
+                           result_stage};
+}
+
+// --- ChainModule unit behaviour ---------------------------------------------
+
+TEST(ChainModuleUnit, MatchesSequentialStageExecution) {
+  fpga::ChainModule chain = make_compncrypt_chain();
+  std::vector<std::uint8_t> fused_buf = compressible_text(800);
+  const fpga::ProcessResult fused = chain.process(fused_buf);
+
+  // Reference: the same two modules run back to back by hand.
+  std::vector<std::uint8_t> ref_buf = compressible_text(800);
+  accel::CompressionModule lz;
+  const fpga::ProcessResult r1 = lz.process(ref_buf);
+  ASSERT_LT(r1.new_len, 800u);  // text must actually compress
+  accel::Aes256CtrModule aes;
+  aes.configure(accel::aes256_ctr_test_config());
+  const fpga::ProcessResult r2 =
+      aes.process(std::span<std::uint8_t>{ref_buf}.first(r1.new_len));
+
+  EXPECT_EQ(fused.new_len, r2.new_len);
+  EXPECT_EQ(fused.result, r2.result);  // result word from the LAST stage
+  EXPECT_FALSE(fused.data_unmodified);
+  ASSERT_EQ(fused.new_len, r1.new_len);
+  EXPECT_EQ(0, std::memcmp(fused_buf.data(), ref_buf.data(), fused.new_len));
+}
+
+TEST(ChainModuleUnit, ResultStageSelectsIntermediateResultWord) {
+  // result_stage = 0 surfaces the compression stage's result (the original
+  // length) instead of the aes status word.
+  fpga::ChainModule chain = make_compncrypt_chain(0);
+  std::vector<std::uint8_t> buf = compressible_text(640);
+  const fpga::ProcessResult r = chain.process(buf);
+  EXPECT_EQ(r.result, 640u);
+}
+
+TEST(ChainModuleUnit, TimingAggregatesAndStageTimingsFlatten) {
+  fpga::ChainModule chain = make_compncrypt_chain();
+  // Bottleneck bandwidth is the slowest stage; latency is the sum.
+  const fpga::ModuleTiming t = chain.timing();
+  EXPECT_EQ(t.max_throughput.bps(), Bandwidth::gbps(24.0).bps());
+  EXPECT_EQ(t.delay_cycles, 180u + 96u);
+  const fpga::ModuleResources res = chain.resources();
+  EXPECT_EQ(res.luts, 11'800u + 7'900u);
+  EXPECT_EQ(res.brams, 96u + 210u);
+
+  const auto stages = chain.stage_timings();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].max_throughput.bps(), Bandwidth::gbps(24.0).bps());
+  EXPECT_EQ(stages[0].delay_cycles, 180u);
+  EXPECT_EQ(stages[1].max_throughput.bps(), Bandwidth::gbps(70.0).bps());
+  EXPECT_EQ(stages[1].delay_cycles, 96u);
+
+  // A chain nested inside a chain flattens to one stage list.
+  std::vector<fpga::ChainStageSlot> outer;
+  outer.push_back({std::make_unique<fpga::ChainModule>(
+                       make_compncrypt_chain()),
+                   nullptr, nullptr});
+  outer.push_back({std::make_unique<accel::Md5Module>(), nullptr, nullptr});
+  fpga::ChainModule nested{"nested", std::move(outer)};
+  EXPECT_EQ(nested.stage_timings().size(), 3u);
+}
+
+TEST(ChainModuleUnit, ConfigureRoutesFramedBlobsToStages) {
+  std::vector<fpga::ChainStageSlot> slots;
+  slots.push_back({std::make_unique<accel::CompressionModule>(), nullptr,
+                   nullptr});
+  slots.push_back({std::make_unique<accel::Aes256CtrModule>(), nullptr,
+                   nullptr});
+  fpga::ChainModule chain{"c", std::move(slots)};
+
+  // Frame only stage 1; stage 0 has no configuration (empty blobs are
+  // skipped by the encoder).
+  const auto blob = fpga::encode_chain_config(
+      {{}, accel::aes256_ctr_test_config()});
+  chain.configure(blob);
+  const auto& aes =
+      static_cast<const accel::Aes256CtrModule&>(chain.stage(1));
+  EXPECT_TRUE(aes.configured());
+
+  // Malformed blobs are rejected loudly.
+  EXPECT_THROW(chain.configure(std::vector<std::uint8_t>{0x00, 0x01}),
+               std::invalid_argument);  // truncated frame header
+  EXPECT_THROW(chain.configure(std::vector<std::uint8_t>{7, 0, 0, 0, 0}),
+               std::invalid_argument);  // stage index out of range
+  EXPECT_THROW(chain.configure(std::vector<std::uint8_t>{0, 9, 0, 0, 0, 1}),
+               std::invalid_argument);  // truncated payload
+}
+
+// --- runtime-level fixtures -------------------------------------------------
+
+struct FusedChainFixture : public ::testing::Test {
+  Testbed tb;
+  netio::NicPort* port0 = tb.add_port("p0", Bandwidth::gbps(10));
+  std::shared_ptr<match::RuleSet> rules = std::make_shared<match::RuleSet>(
+      match::RuleSet::builtin_snort_sample());
+  std::shared_ptr<const match::AhoCorasick> automaton =
+      NidsProcessor::build_automaton(*rules);
+
+  ChainStage compress_stage() {
+    return ChainStage::offload("lz77", "compression", {}, nullptr, nullptr);
+  }
+  ChainStage encrypt_stage() {
+    return ChainStage::offload("aes", "aes256-ctr",
+                               accel::aes256_ctr_test_config(), nullptr,
+                               nullptr);
+  }
+  ChainStage capture_stage(std::vector<std::vector<std::uint8_t>>* out) {
+    return ChainStage::cpu(
+        "capture",
+        [out](netio::Mbuf& m) {
+          out->emplace_back(m.payload().begin(), m.payload().end());
+          return Verdict::kForward;
+        },
+        [](const netio::Mbuf&) { return 30.0; });
+  }
+
+  netio::TrafficConfig text_traffic() {
+    netio::TrafficConfig t;
+    t.frame_len = 512;
+    t.payload = netio::PayloadKind::kTextAttacks;
+    t.attack_probability = 0.02;
+    t.attack_strings = {"/bin/sh"};
+    return t;
+  }
+
+  double msum(const std::string& name, const telemetry::Labels& labels = {}) {
+    return tb.telemetry().metrics.snapshot(tb.sim().now()).sum(name, labels);
+  }
+};
+
+TEST_F(FusedChainFixture, ComposeChainValidatesItsInputs) {
+  auto& rt = tb.init_runtime(automaton);
+
+  EXPECT_FALSE(DHL_compose_chain(rt, "solo", {"compression"}, 0).valid());
+  EXPECT_FALSE(
+      DHL_compose_chain(rt, "bad", {"compression", "no-such-hf"}, 0).valid());
+  // pattern-matching (524 BRAM) + ipsec-crypto (242 BRAM) exceeds the
+  // 560-BRAM PR-region budget: composition is refused at load time.
+  EXPECT_FALSE(
+      DHL_compose_chain(rt, "giant", {"pattern-matching", "ipsec-crypto"}, 0)
+          .valid());
+
+  const runtime::AccHandle h =
+      DHL_compose_chain(rt, "compnc", {"compression", "aes256-ctr"}, 0);
+  ASSERT_TRUE(h.valid());
+  // Re-composition by name (the stale-handle re-resolution path) shares the
+  // already-registered fusion.
+  const runtime::AccHandle again = DHL_compose_chain(rt, "compnc", {}, 0);
+  ASSERT_TRUE(again.valid());
+  EXPECT_EQ(again.acc_id, h.acc_id);
+
+  tb.run_for(milliseconds(80));
+  EXPECT_TRUE(rt.acc_ready(h));
+}
+
+TEST_F(FusedChainFixture, FusedAndPerStageChainsAreBitIdentical) {
+  netio::NicPort* port1 = tb.add_port("p1", Bandwidth::gbps(10));
+  auto& rt = tb.init_runtime(automaton);
+
+  std::vector<std::vector<std::uint8_t>> fused_out;
+  std::vector<std::vector<std::uint8_t>> split_out;
+
+  ChainNf fused{tb.sim(),
+                ChainConfig{.name = "cc-fused", .timing = tb.timing()},
+                {port0},
+                &rt,
+                {compress_stage(), encrypt_stage(), capture_stage(&fused_out)}};
+  ChainNf split{tb.sim(),
+                ChainConfig{.name = "cc-split", .timing = tb.timing(),
+                            .fuse = false},
+                {port1},
+                &rt,
+                {compress_stage(), encrypt_stage(), capture_stage(&split_out)}};
+
+  ASSERT_EQ(fused.segments().size(), 1u);
+  EXPECT_EQ(fused.segments()[0].first, 0u);
+  EXPECT_EQ(fused.segments()[0].last, 1u);
+  EXPECT_EQ(fused.segments()[0].chain_name, "compression+aes256-ctr");
+  EXPECT_TRUE(split.segments().empty());
+
+  tb.run_for(milliseconds(150));  // three PR loads (lz77, aes, fused chain)
+  ASSERT_TRUE(fused.ready());
+  ASSERT_TRUE(split.ready());
+  rt.start();
+  fused.start();
+  split.start();
+
+  // Identical TrafficConfig + seed => identical offered byte streams.
+  port0->start_traffic(text_traffic(), 0.25);
+  port1->start_traffic(text_traffic(), 0.25);
+  tb.measure(milliseconds(2), milliseconds(5));
+  port0->stop_traffic();
+  port1->stop_traffic();
+  tb.run_for(milliseconds(3));
+
+  const ChainStats& fs = fused.stats();
+  const ChainStats& ss = split.stats();
+  EXPECT_GT(fs.completed, 1'000u);
+  EXPECT_GT(ss.completed, 1'000u);
+  // The fused chain crosses PCIe once per packet; the split chain twice.
+  EXPECT_GT(fs.fused_offloads, 1'000u);
+  EXPECT_EQ(fs.fused_offloads, fs.offloads);
+  EXPECT_EQ(ss.fused_offloads, 0u);
+  EXPECT_NEAR(static_cast<double>(ss.offloads),
+              2.0 * static_cast<double>(ss.completed),
+              0.02 * static_cast<double>(ss.offloads));
+
+  // Bit parity: every delivered payload matches its per-stage twin.
+  const std::size_t n = std::min(fused_out.size(), split_out.size());
+  ASSERT_GT(n, 1'000u);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (fused_out[i] != split_out[i]) {
+      ADD_FAILURE() << "fused/split payload mismatch at packet " << i;
+      break;
+    }
+  }
+
+  // Per-stage telemetry attribution for the fused handle.
+  EXPECT_GT(msum("dhl.chain.stage_records",
+                 {{"chain", "compression+aes256-ctr"}, {"idx", "0"}}),
+            0.0);
+  EXPECT_GT(msum("dhl.chain.stage_records",
+                 {{"chain", "compression+aes256-ctr"}, {"idx", "1"}}),
+            0.0);
+
+  EXPECT_EQ(rt.stats().error_records, 0u);
+  EXPECT_TRUE(tb.quiesce_ledger().clean());
+}
+
+TEST_F(FusedChainFixture, FusedChainSurvivesDaemonUnloadMidRun) {
+  auto& rt = tb.init_runtime(automaton);
+  ChainNf chain{tb.sim(),
+                ChainConfig{.name = "cc-live", .timing = tb.timing()},
+                {port0},
+                &rt,
+                {compress_stage(), encrypt_stage()}};
+  ASSERT_EQ(chain.segments().size(), 1u);
+  tb.run_for(milliseconds(150));
+  ASSERT_TRUE(chain.ready());
+  rt.start();
+  chain.start();
+
+  port0->start_traffic(text_traffic(), 0.2);
+  tb.run_for(milliseconds(3));
+  const std::uint64_t fused_before = chain.stats().fused_offloads;
+  const std::uint64_t done_before = chain.stats().completed;
+  EXPECT_GT(fused_before, 0u);
+
+  // The daemon yanks the fused bitstream out from under the running chain.
+  ASSERT_GE(rt.unload_function("compression+aes256-ctr"), 1u);
+  tb.run_for(milliseconds(10));
+
+  // The stale handle was detected and re-resolved; per-stage round trips
+  // carried traffic while the chain's PR reload was in flight.
+  EXPECT_GE(chain.stats().handle_refreshes, 1u);
+  EXPECT_GT(chain.stats().completed, done_before);
+  const std::uint64_t fused_mid = chain.stats().fused_offloads;
+
+  // After the reload completes the fused path resumes.
+  tb.run_for(milliseconds(60));
+  EXPECT_GT(chain.stats().fused_offloads, fused_mid);
+
+  port0->stop_traffic();
+  EXPECT_TRUE(tb.quiesce_ledger().clean());
+}
+
+TEST_F(FusedChainFixture, PerStageHandleReresolvedAfterUnload) {
+  auto& rt = tb.init_runtime(automaton);
+  ChainNf chain{tb.sim(),
+                ChainConfig{.name = "cc-stale", .timing = tb.timing(),
+                            .fuse = false},
+                {port0},
+                &rt,
+                {encrypt_stage()}};
+  tb.run_for(milliseconds(60));
+  ASSERT_TRUE(chain.ready());
+  rt.start();
+  chain.start();
+
+  port0->start_traffic(text_traffic(), 0.2);
+  tb.run_for(milliseconds(3));
+  const std::uint64_t done_before = chain.stats().completed;
+  EXPECT_GT(done_before, 0u);
+
+  ASSERT_GE(rt.unload_function("aes256-ctr"), 1u);
+  tb.run_for(milliseconds(40));  // re-resolve + PR reload + resume
+
+  EXPECT_GE(chain.stats().handle_refreshes, 1u);
+  EXPECT_GT(chain.stats().completed, done_before);
+  // Packets shipped during the reload window are counted unready drops,
+  // never crashes or mis-routes.
+  EXPECT_GT(msum("dhl.runtime.unready_drops"), 0.0);
+
+  port0->stop_traffic();
+  EXPECT_TRUE(tb.quiesce_ledger().clean());
+}
+
+TEST_F(FusedChainFixture, ChainOffloadsPassTenantQuotaAdmission) {
+  auto& rt = tb.init_runtime(automaton);
+  const TenantId tenant =
+      DHL_register_tenant(rt, "chains", {.outstanding_bytes_cap = 8192});
+  ASSERT_NE(tenant, kInvalidTenant);
+
+  ChainNf chain{tb.sim(),
+                ChainConfig{.name = "cc-quota", .timing = tb.timing(),
+                            .tenant = tenant},
+                {port0},
+                &rt,
+                {compress_stage(), encrypt_stage()}};
+  tb.run_for(milliseconds(150));
+  ASSERT_TRUE(chain.ready());
+  rt.start();
+  chain.start();
+
+  port0->start_traffic(text_traffic(), 0.8);  // flood past the byte cap
+  tb.measure(milliseconds(2), milliseconds(5));
+  port0->stop_traffic();
+  tb.run_for(milliseconds(3));
+
+  // Chain traffic flows through the tenant-aware instance API: refusals are
+  // visible both to the NF and in the tenant's ledgered metrics.
+  EXPECT_GT(chain.stats().ibq_drops, 0u);
+  EXPECT_GT(msum("dhl.tenant.rejected_pkts", {{"tenant", "chains"}}), 0.0);
+  EXPECT_GT(msum("dhl.tenant.admitted_pkts", {{"tenant", "chains"}}), 0.0);
+  EXPECT_GT(chain.stats().completed, 0u);
+  EXPECT_TRUE(tb.quiesce_ledger().clean());
+}
+
+TEST_F(FusedChainFixture, BadPortIsCountedAndDroppedNotMisTxed) {
+  // A stage steers packets to a port id this chain does not own: the chain
+  // must drop and count, never fall back to ports_.front().
+  std::vector<ChainStage> stages;
+  stages.push_back(ChainStage::cpu(
+      "missteer",
+      [](netio::Mbuf& m) {
+        m.set_port(77);
+        return Verdict::kForward;
+      },
+      [](const netio::Mbuf&) { return 5.0; }));
+  ChainNf chain{tb.sim(), ChainConfig{.timing = tb.timing()}, {port0}, nullptr,
+                std::move(stages)};
+  chain.start();
+  port0->start_traffic(text_traffic(), 0.3);
+  tb.measure(milliseconds(1), milliseconds(2));
+  port0->stop_traffic();
+
+  EXPECT_GT(chain.stats().bad_port_drops, 0u);
+  EXPECT_EQ(port0->tx_meter().frames(), 0u);
+}
+
+TEST_F(FusedChainFixture, NcEncodeThenEncryptChainDecodesAtTheHost) {
+  constexpr unsigned kWindow = 4;
+  constexpr unsigned kSymLen = 64;
+  auto& rt = tb.init_runtime(automaton);
+
+  // Fixed source generation, known to the "receiver" below.
+  std::vector<std::uint8_t> block(kWindow * kSymLen);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+
+  // Ingress prep: replace each frame's payload with an nc-encode input
+  // record over the fixed block, a fresh draw seed per packet.
+  auto seed = std::make_shared<std::uint32_t>(0x5eed'0000);
+  ChainStage prep = ChainStage::cpu(
+      "nc-prep",
+      [&block, seed](netio::Mbuf& m) {
+        m.assign(accel::nc_encode_record(block, kWindow, kSymLen, (*seed)++));
+        return Verdict::kForward;
+      },
+      [](const netio::Mbuf&) { return 120.0; });
+
+  std::vector<std::vector<std::uint8_t>> rows;
+  ChainStage capture = capture_stage(&rows);
+
+  ChainNf chain{tb.sim(),
+                ChainConfig{.name = "nc-chain", .timing = tb.timing()},
+                {port0},
+                &rt,
+                {std::move(prep),
+                 ChainStage::offload("nc-enc", "nc-encode", {}, nullptr,
+                                     nullptr),
+                 encrypt_stage(), std::move(capture)}};
+  ASSERT_EQ(chain.segments().size(), 1u);
+  EXPECT_EQ(chain.segments()[0].chain_name, "nc-encode+aes256-ctr");
+
+  tb.run_for(milliseconds(150));
+  ASSERT_TRUE(chain.ready());
+  rt.start();
+  chain.start();
+
+  netio::TrafficConfig traffic;
+  traffic.frame_len = 512;
+  port0->start_traffic(traffic, 0.1);
+  tb.run_for(milliseconds(4));
+  port0->stop_traffic();
+  tb.run_for(milliseconds(3));
+
+  EXPECT_GT(chain.stats().fused_offloads, 0u);
+  ASSERT_GE(rows.size(), kWindow);
+
+  // Receiver side: decrypt (CTR is an involution), parse the coded row,
+  // and feed the decoder until the generation is recovered.
+  const auto key_iv = accel::aes256_ctr_test_config();
+  const crypto::Aes256 cipher{
+      std::span<const std::uint8_t, 32>{key_iv.data(), 32}};
+  const std::span<const std::uint8_t, 16> iv{key_iv.data() + 32, 16};
+  accel::NcDecoder decoder{kWindow, kSymLen};
+  for (auto& row : rows) {
+    if (decoder.complete()) break;
+    crypto::aes256_ctr(cipher, iv, row, row);
+    const auto header = accel::nc_parse_header(row);
+    ASSERT_TRUE(header.has_value());
+    ASSERT_EQ(header->window, kWindow);
+    ASSERT_EQ(header->count, 1u);
+    ASSERT_EQ(header->sym_len, kSymLen);
+    ASSERT_EQ(row.size(), accel::kNcHeaderBytes + kWindow + kSymLen);
+    const std::span<const std::uint8_t> body{row};
+    decoder.add_row(body.subspan(accel::kNcHeaderBytes, kWindow),
+                    body.subspan(accel::kNcHeaderBytes + kWindow, kSymLen));
+  }
+  ASSERT_TRUE(decoder.complete());
+  for (unsigned i = 0; i < kWindow; ++i) {
+    const auto sym = decoder.symbol(i);
+    EXPECT_EQ(0, std::memcmp(sym.data(), block.data() + i * kSymLen, kSymLen))
+        << "decoded symbol " << i << " differs from the source";
+  }
+
+  EXPECT_EQ(rt.stats().error_records, 0u);
+  EXPECT_TRUE(tb.quiesce_ledger().clean());
+}
+
+}  // namespace
+}  // namespace dhl::nf

@@ -71,6 +71,36 @@ TEST(ScenarioSlo, QuotaStormRejectsFlooderNotPrimary) {
   EXPECT_TRUE(r.tenants_clean);
 }
 
+TEST(ScenarioSlo, ChainFlashCrowdBreachesThenRecovers) {
+  // The fused compression+aes256-ctr service chain under the flash-crowd
+  // ramp: full-MTU payload at line rate exceeds the compression stage's
+  // 24 Gbps fabric rate, so the chain itself is the bottleneck and the
+  // watchdog must see the breach and the hysteresis recovery.
+  const ScenarioResult r =
+      ScenarioRunner{}.run(default_spec("chain-flash-crowd"));
+  EXPECT_EQ(r.expect, "breach");
+  EXPECT_TRUE(r.pass) << r.detail;
+  EXPECT_GE(r.breach_episodes, 1u);
+  EXPECT_FALSE(r.final_breached);
+  EXPECT_TRUE(r.ledger_clean);
+  EXPECT_TRUE(r.tenants_clean);
+  EXPECT_TRUE(r.tenants_drained);
+}
+
+TEST(ScenarioSlo, ChainFaultSoakStaysCleanUnderDmaFaults) {
+  // DMA submit timeouts against the fused chain: retries absorb the
+  // faults within the relaxed tail budgets, and whatever terminally drops
+  // is counted in the ledger rather than leaking.
+  const ScenarioResult r =
+      ScenarioRunner{}.run(default_spec("chain-fault-soak"));
+  EXPECT_TRUE(r.pass) << r.detail;
+  EXPECT_GT(r.faults_injected, 0u);
+  EXPECT_EQ(r.breach_episodes, 0u);
+  EXPECT_GT(r.forwarded, 0u);
+  EXPECT_TRUE(r.ledger_clean);
+  EXPECT_TRUE(r.tenants_drained);
+}
+
 TEST(ScenarioSlo, DeviceOutageRidesSimdFallback) {
   // Quarantine every replica from t=0 (device_unhealthy at probability 1)
   // and require the run to stay clean: traffic must flow through the

@@ -99,7 +99,8 @@ TEST(SimdDispatch, CapGatesEnabled) {
 TEST(SimdDispatch, KernelReportTracksCap) {
   CapGuard guard;
   const std::vector<const char*> expected{"crc32c", "aes256_ctr",
-                                          "ac_multilane", "batch_copy"};
+                                          "ac_multilane", "batch_copy",
+                                          "gf256_addmul"};
   simd::set_cap(simd::Isa::kScalar);
   auto report = simd::kernel_report();
   ASSERT_EQ(report.size(), expected.size());
